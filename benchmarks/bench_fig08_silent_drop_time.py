@@ -1,0 +1,76 @@
+"""Figure 8 - time to reach 100 % recall and precision.
+
+Paper result: the time to perfect localization *decreases* as the loss rate
+of the faulty interfaces increases (Figure 8a, 1-4 %) and as the network load
+increases (Figure 8b, 30-90 %), because the controller receives alerts at a
+higher rate; more faulty interfaces take longer.
+
+Scaling note: as in the Figure 7 benchmark the link capacity is scaled down
+so the pure-Python flow simulation stays fast; the monotone trends are what
+this benchmark checks.
+"""
+
+from repro.analysis import format_table, mean_and_stderr
+from repro.debug import run_silent_drop_experiment
+
+LINK_CAPACITY = 3e7
+DURATION_S = 90.0
+INTERVAL_S = 3.0
+RUNS = 3
+
+
+def _time_to_perfect(faulty, loss, load, seed):
+    result = run_silent_drop_experiment(
+        faulty_interfaces=faulty, loss_rate=loss, network_load=load,
+        duration_s=DURATION_S, interval_s=INTERVAL_S,
+        link_capacity_bps=LINK_CAPACITY, seed=seed)
+    if result.time_to_perfect_s is None:
+        return DURATION_S
+    return result.time_to_perfect_s
+
+
+def test_fig08_time_to_localize(benchmark, report_writer):
+    loss_rates = (0.01, 0.02, 0.04)
+    loads = (0.3, 0.5, 0.7)
+
+    def run():
+        sweep_loss = {}
+        for faulty in (1, 2):
+            for loss in loss_rates:
+                samples = [_time_to_perfect(faulty, loss, 0.7, seed=31 + r)
+                           for r in range(RUNS)]
+                sweep_loss[(faulty, loss)] = mean_and_stderr(samples)
+        sweep_load = {}
+        for faulty in (1, 2):
+            for load in loads:
+                samples = [_time_to_perfect(faulty, 0.01, load, seed=61 + r)
+                           for r in range(RUNS)]
+                sweep_load[(faulty, load)] = mean_and_stderr(samples)
+        return sweep_loss, sweep_load
+
+    sweep_loss, sweep_load = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    loss_rows = [[faulty, f"{loss * 100:.0f}%", f"{mean:.1f}", f"{err:.1f}"]
+                 for (faulty, loss), (mean, err) in sorted(sweep_loss.items())]
+    load_rows = [[faulty, f"{load * 100:.0f}%", f"{mean:.1f}", f"{err:.1f}"]
+                 for (faulty, load), (mean, err) in sorted(sweep_load.items())]
+    report = "\n\n".join([
+        format_table(["faulty ifaces", "loss rate", "mean time (s)",
+                      "std err"], loss_rows,
+                     title="Figure 8(a): time to 100% recall & precision vs "
+                           "loss rate (network load 70%; paper: decreasing)"),
+        format_table(["faulty ifaces", "network load", "mean time (s)",
+                      "std err"], load_rows,
+                     title="Figure 8(b): time to 100% recall & precision vs "
+                           "network load (loss 1%; paper: decreasing)"),
+    ])
+    report_writer("fig08_silent_drop_time", report)
+
+    # Higher loss rate must not slow localization down.
+    for faulty in (1, 2):
+        low = sweep_loss[(faulty, 0.01)][0]
+        high = sweep_loss[(faulty, 0.04)][0]
+        assert high <= low + 1e-9
+    # Higher load must not slow localization down.
+    for faulty in (1, 2):
+        assert sweep_load[(faulty, 0.7)][0] <= sweep_load[(faulty, 0.3)][0] + 1e-9

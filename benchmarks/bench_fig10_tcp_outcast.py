@@ -1,0 +1,46 @@
+"""Figure 10 - TCP outcast diagnosis.
+
+Paper result: with 15 senders to one receiver, the flow closest to the
+receiver (arriving alone on its own input port of the receiver's ToR) sees by
+far the lowest throughput; PathDump reconstructs the per-sender throughputs
+(Figure 10a) and the path tree with per-port flow counts (Figure 10b) from
+the receiver's TIB and concludes the unfairness stems from the outcast
+problem.  The diagnosis starts after >= 10 alerts and completes quickly.
+"""
+
+from repro.analysis import format_table
+from repro.debug import run_outcast_experiment
+
+
+def test_fig10_tcp_outcast(benchmark, report_writer):
+    result = benchmark.pedantic(lambda: run_outcast_experiment(seed=7),
+                                rounds=1, iterations=1)
+    diagnosis = result.diagnosis
+
+    flow_rows = []
+    for index, (sender, mbps) in enumerate(
+            sorted(result.throughputs_mbps.items()), start=1):
+        marker = "outcast victim" if sender == diagnosis.victim else ""
+        flow_rows.append([index, sender, f"{mbps:.1f}", marker])
+    tree_rows = [[node.branch, node.flow_count]
+                 for node in diagnosis.path_tree]
+    report = "\n\n".join([
+        format_table(["flow", "sender", "throughput (Mbps)", "note"],
+                     flow_rows,
+                     title="Figure 10(a): per-sender throughput (paper: the "
+                           "rack-local sender is starved)"),
+        format_table(["input branch at receiver ToR", "flows"], tree_rows,
+                     title="Figure 10(b): path tree / per-port flow counts"),
+        format_table(["metric", "value"],
+                     [["verdict", diagnosis.verdict],
+                      ["victim", diagnosis.victim],
+                      ["alerts before diagnosis", diagnosis.alerts_seen],
+                      ["Jain fairness index",
+                       f"{diagnosis.fairness_index:.3f}"],
+                      ["diagnosis correct", result.detection_correct]],
+                     title="Diagnosis summary"),
+    ])
+    report_writer("fig10_tcp_outcast", report)
+
+    assert result.detection_correct
+    assert diagnosis.alerts_seen >= 10

@@ -1,0 +1,106 @@
+"""Figure 13 - edge packet-processing throughput, PathDump vs vanilla vswitch.
+
+Paper result: with about 4 K flow records resident in the trajectory memory,
+the PathDump-enabled DPDK vSwitch forwards at most ~4 % slower than the
+vanilla vSwitch across packet sizes from 64 to 1500 bytes (in both Gb/s and
+Mpps terms).
+
+Here the comparison is between the Python edge pipeline with trajectory
+extraction enabled and disabled; the absolute packets-per-second numbers are
+of course far below a DPDK datapath, but the *relative* overhead of the
+PathDump work per packet is the quantity the figure reports.
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.core import EdgeVSwitch, TrajectoryMemory
+from repro.network.packet import FlowId, PROTO_TCP, Packet
+
+PACKET_SIZES = (64, 128, 256, 512, 1024, 1500)
+RESIDENT_FLOWS = 4_000
+BATCH = 20_000
+
+
+def _make_packets(size: int, count: int, flows: int, seed: int = 0):
+    rng = random.Random(seed)
+    packets = []
+    for index in range(count):
+        flow = FlowId(f"src-{index % flows}", "h-0-0-0",
+                      10_000 + index % flows, 80, PROTO_TCP)
+        packet = Packet(flow=flow, size=size, seq=index)
+        packet.push_vlan(1 + rng.randrange(8))
+        if rng.random() < 0.5:
+            packet.push_vlan(1 + rng.randrange(8))
+        packets.append(packet)
+    return packets
+
+
+def _run_pipeline(pathdump_enabled: bool, size: int) -> float:
+    """Forward one batch and return achieved packets per second."""
+    import time
+
+    memory = TrajectoryMemory()
+    vswitch = EdgeVSwitch("h-0-0-0", memory,
+                          pathdump_enabled=pathdump_enabled)
+    packets = _make_packets(size, BATCH, RESIDENT_FLOWS)
+    start = time.perf_counter()
+    for packet in packets:
+        vswitch.receive(packet, when=0.0)
+    elapsed = time.perf_counter() - start
+    return BATCH / elapsed
+
+
+def test_fig13_packet_processing(benchmark, report_writer):
+    def run():
+        rows = []
+        for size in PACKET_SIZES:
+            vanilla = _run_pipeline(False, size)
+            pathdump = _run_pipeline(True, size)
+            rows.append((size, vanilla, pathdump))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    added_costs_us = []
+    for size, vanilla, pathdump in rows:
+        loss = (1.0 - pathdump / vanilla) * 100.0
+        added_us = (1.0 / pathdump - 1.0 / vanilla) * 1e6
+        added_costs_us.append(added_us)
+        table.append([size,
+                      f"{vanilla / 1e6:.3f}", f"{pathdump / 1e6:.3f}",
+                      f"{vanilla * size * 8 / 1e9:.3f}",
+                      f"{pathdump * size * 8 / 1e9:.3f}",
+                      f"{loss:.1f}", f"{added_us:.2f}"])
+    report_writer("fig13_packet_processing", format_table(
+        ["packet size (B)", "vanilla (Mpps)", "PathDump (Mpps)",
+         "vanilla (Gbps)", "PathDump (Gbps)", "throughput loss (%)",
+         "added cost (us/pkt)"], table,
+        title="Figure 13: edge forwarding throughput with ~4K resident flow "
+              "records.  Paper: the PathDump additions cost at most ~4% on a "
+              "DPDK vSwitch; in this pure-Python pipeline the 'vanilla' "
+              "baseline does almost no work per packet, so the meaningful "
+              "measured quantity is the absolute per-packet cost of the "
+              "trajectory extraction + memory update (a few microseconds), "
+              "which is what would vanish into a DPDK datapath's budget."))
+
+    # The PathDump fast path must stay in the microseconds-per-packet range
+    # and sustain a healthy packet rate even in pure Python.
+    assert all(cost < 50.0 for cost in added_costs_us)
+    assert all(pathdump > 5e4 for _, _, pathdump in rows)
+
+
+def test_fig13_per_packet_fast_path(benchmark):
+    """Micro-benchmark of the per-packet PathDump fast path itself."""
+    memory = TrajectoryMemory()
+    vswitch = EdgeVSwitch("h-0-0-0", memory, pathdump_enabled=True)
+    packets = _make_packets(512, 2_000, RESIDENT_FLOWS)
+    state = {"i": 0}
+
+    def one_packet():
+        packet = packets[state["i"] % len(packets)]
+        state["i"] += 1
+        vswitch.receive(packet.copy(), when=0.0)
+
+    benchmark(one_packet)

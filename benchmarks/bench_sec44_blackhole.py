@@ -1,0 +1,52 @@
+"""Section 4.4 - blackhole diagnosis search-space reduction.
+
+Paper results on a 4-ary fat-tree with packet spraying:
+
+* a blackhole on an aggregate-core link kills one subflow; the controller
+  finds the missing path in the TIB and narrows the culprit to 3 switches
+  (out of the 10 switches on the flow's four paths);
+* a blackhole on a ToR-aggregate link in the source pod kills two subflows;
+  joining the two missing paths leaves 4 common switches to examine first.
+"""
+
+from repro.analysis import format_table
+from repro.debug import run_blackhole_experiment
+
+
+def test_sec44_blackhole_diagnosis(benchmark, report_writer):
+    def run():
+        return (run_blackhole_experiment(scenario="agg-core", seed=5,
+                                         background_flows=150),
+                run_blackhole_experiment(scenario="tor-agg", seed=5,
+                                         background_flows=150))
+
+    agg_core, tor_agg = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def row(name, result, paper_candidates):
+        diagnosis = result.diagnosis
+        return [name,
+                diagnosis.impacted_subflows,
+                paper_candidates,
+                len(diagnosis.candidate_switches),
+                len(diagnosis.prioritized_switches),
+                diagnosis.total_switches_on_paths,
+                result.alarm_raised,
+                result.culprit_covered]
+
+    rows = [
+        row("agg-core link", agg_core, 3),
+        row("ToR-agg link (source pod)", tor_agg, 4),
+    ]
+    report_writer("sec44_blackhole", format_table(
+        ["blackhole at", "subflows impacted", "paper candidate switches",
+         "common switches (missing paths)", "prioritized suspects",
+         "switches on all paths", "sender alarm", "culprit in candidates"],
+        rows,
+        title="Section 4.4: blackhole diagnosis (paper: 1 subflow/3 "
+              "candidates for agg-core, 2 subflows/4 common switches for "
+              "ToR-agg, vs 10 switches without PathDump)"))
+
+    assert agg_core.diagnosis.impacted_subflows == 1
+    assert tor_agg.diagnosis.impacted_subflows == 2
+    assert agg_core.culprit_covered and tor_agg.culprit_covered
+    assert len(tor_agg.diagnosis.candidate_switches) == 4

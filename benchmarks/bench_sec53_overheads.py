@@ -1,0 +1,66 @@
+"""Section 5.3 - end-host resource overheads (storage and query processing).
+
+Paper results: PathDump needs about 10 MB of RAM per server for trajectory
+decoding, trajectory memory and trajectory cache, about 110 MB of disk for
+240 K TIB flow entries (an hour of flows), and continuous query processing
+consumes less than a quarter of one core.
+
+The benchmark measures the same quantities for this implementation: the
+estimated footprint of the trajectory memory/cache and of the TIB at the
+paper's 240 K-record scale (extrapolated from a measured 20 K sample), and
+the per-query CPU time of a continuous query mix.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.core import Q_FLOW_SIZE_DISTRIBUTION, Q_POOR_TCP_FLOWS, \
+    Q_TOP_K_FLOWS, Query
+
+from query_testbed import build_query_cluster
+
+SAMPLE_RECORDS = 20_000
+PAPER_RECORDS = 240_000
+
+
+def test_sec53_overheads(benchmark, report_writer):
+    def run():
+        cluster = build_query_cluster(4, records_per_host=SAMPLE_RECORDS)
+        agent = cluster.agent(cluster.hosts[0])
+        footprint = agent.memory_footprint_bytes()
+        tib_bytes_240k = footprint["tib"] * PAPER_RECORDS / SAMPLE_RECORDS
+
+        queries = [Query(Q_TOP_K_FLOWS, {"k": 1000}),
+                   Query(Q_FLOW_SIZE_DISTRIBUTION,
+                         {"links": [None], "binsize": 10_000}),
+                   Query(Q_POOR_TCP_FLOWS, {})]
+        start = time.process_time()
+        wall_start = time.perf_counter()
+        executed = 0
+        for _ in range(3):
+            for query in queries:
+                agent.execute_query(query)
+                executed += 1
+        cpu = time.process_time() - start
+        wall = time.perf_counter() - wall_start
+        return footprint, tib_bytes_240k, cpu / executed, cpu / max(wall, 1e-9)
+
+    footprint, tib_240k, cpu_per_query, utilisation = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    rows = [
+        ["working RAM (trajectory memory + cache)", "~10 MB",
+         f"{(footprint['trajectory_memory'] + footprint['trajectory_cache']) / 1e6:.2f} MB"],
+        [f"TIB storage for {PAPER_RECORDS // 1000}K flow entries", "~110 MB",
+         f"{tib_240k / 1e6:.0f} MB (extrapolated from "
+         f"{SAMPLE_RECORDS // 1000}K measured)"],
+        ["CPU per continuous query (one core)", "< 25% of a core",
+         f"{cpu_per_query * 1000:.1f} ms CPU per query, "
+         f"{utilisation * 100:.0f}% of one core while querying"],
+    ]
+    report_writer("sec53_overheads", format_table(
+        ["resource", "paper", "measured"], rows,
+        title="Section 5.3: per-server resource overheads"))
+
+    assert tib_240k < 500e6
+    assert footprint["tib"] > 0

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and writes a plain-text report (the same rows/series the paper plots) to
+``benchmarks/reports/``, in addition to the timing numbers pytest-benchmark
+prints.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/reports/*.txt`` afterwards.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report file (and echo it to stdout)."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, text: str) -> pathlib.Path:
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return write

@@ -1,0 +1,95 @@
+"""Shared test-bed builder for the query-performance benchmarks (Figs 11-12).
+
+The paper's setup: 112 end hosts (28 servers x 4 containers), each holding a
+TIB with 240 K flow entries (about an hour of flows per server), queried
+either directly or along a 4-level aggregation tree (7 x 4 x 4).
+
+This builder reproduces that setup at a configurable scale: an N-host
+leaf-spine topology whose agents' TIBs are pre-populated with synthetic
+per-path flow records.  The default of 1,500 records per host keeps the
+pure-Python benchmark runtime reasonable; the direct-versus-multi-level
+comparison (what Figures 11 and 12 show) depends on the per-record work and
+the aggregation structure, not on the absolute record count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core import QueryCluster
+from repro.core.rpc import RpcChannel
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+from repro.topology.graph import (ROLE_AGGREGATE, ROLE_EDGE, Topology)
+from repro.workloads.websearch import web_search_cdf
+
+#: Host counts swept by the Figures 11/12 benchmarks (paper: 28..112).
+HOST_COUNTS = (28, 56, 84, 112)
+
+#: Default number of TIB records per host (paper: 240,000; scaled down).
+RECORDS_PER_HOST = 1_500
+
+
+def build_query_topology(num_hosts: int, hosts_per_tor: int = 8) -> Topology:
+    """A simple leaf-spine topology with ``num_hosts`` hosts."""
+    topo = Topology(name=f"leafspine-{num_hosts}")
+    num_tors = (num_hosts + hosts_per_tor - 1) // hosts_per_tor
+    spines = 2
+    for s in range(spines):
+        topo.add_switch(f"spine-{s}", ROLE_AGGREGATE, index=s)
+    for t in range(num_tors):
+        tor = f"leaf-{t}"
+        topo.add_switch(tor, ROLE_EDGE, pod=t, index=t)
+        for s in range(spines):
+            topo.add_link(tor, f"spine-{s}")
+    for h in range(num_hosts):
+        tor = f"leaf-{h // hosts_per_tor}"
+        host = f"server-{h}"
+        topo.add_host(host, pod=h // hosts_per_tor, index=h)
+        topo.add_link(host, tor)
+    return topo
+
+
+def populate_cluster(cluster: QueryCluster, records_per_host: int,
+                     seed: int = 0) -> int:
+    """Fill every agent's TIB with synthetic per-path flow records."""
+    rng = random.Random(seed)
+    cdf = web_search_cdf()
+    hosts = cluster.hosts
+    topo = cluster.topo
+    inserted = 0
+    for host in hosts:
+        agent = cluster.agent(host)
+        tor = topo.tor_of(host)
+        for index in range(records_per_host):
+            src = rng.choice(hosts)
+            if src == host:
+                src = hosts[(hosts.index(src) + 1) % len(hosts)]
+            src_tor = topo.tor_of(src)
+            spine = f"spine-{rng.randrange(2)}"
+            if src_tor == tor:
+                path = (src, src_tor, host)
+            else:
+                path = (src, src_tor, spine, tor, host)
+            size = cdf.sample(rng)
+            start = rng.uniform(0.0, 3600.0)
+            flow = FlowId(src, host, 20_000 + index, 80, PROTO_TCP)
+            record = PathFlowRecord(flow, path, start, start + 0.2, size,
+                                    max(1, size // 1460))
+            # Insert directly into the underlying collection: synthetic flows
+            # are unique by construction, so the merge check is unnecessary
+            # and would dominate the set-up time.
+            agent.tib._collection.insert(record.to_document())
+            inserted += 1
+    return inserted
+
+
+def build_query_cluster(num_hosts: int,
+                        records_per_host: int = RECORDS_PER_HOST,
+                        seed: int = 0) -> QueryCluster:
+    """Build and populate a query test bed with ``num_hosts`` agents."""
+    topo = build_query_topology(num_hosts)
+    cluster = QueryCluster(topo, rpc=RpcChannel())
+    populate_cluster(cluster, records_per_host, seed=seed)
+    return cluster

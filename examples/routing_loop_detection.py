@@ -1,0 +1,39 @@
+"""Detect routing loops in real time from trapped packets (Section 4.5).
+
+A misconfigured switch sends traffic for one destination back up into the
+fabric, creating a forwarding loop.  The looping packet keeps accumulating
+CherryPick VLAN tags; as soon as it carries three, the next switch cannot
+parse it at line rate, the forwarding lookup misses and the packet lands at
+the controller - which proves the loop by spotting a repeated link ID
+(possibly after one store-strip-reinject round for larger loops).
+
+Run with::
+
+    python examples/routing_loop_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.debug import run_routing_loop_experiment
+
+
+def main() -> None:
+    rows = []
+    for scenario, label in (("small", "loop visible in first trapped packet"),
+                            ("large", "loop needs one re-injection round")):
+        result = run_routing_loop_experiment(loop=scenario, seed=3)
+        rows.append([label, result.loop_size,
+                     "yes" if result.detected else "no",
+                     result.rounds,
+                     f"{result.detection_latency_s * 1000:.1f}",
+                     result.repeated_link_id])
+    print(format_table(
+        ["scenario", "switches in loop", "detected", "controller rounds",
+         "latency (ms)", "repeated link id"], rows,
+        title="Routing-loop detection via the suspicious-long-path trap "
+              "(paper: ~47 ms for a 4-hop loop, ~115 ms for a 6-hop loop)"))
+
+
+if __name__ == "__main__":
+    main()

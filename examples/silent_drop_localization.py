@@ -1,0 +1,46 @@
+"""Localize silently dropping interfaces from end-host alerts (Section 4.3).
+
+The scenario: two randomly chosen switch interfaces silently drop 1 % of the
+packets crossing them.  End hosts raise POOR_PERF alerts for flows that keep
+retransmitting; the controller pulls those flows' paths from the destination
+TIBs (failure signatures) and runs MAX-COVERAGE over them.  The example
+prints the recall/precision trajectory and the final suspect list.
+
+Run with::
+
+    python examples/silent_drop_localization.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.debug import run_silent_drop_experiment
+
+
+def main() -> None:
+    result = run_silent_drop_experiment(
+        faulty_interfaces=2, loss_rate=0.01, network_load=0.7,
+        duration_s=60.0, interval_s=5.0, link_capacity_bps=5e7, seed=7)
+
+    print("Injected silently-dropping interfaces (ground truth):")
+    for interface in result.faulty_interfaces:
+        print(f"  {interface[0]} -> {interface[1]}")
+
+    rows = [[point.time_s, point.alarms, point.signatures,
+             f"{point.recall:.2f}", f"{point.precision:.2f}"]
+            for point in result.points]
+    print("\n" + format_table(
+        ["time (s)", "alerts", "failure signatures", "recall", "precision"],
+        rows, title="Localization accuracy as evidence accumulates"))
+
+    if result.time_to_perfect_s is not None:
+        print(f"\nBoth recall and precision reached 1.0 after "
+              f"{result.time_to_perfect_s:.0f} s of traffic "
+              f"({result.flows_simulated} background flows simulated).")
+    else:
+        print("\nLocalization did not fully converge within the experiment; "
+              "run longer or raise the load to accumulate more alerts.")
+
+
+if __name__ == "__main__":
+    main()

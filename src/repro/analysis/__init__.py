@@ -1,0 +1,13 @@
+"""Analysis helpers: CDFs, accuracy metrics, table formatting."""
+
+from repro.analysis.stats import (Cdf, PrecisionRecall, histogram,
+                                  imbalance_rate, jains_fairness,
+                                  mean_and_stderr, score_localization)
+from repro.analysis.tables import (format_cdf, format_comparison,
+                                   format_series, format_table)
+
+__all__ = [
+    "Cdf", "PrecisionRecall", "histogram", "imbalance_rate",
+    "jains_fairness", "mean_and_stderr", "score_localization",
+    "format_cdf", "format_comparison", "format_series", "format_table",
+]

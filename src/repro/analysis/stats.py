@@ -1,0 +1,172 @@
+"""Statistics helpers shared by the debugging applications and benchmarks.
+
+Everything the paper's figures plot is computed here: empirical CDFs
+(Figures 5b, 5c), the load-imbalance rate metric of Pearce et al. used in
+Figure 5(b), recall/precision of fault localization (Figure 7), and small
+formatting helpers for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class Cdf:
+    """An empirical cumulative distribution function over numeric samples."""
+
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        self.values = sorted(float(v) for v in self.values)
+
+    def probability_at(self, x: float) -> float:
+        """P(X <= x)."""
+        if not self.values:
+            return 0.0
+        count = 0
+        for value in self.values:
+            if value <= x:
+                count += 1
+            else:
+                break
+        return count / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) of the samples."""
+        if not self.values:
+            raise ValueError("empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        index = min(len(self.values) - 1,
+                    max(0, int(math.ceil(q * len(self.values))) - 1))
+        return self.values[index]
+
+    def points(self, max_points: Optional[int] = None
+               ) -> List[Tuple[float, float]]:
+        """(value, cumulative probability) pairs suitable for plotting."""
+        n = len(self.values)
+        if n == 0:
+            return []
+        pts = [(v, (i + 1) / n) for i, v in enumerate(self.values)]
+        if max_points is not None and n > max_points:
+            step = n / max_points
+            pts = [pts[int(i * step)] for i in range(max_points)]
+            if pts[-1] != (self.values[-1], 1.0):
+                pts.append((self.values[-1], 1.0))
+        return pts
+
+    @property
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self.values:
+            raise ValueError("empty CDF")
+        return sum(self.values) / len(self.values)
+
+
+def imbalance_rate(loads: Sequence[float]) -> float:
+    """The load-imbalance metric of Figure 5(b).
+
+    ``lambda = (L_max / L_mean - 1) * 100`` (percent), where ``L_max`` is the
+    maximum load on any link and ``L_mean`` the mean over all links
+    [Pearce et al., ICS'12].
+    """
+    if not loads:
+        raise ValueError("imbalance rate needs at least one load value")
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 0.0
+    # Clamp at zero: floating-point rounding can push max/mean a hair below 1
+    # when all loads are (nearly) equal.
+    return max(0.0, (max(loads) / mean - 1.0) * 100.0)
+
+
+@dataclass
+class PrecisionRecall:
+    """Recall and precision of a localization result (Section 4.3)."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there is nothing to find."""
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was reported."""
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of recall and precision."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision
+                                                   + self.recall)
+
+
+def score_localization(reported: Iterable, ground_truth: Iterable
+                       ) -> PrecisionRecall:
+    """Score a set of reported faulty elements against the ground truth.
+
+    Elements are compared as-is; callers normalise (e.g. to undirected
+    cables) beforehand.
+    """
+    reported_set = set(reported)
+    truth_set = set(ground_truth)
+    tp = len(reported_set & truth_set)
+    fp = len(reported_set - truth_set)
+    fn = len(truth_set - reported_set)
+    return PrecisionRecall(true_positives=tp, false_positives=fp,
+                           false_negatives=fn)
+
+
+def histogram(values: Sequence[float], bin_width: float
+              ) -> Dict[int, int]:
+    """Bucket values into fixed-width bins (bucket index -> count)."""
+    if bin_width <= 0:
+        raise ValueError("bin width must be positive")
+    buckets: Dict[int, int] = {}
+    for value in values:
+        bucket = int(value // bin_width)
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    return buckets
+
+
+def mean_and_stderr(samples: Sequence[float]) -> Tuple[float, float]:
+    """Mean and standard error (sigma / sqrt(n)) as used in Figure 8."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    return mean, math.sqrt(variance) / math.sqrt(n)
+
+
+def jains_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index, used to quantify outcast unfairness."""
+    if not values:
+        raise ValueError("no values")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

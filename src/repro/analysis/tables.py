@@ -1,0 +1,72 @@
+"""Plain-text table/series formatting for benchmark reports.
+
+The benchmark harness prints, for every paper table and figure, the same
+rows/series the paper reports.  These helpers keep that output consistent
+(fixed-width columns, aligned numbers) without pulling in any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column headings.
+        rows: row values (converted with ``str``; floats get 4 significant
+            digits).
+        title: optional title line printed above the table.
+
+    Returns:
+        The rendered table as a single string.
+    """
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 20) -> str:
+    """Render an (x, y) series compactly, subsampling long series."""
+    pts = list(points)
+    if len(pts) > max_points:
+        step = len(pts) / max_points
+        pts = [pts[int(i * step)] for i in range(max_points)] + [pts[-1]]
+    rows = [(f"{x:.4g}", f"{y:.4g}") for x, y in pts]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def format_cdf(name: str, cdf, max_points: int = 15) -> str:
+    """Render a :class:`~repro.analysis.stats.Cdf` as a table."""
+    return format_series(name, cdf.points(max_points=max_points),
+                         x_label="value", y_label="P(X<=x)")
+
+
+def format_comparison(title: str, paper_value: str, measured_value: str,
+                      note: str = "") -> str:
+    """One paper-vs-measured comparison line for EXPERIMENTS.md style output."""
+    line = f"{title}: paper={paper_value}  measured={measured_value}"
+    if note:
+        line += f"  ({note})"
+    return line

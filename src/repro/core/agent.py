@@ -1,0 +1,298 @@
+"""The PathDump end-host agent (the "server stack" of Section 3.2).
+
+One agent runs on every end host and glues together the edge components:
+
+* the :class:`~repro.core.vswitch.EdgeVSwitch` fast path (tag extraction and
+  trajectory-memory updates),
+* the :class:`~repro.core.trajectory.TrajectoryMemory`, with NetFlow-style
+  eviction into the TIB via the
+  :class:`~repro.core.trajectory.TrajectoryConstructor`,
+* the :class:`~repro.core.tib.Tib` storage and query engine,
+* the :class:`~repro.core.monitor.ActiveMonitor` TCP health monitor,
+* the host API of Table 1 (``getFlows``, ``getPaths``, ``getCount``,
+  ``getDuration``, ``getPoorTCPFlows``, ``Alarm``), answered for *local*
+  flows (flows whose destination is this host),
+* installed queries, executed periodically or on packet arrival.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.alarms import INVALID_TRAJECTORY, Alarm
+from repro.core.monitor import ActiveMonitor
+from repro.core.query import Query, QueryEngine, QueryResult
+from repro.core.tib import (Flow, LinkId, Tib, TimeRange, link_matches,
+                            normalise_time_range, record_in_range)
+from repro.core.trajectory import (TrajectoryCache, TrajectoryConstructor,
+                                   TrajectoryMemory)
+from repro.core.vswitch import EdgeVSwitch
+from repro.network.packet import FlowId, Packet
+from repro.storage.records import PathFlowRecord
+from repro.tracing.reconstruct import PathReconstructor
+from repro.topology.graph import Topology
+from repro.topology.linkid import LinkIdAssignment
+
+
+@dataclass
+class InstalledQuery:
+    """A query installed on this agent by the controller."""
+
+    query: Query
+    period: Optional[float]
+    last_run: float = float("-inf")
+    runs: int = 0
+    results: List[QueryResult] = field(default_factory=list)
+
+
+class PathDumpAgent:
+    """The PathDump instance of one end host.
+
+    Args:
+        host: the host name.
+        topo: the static topology view (ground truth).
+        assignment: the fabric-wide link ID assignment.
+        alarm_sink: callable receiving alarms (wired to the controller bus).
+        reconstructor: optional shared path reconstructor (one per cluster
+            avoids recomputing shortest paths per agent).
+        cache: optional shared trajectory cache.
+        idle_timeout: trajectory-memory idle eviction timeout (seconds).
+    """
+
+    def __init__(self, host: str, topo: Topology,
+                 assignment: LinkIdAssignment,
+                 alarm_sink: Optional[Callable[[Alarm], None]] = None,
+                 reconstructor: Optional[PathReconstructor] = None,
+                 cache: Optional[TrajectoryCache] = None,
+                 idle_timeout: float = 5.0) -> None:
+        self.host = host
+        self.topo = topo
+        self.alarm_sink = alarm_sink
+        self.tib = Tib(host)
+        self.trajectory_memory = TrajectoryMemory(idle_timeout=idle_timeout)
+        self.constructor = TrajectoryConstructor(
+            reconstructor or PathReconstructor(topo, assignment),
+            cache=cache, on_invalid=self._on_invalid_trajectory)
+        self.vswitch = EdgeVSwitch(host, self.trajectory_memory)
+        self.monitor = ActiveMonitor(host, alarm_sink=self._forward_alarm)
+        self.engine = QueryEngine()
+        self.installed: Dict[str, InstalledQuery] = {}
+        self.alarms_raised: List[Alarm] = []
+
+    # --------------------------------------------------------------- ingest
+    def on_packet_delivered(self, host: str, packet: Packet,
+                            when: float) -> None:
+        """Fabric delivery callback: run the packet through the edge stack."""
+        if host != self.host:
+            raise ValueError(f"packet for {host} delivered to agent "
+                             f"{self.host}")
+        self.vswitch.receive(packet, when)
+        self._export(self.vswitch.drain_evictions())
+        self._run_event_driven(when)
+
+    def ingest_path_record(self, record: PathFlowRecord) -> None:
+        """Directly insert a finished per-path flow record into the TIB.
+
+        Used by the flow-level traffic simulator, which produces aggregate
+        per-path statistics rather than individual packets.
+        """
+        self.tib.add_record(record)
+
+    def flush(self, now: Optional[float] = None) -> int:
+        """Evict trajectory-memory records into the TIB.
+
+        Args:
+            now: evict only records idle since ``now``; evict everything when
+                omitted (end of an experiment).
+
+        Returns:
+            Number of records exported.
+        """
+        if now is None:
+            evicted = self.trajectory_memory.evict_all()
+        else:
+            evicted = self.trajectory_memory.evict_idle(now)
+        return self._export(evicted)
+
+    def _export(self, evicted: Sequence) -> int:
+        count = 0
+        for memory_record in evicted:
+            record = self.constructor.construct(memory_record)
+            if record is not None:
+                self.tib.add_record(record)
+                count += 1
+        return count
+
+    def _on_invalid_trajectory(self, memory_record, error) -> None:
+        """An extracted trajectory is inconsistent with the topology."""
+        self.alarm(memory_record.flow_id, INVALID_TRAJECTORY, [],
+                   detail=str(error))
+
+    # ------------------------------------------------------------ host API
+    def records(self, flow_id: Optional[FlowId] = None,
+                link: Optional[LinkId] = None,
+                time_range: Optional[TimeRange] = None,
+                include_live: bool = False) -> List[PathFlowRecord]:
+        """All matching per-path records (TIB plus, optionally, live memory).
+
+        ``include_live`` corresponds to the IPC lookup of the trajectory
+        memory that alert-driven debugging uses for the freshest data.
+        """
+        results = self.tib.records(flow_id=flow_id, link=link,
+                                   time_range=time_range)
+        if include_live:
+            window = normalise_time_range(time_range)
+            for memory_record in self.trajectory_memory.live_records():
+                if flow_id is not None and memory_record.flow_id != flow_id:
+                    continue
+                record = self.constructor.construct(memory_record)
+                if record is None:
+                    continue
+                if not record_in_range(record, window):
+                    continue
+                if not link_matches(record, link):
+                    continue
+                results.append(record)
+        return results
+
+    def get_flows(self, link: Optional[LinkId] = None,
+                  time_range: Optional[TimeRange] = None,
+                  include_live: bool = False) -> List[Flow]:
+        """``getFlows(linkID, timeRange)`` over local flows."""
+        flows: List[Flow] = []
+        seen = set()
+        for record in self.records(link=link, time_range=time_range,
+                                   include_live=include_live):
+            key = (record.flow_id, record.path)
+            if key not in seen:
+                seen.add(key)
+                flows.append((record.flow_id, record.path))
+        return flows
+
+    def get_paths(self, flow_id: FlowId, link: Optional[LinkId] = None,
+                  time_range: Optional[TimeRange] = None,
+                  include_live: bool = False) -> List[Tuple[str, ...]]:
+        """``getPaths(flowID, linkID, timeRange)``."""
+        paths: List[Tuple[str, ...]] = []
+        seen = set()
+        for record in self.records(flow_id=flow_id, link=link,
+                                   time_range=time_range,
+                                   include_live=include_live):
+            if record.path not in seen:
+                seen.add(record.path)
+                paths.append(record.path)
+        return paths
+
+    def get_count(self, flow: Union[Flow, FlowId],
+                  time_range: Optional[TimeRange] = None,
+                  include_live: bool = False) -> Tuple[int, int]:
+        """``getCount(Flow, timeRange)``: (bytes, packets)."""
+        flow_id, path = self._split_flow(flow)
+        nbytes = npkts = 0
+        for record in self.records(flow_id=flow_id, time_range=time_range,
+                                   include_live=include_live):
+            if path is not None and record.path != path:
+                continue
+            nbytes += record.bytes
+            npkts += record.pkts
+        return nbytes, npkts
+
+    def get_duration(self, flow: Union[Flow, FlowId],
+                     time_range: Optional[TimeRange] = None,
+                     include_live: bool = False) -> float:
+        """``getDuration(Flow, timeRange)``."""
+        flow_id, path = self._split_flow(flow)
+        stimes: List[float] = []
+        etimes: List[float] = []
+        for record in self.records(flow_id=flow_id, time_range=time_range,
+                                   include_live=include_live):
+            if path is not None and record.path != path:
+                continue
+            stimes.append(record.stime)
+            etimes.append(record.etime)
+        if not stimes:
+            return 0.0
+        return max(etimes) - min(stimes)
+
+    def get_poor_tcp_flows(self, threshold: Optional[int] = None
+                           ) -> List[FlowId]:
+        """``getPoorTCPFlows(Threshold)``."""
+        return self.monitor.get_poor_tcp_flows(threshold)
+
+    def alarm(self, flow_id: FlowId, reason: str,
+              paths: Sequence[Tuple[str, ...]],
+              detail: str = "", when: float = 0.0) -> Alarm:
+        """``Alarm(flowID, Reason, Paths)``: raise an alarm to the controller."""
+        alarm = Alarm(flow_id=flow_id, reason=reason,
+                      paths=[tuple(p) for p in paths], host=self.host,
+                      time=when, detail=detail)
+        self.alarms_raised.append(alarm)
+        self._forward_alarm(alarm)
+        return alarm
+
+    def _forward_alarm(self, alarm: Alarm) -> None:
+        if self.alarm_sink is not None:
+            self.alarm_sink(alarm)
+
+    # -------------------------------------------------------------- queries
+    def execute_query(self, query: Query) -> QueryResult:
+        """Execute a query shipped by the controller."""
+        return self.engine.execute(self, query)
+
+    def install_query(self, query: Query,
+                      period: Optional[float] = None) -> None:
+        """Install a query for periodic or event-driven execution."""
+        self.installed[query.name] = InstalledQuery(
+            query=query, period=period if period is not None else query.period)
+
+    def uninstall_query(self, name: str) -> bool:
+        """Remove an installed query; returns whether it existed."""
+        return self.installed.pop(name, None) is not None
+
+    def run_installed(self, now: float) -> List[QueryResult]:
+        """Run installed periodic queries whose period has elapsed."""
+        results = []
+        for installed in self.installed.values():
+            if installed.period is None:
+                continue
+            if now - installed.last_run + 1e-12 < installed.period:
+                continue
+            result = self.engine.execute(self, installed.query)
+            installed.last_run = now
+            installed.runs += 1
+            installed.results.append(result)
+            results.append(result)
+        return results
+
+    def _run_event_driven(self, now: float) -> None:
+        """Run event-driven installed queries (no period) on packet arrival."""
+        for installed in self.installed.values():
+            if installed.period is not None:
+                continue
+            result = self.engine.execute(self, installed.query)
+            installed.last_run = now
+            installed.runs += 1
+            installed.results.append(result)
+
+    def run_monitor(self, now: float) -> List[Alarm]:
+        """Run one periodic TCP health check."""
+        return self.monitor.run_check(now)
+
+    # ------------------------------------------------------------ accounting
+    def memory_footprint_bytes(self) -> Dict[str, int]:
+        """Approximate RAM/disk usage of the agent's components."""
+        return {
+            "trajectory_memory": self.trajectory_memory.estimated_bytes(),
+            "trajectory_cache": self.constructor.cache.estimated_bytes(),
+            "tib": self.tib.estimated_bytes(),
+        }
+
+    @staticmethod
+    def _split_flow(flow: Union[Flow, FlowId]
+                    ) -> Tuple[FlowId, Optional[Tuple[str, ...]]]:
+        if isinstance(flow, FlowId):
+            return flow, None
+        flow_id, path = flow
+        return flow_id, tuple(path) if path is not None else None

@@ -1,0 +1,106 @@
+"""Alarms and reason codes.
+
+``Alarm(flowID, Reason, Paths)`` is part of the PathDump host API (Table 1):
+an end host raises an alarm towards the controller with a reason code (e.g.
+``POOR_PERF`` for a TCP performance alert) and the list of paths involved.
+The controller's event-driven debugging applications subscribe to these
+alarms (Figure 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.packet import FlowId
+
+#: Reason codes used across the applications.
+POOR_PERF = "POOR_PERF"              #: TCP performance alert
+PC_FAIL = "PC_FAIL"                  #: path conformance violation
+LOOP_DETECTED = "LOOP_DETECTED"      #: routing loop established
+LONG_PATH = "LONG_PATH"              #: suspiciously long (but loop-free) path
+BLACKHOLE_SUSPECTED = "BLACKHOLE_SUSPECTED"  #: subflow silently vanished
+INVALID_TRAJECTORY = "INVALID_TRAJECTORY"    #: samples inconsistent w/ topo
+LOAD_IMBALANCE = "LOAD_IMBALANCE"    #: subflow byte counts diverge
+
+REASON_CODES = (POOR_PERF, PC_FAIL, LOOP_DETECTED, LONG_PATH,
+                BLACKHOLE_SUSPECTED, INVALID_TRAJECTORY, LOAD_IMBALANCE)
+
+
+@dataclass
+class Alarm:
+    """One alarm raised by a PathDump agent.
+
+    Attributes:
+        flow_id: the flow the alarm concerns.
+        reason: one of the reason codes above (free-form values allowed for
+            operator-defined invariants).
+        paths: the path(s) relevant to the alarm (possibly empty).
+        host: the end host that raised the alarm.
+        time: simulated time at which the alarm was raised.
+        detail: free-form supplementary information.
+    """
+
+    flow_id: FlowId
+    reason: str
+    paths: List[Tuple[str, ...]] = field(default_factory=list)
+    host: str = ""
+    time: float = 0.0
+    detail: str = ""
+
+    def short(self) -> str:
+        """Compact log line."""
+        return (f"[{self.time:.3f}s] {self.host}: {self.reason} "
+                f"{self.flow_id.short()} ({len(self.paths)} paths)")
+
+
+#: Signature of an alarm subscriber.
+AlarmHandler = Callable[[Alarm], None]
+
+
+class AlarmBus:
+    """Collects alarms and dispatches them to subscribers.
+
+    The bus stands in for the agent-to-controller alert channel.  Controller
+    applications subscribe either to every alarm or to specific reasons.
+    """
+
+    def __init__(self) -> None:
+        self.alarms: List[Alarm] = []
+        self._handlers: Dict[Optional[str], List[AlarmHandler]] = defaultdict(
+            list)
+        self._counter = itertools.count()
+
+    def subscribe(self, handler: AlarmHandler,
+                  reason: Optional[str] = None) -> None:
+        """Subscribe ``handler`` to alarms (optionally only one reason)."""
+        self._handlers[reason].append(handler)
+
+    def raise_alarm(self, alarm: Alarm) -> None:
+        """Record and dispatch one alarm."""
+        self.alarms.append(alarm)
+        for handler in self._handlers.get(None, []):
+            handler(alarm)
+        for handler in self._handlers.get(alarm.reason, []):
+            handler(alarm)
+
+    # ---------------------------------------------------------------- access
+    def by_reason(self, reason: str) -> List[Alarm]:
+        """All alarms with the given reason, in arrival order."""
+        return [a for a in self.alarms if a.reason == reason]
+
+    def involving_destination(self, dst_host: str) -> List[Alarm]:
+        """All alarms whose flow is destined to ``dst_host``."""
+        return [a for a in self.alarms if a.flow_id.dst_ip == dst_host]
+
+    def count(self, reason: Optional[str] = None) -> int:
+        """Number of alarms (optionally filtered by reason)."""
+        if reason is None:
+            return len(self.alarms)
+        return len(self.by_reason(reason))
+
+    def clear(self) -> None:
+        """Forget all recorded alarms (subscribers stay)."""
+        self.alarms.clear()

@@ -1,0 +1,294 @@
+"""A cluster of PathDump agents plus the distributed query executor.
+
+The TIB is "maintained in a distributed fashion (across all servers in the
+datacenter)"; the controller collects results either with a *direct query*
+(ask every host, aggregate everything at the controller) or a *multi-level
+query* along an aggregation tree where intermediate hosts merge their
+children's partial results (Section 3.2).  Figures 11 and 12 compare the two
+mechanisms on response time and generated network traffic.
+
+:class:`QueryCluster` owns the per-host agents, wires them to the fabric (or
+to the flow-level simulator), and implements both query mechanisms with an
+explicit response-time/traffic model:
+
+* per-host query execution and per-node aggregation costs are *measured*
+  (wall-clock) on the real in-memory TIBs;
+* message latencies and byte counts come from the
+  :class:`~repro.core.rpc.RpcChannel` model;
+* hosts work in parallel, so a level's contribution to response time is the
+  maximum over its nodes, while the direct mechanism pays the controller-side
+  aggregation serially - reproducing the scaling behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.agent import PathDumpAgent
+from repro.core.aggregation import PAPER_TREE_FANOUT, AggregationTree, TreeNode
+from repro.core.alarms import AlarmBus
+from repro.core.query import Query, QueryEngine, QueryResult
+from repro.core.rpc import RpcChannel
+from repro.core.trajectory import TrajectoryCache
+from repro.network.simulator import Fabric
+from repro.storage.records import PathFlowRecord
+from repro.tracing.reconstruct import PathReconstructor
+from repro.topology.graph import Topology
+from repro.topology.linkid import LinkIdAssignment, assign_link_ids
+from repro.transport.flows import FlowOutcome
+from repro.transport.tcp import TcpTransferResult
+
+#: The query mechanisms.
+MECHANISM_DIRECT = "direct"
+MECHANISM_MULTILEVEL = "multilevel"
+
+
+@dataclass
+class DistributedQueryResult:
+    """Outcome of a distributed query execution.
+
+    Attributes:
+        query: the query.
+        mechanism: ``"direct"`` or ``"multilevel"``.
+        payload: the fully aggregated result.
+        response_time_s: modelled end-to-end response time.
+        traffic_bytes: total bytes moved over the management network.
+        host_count: number of hosts that executed the query.
+        breakdown: named components of the response time (for reports).
+    """
+
+    query: Query
+    mechanism: str
+    payload: object
+    response_time_s: float
+    traffic_bytes: int
+    host_count: int
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+
+class QueryCluster:
+    """All PathDump agents of a deployment plus the distributed query logic.
+
+    Args:
+        topo: the topology.
+        assignment: link ID assignment; computed from ``topo`` when omitted.
+        hosts: hosts to instantiate agents for (defaults to every host).
+        fabric: when given, agents are registered as delivery handlers so
+            packet-level traffic feeds the TIBs automatically.
+        rpc: management-channel model (a default one is created if omitted).
+        shared_cache: share one trajectory cache across agents (saves memory
+            in large clusters; per-agent caches when ``False``).
+    """
+
+    def __init__(self, topo: Topology,
+                 assignment: Optional[LinkIdAssignment] = None,
+                 hosts: Optional[Sequence[str]] = None,
+                 fabric: Optional[Fabric] = None,
+                 rpc: Optional[RpcChannel] = None,
+                 shared_cache: bool = True) -> None:
+        self.topo = topo
+        self.assignment = assignment or assign_link_ids(topo)
+        self.hosts = list(hosts) if hosts is not None else list(topo.hosts)
+        self.alarm_bus = AlarmBus()
+        self.rpc = rpc or RpcChannel()
+        self.engine = QueryEngine()
+        self._reconstructor = PathReconstructor(topo, self.assignment)
+        cache = TrajectoryCache() if shared_cache else None
+        self.agents: Dict[str, PathDumpAgent] = {}
+        for host in self.hosts:
+            agent = PathDumpAgent(
+                host, topo, self.assignment,
+                alarm_sink=self.alarm_bus.raise_alarm,
+                reconstructor=self._reconstructor,
+                cache=cache if shared_cache else None)
+            self.agents[host] = agent
+        if fabric is not None:
+            self.attach_fabric(fabric)
+
+    # ---------------------------------------------------------------- wiring
+    def attach_fabric(self, fabric: Fabric) -> None:
+        """Register every agent as its host's delivery handler."""
+        for host, agent in self.agents.items():
+            fabric.register_delivery_handler(host, agent.on_packet_delivered)
+
+    def agent(self, host: str) -> PathDumpAgent:
+        """The agent running on ``host``."""
+        return self.agents[host]
+
+    # ---------------------------------------------------------------- ingest
+    def ingest_flow_outcomes(self, outcomes: Iterable[FlowOutcome]) -> int:
+        """Feed flow-level simulation results into the TIBs and monitors.
+
+        Per-path deliveries become TIB records at the *destination* agent;
+        retransmission statistics feed the *source* agent's monitor (that is
+        where TCP symptoms are sensed).
+        """
+        count = 0
+        for outcome in outcomes:
+            dst_agent = self.agents.get(outcome.spec.dst)
+            src_agent = self.agents.get(outcome.spec.src)
+            finish = outcome.finish_time
+            etime = finish if finish is not None else outcome.start_time
+            if dst_agent is not None:
+                for delivery in outcome.deliveries:
+                    if delivery.packets_delivered <= 0:
+                        continue
+                    record = PathFlowRecord(
+                        flow_id=outcome.flow_id, path=delivery.path,
+                        stime=outcome.start_time, etime=etime,
+                        bytes=delivery.bytes_delivered,
+                        pkts=delivery.packets_delivered)
+                    dst_agent.ingest_path_record(record)
+                    count += 1
+            if src_agent is not None:
+                src_agent.monitor.observe_transfer(outcome)
+        return count
+
+    def ingest_tcp_results(self, results: Iterable[TcpTransferResult]) -> None:
+        """Feed packet-level TCP results into the source-side monitors.
+
+        (The destination TIBs are already updated by the fabric delivery
+        handlers while the packets were being injected.)
+        """
+        for result in results:
+            agent = self.agents.get(result.flow_id.src_ip)
+            if agent is not None:
+                agent.monitor.observe_transfer(result)
+
+    def flush_all(self, now: Optional[float] = None) -> int:
+        """Flush every agent's trajectory memory into its TIB."""
+        return sum(agent.flush(now) for agent in self.agents.values())
+
+    def run_monitors(self, now: float) -> List:
+        """Run one monitoring check on every agent; returns raised alarms."""
+        alarms = []
+        for agent in self.agents.values():
+            alarms.extend(agent.run_monitor(now))
+        return alarms
+
+    # ------------------------------------------------------- distributed query
+    def execute_direct(self, query: Query,
+                       hosts: Optional[Sequence[str]] = None
+                       ) -> DistributedQueryResult:
+        """Direct query: every host answers the controller directly."""
+        targets = list(hosts) if hosts is not None else list(self.hosts)
+        traffic = 0
+        exec_times: List[float] = []
+        results: List[QueryResult] = []
+        network_time = 0.0
+        for host in targets:
+            agent = self.agents[host]
+            network_time = max(network_time, self.rpc.round_trip(
+                query.request_bytes(), 0))
+            result, elapsed = self._timed_execute(agent, query)
+            exec_times.append(elapsed)
+            traffic += query.request_bytes() + result.wire_bytes
+            results.append(result)
+        merged, merge_time = self._timed_merge(query, results)
+        # Hosts execute in parallel; the controller merges serially.
+        response_time = (network_time + (max(exec_times) if exec_times else 0.0)
+                         + merge_time)
+        return DistributedQueryResult(
+            query=query, mechanism=MECHANISM_DIRECT, payload=merged.payload,
+            response_time_s=response_time, traffic_bytes=traffic,
+            host_count=len(targets),
+            breakdown={"network": network_time,
+                       "host_execution": max(exec_times) if exec_times else 0.0,
+                       "controller_aggregation": merge_time})
+
+    def execute_multilevel(self, query: Query,
+                           hosts: Optional[Sequence[str]] = None,
+                           fanout: Sequence[int] = PAPER_TREE_FANOUT
+                           ) -> DistributedQueryResult:
+        """Multi-level query along an aggregation tree."""
+        targets = list(hosts) if hosts is not None else list(self.hosts)
+        tree = AggregationTree(targets, fanout=fanout)
+        traffic_box = {"bytes": 0}
+        total_time, result = self._run_subtree(tree.root, query, traffic_box)
+        return DistributedQueryResult(
+            query=query, mechanism=MECHANISM_MULTILEVEL,
+            payload=result.payload if result is not None else None,
+            response_time_s=total_time, traffic_bytes=traffic_box["bytes"],
+            host_count=len(targets),
+            breakdown={"tree_depth": float(tree.depth())})
+
+    def execute(self, query: Query, hosts: Optional[Sequence[str]] = None,
+                mechanism: str = MECHANISM_DIRECT) -> DistributedQueryResult:
+        """Execute a query with the chosen mechanism."""
+        if mechanism == MECHANISM_DIRECT:
+            return self.execute_direct(query, hosts)
+        if mechanism == MECHANISM_MULTILEVEL:
+            return self.execute_multilevel(query, hosts)
+        raise ValueError(f"unknown query mechanism {mechanism!r}")
+
+    # ------------------------------------------------------------- internals
+    def _run_subtree(self, node: TreeNode, query: Query,
+                     traffic_box: Dict[str, int]
+                     ) -> Tuple[float, Optional[QueryResult]]:
+        """Recursively execute the query over an aggregation subtree.
+
+        Returns the subtree's completion time (from when the node receives
+        the query) and its merged partial result.
+        """
+        # Local execution at this node (the controller root has no TIB).
+        local_result: Optional[QueryResult] = None
+        local_time = 0.0
+        if node.host is not None:
+            agent = self.agents[node.host]
+            local_result, local_time = self._timed_execute(agent, query)
+
+        if not node.children:
+            return local_time, local_result
+
+        # Forward query + tree description to the children (in parallel),
+        # wait for the slowest subtree, then merge at this node.
+        child_results: List[QueryResult] = []
+        slowest_child = 0.0
+        for child in node.children:
+            request_latency = self.rpc.send(query.request_bytes())
+            traffic_box["bytes"] += query.request_bytes()
+            child_time, child_result = self._run_subtree(child, query,
+                                                         traffic_box)
+            if child_result is not None:
+                response_latency = self.rpc.send(child_result.wire_bytes)
+                traffic_box["bytes"] += child_result.wire_bytes
+                child_results.append(child_result)
+            else:
+                response_latency = self.rpc.send(0)
+            slowest_child = max(slowest_child,
+                                request_latency + child_time
+                                + response_latency)
+
+        to_merge = child_results + ([local_result]
+                                    if local_result is not None else [])
+        merged, merge_time = self._timed_merge(query, to_merge)
+        # The node can run its local query while children work.
+        return max(local_time, slowest_child) + merge_time, merged
+
+    def _timed_execute(self, agent: PathDumpAgent,
+                       query: Query) -> Tuple[QueryResult, float]:
+        start = time.perf_counter()
+        result = agent.execute_query(query)
+        return result, time.perf_counter() - start
+
+    def _timed_merge(self, query: Query, results: Sequence[QueryResult]
+                     ) -> Tuple[QueryResult, float]:
+        start = time.perf_counter()
+        merged = self.engine.merge(query, results)
+        return merged, time.perf_counter() - start
+
+    # ------------------------------------------------------------ accounting
+    def total_tib_records(self) -> int:
+        """Total records across every agent's TIB."""
+        return sum(a.tib.record_count() for a in self.agents.values())
+
+    def storage_report(self) -> Dict[str, int]:
+        """Aggregate storage footprint across the cluster."""
+        report = {"tib": 0, "trajectory_memory": 0, "trajectory_cache": 0}
+        for agent in self.agents.values():
+            footprint = agent.memory_footprint_bytes()
+            for key in report:
+                report[key] += footprint[key]
+        return report

@@ -1,0 +1,180 @@
+"""The PathDump controller.
+
+Section 3.3: the controller (i) installs the static trajectory-tracing rules
+on the switches when it starts, and (ii) hosts the debugging applications,
+which run either *on demand* (the operator issues queries) or *event-driven*
+(agents raise alarms, trapped packets arrive from switches).  Queries and
+results travel over the controller API (``execute``/``install``/``uninstall``
+of Table 1), using the direct or multi-level mechanism.
+
+:class:`PathDumpController` ties those roles together on top of a
+:class:`~repro.core.cluster.QueryCluster` and (optionally) a simulated
+:class:`~repro.network.simulator.Fabric`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.alarms import Alarm, AlarmBus, LOOP_DETECTED, LONG_PATH
+from repro.core.cluster import (MECHANISM_DIRECT, MECHANISM_MULTILEVEL,
+                                DistributedQueryResult, QueryCluster)
+from repro.core.query import Query, QueryResult
+from repro.network.packet import FlowId, Packet
+from repro.network.simulator import Fabric
+from repro.tracing.cherrypick import make_tagger
+from repro.tracing.rules import CompiledRules, compile_rules
+from repro.tracing.trap import LongPathTrap, TrapVerdict
+
+
+@dataclass
+class ControllerStats:
+    """Counters describing controller activity."""
+
+    queries_executed: int = 0
+    queries_installed: int = 0
+    alarms_received: int = 0
+    packets_trapped: int = 0
+    loops_detected: int = 0
+
+
+class PathDumpController:
+    """The central controller.
+
+    Args:
+        cluster: the agent cluster (provides the distributed query executor
+            and the alarm bus).
+        fabric: the simulated fabric; when given, trajectory-tracing rules
+            are installed on its switches and trapped packets are handled.
+        install_rules: install the static tagging rules at construction time
+            (the paper's one-time initialization task).
+    """
+
+    def __init__(self, cluster: QueryCluster, fabric: Optional[Fabric] = None,
+                 install_rules: bool = True) -> None:
+        self.cluster = cluster
+        self.fabric = fabric
+        self.alarm_bus: AlarmBus = cluster.alarm_bus
+        self.stats = ControllerStats()
+        self.compiled_rules: Optional[CompiledRules] = None
+        self.trap: Optional[LongPathTrap] = None
+        self.trap_verdicts: List[TrapVerdict] = []
+        self._alarm_handlers: List[Callable[[Alarm], None]] = []
+        self.alarm_bus.subscribe(self._on_alarm)
+        if fabric is not None:
+            self.trap = LongPathTrap(fabric)
+            if install_rules:
+                self.install_tracing_rules()
+
+    # ----------------------------------------------------------- rule install
+    def install_tracing_rules(self) -> CompiledRules:
+        """Compile and install the static CherryPick rules on every switch.
+
+        This is the controller's one-time initialization task; the rules are
+        never modified afterwards.  The fast-path tagger implementing the
+        same policy is installed alongside so the simulator applies the
+        sampling on every forwarded packet.
+        """
+        if self.fabric is None:
+            raise RuntimeError("no fabric attached to install rules on")
+        topo = self.cluster.topo
+        assignment = self.cluster.assignment
+        self.compiled_rules = compile_rules(topo, assignment,
+                                            self.fabric.switches)
+        self.fabric.install_tagger(make_tagger(topo, assignment))
+        return self.compiled_rules
+
+    def switch_rule_counts(self) -> Dict[str, int]:
+        """Number of tagging rules installed per switch."""
+        if self.compiled_rules is None:
+            return {}
+        return {switch: len(rules)
+                for switch, rules in self.compiled_rules.per_switch.items()}
+
+    # ------------------------------------------------------------ controller API
+    def execute(self, hosts: Optional[Sequence[str]], query: Query,
+                mechanism: str = MECHANISM_DIRECT) -> DistributedQueryResult:
+        """``execute(List<HostID>, Query)`` from Table 1."""
+        self.stats.queries_executed += 1
+        return self.cluster.execute(query, hosts, mechanism)
+
+    def execute_at(self, host: str, query: Query) -> QueryResult:
+        """Run a query at a single host (direct query to one TIB)."""
+        self.stats.queries_executed += 1
+        self.cluster.rpc.round_trip(query.request_bytes(), 0)
+        return self.cluster.agent(host).execute_query(query)
+
+    def install(self, hosts: Optional[Sequence[str]], query: Query,
+                period: Optional[float] = None) -> None:
+        """``install(List<HostID>, Query, Period)`` from Table 1."""
+        targets = hosts if hosts is not None else self.cluster.hosts
+        for host in targets:
+            self.cluster.agent(host).install_query(query, period)
+            self.cluster.rpc.send(query.request_bytes())
+        self.stats.queries_installed += 1
+
+    def uninstall(self, hosts: Optional[Sequence[str]], query_name: str) -> int:
+        """``uninstall(List<HostID>, Query)``; returns removal count."""
+        targets = hosts if hosts is not None else self.cluster.hosts
+        removed = 0
+        for host in targets:
+            if self.cluster.agent(host).uninstall_query(query_name):
+                removed += 1
+        return removed
+
+    # -------------------------------------------------------------- alarms
+    def on_alarm(self, handler: Callable[[Alarm], None],
+                 reason: Optional[str] = None) -> None:
+        """Register an event-driven debugging application."""
+        self.alarm_bus.subscribe(handler, reason)
+
+    def _on_alarm(self, alarm: Alarm) -> None:
+        self.stats.alarms_received += 1
+
+    def alarms(self, reason: Optional[str] = None) -> List[Alarm]:
+        """Alarms received so far (optionally filtered by reason)."""
+        if reason is None:
+            return list(self.alarm_bus.alarms)
+        return self.alarm_bus.by_reason(reason)
+
+    # -------------------------------------------------------- trapped packets
+    def handle_trapped_packet(self, switch: str, packet: Packet,
+                              when: float) -> TrapVerdict:
+        """Handle a packet punted by a switch (suspiciously long path).
+
+        Loops raise a ``LOOP_DETECTED`` alarm; non-loop long paths raise a
+        ``LONG_PATH`` alarm carrying the observed link IDs so the operator
+        (or the path-conformance application) can inspect them.
+        """
+        if self.trap is None:
+            raise RuntimeError("no fabric attached; cannot chase packets")
+        self.stats.packets_trapped += 1
+        verdict = self.trap.handle_punt(switch, packet, when)
+        self.trap_verdicts.append(verdict)
+        if verdict.is_loop:
+            self.stats.loops_detected += 1
+            reason = LOOP_DETECTED
+            detail = (f"repeated link id {verdict.repeated_link_id} "
+                      f"after {verdict.rounds} round(s)")
+        else:
+            reason = LONG_PATH
+            detail = f"observed link ids {verdict.loop_links}"
+        self.alarm_bus.raise_alarm(Alarm(
+            flow_id=packet.flow, reason=reason, paths=[], host="controller",
+            time=verdict.detection_time, detail=detail))
+        return verdict
+
+    def attach_trap_handler(self) -> None:
+        """Route fabric punts straight into :meth:`handle_trapped_packet`."""
+        if self.fabric is None:
+            raise RuntimeError("no fabric attached")
+        self.fabric.punt_handler = self.handle_trapped_packet
+
+    # ------------------------------------------------------------- simulation
+    def tick(self, now: float) -> List[Alarm]:
+        """Advance periodic work: installed queries and TCP monitors."""
+        alarms = self.cluster.run_monitors(now)
+        for agent in self.cluster.agents.values():
+            agent.run_installed(now)
+        return alarms

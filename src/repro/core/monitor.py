@@ -1,0 +1,150 @@
+"""Active TCP performance monitoring at the end host.
+
+"Servers are a right vantage point to instantly sense the symptoms like TCP
+timeouts, high retransmission rates, large RTT and low throughput"
+(Section 3.2).  The original system samples ``tcpretrans`` periodically; this
+module keeps the equivalent per-flow retransmission ledger, fed by the
+transport models, and implements:
+
+* ``getPoorTCPFlows(threshold)`` from the host API - flows whose consecutive
+  retransmissions exceed a threshold;
+* the periodic monitoring check (default period 200 ms, "default TCP timeout
+  value") that raises ``POOR_PERF`` alarms towards the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.alarms import POOR_PERF, Alarm
+from repro.network.packet import FlowId
+
+#: Default monitoring period in seconds (the paper's 200 ms).
+DEFAULT_MONITOR_PERIOD_S = 0.2
+
+#: Default consecutive-retransmission threshold for "poor" TCP flows.
+DEFAULT_POOR_THRESHOLD = 3
+
+
+@dataclass
+class TcpFlowStats:
+    """Per-flow TCP health statistics maintained by the monitor."""
+
+    flow_id: FlowId
+    retransmissions: int = 0
+    consecutive_retransmissions: int = 0
+    max_consecutive_retransmissions: int = 0
+    timeouts: int = 0
+    bytes_sent: int = 0
+    last_update: float = 0.0
+    alerted: bool = False
+
+    def record_retransmissions(self, count: int, consecutive: int,
+                               when: float) -> None:
+        """Fold a retransmission observation into the statistics."""
+        self.retransmissions += count
+        self.consecutive_retransmissions = consecutive
+        self.max_consecutive_retransmissions = max(
+            self.max_consecutive_retransmissions, consecutive)
+        self.last_update = when
+
+
+class ActiveMonitor:
+    """The end host's TCP performance monitor.
+
+    Args:
+        host: the owning end host.
+        alarm_sink: callback receiving :class:`Alarm` objects (the agent
+            wires this to the controller's alarm bus).
+        period: monitoring period in seconds.
+        poor_threshold: consecutive-retransmission threshold used by the
+            periodic check and ``getPoorTCPFlows``'s default.
+    """
+
+    def __init__(self, host: str,
+                 alarm_sink: Optional[Callable[[Alarm], None]] = None,
+                 period: float = DEFAULT_MONITOR_PERIOD_S,
+                 poor_threshold: int = DEFAULT_POOR_THRESHOLD) -> None:
+        self.host = host
+        self.alarm_sink = alarm_sink
+        self.period = period
+        self.poor_threshold = poor_threshold
+        self.flows: Dict[FlowId, TcpFlowStats] = {}
+        self.alerts_raised = 0
+
+    # ---------------------------------------------------------------- updates
+    def observe_flow(self, flow_id: FlowId, *, retransmissions: int = 0,
+                     consecutive: int = 0, timeouts: int = 0,
+                     bytes_sent: int = 0, when: float = 0.0) -> TcpFlowStats:
+        """Record TCP health observations for one locally-originated flow."""
+        stats = self.flows.get(flow_id)
+        if stats is None:
+            stats = TcpFlowStats(flow_id=flow_id)
+            self.flows[flow_id] = stats
+        stats.record_retransmissions(retransmissions, consecutive, when)
+        stats.timeouts += timeouts
+        stats.bytes_sent += bytes_sent
+        return stats
+
+    def observe_transfer(self, result, when: Optional[float] = None) -> None:
+        """Convenience hook for transport results.
+
+        Accepts any object exposing ``flow_id``, ``retransmissions``,
+        ``max_consecutive_retransmissions``, ``timeouts`` and either
+        ``bytes_delivered`` or ``size`` (both transport models qualify).
+        """
+        bytes_sent = getattr(result, "bytes_delivered", None)
+        if bytes_sent is None:
+            bytes_sent = getattr(result, "size", 0)
+        finish = when
+        if finish is None:
+            finish = getattr(result, "finish_time", None) or getattr(
+                result, "completion_time", None) or 0.0
+        self.observe_flow(result.flow_id,
+                          retransmissions=result.retransmissions,
+                          consecutive=result.max_consecutive_retransmissions,
+                          timeouts=result.timeouts,
+                          bytes_sent=bytes_sent, when=finish)
+
+    # ---------------------------------------------------------------- queries
+    def get_poor_tcp_flows(self, threshold: Optional[int] = None
+                           ) -> List[FlowId]:
+        """``getPoorTCPFlows(Threshold)`` from the host API."""
+        limit = self.poor_threshold if threshold is None else threshold
+        return [flow_id for flow_id, stats in self.flows.items()
+                if stats.max_consecutive_retransmissions >= limit
+                or stats.timeouts > 0]
+
+    def stats_for(self, flow_id: FlowId) -> Optional[TcpFlowStats]:
+        """Statistics for one flow (``None`` when unknown)."""
+        return self.flows.get(flow_id)
+
+    # ------------------------------------------------------------ periodic run
+    def run_check(self, now: float,
+                  threshold: Optional[int] = None) -> List[Alarm]:
+        """Run one periodic monitoring check and raise POOR_PERF alarms.
+
+        Each poor flow is alerted at most once (the controller pulls the
+        paths afterwards; re-alerting the same flow adds nothing).
+        """
+        alarms: List[Alarm] = []
+        for flow_id in self.get_poor_tcp_flows(threshold):
+            stats = self.flows[flow_id]
+            if stats.alerted:
+                continue
+            stats.alerted = True
+            alarm = Alarm(flow_id=flow_id, reason=POOR_PERF, paths=[],
+                          host=self.host, time=now,
+                          detail=(f"retx={stats.retransmissions}, "
+                                  f"streak={stats.max_consecutive_retransmissions}, "
+                                  f"timeouts={stats.timeouts}"))
+            alarms.append(alarm)
+            self.alerts_raised += 1
+            if self.alarm_sink is not None:
+                self.alarm_sink(alarm)
+        return alarms
+
+    def reset(self) -> None:
+        """Forget every flow (new measurement interval)."""
+        self.flows.clear()

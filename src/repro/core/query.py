@@ -1,0 +1,357 @@
+"""Query representation, per-host execution and aggregation semantics.
+
+The controller API (Table 1) ships *queries* to end hosts: ``execute`` runs a
+query once, ``install`` registers it for periodic (or event-driven)
+execution, ``uninstall`` removes it.  A query is expressed in terms of the
+host API - the examples in Section 2.3 are small Python programs over
+``getFlows``/``getPaths``/``getCount``/... - and some queries additionally
+define how partial results from many hosts are *aggregated*, which is what
+the multi-level query mechanism exploits (Section 3.2).
+
+This module defines:
+
+* :class:`Query` - a named query plus its parameters and optional period;
+* :class:`QueryResult` - a host's (or aggregation node's) partial result with
+  its serialized size, so query traffic can be accounted;
+* the built-in query handlers used by the paper's applications: flow records
+  retrieval, flow-size distribution, top-k flows, poor TCP flows, traffic
+  matrix, path conformance; and
+* per-query ``merge`` functions implementing the aggregation-tree reduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.alarms import PC_FAIL, Alarm
+from repro.core.tib import LinkId, TimeRange
+from repro.network.packet import PROTO_TCP, FlowId
+from repro.storage.records import flow_key
+
+#: Built-in query names.
+Q_GET_FLOWS = "get_flows"
+Q_GET_PATHS = "get_paths"
+Q_GET_COUNT = "get_count"
+Q_GET_DURATION = "get_duration"
+Q_POOR_TCP_FLOWS = "poor_tcp_flows"
+Q_FLOW_SIZE_DISTRIBUTION = "flow_size_distribution"
+Q_TOP_K_FLOWS = "top_k_flows"
+Q_TRAFFIC_MATRIX = "traffic_matrix"
+Q_PATH_CONFORMANCE = "path_conformance"
+Q_SUBFLOW_IMBALANCE = "subflow_imbalance"
+
+#: Estimated serialized bytes of small scalar payloads.
+_SCALAR_BYTES = 16
+#: Estimated serialized bytes of one (key, value) pair in histograms / top-k.
+_KV_BYTES = 24
+#: Estimated serialized bytes of one path element.
+_PATH_ELEMENT_BYTES = 2
+#: Estimated serialized size of a query/install request message.
+QUERY_REQUEST_BYTES = 128
+
+
+@dataclass
+class Query:
+    """A query the controller ships to end hosts.
+
+    Attributes:
+        name: one of the ``Q_*`` built-ins (custom names allowed when an
+            explicit handler is registered with the engine).
+        params: keyword parameters interpreted by the handler.
+        period: execution period in seconds for installed queries; ``None``
+            means event-driven (run on packet arrival / alert).
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    period: Optional[float] = None
+
+    def request_bytes(self) -> int:
+        """Approximate serialized size of the query request."""
+        return QUERY_REQUEST_BYTES + 8 * len(self.params)
+
+
+@dataclass
+class QueryResult:
+    """A partial (per-host or per-subtree) query result.
+
+    Attributes:
+        query: the query this result answers.
+        payload: handler-specific result value.
+        wire_bytes: serialized size of the payload, used by the traffic
+            accounting of the query-performance experiments.
+        records_scanned: number of TIB records touched while producing the
+            payload (the compute-cost proxy).
+        host: the host (or aggregation node) that produced the result.
+    """
+
+    query: Query
+    payload: Any
+    wire_bytes: int
+    records_scanned: int = 0
+    host: str = ""
+
+
+# --------------------------------------------------------------------------
+# Per-host execution
+# --------------------------------------------------------------------------
+class QueryEngine:
+    """Executes queries against a PathDump agent and merges partial results."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Callable] = {
+            Q_GET_FLOWS: self._run_get_flows,
+            Q_GET_PATHS: self._run_get_paths,
+            Q_GET_COUNT: self._run_get_count,
+            Q_GET_DURATION: self._run_get_duration,
+            Q_POOR_TCP_FLOWS: self._run_poor_tcp_flows,
+            Q_FLOW_SIZE_DISTRIBUTION: self._run_flow_size_distribution,
+            Q_TOP_K_FLOWS: self._run_top_k_flows,
+            Q_TRAFFIC_MATRIX: self._run_traffic_matrix,
+            Q_PATH_CONFORMANCE: self._run_path_conformance,
+            Q_SUBFLOW_IMBALANCE: self._run_subflow_imbalance,
+        }
+        self._mergers: Dict[str, Callable] = {
+            Q_GET_FLOWS: _merge_concat,
+            Q_GET_PATHS: _merge_concat,
+            Q_POOR_TCP_FLOWS: _merge_concat,
+            Q_FLOW_SIZE_DISTRIBUTION: _merge_histograms,
+            Q_TOP_K_FLOWS: _merge_top_k,
+            Q_TRAFFIC_MATRIX: _merge_histograms,
+            Q_PATH_CONFORMANCE: _merge_concat,
+            Q_SUBFLOW_IMBALANCE: _merge_concat,
+        }
+
+    def register(self, name: str, handler: Callable,
+                 merger: Optional[Callable] = None) -> None:
+        """Register a custom query handler (and optionally a merger)."""
+        self._handlers[name] = handler
+        if merger is not None:
+            self._mergers[name] = merger
+
+    # ------------------------------------------------------------------ exec
+    def execute(self, agent, query: Query) -> QueryResult:
+        """Run ``query`` on ``agent`` and return its partial result."""
+        handler = self._handlers.get(query.name)
+        if handler is None:
+            raise KeyError(f"unknown query {query.name!r}")
+        payload, wire_bytes, scanned = handler(agent, query.params)
+        return QueryResult(query=query, payload=payload,
+                           wire_bytes=wire_bytes, records_scanned=scanned,
+                           host=agent.host)
+
+    def merge(self, query: Query,
+              results: Sequence[QueryResult]) -> QueryResult:
+        """Merge partial results into one (aggregation-tree reduction)."""
+        merger = self._mergers.get(query.name, _merge_concat)
+        payload, wire_bytes = merger(query, [r.payload for r in results])
+        return QueryResult(
+            query=query, payload=payload, wire_bytes=wire_bytes,
+            records_scanned=sum(r.records_scanned for r in results),
+            host="aggregate")
+
+    # -------------------------------------------------------------- handlers
+    @staticmethod
+    def _run_get_flows(agent, params):
+        link: Optional[LinkId] = params.get("link")
+        time_range: Optional[TimeRange] = params.get("time_range")
+        flows = agent.get_flows(link, time_range)
+        wire = sum(13 + _PATH_ELEMENT_BYTES * len(path) for _, path in flows)
+        return flows, wire, agent.tib.record_count()
+
+    @staticmethod
+    def _run_get_paths(agent, params):
+        flow_id: FlowId = params["flow_id"]
+        link = params.get("link")
+        time_range = params.get("time_range")
+        paths = agent.get_paths(flow_id, link, time_range)
+        wire = sum(_PATH_ELEMENT_BYTES * len(p) + 4 for p in paths)
+        return paths, wire, len(paths)
+
+    @staticmethod
+    def _run_get_count(agent, params):
+        flow = params["flow"]
+        time_range = params.get("time_range")
+        counts = agent.get_count(flow, time_range)
+        return counts, _SCALAR_BYTES, 1
+
+    @staticmethod
+    def _run_get_duration(agent, params):
+        flow = params["flow"]
+        time_range = params.get("time_range")
+        duration = agent.get_duration(flow, time_range)
+        return duration, _SCALAR_BYTES, 1
+
+    @staticmethod
+    def _run_poor_tcp_flows(agent, params):
+        threshold = params.get("threshold")
+        flows = agent.get_poor_tcp_flows(threshold)
+        return flows, 13 * max(1, len(flows)), len(agent.monitor.flows)
+
+    @staticmethod
+    def _run_flow_size_distribution(agent, params):
+        """Histogram of flow sizes on a link (the Section 2.3 example)."""
+        links = params.get("links")
+        if links is None:
+            links = [params.get("link")]
+        time_range = params.get("time_range")
+        binsize = params.get("binsize", 10_000)
+        histogram: Dict[Tuple[str, int], int] = {}
+        scanned = 0
+        for link in links:
+            label = _link_label(link)
+            flows = agent.get_flows(link, time_range)
+            scanned += len(flows)
+            for flow_id, path in flows:
+                nbytes, _ = agent.get_count((flow_id, path), time_range)
+                bucket = nbytes // binsize
+                key = (label, bucket)
+                histogram[key] = histogram.get(key, 0) + 1
+        return histogram, _KV_BYTES * max(1, len(histogram)), scanned
+
+    @staticmethod
+    def _run_top_k_flows(agent, params):
+        """Top-k flows by byte count at this host (the Section 2.3 example)."""
+        k = params.get("k", 1000)
+        link = params.get("link")
+        time_range = params.get("time_range")
+        flows = agent.get_flows(link, time_range)
+        heap: List[Tuple[int, str]] = []
+        totals: Dict[str, int] = {}
+        for flow_id, path in flows:
+            nbytes, _ = agent.get_count((flow_id, path), time_range)
+            key = flow_key(flow_id)
+            totals[key] = totals.get(key, 0) + nbytes
+        for key, nbytes in totals.items():
+            if len(heap) < k:
+                heapq.heappush(heap, (nbytes, key))
+            elif nbytes > heap[0][0]:
+                heapq.heapreplace(heap, (nbytes, key))
+        result = sorted(heap, reverse=True)
+        return result, _KV_BYTES * max(1, len(result)), len(flows)
+
+    @staticmethod
+    def _run_traffic_matrix(agent, params):
+        """Bytes between (source ToR, destination ToR) pairs seen locally."""
+        time_range = params.get("time_range")
+        matrix: Dict[Tuple[str, str], int] = {}
+        records = agent.tib.records(time_range=time_range)
+        for record in records:
+            if len(record.path) < 3:
+                continue
+            src_tor, dst_tor = record.path[1], record.path[-2]
+            key = (src_tor, dst_tor)
+            matrix[key] = matrix.get(key, 0) + record.bytes
+        return matrix, _KV_BYTES * max(1, len(matrix)), len(records)
+
+    @staticmethod
+    def _run_path_conformance(agent, params):
+        """The Section 2.3 path-conformance check, run at the end host.
+
+        Parameters: ``max_hops`` (maximum switch-path length), ``forbidden``
+        (switches packets must avoid), optional ``flow_id`` to restrict the
+        check, optional ``time_range``.  Violations raise PC_FAIL alarms via
+        the agent and are returned as (flow, offending paths) pairs.
+        """
+        max_hops = params.get("max_hops")
+        forbidden = set(params.get("forbidden", ()))
+        flow_filter = params.get("flow_id")
+        time_range = params.get("time_range")
+        violations: List[Tuple[FlowId, List[Tuple[str, ...]]]] = []
+        flows = agent.get_flows(None, time_range)
+        scanned = len(flows)
+        by_flow: Dict[FlowId, List[Tuple[str, ...]]] = {}
+        for flow_id, path in flows:
+            if flow_filter is not None and flow_id != flow_filter:
+                continue
+            by_flow.setdefault(flow_id, []).append(path)
+        for flow_id, paths in by_flow.items():
+            offending = []
+            for path in paths:
+                switch_hops = len(path) - 2 if len(path) >= 2 else len(path)
+                too_long = max_hops is not None and switch_hops >= max_hops
+                bad_switch = bool(forbidden.intersection(path))
+                if too_long or bad_switch:
+                    offending.append(path)
+            if offending:
+                violations.append((flow_id, offending))
+                agent.alarm(flow_id, PC_FAIL, offending)
+        wire = sum(13 + sum(_PATH_ELEMENT_BYTES * len(p) for p in paths)
+                   for _, paths in violations)
+        return violations, max(wire, 1), scanned
+
+    @staticmethod
+    def _run_subflow_imbalance(agent, params):
+        """Check per-path byte balance of sprayed flows (Section 4.2).
+
+        Parameters: ``ratio`` - maximum allowed ratio between the largest and
+        smallest per-path byte counts of a flow before it is reported.
+        """
+        ratio_limit = params.get("ratio", 2.0)
+        time_range = params.get("time_range")
+        flows = agent.get_flows(None, time_range)
+        per_flow: Dict[FlowId, List[Tuple[Tuple[str, ...], int]]] = {}
+        for flow_id, path in flows:
+            nbytes, _ = agent.get_count((flow_id, path), time_range)
+            per_flow.setdefault(flow_id, []).append((path, nbytes))
+        offenders = []
+        for flow_id, entries in per_flow.items():
+            if len(entries) < 2:
+                continue
+            values = [v for _, v in entries if v > 0]
+            if not values:
+                continue
+            if max(values) / max(1, min(values)) > ratio_limit:
+                offenders.append((flow_id, entries))
+        wire = _KV_BYTES * max(1, sum(len(e) for _, e in offenders))
+        return offenders, wire, len(flows)
+
+
+# --------------------------------------------------------------------------
+# Merge functions (aggregation-tree reduction)
+# --------------------------------------------------------------------------
+def _merge_concat(query: Query, payloads: Sequence[Any]) -> Tuple[Any, int]:
+    """Concatenate list-like partial results."""
+    merged: List[Any] = []
+    for payload in payloads:
+        merged.extend(payload)
+    return merged, _KV_BYTES * max(1, len(merged))
+
+
+def _merge_histograms(query: Query, payloads: Sequence[Dict]) -> Tuple[Dict, int]:
+    """Sum histograms / matrices keyed by arbitrary hashable keys."""
+    merged: Dict[Any, int] = {}
+    for payload in payloads:
+        for key, value in payload.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged, _KV_BYTES * max(1, len(merged))
+
+
+def _merge_top_k(query: Query, payloads: Sequence[List[Tuple[int, str]]]
+                 ) -> Tuple[List[Tuple[int, str]], int]:
+    """Keep only the global top-k across partial top-k lists.
+
+    This is the reduction that makes the multi-level top-k query efficient:
+    ``(n_i - 1) * k`` key-value pairs are discarded at every aggregation
+    level (Section 5.2).
+    """
+    k = query.params.get("k", 1000)
+    heap: List[Tuple[int, str]] = []
+    for payload in payloads:
+        for nbytes, key in payload:
+            if len(heap) < k:
+                heapq.heappush(heap, (nbytes, key))
+            elif nbytes > heap[0][0]:
+                heapq.heapreplace(heap, (nbytes, key))
+    merged = sorted(heap, reverse=True)
+    return merged, _KV_BYTES * max(1, len(merged))
+
+
+def _link_label(link: Optional[LinkId]) -> str:
+    """Readable label for a link parameter (used as histogram key prefix)."""
+    if link is None:
+        return "*-*"
+    a, b = link
+    return f"{a or '*'}-{b or '*'}"

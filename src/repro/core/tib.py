@@ -1,0 +1,235 @@
+"""The Trajectory Information Base (TIB) and the host query API.
+
+Each end host keeps a TIB: the repository of per-path flow records extracted
+from the trajectories embedded in arriving packets.  The host API of Table 1
+is implemented directly on top of it:
+
+* ``getFlows(linkID, timeRange)`` - flows that traversed a link;
+* ``getPaths(flowID, linkID, timeRange)`` - paths taken by a flow;
+* ``getCount(Flow, timeRange)`` - packet and byte counts of a flow;
+* ``getDuration(Flow, timeRange)`` - duration of a flow.
+
+``linkID`` is a pair of adjacent switch IDs, ``timeRange`` a pair of
+timestamps; both support wildcards (``None`` or ``"*"`` / ``"?"``), exactly
+as described in Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.network.packet import FlowId
+from repro.storage.docstore import Collection, DocumentStore
+from repro.storage.records import PathFlowRecord, flow_key
+
+#: Wildcard marker accepted in link IDs and time ranges.
+WILDCARD = "*"
+
+#: A link ID as used by the query API: a pair of switch names, either of
+#: which may be a wildcard.
+LinkId = Tuple[Optional[str], Optional[str]]
+
+#: A time range: (start, end), either bound may be a wildcard.
+TimeRange = Tuple[Optional[float], Optional[float]]
+
+#: A "Flow" in the paper's sense: a (flowID, Path) pair.
+Flow = Tuple[FlowId, Tuple[str, ...]]
+
+
+def _is_wild(value) -> bool:
+    """Whether a link/time component is a wildcard."""
+    return value is None or value in (WILDCARD, "?")
+
+
+def normalise_time_range(time_range: Optional[TimeRange]
+                         ) -> Tuple[Optional[float], Optional[float]]:
+    """Normalise a time range, mapping wildcards to ``None`` bounds."""
+    if time_range is None:
+        return (None, None)
+    start, end = time_range
+    start = None if _is_wild(start) else float(start)
+    end = None if _is_wild(end) else float(end)
+    if start is not None and end is not None and end < start:
+        raise ValueError("time range end precedes start")
+    return (start, end)
+
+
+def record_in_range(record: PathFlowRecord,
+                    time_range: Tuple[Optional[float], Optional[float]]
+                    ) -> bool:
+    """Whether a record's [stime, etime] interval overlaps the range."""
+    start, end = time_range
+    if start is not None and record.etime < start:
+        return False
+    if end is not None and record.stime > end:
+        return False
+    return True
+
+
+def link_matches(record: PathFlowRecord, link: Optional[LinkId]) -> bool:
+    """Whether a record's path traverses ``link`` (with wildcard support)."""
+    if link is None:
+        return True
+    a, b = link
+    if _is_wild(a) and _is_wild(b):
+        return True
+    links = record.links()
+    if _is_wild(a):
+        return any(v == b for _, v in links) or any(u == b for u, _ in links)
+    if _is_wild(b):
+        return any(u == a for u, _ in links) or any(v == a for _, v in links)
+    return record.traverses_link(a, b)
+
+
+class Tib:
+    """One end host's Trajectory Information Base.
+
+    Args:
+        host: the owning end host's name.
+        store: optional shared :class:`DocumentStore`; a private one is
+            created when omitted.
+    """
+
+    COLLECTION = "tib_records"
+
+    def __init__(self, host: str, store: Optional[DocumentStore] = None) -> None:
+        self.host = host
+        self.store = store or DocumentStore()
+        self._collection: Collection = self.store.collection(self.COLLECTION)
+        self._collection.create_index("flow_key")
+        self._collection.create_index("dst_ip")
+
+    # ----------------------------------------------------------------- writes
+    def add_record(self, record: PathFlowRecord) -> None:
+        """Insert a finished per-path flow record.
+
+        Consecutive records for the same (flow, path) are merged, mirroring
+        the per-path aggregation the trajectory memory performs.
+        """
+        existing = self._find_record_document(record.flow_id, record.path)
+        if existing is not None:
+            merged = PathFlowRecord.from_document(existing)
+            merged.update(record.bytes, record.pkts, record.etime)
+            merged.stime = min(merged.stime, record.stime)
+            self._collection.delete({"_id": existing["_id"]})
+            self._collection.insert(merged.to_document())
+        else:
+            self._collection.insert(record.to_document())
+
+    def add_records(self, records: Iterable[PathFlowRecord]) -> int:
+        """Insert many records; returns the number inserted."""
+        count = 0
+        for record in records:
+            self.add_record(record)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop every record."""
+        self._collection.clear()
+
+    # ------------------------------------------------------------------ reads
+    def records(self, flow_id: Optional[FlowId] = None,
+                link: Optional[LinkId] = None,
+                time_range: Optional[TimeRange] = None
+                ) -> List[PathFlowRecord]:
+        """All records matching the given constraints."""
+        window = normalise_time_range(time_range)
+        if flow_id is not None:
+            documents = self._collection.find({"flow_key": flow_key(flow_id)})
+        else:
+            documents = self._collection.find()
+        results = []
+        for document in documents:
+            record = PathFlowRecord.from_document(document)
+            if not record_in_range(record, window):
+                continue
+            if not link_matches(record, link):
+                continue
+            results.append(record)
+        return results
+
+    def record_count(self) -> int:
+        """Number of stored records."""
+        return len(self._collection)
+
+    def estimated_bytes(self) -> int:
+        """Approximate storage footprint (Section 5.3 accounting)."""
+        return self._collection.estimated_bytes()
+
+    # ----------------------------------------------------------- Table 1 API
+    def get_flows(self, link: Optional[LinkId] = None,
+                  time_range: Optional[TimeRange] = None) -> List[Flow]:
+        """``getFlows(linkID, timeRange)``: flows traversing ``link``."""
+        flows: List[Flow] = []
+        seen = set()
+        for record in self.records(link=link, time_range=time_range):
+            key = (record.flow_id, record.path)
+            if key in seen:
+                continue
+            seen.add(key)
+            flows.append((record.flow_id, record.path))
+        return flows
+
+    def get_paths(self, flow_id: FlowId, link: Optional[LinkId] = None,
+                  time_range: Optional[TimeRange] = None
+                  ) -> List[Tuple[str, ...]]:
+        """``getPaths(flowID, linkID, timeRange)``: paths taken by a flow."""
+        paths: List[Tuple[str, ...]] = []
+        seen = set()
+        for record in self.records(flow_id=flow_id, link=link,
+                                   time_range=time_range):
+            if record.path in seen:
+                continue
+            seen.add(record.path)
+            paths.append(record.path)
+        return paths
+
+    def get_count(self, flow: Union[Flow, FlowId],
+                  time_range: Optional[TimeRange] = None) -> Tuple[int, int]:
+        """``getCount(Flow, timeRange)``: (bytes, packets) of a flow.
+
+        ``flow`` may be a (flowID, Path) pair - counting only that path's
+        records - or a bare flowID, counting across all its paths.
+        """
+        flow_id, path = self._split_flow(flow)
+        nbytes = 0
+        npkts = 0
+        for record in self.records(flow_id=flow_id, time_range=time_range):
+            if path is not None and record.path != path:
+                continue
+            nbytes += record.bytes
+            npkts += record.pkts
+        return nbytes, npkts
+
+    def get_duration(self, flow: Union[Flow, FlowId],
+                     time_range: Optional[TimeRange] = None) -> float:
+        """``getDuration(Flow, timeRange)``: observed duration of a flow."""
+        flow_id, path = self._split_flow(flow)
+        stimes: List[float] = []
+        etimes: List[float] = []
+        for record in self.records(flow_id=flow_id, time_range=time_range):
+            if path is not None and record.path != path:
+                continue
+            stimes.append(record.stime)
+            etimes.append(record.etime)
+        if not stimes:
+            return 0.0
+        return max(etimes) - min(stimes)
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _split_flow(flow: Union[Flow, FlowId]
+                    ) -> Tuple[FlowId, Optional[Tuple[str, ...]]]:
+        if isinstance(flow, FlowId):
+            return flow, None
+        flow_id, path = flow
+        return flow_id, tuple(path) if path is not None else None
+
+    def _find_record_document(self, flow_id: FlowId,
+                              path: Tuple[str, ...]) -> Optional[Dict[str, Any]]:
+        for document in self._collection.find({"flow_key": flow_key(flow_id)}):
+            if tuple(document["path"]) == tuple(path):
+                return document
+        return None

@@ -1,0 +1,216 @@
+"""Trajectory memory, trajectory cache and end-to-end path construction.
+
+Figure 2 of the paper describes the edge pipeline that this module
+implements:
+
+1. the modified OVS extracts a packet's link-ID samples and updates a
+   *per-path flow record* in the **trajectory memory**, keyed by
+   ``(flow ID, link IDs)``;
+2. like NetFlow, a record is evicted when a FIN/RST is seen or after an idle
+   timeout (5 seconds by default);
+3. the **trajectory construction** sub-module turns the record's raw link IDs
+   into an end-to-end switch path, consulting a **trajectory cache** keyed by
+   ``(srcIP, link IDs)`` before falling back to the topology-based
+   reconstruction;
+4. the finished ``<flow ID, path, stime, etime, #bytes, #pkts>`` record is
+   written to the TIB.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.packet import FlowId
+from repro.storage.records import PathFlowRecord, TrajectoryMemoryRecord
+from repro.tracing.reconstruct import (PathReconstructor, ReconstructionError)
+
+#: Default idle timeout after which a trajectory-memory record is evicted.
+DEFAULT_IDLE_TIMEOUT_S = 5.0
+
+#: Default capacity of the trajectory cache (entries).
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+class TrajectoryCache:
+    """An LRU cache mapping ``(src_host, link IDs)`` to a constructed path.
+
+    The cache exists because many flows from the same source traverse the
+    same sampled links; hitting the cache avoids re-running the topology
+    search for every evicted record.  Its effectiveness is quantified by the
+    cache ablation benchmark.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, Tuple[int, ...]], Tuple[str, ...]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, src_host: str,
+            link_ids: Sequence[int]) -> Optional[Tuple[str, ...]]:
+        """Look up a cached path; updates hit/miss counters."""
+        key = (src_host, tuple(link_ids))
+        path = self._entries.get(key)
+        if path is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return path
+
+    def put(self, src_host: str, link_ids: Sequence[int],
+            path: Sequence[str]) -> None:
+        """Insert a constructed path."""
+        key = (src_host, tuple(link_ids))
+        self._entries[key] = tuple(path)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def estimated_bytes(self) -> int:
+        """Rough memory footprint of the cache."""
+        total = 0
+        for (src, link_ids), path in self._entries.items():
+            total += len(src) + 8 * len(link_ids)
+            total += sum(len(node) + 2 for node in path)
+        return total
+
+
+class TrajectoryMemory:
+    """Per-path flow records awaiting eviction to the TIB.
+
+    Args:
+        idle_timeout: seconds of inactivity after which a record is evicted.
+    """
+
+    def __init__(self, idle_timeout: float = DEFAULT_IDLE_TIMEOUT_S) -> None:
+        self.idle_timeout = idle_timeout
+        self._records: Dict[Tuple[str, Tuple[int, ...]],
+                            TrajectoryMemoryRecord] = {}
+        self.lookups = 0
+
+    # ----------------------------------------------------------------- writes
+    def update(self, flow_id: FlowId, link_ids: Sequence[int], nbytes: int,
+               when: float, terminate: bool = False
+               ) -> Optional[TrajectoryMemoryRecord]:
+        """Fold one packet into the memory.
+
+        Args:
+            flow_id: the packet's flow.
+            link_ids: the packet's samples in traversal order.
+            nbytes: payload bytes.
+            when: arrival time.
+            terminate: the packet carried FIN or RST; the record is evicted
+                immediately (and returned).
+
+        Returns:
+            The evicted record when ``terminate`` is set, else ``None``.
+        """
+        from repro.storage.records import flow_key
+
+        key = (flow_key(flow_id), tuple(link_ids))
+        self.lookups += 1
+        record = self._records.get(key)
+        if record is None:
+            record = TrajectoryMemoryRecord(
+                flow_id=flow_id, link_ids=tuple(link_ids), stime=when,
+                etime=when, bytes=0, pkts=0, src_host=flow_id.src_ip)
+            self._records[key] = record
+        record.update(nbytes, when)
+        if terminate:
+            del self._records[key]
+            return record
+        return None
+
+    def evict_idle(self, now: float) -> List[TrajectoryMemoryRecord]:
+        """Evict records idle for longer than the timeout."""
+        evicted = []
+        for key, record in list(self._records.items()):
+            if now - record.etime >= self.idle_timeout:
+                evicted.append(record)
+                del self._records[key]
+        return evicted
+
+    def evict_all(self) -> List[TrajectoryMemoryRecord]:
+        """Evict every record (end of experiment / shutdown)."""
+        evicted = list(self._records.values())
+        self._records.clear()
+        return evicted
+
+    # ------------------------------------------------------------------ reads
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def live_records(self) -> List[TrajectoryMemoryRecord]:
+        """Records currently resident (for queries needing fresh data)."""
+        return list(self._records.values())
+
+    def estimated_bytes(self) -> int:
+        """Rough memory footprint."""
+        total = 0
+        for record in self._records.values():
+            total += 64 + 8 * len(record.link_ids)
+        return total
+
+
+class TrajectoryConstructor:
+    """Turns raw trajectory-memory records into TIB path records.
+
+    Args:
+        reconstructor: the topology-backed path reconstructor.
+        cache: the trajectory cache (a private one is created if omitted).
+        on_invalid: callback invoked with (record, error) whenever a record's
+            samples are inconsistent with the topology - the signal used to
+            detect incorrect header modification (Section 2.4).
+    """
+
+    def __init__(self, reconstructor: PathReconstructor,
+                 cache: Optional[TrajectoryCache] = None,
+                 on_invalid: Optional[Callable[[TrajectoryMemoryRecord,
+                                                ReconstructionError],
+                                               None]] = None) -> None:
+        self.reconstructor = reconstructor
+        # Note: an empty cache is falsy (len() == 0), so test against None.
+        self.cache = cache if cache is not None else TrajectoryCache()
+        self.on_invalid = on_invalid
+        self.constructed = 0
+        self.invalid = 0
+
+    def construct(self, record: TrajectoryMemoryRecord
+                  ) -> Optional[PathFlowRecord]:
+        """Construct the TIB record for one evicted memory record.
+
+        Returns ``None`` (and reports via ``on_invalid``) when the samples
+        cannot be mapped onto any feasible path.
+        """
+        src = record.flow_id.src_ip
+        dst = record.flow_id.dst_ip
+        path = self.cache.get(src, record.link_ids)
+        if path is None:
+            try:
+                reconstructed = self.reconstructor.reconstruct(
+                    src, dst, list(record.link_ids))
+            except ReconstructionError as error:
+                self.invalid += 1
+                if self.on_invalid is not None:
+                    self.on_invalid(record, error)
+                return None
+            path = tuple(reconstructed.path)
+            self.cache.put(src, record.link_ids, path)
+        self.constructed += 1
+        return PathFlowRecord(
+            flow_id=record.flow_id, path=tuple(path), stime=record.stime,
+            etime=record.etime, bytes=record.bytes, pkts=record.pkts)

@@ -1,0 +1,44 @@
+"""Debugging applications built on the PathDump API (Section 4 of the paper)."""
+
+from repro.debug.path_conformance import (ConformancePolicy,
+                                          PathConformanceApp,
+                                          run_path_conformance_experiment)
+from repro.debug.load_imbalance import (EcmpImbalanceResult, SprayingResult,
+                                        run_ecmp_imbalance_experiment,
+                                        run_packet_spraying_experiment)
+from repro.debug.maxcoverage import (MaxCoverageLocalizer, MaxCoverageResult,
+                                     path_to_signature)
+from repro.debug.silent_drops import (SilentDropLocalizer,
+                                      run_silent_drop_experiment,
+                                      sweep_time_to_localize)
+from repro.debug.blackhole import (BlackholeDiagnoser, BlackholeDiagnosis,
+                                   run_blackhole_experiment)
+from repro.debug.routing_loop import (RoutingLoopDetector,
+                                      run_routing_loop_experiment)
+from repro.debug.tcp_anomaly import (TcpAnomalyDiagnoser, VERDICT_INCAST,
+                                     VERDICT_OUTCAST, run_incast_experiment,
+                                     run_outcast_experiment)
+from repro.debug.measurement import (congested_link_flows, ddos_fan_in,
+                                     heavy_hitters, top_k_flows,
+                                     traffic_matrix)
+from repro.debug.coverage import (TABLE2_ROWS, coverage_fraction,
+                                  coverage_table, implementation_index,
+                                  pathdump_supported, pathdump_unsupported)
+
+__all__ = [
+    "ConformancePolicy", "PathConformanceApp",
+    "run_path_conformance_experiment",
+    "EcmpImbalanceResult", "SprayingResult", "run_ecmp_imbalance_experiment",
+    "run_packet_spraying_experiment",
+    "MaxCoverageLocalizer", "MaxCoverageResult", "path_to_signature",
+    "SilentDropLocalizer", "run_silent_drop_experiment",
+    "sweep_time_to_localize",
+    "BlackholeDiagnoser", "BlackholeDiagnosis", "run_blackhole_experiment",
+    "RoutingLoopDetector", "run_routing_loop_experiment",
+    "TcpAnomalyDiagnoser", "VERDICT_INCAST", "VERDICT_OUTCAST",
+    "run_incast_experiment", "run_outcast_experiment",
+    "congested_link_flows", "ddos_fan_in", "heavy_hitters", "top_k_flows",
+    "traffic_matrix",
+    "TABLE2_ROWS", "coverage_fraction", "coverage_table",
+    "implementation_index", "pathdump_supported", "pathdump_unsupported",
+]

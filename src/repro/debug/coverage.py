@@ -1,0 +1,141 @@
+"""The Table 2 application-coverage matrix.
+
+Table 2 of the paper lists fifteen debugging applications discussed across
+recent systems and marks which of PathDump, PathQuery, Everflow, NetSight and
+TPP support each.  PathDump supports 13 of the 15 (87 %), the exceptions
+being overlay loop detection and incorrect packet modification - both of
+which genuinely require in-network visibility.
+
+This module encodes that matrix (so the Table 2 benchmark can print it) and
+maps every PathDump-supported application to the module of this repository
+that implements it, which doubles as a completeness check for the
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Support levels.
+SUPPORTED = "yes"
+UNSUPPORTED = "no"
+UNCLEAR = "?"
+
+
+@dataclass(frozen=True)
+class ApplicationSupport:
+    """One row of Table 2."""
+
+    name: str
+    description: str
+    pathdump: str
+    pathquery: str
+    everflow: str
+    netsight: str
+    tpp: str
+    repro_module: Optional[str] = None
+
+
+#: The Table 2 rows, in the paper's order.
+TABLE2_ROWS: List[ApplicationSupport] = [
+    ApplicationSupport(
+        "Loop freedom", "Detect forwarding loops",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, UNCLEAR,
+        "repro.debug.routing_loop"),
+    ApplicationSupport(
+        "Load imbalance diagnosis",
+        "Get fine-grained statistics of all flows on set of links",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.load_imbalance"),
+    ApplicationSupport(
+        "Congested link diagnosis",
+        "Find flows using a congested link, to help rerouting",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.measurement"),
+    ApplicationSupport(
+        "Silent blackhole detection",
+        "Find switch that drops all packets silently",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, UNSUPPORTED,
+        "repro.debug.blackhole"),
+    ApplicationSupport(
+        "Silent packet drop detection",
+        "Find switch that drops packets silently and randomly",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, UNSUPPORTED,
+        "repro.debug.silent_drops"),
+    ApplicationSupport(
+        "Packet drops on servers",
+        "Localize packet drop sources (network vs. server)",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.silent_drops"),
+    ApplicationSupport(
+        "Overlay loop detection",
+        "Loop between SLB and physical IP",
+        UNSUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, UNCLEAR, None),
+    ApplicationSupport(
+        "Protocol bugs",
+        "Bugs in the implementation of network protocols",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, UNCLEAR,
+        "repro.debug.tcp_anomaly"),
+    ApplicationSupport(
+        "Isolation", "Check if hosts are allowed to talk",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.path_conformance"),
+    ApplicationSupport(
+        "Incorrect packet modification",
+        "Localize switch that modifies packet incorrectly",
+        UNSUPPORTED, SUPPORTED, UNCLEAR, SUPPORTED, UNSUPPORTED,
+        "repro.core.trajectory (detection only, Section 2.4)"),
+    ApplicationSupport(
+        "Waypoint routing",
+        "Identify packets not passing through a waypoint",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.path_conformance"),
+    ApplicationSupport(
+        "DDoS diagnosis", "Get statistics of DDoS attack sources",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.measurement"),
+    ApplicationSupport(
+        "Traffic matrix",
+        "Get traffic volume between all switch pairs",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.measurement"),
+    ApplicationSupport(
+        "Netshark", "Network-wide path-aware packet logger",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.core.tib"),
+    ApplicationSupport(
+        "Max path length",
+        "No packet should exceed path length of size n",
+        SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED, SUPPORTED,
+        "repro.debug.path_conformance"),
+]
+
+
+def pathdump_supported() -> List[ApplicationSupport]:
+    """Rows PathDump supports."""
+    return [row for row in TABLE2_ROWS if row.pathdump == SUPPORTED]
+
+
+def pathdump_unsupported() -> List[ApplicationSupport]:
+    """Rows PathDump does not support (network support is necessary)."""
+    return [row for row in TABLE2_ROWS if row.pathdump == UNSUPPORTED]
+
+
+def coverage_fraction() -> float:
+    """Fraction of the Table 2 applications PathDump supports.
+
+    The paper summarises this as "more than 85 %" (13 of 15).
+    """
+    return len(pathdump_supported()) / len(TABLE2_ROWS)
+
+
+def coverage_table() -> List[Tuple[str, str, str, str, str, str]]:
+    """Rows in a printable form (name + the five tools' support flags)."""
+    return [(row.name, row.pathdump, row.pathquery, row.everflow,
+             row.netsight, row.tpp) for row in TABLE2_ROWS]
+
+
+def implementation_index() -> Dict[str, Optional[str]]:
+    """Application name -> module of this repository implementing it."""
+    return {row.name: row.repro_module for row in TABLE2_ROWS}

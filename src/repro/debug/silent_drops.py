@@ -1,0 +1,242 @@
+"""Silent random packet drop localization (Section 4.3, Figures 7 and 8).
+
+The application works exactly as the paper describes:
+
+1. a TCP performance monitoring query is installed on every end host
+   (period ~200 ms); hosts whose flows keep retransmitting raise
+   ``POOR_PERF`` alarms;
+2. every alarm makes the controller query the flow's destination TIB for the
+   path(s) the suffering flow took (``getPaths``), which become *failure
+   signatures*;
+3. the controller keeps running MAX-COVERAGE over the accumulated signatures;
+   as evidence accumulates the reported link set converges to the
+   ground-truth faulty interfaces.
+
+:class:`SilentDropLocalizer` is the event-driven controller application;
+:func:`run_silent_drop_experiment` is the scenario driver that reproduces the
+Figure 7 accuracy-versus-time curves and the Figure 8 time-to-perfect
+numbers on a fat-tree with web-search background traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.stats import PrecisionRecall, score_localization
+from repro.core.alarms import POOR_PERF, Alarm
+from repro.core.cluster import QueryCluster
+from repro.debug.maxcoverage import MaxCoverageLocalizer, MaxCoverageResult
+from repro.network.faults import FaultInjector
+from repro.network.routing import RoutingFabric
+from repro.topology.fattree import FatTreeTopology
+from repro.transport.flows import FlowLevelSimulator
+from repro.workloads.arrivals import FlowGenerator
+
+Cable = FrozenSet[str]
+
+
+class SilentDropLocalizer:
+    """Event-driven controller application localizing silent drops.
+
+    Args:
+        cluster: the agent cluster (used to pull paths from destination TIBs).
+        min_cover: MAX-COVERAGE selection threshold.
+        poor_threshold: consecutive-retransmission threshold identifying a
+            suffering flow (matches the monitor's).
+    """
+
+    def __init__(self, cluster: QueryCluster, min_cover: int = 2,
+                 poor_threshold: int = 1) -> None:
+        self.cluster = cluster
+        self.localizer = MaxCoverageLocalizer(min_cover=min_cover)
+        self.poor_threshold = poor_threshold
+        self.alarms_handled = 0
+        self.signatures_collected = 0
+
+    # ------------------------------------------------------------- event path
+    def on_alarm(self, alarm: Alarm) -> int:
+        """Handle one POOR_PERF alarm: collect the flow's failure signature.
+
+        Returns the number of paths (signatures) collected for this alarm.
+        """
+        if alarm.reason != POOR_PERF:
+            return 0
+        self.alarms_handled += 1
+        dst_agent = self.cluster.agents.get(alarm.flow_id.dst_ip)
+        if dst_agent is None:
+            return 0
+        paths = dst_agent.get_paths(alarm.flow_id, include_live=True)
+        for path in paths:
+            self.localizer.add_signature(path)
+        self.signatures_collected += len(paths)
+        return len(paths)
+
+    def observe_link_usage(self, paths, count: int = 1) -> None:
+        """Feed per-link usage counts (from ``getFlows`` over the TIBs).
+
+        The localization's suspicion ratio needs to know how many flows
+        crossed each link in total, not just the suffering ones; PathDump
+        obtains this from the same distributed TIBs with ``getFlows``.
+        """
+        for path in paths:
+            self.localizer.add_traversal(path, count)
+
+    def localize(self) -> MaxCoverageResult:
+        """Run MAX-COVERAGE over everything collected so far."""
+        return self.localizer.localize()
+
+    def score(self, ground_truth_cables: Set[Cable]) -> PrecisionRecall:
+        """Score the current localization against the ground truth."""
+        return score_localization(self.localize().reported_set,
+                                  ground_truth_cables)
+
+
+@dataclass
+class AccuracyPoint:
+    """One point of the Figure 7 accuracy-versus-time curves."""
+
+    time_s: float
+    recall: float
+    precision: float
+    signatures: int
+    alarms: int
+
+
+@dataclass
+class SilentDropExperimentResult:
+    """Everything the Figure 7 / Figure 8 benchmarks need.
+
+    Attributes:
+        points: accuracy over time (one entry per monitoring interval).
+        time_to_perfect_s: first time recall and precision both reached 1.0
+            (``None`` if never within the experiment duration).
+        faulty_interfaces: the injected ground truth.
+        flows_simulated: number of background flows simulated.
+    """
+
+    points: List[AccuracyPoint] = field(default_factory=list)
+    time_to_perfect_s: Optional[float] = None
+    faulty_interfaces: List[Tuple[str, str]] = field(default_factory=list)
+    flows_simulated: int = 0
+
+    def final_recall(self) -> float:
+        """Recall at the end of the experiment."""
+        return self.points[-1].recall if self.points else 0.0
+
+    def final_precision(self) -> float:
+        """Precision at the end of the experiment."""
+        return self.points[-1].precision if self.points else 0.0
+
+
+def run_silent_drop_experiment(
+        *, k: int = 4, faulty_interfaces: int = 1, loss_rate: float = 0.01,
+        network_load: float = 0.7, duration_s: float = 60.0,
+        interval_s: float = 5.0, seed: int = 0,
+        link_capacity_bps: float = 1e9, ambient_loss: float = 0.0,
+        min_cover: int = 2, alert_threshold: int = 1
+        ) -> SilentDropExperimentResult:
+    """Reproduce the Section 4.3 experiment on a k-ary fat-tree.
+
+    Args:
+        k: fat-tree arity (the paper uses 4).
+        faulty_interfaces: number of randomly chosen lossy interfaces (1-4).
+        loss_rate: silent drop probability of each faulty interface.
+        network_load: offered load as a fraction of host link capacity.
+        duration_s: simulated experiment duration.
+        interval_s: how often accuracy is evaluated (one point per interval).
+        seed: seed controlling fault placement, workload and loss sampling.
+        link_capacity_bps: host access link capacity (the paper's testbed
+            uses 1 GbE).
+        ambient_loss: per-link congestion loss on healthy links (adds noise
+            signatures; zero by default - even without it, early precision
+            sits below 1.0 because with few signatures the greedy cover can
+            blame a healthy link that happens to be shared by the suffering
+            flows' paths).
+        min_cover: MAX-COVERAGE selection threshold.
+        alert_threshold: consecutive-retransmission count at which the
+            end-host monitor raises a POOR_PERF alert (the paper's
+            "configured frequency").
+
+    Returns:
+        The experiment result with per-interval accuracy points.
+    """
+    topo = FatTreeTopology(k)
+    routing = RoutingFabric(topo)
+    cluster = QueryCluster(topo)
+    for agent in cluster.agents.values():
+        agent.monitor.poor_threshold = alert_threshold
+    injector = FaultInjector(topo, routing, seed=seed)
+    chosen = injector.random_silent_drop_interfaces(faulty_interfaces,
+                                                    loss_rate)
+    ground_truth = {frozenset(interface) for interface in chosen}
+
+    simulator = FlowLevelSimulator(topo, routing, seed=seed + 1,
+                                   ambient_loss=ambient_loss,
+                                   link_capacity_bps=link_capacity_bps)
+    generator = FlowGenerator(topo.hosts, seed=seed + 2)
+    flows = generator.poisson_all_to_all(duration=duration_s,
+                                         load=network_load,
+                                         link_capacity_bps=link_capacity_bps)
+
+    app = SilentDropLocalizer(cluster, min_cover=min_cover)
+    cluster.alarm_bus.subscribe(app.on_alarm, reason=POOR_PERF)
+
+    result = SilentDropExperimentResult(
+        faulty_interfaces=[tuple(i) for i in chosen],
+        flows_simulated=len(flows))
+
+    flow_index = 0
+    now = 0.0
+    while now < duration_s:
+        now = min(duration_s, now + interval_s)
+        batch = []
+        while flow_index < len(flows) and flows[flow_index].start_time <= now:
+            batch.append(flows[flow_index])
+            flow_index += 1
+        outcomes = simulator.simulate(batch)
+        cluster.ingest_flow_outcomes(outcomes)
+        app.observe_link_usage(
+            [d.path for o in outcomes for d in o.deliveries])
+        cluster.run_monitors(now)
+
+        scored = app.score(ground_truth)
+        point = AccuracyPoint(time_s=now, recall=scored.recall,
+                              precision=scored.precision,
+                              signatures=app.localizer.signature_count,
+                              alarms=app.alarms_handled)
+        result.points.append(point)
+        if (result.time_to_perfect_s is None and scored.recall >= 1.0
+                and scored.precision >= 1.0):
+            result.time_to_perfect_s = now
+    return result
+
+
+def sweep_time_to_localize(*, faulty_interface_counts: Sequence[int] = (1, 2, 4),
+                           loss_rates: Sequence[float] = (0.01,),
+                           network_loads: Sequence[float] = (0.7,),
+                           runs: int = 3, duration_s: float = 120.0,
+                           interval_s: float = 5.0, seed: int = 0,
+                           **kwargs) -> Dict[Tuple[int, float, float],
+                                             List[Optional[float]]]:
+    """Sweep the Figure 8 parameter grid and collect time-to-perfect samples.
+
+    Returns:
+        Mapping ``(faulty_interfaces, loss_rate, network_load)`` to the list
+        of per-run times (``None`` entries mean the run never converged).
+    """
+    results: Dict[Tuple[int, float, float], List[Optional[float]]] = {}
+    for count in faulty_interface_counts:
+        for loss in loss_rates:
+            for load in network_loads:
+                samples: List[Optional[float]] = []
+                for run in range(runs):
+                    outcome = run_silent_drop_experiment(
+                        faulty_interfaces=count, loss_rate=loss,
+                        network_load=load, duration_s=duration_s,
+                        interval_s=interval_s, seed=seed + run * 101 + count,
+                        **kwargs)
+                    samples.append(outcome.time_to_perfect_s)
+                results[(count, loss, load)] = samples
+    return results

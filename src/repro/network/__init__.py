@@ -1,0 +1,20 @@
+"""Simulated datacenter network substrate (packets, switches, links, routing)."""
+
+from repro.network.packet import FlowId, Packet, make_tcp_packet, make_udp_packet
+from repro.network.link import Link, LinkRegistry
+from repro.network.flowtable import FlowTable, FlowTablePipeline, Match, Rule
+from repro.network.routing import POLICY_ECMP, POLICY_SPRAY, RoutingFabric
+from repro.network.switch import Switch, build_switches
+from repro.network.faults import FaultInjector, make_header_corruptor
+from repro.network.simulator import (EventScheduler, Fabric, ForwardingResult,
+                                     SimClock)
+
+__all__ = [
+    "FlowId", "Packet", "make_tcp_packet", "make_udp_packet",
+    "Link", "LinkRegistry",
+    "FlowTable", "FlowTablePipeline", "Match", "Rule",
+    "POLICY_ECMP", "POLICY_SPRAY", "RoutingFabric",
+    "Switch", "build_switches",
+    "FaultInjector", "make_header_corruptor",
+    "EventScheduler", "Fabric", "ForwardingResult", "SimClock",
+]

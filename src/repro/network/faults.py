@@ -1,0 +1,178 @@
+"""Fault injection.
+
+Every debugging application in the paper is evaluated against an injected
+network problem.  This module centralises the machinery for creating those
+problems and for remembering the *ground truth* (which links/switches are
+actually faulty), so the accuracy metrics of Section 4.3 (recall, precision)
+can be computed against it.
+
+Supported faults:
+
+* **link failure** - the link is down; routing fails over around it
+  (Figure 4 path-conformance scenario);
+* **silent random packet drops** - a faulty interface drops packets with some
+  probability without updating its discard counters (Section 4.3);
+* **blackhole** - an interface drops every packet silently (Section 4.4);
+* **routing misconfiguration** - a switch forwards traffic for some
+  destination to the wrong neighbor, creating forwarding loops when combined
+  with the core switches' bounce-back behaviour (Section 4.5);
+* **header corruption** - a switch writes an incorrect link identifier into
+  the trajectory header (Section 2.4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.packet import Packet
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.graph import Topology
+
+#: A directed interface is identified by (transmitting node, receiving node).
+Interface = Tuple[str, str]
+
+
+@dataclass
+class FaultRecord:
+    """Ground-truth record of one injected fault."""
+
+    kind: str
+    interface: Optional[Interface] = None
+    switch: Optional[str] = None
+    detail: str = ""
+
+
+class FaultInjector:
+    """Injects faults into a fabric and records the ground truth.
+
+    Args:
+        topo: the topology whose links/switches will be perturbed.
+        routing: the :class:`~repro.network.routing.RoutingFabric`; needed
+            for misconfiguration faults.
+        seed: seed for the fault-placement RNG (placement only; packet-level
+            randomness is owned by the simulator).
+    """
+
+    def __init__(self, topo: "Topology", routing=None, seed: int = 0) -> None:
+        self.topo = topo
+        self.routing = routing
+        self.rng = random.Random(seed)
+        self.records: List[FaultRecord] = []
+
+    # ------------------------------------------------------------- low level
+    def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Administratively fail the link between ``a`` and ``b``."""
+        self.topo.links.get(a, b).failed = True
+        self.records.append(FaultRecord("link_failure", interface=(a, b)))
+        if bidirectional:
+            self.topo.links.get(b, a).failed = True
+            self.records.append(FaultRecord("link_failure", interface=(b, a)))
+
+    def silent_drop(self, a: str, b: str, probability: float) -> None:
+        """Make the interface ``a -> b`` drop packets silently at random."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("drop probability must be in (0, 1]")
+        self.topo.links.get(a, b).drop_probability = probability
+        self.records.append(FaultRecord(
+            "silent_drop", interface=(a, b), detail=f"p={probability}"))
+
+    def blackhole(self, a: str, b: str) -> None:
+        """Blackhole the interface ``a -> b`` (drop everything silently)."""
+        self.topo.links.get(a, b).blackhole = True
+        self.records.append(FaultRecord("blackhole", interface=(a, b)))
+
+    def misconfigure_route(self, switch: str, dst_host: str,
+                           wrong_next_hop: str) -> None:
+        """Force ``switch`` to forward ``dst_host`` traffic the wrong way."""
+        if self.routing is None:
+            raise RuntimeError("misconfiguration faults need a RoutingFabric")
+        self.routing.misconfigure(switch, dst_host, wrong_next_hop)
+        self.records.append(FaultRecord(
+            "misconfiguration", switch=switch,
+            detail=f"{dst_host} -> {wrong_next_hop}"))
+
+    # ----------------------------------------------------------- scenarios
+    def random_silent_drop_interfaces(
+            self, count: int, probability: float,
+            candidate_interfaces: Optional[Sequence[Interface]] = None,
+    ) -> List[Interface]:
+        """Pick ``count`` random switch-switch interfaces and make them lossy.
+
+        This reproduces the Section 4.3 setup ("we configure 1-4 randomly
+        selected interfaces such that they drop packets at random").
+
+        Args:
+            count: number of faulty interfaces.
+            probability: per-packet silent drop probability.
+            candidate_interfaces: restrict the choice (defaults to every
+                directed switch-to-switch interface).
+
+        Returns:
+            The list of chosen interfaces (the ground truth).
+        """
+        if candidate_interfaces is None:
+            candidate_interfaces = [
+                (l.src, l.dst) for l in self.topo.switch_links()]
+        if count > len(candidate_interfaces):
+            raise ValueError("not enough candidate interfaces")
+        chosen = self.rng.sample(list(candidate_interfaces), count)
+        for a, b in chosen:
+            self.silent_drop(a, b, probability)
+        return chosen
+
+    # ------------------------------------------------------------- queries
+    def faulty_interfaces(self, kinds: Optional[Set[str]] = None
+                          ) -> Set[Interface]:
+        """Ground-truth faulty interfaces, optionally filtered by kind."""
+        result = set()
+        for record in self.records:
+            if record.interface is None:
+                continue
+            if kinds is not None and record.kind not in kinds:
+                continue
+            result.add(record.interface)
+        return result
+
+    def faulty_cables(self, kinds: Optional[Set[str]] = None
+                      ) -> Set[frozenset]:
+        """Ground-truth faulty cables (undirected), for localization scoring."""
+        return {frozenset(i) for i in self.faulty_interfaces(kinds)}
+
+    def clear(self) -> None:
+        """Remove every injected fault and forget the ground truth."""
+        self.topo.links.clear_faults()
+        if self.routing is not None:
+            self.routing.clear_misconfigurations()
+        self.records.clear()
+
+
+def make_header_corruptor(wrong_vid: int, probability: float = 1.0,
+                          seed: int = 0):
+    """Build a header-corruptor hook for a faulty switch (Section 2.4).
+
+    The returned callable rewrites the outermost VLAN tag of packets passing
+    through the switch with ``wrong_vid``, with the given probability.
+
+    Args:
+        wrong_vid: the bogus link identifier the switch writes.
+        probability: per-packet probability of corruption.
+        seed: RNG seed for the corruption coin flip.
+
+    Returns:
+        A callable suitable for :attr:`repro.network.switch.Switch.header_corruptor`.
+    """
+    rng = random.Random(seed)
+
+    def corrupt(switch_name: str, packet: Packet) -> bool:
+        if packet.vlan_count == 0:
+            return False
+        if probability < 1.0 and rng.random() >= probability:
+            return False
+        packet.vlan_stack[0].vid = wrong_vid
+        return True
+
+    return corrupt

@@ -1,0 +1,270 @@
+"""Packet and header model for the simulated datacenter fabric.
+
+PathDump's in-network component embeds sampled link identifiers into packet
+headers using VLAN tags (and, for VL2, the DSCP field).  This module models
+exactly the header state those mechanisms need:
+
+* the usual 5-tuple flow identity,
+* a stack of VLAN tags (each carrying a 12-bit global link ID),
+* an optional MPLS label stack (kept for completeness; the paper mentions
+  MPLS tags as an alternative carrier),
+* the 6-bit DSCP field,
+* TTL, TCP flags and payload size.
+
+The classes here are plain data containers; all forwarding behaviour lives in
+:mod:`repro.network.switch` and :mod:`repro.network.simulator`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Tuple
+
+#: Protocol numbers used throughout the repository.
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMP = 1
+
+#: VLAN IDs are 12 bits wide; this is the number of distinct link IDs
+#: CherryPick can encode in a single tag (the paper's "4,096 unique link IDs").
+VLAN_ID_BITS = 12
+MAX_VLAN_ID = (1 << VLAN_ID_BITS) - 1
+
+#: DSCP is 6 bits wide.
+DSCP_BITS = 6
+MAX_DSCP = (1 << DSCP_BITS) - 1
+
+#: Default TTL for injected packets (ample for any datacenter path).
+DEFAULT_TTL = 64
+
+#: Default maximum segment size used by the TCP model (bytes of payload).
+DEFAULT_MSS = 1460
+
+#: Ethernet + IP + TCP header bytes added on the wire.
+WIRE_HEADER_BYTES = 54
+#: Bytes added per VLAN tag on the wire.
+VLAN_TAG_BYTES = 4
+
+
+class FlowId(NamedTuple):
+    """The usual 5-tuple identifying a flow.
+
+    The paper's definition: ``<srcIP, dstIP, srcPort, dstPort, protocol>``.
+    IP addresses are represented as strings (host names double as addresses
+    in the simulator), ports as integers and the protocol as an IANA number.
+    """
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FlowId":
+        """Return the flow ID of the reverse direction (e.g. for ACKs)."""
+        return FlowId(self.dst_ip, self.src_ip, self.dst_port,
+                      self.src_port, self.protocol)
+
+    def is_tcp(self) -> bool:
+        """Return ``True`` when the flow is TCP."""
+        return self.protocol == PROTO_TCP
+
+    def short(self) -> str:
+        """Compact human-readable representation used in logs and alarms."""
+        return (f"{self.src_ip}:{self.src_port}->"
+                f"{self.dst_ip}:{self.dst_port}/{self.protocol}")
+
+
+class TcpFlags(NamedTuple):
+    """TCP control flags carried by a packet.
+
+    Only the flags PathDump's edge stack reacts to are modelled: ``SYN``
+    (connection start), ``FIN``/``RST`` (flow-record eviction triggers in the
+    trajectory memory, mirroring NetFlow semantics) and ``ACK``.
+    """
+
+    syn: bool = False
+    fin: bool = False
+    rst: bool = False
+    ack: bool = False
+
+    @property
+    def terminates_flow(self) -> bool:
+        """``True`` when the packet signals flow termination (FIN or RST)."""
+        return self.fin or self.rst
+
+
+@dataclass
+class VlanTag:
+    """A single 802.1Q tag carrying a CherryPick link identifier.
+
+    Attributes:
+        vid: the 12-bit VLAN identifier; CherryPick stores a global link ID.
+        pcp: priority code point (unused by PathDump, kept for realism).
+    """
+
+    vid: int
+    pcp: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid <= MAX_VLAN_ID:
+            raise ValueError(f"VLAN id {self.vid} outside 12-bit range")
+        if not 0 <= self.pcp <= 7:
+            raise ValueError(f"PCP {self.pcp} outside 3-bit range")
+
+
+@dataclass
+class MplsLabel:
+    """An MPLS label stack entry (20-bit label)."""
+
+    label: int
+    ttl: int = DEFAULT_TTL
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.label < (1 << 20):
+            raise ValueError(f"MPLS label {self.label} outside 20-bit range")
+
+
+@dataclass
+class Packet:
+    """A packet traversing the simulated fabric.
+
+    The header layout mirrors what PathDump's OVS module sees: an Ethernet
+    frame whose VLAN stack carries trajectory information, an IP header with
+    a DSCP field (used by the VL2 encoding), and a TCP/UDP payload.
+
+    Attributes:
+        flow: the 5-tuple flow identity.
+        size: payload size in bytes (excluding headers and tags).
+        seq: sequence number assigned by the sender (packet index in flow).
+        ttl: remaining time-to-live; decremented per switch hop.
+        dscp: 6-bit DSCP value, ``None`` when unset ("unused" in CherryPick's
+            VL2 encoding is modelled as ``None``).
+        vlan_stack: outermost-first stack of VLAN tags.
+        mpls_stack: outermost-first stack of MPLS labels (normally empty).
+        flags: TCP flags.
+        timestamp: injection time (simulated seconds).
+        retransmission: ``True`` when this packet is a TCP retransmission.
+    """
+
+    flow: FlowId
+    size: int = DEFAULT_MSS
+    seq: int = 0
+    ttl: int = DEFAULT_TTL
+    dscp: Optional[int] = None
+    vlan_stack: List[VlanTag] = field(default_factory=list)
+    mpls_stack: List[MplsLabel] = field(default_factory=list)
+    flags: TcpFlags = TcpFlags()
+    timestamp: float = 0.0
+    retransmission: bool = False
+
+    # ------------------------------------------------------------------ tags
+    def push_vlan(self, vid: int) -> None:
+        """Push a VLAN tag carrying ``vid`` onto the top of the stack."""
+        self.vlan_stack.insert(0, VlanTag(vid))
+
+    def pop_vlan(self) -> Optional[int]:
+        """Pop the outermost VLAN tag and return its VID (``None`` if empty)."""
+        if not self.vlan_stack:
+            return None
+        return self.vlan_stack.pop(0).vid
+
+    def peek_vlan(self) -> Optional[int]:
+        """Return the outermost VLAN VID without removing it."""
+        if not self.vlan_stack:
+            return None
+        return self.vlan_stack[0].vid
+
+    def vlan_ids(self) -> List[int]:
+        """Return all VLAN VIDs, outermost first."""
+        return [tag.vid for tag in self.vlan_stack]
+
+    @property
+    def vlan_count(self) -> int:
+        """Number of VLAN tags currently carried."""
+        return len(self.vlan_stack)
+
+    def set_dscp(self, value: int) -> None:
+        """Set the DSCP field (6-bit)."""
+        if not 0 <= value <= MAX_DSCP:
+            raise ValueError(f"DSCP {value} outside 6-bit range")
+        self.dscp = value
+
+    def clear_dscp(self) -> None:
+        """Reset the DSCP field to unset."""
+        self.dscp = None
+
+    def strip_trajectory(self) -> Tuple[List[int], Optional[int]]:
+        """Remove and return all trajectory state (VLAN VIDs and DSCP).
+
+        This is what the edge vswitch does before handing the packet to the
+        upper stack: the trajectory information is irrelevant to transport
+        protocols and must not reach them.
+
+        Returns:
+            A tuple ``(vlan_ids, dscp)`` of the removed state.
+        """
+        vids = self.vlan_ids()
+        dscp = self.dscp
+        self.vlan_stack = []
+        self.dscp = None
+        return vids, dscp
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire including headers and tags."""
+        return (self.size + WIRE_HEADER_BYTES
+                + VLAN_TAG_BYTES * len(self.vlan_stack)
+                + VLAN_TAG_BYTES * len(self.mpls_stack))
+
+    # ------------------------------------------------------------------ misc
+    def decrement_ttl(self) -> bool:
+        """Decrement TTL; return ``False`` when the packet must be dropped."""
+        self.ttl -= 1
+        return self.ttl > 0
+
+    def copy(self) -> "Packet":
+        """Return an independent deep copy of the packet."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Packet({self.flow.short()}, seq={self.seq}, "
+                f"size={self.size}, vlans={self.vlan_ids()}, "
+                f"dscp={self.dscp})")
+
+
+def make_tcp_packet(src: str, dst: str, *, src_port: int = 40000,
+                    dst_port: int = 80, size: int = DEFAULT_MSS,
+                    seq: int = 0, syn: bool = False, fin: bool = False,
+                    rst: bool = False, timestamp: float = 0.0) -> Packet:
+    """Convenience constructor for a TCP packet between two hosts.
+
+    Args:
+        src: source host name / address.
+        dst: destination host name / address.
+        src_port: source port.
+        dst_port: destination port.
+        size: payload bytes.
+        seq: sequence number (packet index).
+        syn: set the SYN flag.
+        fin: set the FIN flag.
+        rst: set the RST flag.
+        timestamp: injection time in simulated seconds.
+
+    Returns:
+        A fully initialised :class:`Packet`.
+    """
+    flow = FlowId(src, dst, src_port, dst_port, PROTO_TCP)
+    flags = TcpFlags(syn=syn, fin=fin, rst=rst, ack=not syn)
+    return Packet(flow=flow, size=size, seq=seq, flags=flags,
+                  timestamp=timestamp)
+
+
+def make_udp_packet(src: str, dst: str, *, src_port: int = 50000,
+                    dst_port: int = 53, size: int = 512,
+                    seq: int = 0, timestamp: float = 0.0) -> Packet:
+    """Convenience constructor for a UDP packet between two hosts."""
+    flow = FlowId(src, dst, src_port, dst_port, PROTO_UDP)
+    return Packet(flow=flow, size=size, seq=seq, timestamp=timestamp)

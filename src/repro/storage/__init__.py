@@ -1,0 +1,12 @@
+"""Storage substrate: in-memory document store and flow-record schema."""
+
+from repro.storage.docstore import Collection, DocumentStore, QueryError
+from repro.storage.records import (PathFlowRecord, TrajectoryMemoryRecord,
+                                   flow_key, parse_flow_key,
+                                   records_wire_bytes)
+
+__all__ = [
+    "Collection", "DocumentStore", "QueryError",
+    "PathFlowRecord", "TrajectoryMemoryRecord", "flow_key", "parse_flow_key",
+    "records_wire_bytes",
+]

@@ -1,0 +1,248 @@
+"""An in-memory document store backing the Trajectory Information Base.
+
+The original PathDump builds its TIB on MongoDB.  Nothing in the system
+depends on MongoDB specifics - the TIB needs insertion of small flow-record
+documents, filtered scans (by flow, by link, by time range) and counts - so
+this module provides a compact, dependency-free document store with a
+Mongo-flavoured query subset:
+
+* equality matches: ``{"field": value}``
+* comparison operators: ``{"field": {"$gte": x, "$lt": y}}``
+* membership: ``{"field": {"$in": [...]}}``
+* containment for list-valued fields: ``{"field": {"$contains": value}}``
+
+Single-field hash indexes accelerate equality lookups; everything else falls
+back to a filtered scan.  The store also tracks an estimate of its storage
+footprint so the Section 5.3 overhead numbers have a concrete counterpart.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+#: Comparison operators supported in query documents.
+_OPERATORS = {
+    "$eq": lambda value, ref: value == ref,
+    "$ne": lambda value, ref: value != ref,
+    "$gt": lambda value, ref: value is not None and value > ref,
+    "$gte": lambda value, ref: value is not None and value >= ref,
+    "$lt": lambda value, ref: value is not None and value < ref,
+    "$lte": lambda value, ref: value is not None and value <= ref,
+    "$in": lambda value, ref: value in ref,
+    "$nin": lambda value, ref: value not in ref,
+    "$contains": lambda value, ref: isinstance(value, (list, tuple, set))
+    and ref in value,
+}
+
+
+class QueryError(ValueError):
+    """Raised for malformed query documents."""
+
+
+def _matches(document: Dict[str, Any], query: Dict[str, Any]) -> bool:
+    """Evaluate a query document against one stored document."""
+    for field, condition in query.items():
+        value = document.get(field)
+        if isinstance(condition, dict):
+            for op, ref in condition.items():
+                func = _OPERATORS.get(op)
+                if func is None:
+                    raise QueryError(f"unsupported operator {op!r}")
+                if not func(value, ref):
+                    return False
+        else:
+            if value != condition:
+                return False
+    return True
+
+
+class Collection:
+    """A named collection of documents with optional hash indexes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: List[Dict[str, Any]] = []
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+        self._next_id = 0
+
+    # ---------------------------------------------------------------- writes
+    def create_index(self, field: str) -> None:
+        """Create (or rebuild) a hash index on ``field``."""
+        index: Dict[Any, List[int]] = defaultdict(list)
+        for position, document in enumerate(self._documents):
+            if document is None:
+                continue
+            index[self._index_key(document.get(field))].append(position)
+        self._indexes[field] = index
+
+    def insert(self, document: Dict[str, Any]) -> int:
+        """Insert a document; returns its assigned ``_id``."""
+        doc = dict(document)
+        doc.setdefault("_id", self._next_id)
+        self._next_id += 1
+        position = len(self._documents)
+        self._documents.append(doc)
+        for field, index in self._indexes.items():
+            index.setdefault(self._index_key(doc.get(field)),
+                             []).append(position)
+        return doc["_id"]
+
+    def insert_many(self, documents: Iterable[Dict[str, Any]]) -> int:
+        """Insert many documents; returns the number inserted."""
+        count = 0
+        for document in documents:
+            self.insert(document)
+            count += 1
+        return count
+
+    def delete(self, query: Dict[str, Any]) -> int:
+        """Delete matching documents; returns the number removed.
+
+        Deletion marks slots as tombstones to keep index positions stable;
+        :meth:`compact` reclaims the space.
+        """
+        removed = 0
+        for position, document in enumerate(self._documents):
+            if document is None:
+                continue
+            if _matches(document, query):
+                self._documents[position] = None
+                removed += 1
+        if removed:
+            for field in list(self._indexes):
+                self.create_index(field)
+        return removed
+
+    def compact(self) -> None:
+        """Drop tombstones and rebuild indexes."""
+        self._documents = [d for d in self._documents if d is not None]
+        for field in list(self._indexes):
+            self.create_index(field)
+
+    def clear(self) -> None:
+        """Remove every document."""
+        self._documents.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ----------------------------------------------------------------- reads
+    def find(self, query: Optional[Dict[str, Any]] = None,
+             limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Return documents matching ``query`` (all documents when omitted)."""
+        results: List[Dict[str, Any]] = []
+        for document in self._candidates(query):
+            if document is None:
+                continue
+            if query is None or _matches(document, query):
+                results.append(document)
+                if limit is not None and len(results) >= limit:
+                    break
+        return results
+
+    def find_one(self, query: Optional[Dict[str, Any]] = None
+                 ) -> Optional[Dict[str, Any]]:
+        """Return one matching document or ``None``."""
+        found = self.find(query, limit=1)
+        return found[0] if found else None
+
+    def count(self, query: Optional[Dict[str, Any]] = None) -> int:
+        """Count matching documents."""
+        if query is None:
+            return sum(1 for d in self._documents if d is not None)
+        return len(self.find(query))
+
+    def distinct(self, field: str,
+                 query: Optional[Dict[str, Any]] = None) -> List[Any]:
+        """Distinct values of ``field`` among matching documents."""
+        seen = []
+        seen_keys = set()
+        for document in self.find(query):
+            value = document.get(field)
+            key = self._index_key(value)
+            if key not in seen_keys:
+                seen_keys.add(key)
+                seen.append(value)
+        return seen
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return (d for d in self._documents if d is not None)
+
+    # ------------------------------------------------------------- internals
+    def _candidates(self, query: Optional[Dict[str, Any]]
+                    ) -> Iterable[Optional[Dict[str, Any]]]:
+        """Use an index for a single equality term when possible."""
+        if query:
+            for field, condition in query.items():
+                if field in self._indexes and not isinstance(condition, dict):
+                    positions = self._indexes[field].get(
+                        self._index_key(condition), [])
+                    return (self._documents[p] for p in positions)
+        return iter(self._documents)
+
+    @staticmethod
+    def _index_key(value: Any) -> Any:
+        """Hashable representation of a field value."""
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    # ------------------------------------------------------------ accounting
+    def estimated_bytes(self) -> int:
+        """Rough storage footprint of the collection in bytes."""
+        total = 0
+        for document in self._documents:
+            if document is None:
+                continue
+            total += _estimate_document_bytes(document)
+        return total
+
+
+def _estimate_document_bytes(document: Dict[str, Any]) -> int:
+    """Estimate the serialized size of one document."""
+    total = 16  # per-document overhead
+    for key, value in document.items():
+        total += len(key)
+        total += _estimate_value_bytes(value)
+    return total
+
+
+def _estimate_value_bytes(value: Any) -> int:
+    if isinstance(value, str):
+        return len(value) + 1
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 8
+    if isinstance(value, (list, tuple)):
+        return 4 + sum(_estimate_value_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return _estimate_document_bytes(value)
+    return sys.getsizeof(value)
+
+
+class DocumentStore:
+    """A set of named collections (one 'database' per end host)."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create the collection ``name``."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def drop(self, name: str) -> None:
+        """Drop the collection ``name`` (no-op when absent)."""
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> List[str]:
+        """All collection names, sorted."""
+        return sorted(self._collections)
+
+    def estimated_bytes(self) -> int:
+        """Total estimated footprint of the store."""
+        return sum(c.estimated_bytes() for c in self._collections.values())

@@ -1,0 +1,156 @@
+"""Flow-record schema shared by the trajectory memory and the TIB.
+
+Section 3.2 of the paper defines the TIB record as
+
+    ``<flow ID, path, stime, etime, #bytes, #pkts>``
+
+and the trajectory-memory record as the pre-path-construction variant keyed
+by ``(flow ID, link IDs)``.  This module defines both as dataclasses plus the
+(de)serialisation to the plain-dict documents stored in the
+:class:`~repro.storage.docstore.DocumentStore`, along with the payload-size
+estimator used by the query traffic-volume experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.packet import FlowId
+
+#: Wire size (bytes) of one serialized TIB record in query responses; derived
+#: from the field sizes (5-tuple ~ 13 B, timestamps 2 x 8 B, counters 2 x 8 B,
+#: path as a list of 2-byte switch indices).
+RECORD_FIXED_BYTES = 13 + 16 + 16
+
+
+@dataclass
+class PathFlowRecord:
+    """A per-path flow record (one row of the TIB).
+
+    Attributes:
+        flow_id: the flow's 5-tuple.
+        path: the end-to-end switch path (source ToR .. destination ToR).
+        stime: time the first packet of this record was observed.
+        etime: time the last packet was observed.
+        bytes: bytes observed.
+        pkts: packets observed.
+    """
+
+    flow_id: FlowId
+    path: Tuple[str, ...]
+    stime: float
+    etime: float
+    bytes: int = 0
+    pkts: int = 0
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def duration(self) -> float:
+        """Observed duration of this record in seconds."""
+        return max(0.0, self.etime - self.stime)
+
+    def links(self) -> List[Tuple[str, str]]:
+        """Directed links along the recorded path."""
+        return [(self.path[i], self.path[i + 1])
+                for i in range(len(self.path) - 1)]
+
+    def traverses_link(self, a: str, b: str) -> bool:
+        """Whether the record's path uses the (undirected) link ``a``-``b``."""
+        pairs = set(self.links())
+        return (a, b) in pairs or (b, a) in pairs
+
+    def update(self, nbytes: int, npkts: int, when: float) -> None:
+        """Fold another observation into this record."""
+        self.bytes += nbytes
+        self.pkts += npkts
+        if when < self.stime:
+            self.stime = when
+        if when > self.etime:
+            self.etime = when
+
+    # ---------------------------------------------------------- serialization
+    def to_document(self) -> Dict[str, Any]:
+        """Serialise to a plain-dict document for the document store."""
+        return {
+            "src_ip": self.flow_id.src_ip,
+            "dst_ip": self.flow_id.dst_ip,
+            "src_port": self.flow_id.src_port,
+            "dst_port": self.flow_id.dst_port,
+            "protocol": self.flow_id.protocol,
+            "flow_key": flow_key(self.flow_id),
+            "path": list(self.path),
+            "stime": self.stime,
+            "etime": self.etime,
+            "bytes": self.bytes,
+            "pkts": self.pkts,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "PathFlowRecord":
+        """Reconstruct a record from its document form."""
+        flow_id = FlowId(document["src_ip"], document["dst_ip"],
+                         document["src_port"], document["dst_port"],
+                         document["protocol"])
+        return cls(flow_id=flow_id, path=tuple(document["path"]),
+                   stime=document["stime"], etime=document["etime"],
+                   bytes=document["bytes"], pkts=document["pkts"])
+
+    def wire_bytes(self) -> int:
+        """Approximate serialized size in a query response."""
+        return RECORD_FIXED_BYTES + 2 * len(self.path)
+
+
+@dataclass
+class TrajectoryMemoryRecord:
+    """A per-path flow record *before* path construction.
+
+    This is what the modified OVS maintains: the packet's link-ID samples are
+    still raw (not yet resolved against the topology), and the record is
+    evicted to the TIB on FIN/RST or after an idle timeout.
+    """
+
+    flow_id: FlowId
+    link_ids: Tuple[int, ...]
+    stime: float
+    etime: float
+    bytes: int = 0
+    pkts: int = 0
+    src_host: str = ""
+
+    def update(self, nbytes: int, when: float) -> None:
+        """Fold one more packet into the record."""
+        self.bytes += nbytes
+        self.pkts += 1
+        if when < self.stime:
+            self.stime = when
+        if when > self.etime:
+            self.etime = when
+
+    @property
+    def idle_for(self) -> float:
+        """Helper for eviction: seconds since the last update (needs now)."""
+        return self.etime
+
+
+def flow_key(flow_id: FlowId) -> str:
+    """Canonical string key for a flow (used as an index field).
+
+    Uses ``|`` as the field separator because host names themselves contain
+    dashes and colons are used inside the endpoint fields.
+    """
+    return (f"{flow_id.src_ip}:{flow_id.src_port}|{flow_id.dst_ip}:"
+            f"{flow_id.dst_port}|{flow_id.protocol}")
+
+
+def parse_flow_key(key: str) -> FlowId:
+    """Inverse of :func:`flow_key`."""
+    left, right, proto = key.split("|")
+    src_ip, src_port = left.rsplit(":", 1)
+    dst_ip, dst_port = right.rsplit(":", 1)
+    return FlowId(src_ip, dst_ip, int(src_port), int(dst_port), int(proto))
+
+
+def records_wire_bytes(records: Sequence[PathFlowRecord]) -> int:
+    """Total serialized size of a record batch (query traffic accounting)."""
+    return sum(r.wire_bytes() for r in records)

@@ -1,0 +1,19 @@
+"""Datacenter topologies (fat-tree, VL2) and CherryPick link ID assignment."""
+
+from repro.topology.graph import (NodeInfo, Topology, ROLE_AGGREGATE,
+                                  ROLE_CORE, ROLE_EDGE, ROLE_HOST)
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.vl2 import Vl2Topology
+from repro.topology.linkid import (LinkIdAssignment, apply_assignment,
+                                   assign_fattree_link_ids,
+                                   assign_generic_link_ids, assign_link_ids,
+                                   assign_vl2_link_ids, cable,
+                                   edge_color_bipartite)
+
+__all__ = [
+    "NodeInfo", "Topology", "ROLE_AGGREGATE", "ROLE_CORE", "ROLE_EDGE",
+    "ROLE_HOST", "FatTreeTopology", "Vl2Topology",
+    "LinkIdAssignment", "apply_assignment", "assign_fattree_link_ids",
+    "assign_generic_link_ids", "assign_link_ids", "assign_vl2_link_ids",
+    "cable", "edge_color_bipartite",
+]

@@ -1,0 +1,301 @@
+"""Global link identifier assignment for CherryPick trajectory encoding.
+
+CherryPick samples *links* rather than switches, so every link that may be
+sampled needs an identifier that fits the carrier field (12-bit VLAN ID or
+6-bit DSCP).  A 48-ary fat-tree has ~55 K physical links but only 4,096 VLAN
+values, so the assignment must reuse identifiers.  Two ideas from the paper
+(Section 3.1) make this possible:
+
+1. **Pod-local reuse** - aggregate switches of different pods are only
+   interconnected through core switches, so the links *inside* a pod
+   (ToR-aggregate) can share one set of IDs across all pods; the receiver
+   disambiguates using the source pod (known from the packet's source
+   address).
+
+2. **Edge colouring of core links** - aggregate-core links are assigned IDs
+   derived from an edge colouring of the aggregation-core bipartite graph,
+   again reusing IDs across pods.
+
+This module implements both, provides the reverse mapping used by the edge
+host when reconstructing a path from sampled IDs, and exposes a simple
+bipartite edge-colouring routine used for VL2 and for the header-space
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.network.packet import MAX_DSCP, MAX_VLAN_ID
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.graph import ROLE_AGGREGATE, ROLE_CORE, ROLE_EDGE, Topology
+from repro.topology.vl2 import Vl2Topology
+
+#: An undirected cable is identified by the frozenset of its endpoints.
+Cable = FrozenSet[str]
+
+
+def cable(a: str, b: str) -> Cable:
+    """Return the canonical undirected cable key for two endpoints."""
+    return frozenset((a, b))
+
+
+class LinkIdSpaceError(ValueError):
+    """Raised when the topology needs more link IDs than the carrier allows."""
+
+
+@dataclass
+class LinkIdAssignment:
+    """The result of assigning link IDs to a topology.
+
+    Attributes:
+        id_of: mapping from cable to its assigned identifier.
+        cables_of: reverse mapping from identifier to the set of cables
+            sharing it (IDs are reused across pods).
+        vlan_ids_used: number of distinct VLAN-carried identifiers.
+        dscp_ids_used: number of distinct DSCP-carried identifiers (VL2 only).
+    """
+
+    id_of: Dict[Cable, int]
+    cables_of: Dict[int, Set[Cable]]
+    vlan_ids_used: int
+    dscp_ids_used: int = 0
+
+    def lookup(self, a: str, b: str) -> Optional[int]:
+        """Identifier of the cable between ``a`` and ``b`` (or ``None``)."""
+        return self.id_of.get(cable(a, b))
+
+    def candidates(self, link_id: int) -> Set[Cable]:
+        """All cables that share ``link_id``."""
+        return self.cables_of.get(link_id, set())
+
+    def resolve(self, link_id: int, pods: Iterable[Optional[int]],
+                topo: Topology) -> Set[Cable]:
+        """Resolve ``link_id`` to cables consistent with the given pods.
+
+        Args:
+            link_id: the sampled identifier.
+            pods: pod indices that the cable may belong to (typically the
+                source pod, the destination pod, or both); ``None`` entries
+                are ignored.
+            topo: the topology, used to look up endpoint pods.
+
+        Returns:
+            The subset of candidate cables having at least one endpoint in
+            one of the given pods.  If no pod constraint applies, all
+            candidates are returned.
+        """
+        pods = {p for p in pods if p is not None}
+        candidates = self.candidates(link_id)
+        if not pods:
+            return set(candidates)
+        resolved = set()
+        for c in candidates:
+            endpoint_pods = {topo.node(n).pod for n in c}
+            if endpoint_pods & pods:
+                resolved.add(c)
+        return set(candidates) if not resolved else resolved
+
+
+# ----------------------------------------------------------- edge colouring
+def edge_color_bipartite(edges: List[Tuple[int, int]]) -> Dict[Tuple[int, int], int]:
+    """Greedy proper edge colouring of a bipartite (multi)graph.
+
+    Implements the simple variant of bipartite edge colouring (the paper
+    cites Cole-Ost-Schirra for the O(E log D) algorithm; a greedy pass is
+    sufficient here and always uses at most ``2*D - 1`` colours, while for
+    the regular graphs we colour it typically achieves ``D``).
+
+    Args:
+        edges: list of ``(left_index, right_index)`` pairs.
+
+    Returns:
+        A mapping from each edge to its colour (0-based).
+    """
+    left_used: Dict[int, Set[int]] = {}
+    right_used: Dict[int, Set[int]] = {}
+    coloring: Dict[Tuple[int, int], int] = {}
+    for (u, v) in edges:
+        lu = left_used.setdefault(u, set())
+        rv = right_used.setdefault(v, set())
+        color = 0
+        while color in lu or color in rv:
+            color += 1
+        coloring[(u, v)] = color
+        lu.add(color)
+        rv.add(color)
+    return coloring
+
+
+# --------------------------------------------------------------- fat-tree
+def assign_fattree_link_ids(topo: FatTreeTopology) -> LinkIdAssignment:
+    """Assign CherryPick link identifiers for a fat-tree.
+
+    Two identifier classes are used, with disjoint value ranges so the
+    receiver can tell them apart:
+
+    * **ToR-aggregate links** - identifier ``1 + e * (k/2) + a`` where ``e``
+      and ``a`` are the ToR's and aggregate's indices within their pod.  The
+      same identifier is shared by the corresponding link of *every* pod.
+    * **Aggregate-core links** - identifier ``base + colour`` where the
+      colour comes from the position of the core switch within its group
+      and the group index (an explicit edge colouring of the
+      aggregation-core graph restricted to one pod); identifiers are shared
+      across pods.
+
+    Raises:
+        LinkIdSpaceError: if the fat-tree is too large for 12-bit IDs
+            (beyond 72-port switches, mirroring the paper's limit).
+    """
+    half = topo.half
+    tor_agg_ids = half * half
+    agg_core_ids = half * half
+    total = tor_agg_ids + agg_core_ids
+    if total > MAX_VLAN_ID:
+        raise LinkIdSpaceError(
+            f"fat-tree k={topo.k} needs {total} link IDs; "
+            f"only {MAX_VLAN_ID} available in a VLAN tag")
+
+    id_of: Dict[Cable, int] = {}
+    cables_of: Dict[int, Set[Cable]] = {}
+
+    def record(c: Cable, link_id: int) -> None:
+        id_of[c] = link_id
+        cables_of.setdefault(link_id, set()).add(c)
+
+    # ToR <-> aggregate links: IDs 1 .. half*half, shared across pods.
+    for pod in topo.pods():
+        for e in range(half):
+            for a in range(half):
+                link_id = 1 + e * half + a
+                record(cable(topo.tor_name(pod, e), topo.agg_name(pod, a)),
+                       link_id)
+
+    # Aggregate <-> core links.  Within a pod, aggregate a connects to cores
+    # (a, 0..half-1); the colouring (a, i) -> a*half + i is a proper edge
+    # colouring of that bipartite graph and is reused by every pod.
+    agg_core_base = 1 + tor_agg_ids
+    edges = [(a, a * half + i) for a in range(half) for i in range(half)]
+    coloring = edge_color_bipartite(edges)
+    for pod in topo.pods():
+        for a in range(half):
+            for i in range(half):
+                color = coloring[(a, a * half + i)]
+                link_id = agg_core_base + a * half + i
+                # Use the explicit colouring for validation: it must be a
+                # proper colouring so that no aggregate switch carries two
+                # uplinks with the same colour.
+                assert color < half * half
+                record(cable(topo.agg_name(pod, a), topo.core_name(a, i)),
+                       link_id)
+
+    return LinkIdAssignment(id_of=id_of, cables_of=cables_of,
+                            vlan_ids_used=total)
+
+
+# -------------------------------------------------------------------- VL2
+def assign_vl2_link_ids(topo: Vl2Topology) -> LinkIdAssignment:
+    """Assign link identifiers for a VL2 topology.
+
+    The VL2 encoding samples three links on a 6-hop path; the first sample
+    (a ToR-aggregate link in the source pod) is carried in the 6-bit DSCP
+    field and the remaining samples in VLAN tags:
+
+    * **ToR-aggregate links** get DSCP identifiers ``1 + 2*t + j`` where
+      ``t`` is the ToR index within its aggregation pair and ``j`` selects
+      which of the two aggregation switches; shared across pairs.
+    * **Aggregate-intermediate links** get VLAN identifiers derived from a
+      proper edge colouring of the complete bipartite aggregation x
+      intermediate graph, offset to stay disjoint from ToR-aggregate VLAN
+      identifiers used for deviated paths.
+
+    Raises:
+        LinkIdSpaceError: if the ToR-aggregate IDs exceed the DSCP space
+            (the paper's 62-port-switch VL2 limit).
+    """
+    dscp_ids = 2 * topo.tors_per_agg_pair
+    if dscp_ids > MAX_DSCP:
+        raise LinkIdSpaceError(
+            f"VL2 needs {dscp_ids} DSCP link IDs; only {MAX_DSCP} available")
+
+    id_of: Dict[Cable, int] = {}
+    cables_of: Dict[int, Set[Cable]] = {}
+
+    def record(c: Cable, link_id: int) -> None:
+        id_of[c] = link_id
+        cables_of.setdefault(link_id, set()).add(c)
+
+    # ToR <-> aggregate links (DSCP space, reused across aggregation pairs).
+    for tor in topo.edge_switches():
+        tor_info = topo.node(tor)
+        pair = tor_info.pod
+        local_t = tor_info.index - min(
+            topo.node(t).index for t in topo.edge_switches()
+            if topo.node(t).pod == pair)
+        for j, agg in enumerate(sorted(topo.agg_pair_of_tor(tor))):
+            record(cable(tor, agg), 1 + 2 * local_t + j)
+
+    # Aggregate <-> intermediate links (VLAN space).  The complete bipartite
+    # graph K_{n_agg, n_int} admits the proper colouring (a + i) mod n_int
+    # when n_int >= n_agg; the greedy routine handles the general case.
+    edges = [(a, i) for a in range(topo.n_agg) for i in range(topo.n_int)]
+    coloring = edge_color_bipartite(edges)
+    vlan_base = 1 + MAX_DSCP  # keep VLAN-carried IDs disjoint from DSCP IDs
+    vlan_ids: Set[int] = set()
+    for a in range(topo.n_agg):
+        for i in range(topo.n_int):
+            # Reuse colours across aggregation switches of different pairs
+            # would be ambiguous for VL2 (aggregates are globally meshed),
+            # so the identifier combines the aggregate index and the colour.
+            link_id = vlan_base + a * (max(coloring.values()) + 1) + coloring[(a, i)]
+            if link_id > MAX_VLAN_ID:
+                raise LinkIdSpaceError("VL2 aggregate-intermediate links "
+                                       "exceed the VLAN ID space")
+            vlan_ids.add(link_id)
+            record(cable(topo.agg_name(a), topo.int_name(i)), link_id)
+
+    return LinkIdAssignment(id_of=id_of, cables_of=cables_of,
+                            vlan_ids_used=len(vlan_ids),
+                            dscp_ids_used=dscp_ids)
+
+
+def assign_link_ids(topo: Topology) -> LinkIdAssignment:
+    """Dispatch to the appropriate assignment for the topology type.
+
+    Generic topologies get globally unique IDs for every switch-switch cable
+    (no reuse), which is correct but uses more identifier space; this is the
+    fallback the paper alludes to for future, less structured networks.
+    """
+    if isinstance(topo, FatTreeTopology):
+        return assign_fattree_link_ids(topo)
+    if isinstance(topo, Vl2Topology):
+        return assign_vl2_link_ids(topo)
+    return assign_generic_link_ids(topo)
+
+
+def assign_generic_link_ids(topo: Topology) -> LinkIdAssignment:
+    """Globally unique IDs for every switch-switch cable of any topology."""
+    id_of: Dict[Cable, int] = {}
+    cables_of: Dict[int, Set[Cable]] = {}
+    next_id = 1
+    seen: Set[Cable] = set()
+    for link in topo.switch_links():
+        c = cable(link.src, link.dst)
+        if c in seen:
+            continue
+        seen.add(c)
+        if next_id > MAX_VLAN_ID:
+            raise LinkIdSpaceError("topology exceeds the 12-bit link ID space")
+        id_of[c] = next_id
+        cables_of[next_id] = {c}
+        next_id += 1
+    return LinkIdAssignment(id_of=id_of, cables_of=cables_of,
+                            vlan_ids_used=next_id - 1)
+
+
+def apply_assignment(topo: Topology, assignment: LinkIdAssignment) -> None:
+    """Stamp each directed :class:`~repro.network.link.Link` with its ID."""
+    for link in topo.links:
+        link_id = assignment.lookup(link.src, link.dst)
+        link.global_id = link_id

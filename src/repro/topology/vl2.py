@@ -1,0 +1,117 @@
+"""VL2 topology builder.
+
+VL2 (Greenberg et al., SIGCOMM 2009) is the second topology family the
+CherryPick encoding supports.  Its switching fabric is a folded Clos:
+
+* ``n_int`` *intermediate* (core) switches,
+* ``n_agg`` *aggregation* switches, each connected to **every** intermediate
+  switch (complete bipartite aggregation-intermediate mesh),
+* ToR switches, each connected to exactly **two** aggregation switches,
+* servers attached to ToRs.
+
+With VL2 a 6-hop host-to-host route traverses ToR, aggregation, intermediate,
+aggregation, ToR; CherryPick needs to sample *three* links for such a path
+and therefore spends the DSCP field on the first sample (ToR->aggregation in
+the source pod) and VLAN tags on the rest.
+
+Naming scheme: ``int-<i>``, ``vagg-<i>``, ``vtor-<i>``, ``vh-<tor>-<i>``.
+The ``pod`` attribute of a ToR/host is the index of its *primary*
+aggregation switch, which is the grouping the link ID assignment reuses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.topology.graph import (ROLE_AGGREGATE, ROLE_CORE, ROLE_EDGE,
+                                  Topology)
+
+
+class Vl2Topology(Topology):
+    """A VL2 folded-Clos topology.
+
+    Args:
+        n_int: number of intermediate (core) switches.
+        n_agg: number of aggregation switches; must be even so every ToR can
+            dual-home to an (odd, even) aggregation pair.
+        tors_per_agg_pair: ToR switches per aggregation pair.
+        hosts_per_tor: servers per ToR switch.
+    """
+
+    def __init__(self, n_int: int = 4, n_agg: int = 4,
+                 tors_per_agg_pair: int = 2, hosts_per_tor: int = 2,
+                 name: Optional[str] = None) -> None:
+        if n_agg % 2 != 0 or n_agg < 2:
+            raise ValueError("n_agg must be an even integer >= 2")
+        if n_int < 1:
+            raise ValueError("n_int must be >= 1")
+        super().__init__(name or f"vl2-{n_int}x{n_agg}")
+        self.n_int = n_int
+        self.n_agg = n_agg
+        self.tors_per_agg_pair = tors_per_agg_pair
+        self.hosts_per_tor = hosts_per_tor
+        self._build()
+
+    # ---------------------------------------------------------------- build
+    def _build(self) -> None:
+        for i in range(self.n_int):
+            self.add_switch(self.int_name(i), ROLE_CORE, pod=None, index=i)
+        for a in range(self.n_agg):
+            self.add_switch(self.agg_name(a), ROLE_AGGREGATE,
+                            pod=a // 2, index=a)
+        # Complete bipartite aggregation <-> intermediate mesh.
+        for a in range(self.n_agg):
+            for i in range(self.n_int):
+                self.add_link(self.agg_name(a), self.int_name(i))
+        # ToRs dual-homed to aggregation pairs (2p, 2p+1).
+        tor_index = 0
+        for pair in range(self.n_agg // 2):
+            for t in range(self.tors_per_agg_pair):
+                tor = self.tor_name(tor_index)
+                self.add_switch(tor, ROLE_EDGE, pod=pair, index=tor_index)
+                self.add_link(tor, self.agg_name(2 * pair))
+                self.add_link(tor, self.agg_name(2 * pair + 1))
+                for h in range(self.hosts_per_tor):
+                    host = self.host_name(tor_index, h)
+                    self.add_host(host, pod=pair, index=h)
+                    self.add_link(host, tor)
+                tor_index += 1
+        self.n_tor = tor_index
+
+    # --------------------------------------------------------------- naming
+    @staticmethod
+    def int_name(index: int) -> str:
+        """Canonical intermediate (core) switch name."""
+        return f"int-{index}"
+
+    @staticmethod
+    def agg_name(index: int) -> str:
+        """Canonical aggregation switch name."""
+        return f"vagg-{index}"
+
+    @staticmethod
+    def tor_name(index: int) -> str:
+        """Canonical ToR switch name."""
+        return f"vtor-{index}"
+
+    @staticmethod
+    def host_name(tor_index: int, index: int) -> str:
+        """Canonical host name."""
+        return f"vh-{tor_index}-{index}"
+
+    # -------------------------------------------------------------- helpers
+    def agg_pair_of_tor(self, tor: str) -> List[str]:
+        """The two aggregation switches a ToR is homed to."""
+        return [n for n in self.neighbors(tor)
+                if self.node(n).role == ROLE_AGGREGATE]
+
+    def intermediates(self) -> List[str]:
+        """All intermediate switches."""
+        return self.core_switches()
+
+    def describe(self) -> Dict[str, int]:
+        """Summary including VL2 parameters."""
+        info = super().describe()
+        info["n_int"] = self.n_int
+        info["n_agg"] = self.n_agg
+        return info

@@ -1,0 +1,22 @@
+"""CherryPick trajectory tracing: sampling policies, rules, reconstruction."""
+
+from repro.tracing.cherrypick import (CherryPickTagger,
+                                      FatTreeCherryPickTagger,
+                                      Vl2CherryPickTagger,
+                                      cherrypick_header_bytes, make_tagger,
+                                      naive_header_bytes)
+from repro.tracing.rules import (CompiledRules, compile_fattree_rules,
+                                 compile_rules, compile_vl2_rules,
+                                 install_rules, rule_count_report)
+from repro.tracing.reconstruct import (PathReconstructor, ReconstructedPath,
+                                       ReconstructionError)
+from repro.tracing.trap import LongPathTrap, TrapVerdict
+
+__all__ = [
+    "CherryPickTagger", "FatTreeCherryPickTagger", "Vl2CherryPickTagger",
+    "cherrypick_header_bytes", "make_tagger", "naive_header_bytes",
+    "CompiledRules", "compile_fattree_rules", "compile_rules",
+    "compile_vl2_rules", "install_rules", "rule_count_report",
+    "PathReconstructor", "ReconstructedPath", "ReconstructionError",
+    "LongPathTrap", "TrapVerdict",
+]

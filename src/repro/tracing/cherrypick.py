@@ -1,0 +1,232 @@
+"""CherryPick link sampling (the in-network half of PathDump).
+
+CherryPick [Tammana et al., SOSR 2015] observes that structured datacenter
+topologies let an end-to-end path be reconstructed from a few carefully
+*sampled* links, so a packet only needs to carry those samples - one or two
+VLAN tags on a fat-tree, one DSCP value plus two VLAN tags on VL2 - instead
+of its entire hop list.
+
+This module implements the sampling decision as a *tagging policy*: a
+callable invoked by the switch for every forwarded packet with
+``(switch, in_node, out_node, packet)``.  The decisions depend only on the
+switch's role, the ingress/egress port and the packet's current tag state,
+which is exactly what makes them expressible as static OpenFlow rules (see
+:mod:`repro.tracing.rules` for the compiled rule sets).
+
+Fat-tree sampling rules (host-to-host shortest paths carry one sample,
+paths deviating by up to two switch hops carry two, anything longer
+accumulates a third tag and is trapped by the ASIC parsing limit):
+
+1. a **core** switch records the aggregate-core link the packet arrived on;
+2. a **ToR** switch acting as a *transit* hop (packet arrives from an
+   aggregate switch and leaves towards an aggregate switch - never the case
+   on a shortest path) records the link it arrived on;
+3. an **aggregate** switch forwarding a packet from one ToR down to another
+   ToR (the normal intra-pod path) records the ToR-aggregate link the packet
+   arrived on, but only when the packet carries no sample yet.
+
+VL2 sampling rules (three samples for a 6-hop path; the first goes into the
+DSCP field, later ones into VLAN tags, following the paper's "two rules per
+ingress port" construction):
+
+1. an **aggregate** switch receiving a packet from a ToR records the
+   ToR-aggregate link;
+2. an **intermediate** switch records the aggregate-intermediate link the
+   packet arrived on;
+3. an **aggregate** switch receiving a packet from an intermediate switch
+   records that link.
+
+Each recording step stores the link ID in DSCP when DSCP is still unused and
+in a new VLAN tag otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.network.packet import Packet
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.graph import (ROLE_AGGREGATE, ROLE_CORE, ROLE_EDGE,
+                                  ROLE_HOST, Topology)
+from repro.topology.linkid import LinkIdAssignment
+from repro.topology.vl2 import Vl2Topology
+
+#: Signature of a tagging policy callable (mutates the packet in place).
+TaggingPolicy = Callable[[str, Optional[str], str, Packet], None]
+
+
+class CherryPickTagger:
+    """Base class for CherryPick tagging policies.
+
+    Subclasses implement :meth:`should_sample`, deciding whether the packet's
+    ingress link must be recorded at this switch.  The base class handles the
+    carrier choice (DSCP first when the encoding allows it, VLAN otherwise)
+    and the bookkeeping counters used by the evaluation.
+    """
+
+    #: whether the first sample is carried in the DSCP field (VL2 encoding).
+    use_dscp_for_first_sample = False
+
+    def __init__(self, topo: Topology, assignment: LinkIdAssignment) -> None:
+        self.topo = topo
+        self.assignment = assignment
+        #: number of samples recorded, per carrier, for overhead accounting.
+        self.vlan_samples = 0
+        self.dscp_samples = 0
+
+    # ------------------------------------------------------------- interface
+    def __call__(self, switch: str, in_node: Optional[str], out_node: str,
+                 packet: Packet) -> None:
+        """Apply the sampling decision for one forwarding step."""
+        if in_node is None:
+            return
+        if not self.should_sample(switch, in_node, out_node, packet):
+            return
+        link_id = self.assignment.lookup(in_node, switch)
+        if link_id is None:
+            return
+        self._record(packet, link_id)
+
+    def should_sample(self, switch: str, in_node: str, out_node: str,
+                      packet: Packet) -> bool:
+        """Decide whether the ingress link must be sampled here."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- plumbing
+    def _record(self, packet: Packet, link_id: int) -> None:
+        """Store ``link_id`` in the preferred carrier field."""
+        if self.use_dscp_for_first_sample and packet.dscp is None:
+            packet.set_dscp(link_id)
+            self.dscp_samples += 1
+        else:
+            packet.push_vlan(link_id)
+            self.vlan_samples += 1
+
+    def _role(self, node: str) -> str:
+        return self.topo.node(node).role
+
+    @staticmethod
+    def samples_in_traversal_order(packet: Packet) -> List[int]:
+        """Return the packet's samples in the order they were recorded.
+
+        The DSCP sample (if any) is always the first recorded; VLAN tags are
+        pushed onto the front of the stack, so the stack must be reversed to
+        recover recording order.
+        """
+        samples: List[int] = []
+        if packet.dscp is not None:
+            samples.append(packet.dscp)
+        samples.extend(reversed(packet.vlan_ids()))
+        return samples
+
+
+class FatTreeCherryPickTagger(CherryPickTagger):
+    """CherryPick sampling for k-ary fat-trees (VLAN-only encoding)."""
+
+    use_dscp_for_first_sample = False
+
+    def __init__(self, topo: FatTreeTopology,
+                 assignment: LinkIdAssignment) -> None:
+        if not isinstance(topo, FatTreeTopology):
+            raise TypeError("FatTreeCherryPickTagger requires a fat-tree")
+        super().__init__(topo, assignment)
+
+    def should_sample(self, switch: str, in_node: str, out_node: str,
+                      packet: Packet) -> bool:
+        role = self._role(switch)
+        in_role = self._role(in_node)
+        out_role = self._role(out_node)
+
+        if role == ROLE_CORE:
+            # Rule 1: record the aggregate-core link the packet arrived on.
+            return in_role == ROLE_AGGREGATE
+
+        if role == ROLE_EDGE:
+            # Rule 2: a ToR is a transit hop only on deviated paths.
+            return in_role == ROLE_AGGREGATE and out_role == ROLE_AGGREGATE
+
+        if role == ROLE_AGGREGATE:
+            # Rule 3: normal intra-pod path; record which aggregate switch
+            # relayed the packet, but only as the packet's first sample so
+            # deviated inter-pod paths do not burn a third tag here.
+            return (in_role == ROLE_EDGE and out_role == ROLE_EDGE
+                    and packet.vlan_count == 0)
+        return False
+
+
+class Vl2CherryPickTagger(CherryPickTagger):
+    """CherryPick sampling for VL2 (DSCP + VLAN encoding)."""
+
+    use_dscp_for_first_sample = True
+
+    def __init__(self, topo: Vl2Topology,
+                 assignment: LinkIdAssignment) -> None:
+        if not isinstance(topo, Vl2Topology):
+            raise TypeError("Vl2CherryPickTagger requires a VL2 topology")
+        super().__init__(topo, assignment)
+
+    def should_sample(self, switch: str, in_node: str, out_node: str,
+                      packet: Packet) -> bool:
+        role = self._role(switch)
+        in_role = self._role(in_node)
+
+        if role == ROLE_AGGREGATE:
+            # Rules 1 and 3: sample on the way up (from a ToR) and on the way
+            # down (from an intermediate switch).
+            return in_role in (ROLE_EDGE, ROLE_CORE)
+        if role == ROLE_CORE:
+            # Rule 2: record the aggregate-intermediate link.
+            return in_role == ROLE_AGGREGATE
+        return False
+
+
+def make_tagger(topo: Topology, assignment: LinkIdAssignment) -> CherryPickTagger:
+    """Build the appropriate tagger for ``topo``.
+
+    Falls back to the fat-tree policy for generic topologies, which records a
+    sample at every core/transit hop; combined with globally unique link IDs
+    this remains correct, it just spends more header space (the trade-off the
+    paper describes for unstructured networks).
+    """
+    if isinstance(topo, Vl2Topology):
+        return Vl2CherryPickTagger(topo, assignment)
+    if isinstance(topo, FatTreeTopology):
+        return FatTreeCherryPickTagger(topo, assignment)
+    return _GenericTagger(topo, assignment)
+
+
+class _GenericTagger(CherryPickTagger):
+    """Fallback policy: sample every switch-to-switch ingress link.
+
+    Equivalent to naive full-path tracing; used for unstructured topologies
+    and as the baseline in the header-space ablation benchmark.
+    """
+
+    def should_sample(self, switch: str, in_node: str, out_node: str,
+                      packet: Packet) -> bool:
+        return self._role(in_node) != ROLE_HOST
+
+
+def naive_header_bytes(path_switch_hops: int, port_bits: int = 6) -> int:
+    """Header bytes needed by naive per-hop link embedding.
+
+    The paper's motivating arithmetic: embedding one local link ID per hop
+    needs ``hops * ceil(log2(ports))`` bits (36 bits for a 6-hop path with
+    48-port switches), whereas two VLAN tags provide only 24 bits.
+
+    Args:
+        path_switch_hops: number of switch-to-switch links on the path.
+        port_bits: bits needed for a local port identifier.
+
+    Returns:
+        Number of whole bytes required.
+    """
+    bits = path_switch_hops * port_bits
+    return (bits + 7) // 8
+
+
+def cherrypick_header_bytes(samples: int) -> int:
+    """Header bytes used by CherryPick for a path with ``samples`` samples."""
+    from repro.network.packet import VLAN_TAG_BYTES
+
+    return samples * VLAN_TAG_BYTES

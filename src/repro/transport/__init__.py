@@ -1,0 +1,14 @@
+"""TCP flow models: packet-level, flow-level (statistical) and contention."""
+
+from repro.transport.tcp import TcpSender, TcpTransferResult, run_flows
+from repro.transport.flows import FlowLevelSimulator, FlowOutcome, PathDelivery
+from repro.transport.contention import (ContendingFlow, ContentionResult,
+                                         simulate_incast,
+                                         simulate_port_blackout)
+
+__all__ = [
+    "TcpSender", "TcpTransferResult", "run_flows",
+    "FlowLevelSimulator", "FlowOutcome", "PathDelivery",
+    "ContendingFlow", "ContentionResult", "simulate_incast",
+    "simulate_port_blackout",
+]

@@ -1,0 +1,167 @@
+"""Shared-output-port contention models (TCP incast and outcast).
+
+Section 4.6 diagnoses the *TCP outcast* problem [Prakash et al., NSDI'12]:
+when flows arriving on two different input ports of a switch compete for one
+output port, taildrop queues exhibit "port blackout" - consecutive losses hit
+the input port carrying *fewer* flows, so the sender closest to the receiver
+(one flow on its own port) is starved even though fair sharing should favour
+it.  TCP incast [Chen et al.] is the related many-to-one collapse.
+
+PathDump does not need a queue-accurate model; its diagnosis works from the
+per-sender throughputs and paths recorded in the receiver's TIB plus the
+retransmission alerts from the senders.  This module produces those
+observables with a compact analytical model of port blackout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.network.packet import FlowId
+
+#: Fraction of its fair share the outcast flow retains under port blackout.
+#: Prakash et al. report roughly an order-of-magnitude unfairness; the exact
+#: figure depends on queue sizes, so this is a calibration constant.
+OUTCAST_PENALTY = 0.12
+
+#: Retransmissions per second experienced by the outcast flow (each burst of
+#: port blackout drops a window); used to drive the monitoring alerts.
+OUTCAST_RETX_RATE_PER_S = 25.0
+
+#: Retransmissions per second for the non-outcast flows (mild congestion).
+BACKGROUND_RETX_RATE_PER_S = 2.0
+
+
+@dataclass
+class ContendingFlow:
+    """One flow competing for the shared output port.
+
+    Attributes:
+        flow_id: the flow's 5-tuple.
+        input_port_group: label of the input port the flow arrives on at the
+            contention switch (flows sharing a label share that port).
+        path: the switch-level path the flow takes (recorded in the TIB).
+    """
+
+    flow_id: FlowId
+    input_port_group: str
+    path: Tuple[str, ...]
+
+
+@dataclass
+class ContentionResult:
+    """Per-flow outcome of the contention model."""
+
+    flow_id: FlowId
+    throughput_bps: float
+    retransmissions: int
+    max_consecutive_retransmissions: int
+    bytes_delivered: int
+    input_port_group: str
+    path: Tuple[str, ...]
+
+    @property
+    def is_outcast(self) -> bool:
+        """Whether this flow was the port-blackout victim."""
+        return self.max_consecutive_retransmissions >= 3
+
+
+def simulate_port_blackout(flows: Sequence[ContendingFlow],
+                           capacity_bps: float, duration_s: float,
+                           seed: int = 0,
+                           penalty: float = OUTCAST_PENALTY
+                           ) -> List[ContentionResult]:
+    """Model port blackout on one shared output port.
+
+    The input port carrying the fewest flows is the blackout victim: its
+    flows retain only ``penalty`` of their fair share, while the remaining
+    capacity is (approximately) fairly shared by the other port's flows.
+
+    Args:
+        flows: the competing flows with their input-port grouping.
+        capacity_bps: capacity of the shared output port.
+        duration_s: length of the experiment.
+        seed: RNG seed for the small per-flow jitter.
+        penalty: throughput multiplier applied to the victim flows.
+
+    Returns:
+        Per-flow results, in the same order as ``flows``.
+    """
+    if not flows:
+        return []
+    if duration_s <= 0 or capacity_bps <= 0:
+        raise ValueError("capacity and duration must be positive")
+    rng = random.Random(seed)
+
+    groups: Dict[str, List[ContendingFlow]] = {}
+    for flow in flows:
+        groups.setdefault(flow.input_port_group, []).append(flow)
+    if len(groups) < 2:
+        # No inter-port contention: plain fair sharing with jitter.
+        victims: set = set()
+    else:
+        victim_group = min(groups, key=lambda g: (len(groups[g]), g))
+        victims = {f.flow_id for f in groups[victim_group]}
+
+    fair_share = capacity_bps / len(flows)
+    n_victims = sum(1 for f in flows if f.flow_id in victims)
+    surplus = fair_share * (1.0 - penalty) * n_victims
+    n_others = len(flows) - n_victims
+    bonus = surplus / n_others if n_others else 0.0
+
+    results: List[ContentionResult] = []
+    for flow in flows:
+        if flow.flow_id in victims and len(groups) >= 2:
+            rate = fair_share * penalty
+            retx = int(OUTCAST_RETX_RATE_PER_S * duration_s)
+            streak = 4 + rng.randrange(3)
+        else:
+            rate = fair_share + bonus
+            retx = int(BACKGROUND_RETX_RATE_PER_S * duration_s)
+            streak = 1
+        rate *= rng.uniform(0.9, 1.1)
+        results.append(ContentionResult(
+            flow_id=flow.flow_id,
+            throughput_bps=rate,
+            retransmissions=retx,
+            max_consecutive_retransmissions=streak,
+            bytes_delivered=int(rate * duration_s / 8.0),
+            input_port_group=flow.input_port_group,
+            path=flow.path))
+    return results
+
+
+def simulate_incast(flows: Sequence[ContendingFlow], capacity_bps: float,
+                    duration_s: float, seed: int = 0,
+                    collapse_threshold: int = 8) -> List[ContentionResult]:
+    """Model TCP incast throughput collapse on one output port.
+
+    Beyond ``collapse_threshold`` synchronised senders, the aggregate goodput
+    collapses because of repeated synchronized timeouts; every flow suffers
+    roughly equally (unlike outcast, where one flow is singled out).
+    """
+    if not flows:
+        return []
+    rng = random.Random(seed)
+    n = len(flows)
+    if n <= collapse_threshold:
+        efficiency = 0.95
+        retx_rate = BACKGROUND_RETX_RATE_PER_S
+        streak = 1
+    else:
+        efficiency = max(0.2, 0.95 - 0.05 * (n - collapse_threshold))
+        retx_rate = OUTCAST_RETX_RATE_PER_S / 2
+        streak = 3
+    share = capacity_bps * efficiency / n
+    results = []
+    for flow in flows:
+        rate = share * rng.uniform(0.85, 1.15)
+        results.append(ContentionResult(
+            flow_id=flow.flow_id, throughput_bps=rate,
+            retransmissions=int(retx_rate * duration_s),
+            max_consecutive_retransmissions=streak,
+            bytes_delivered=int(rate * duration_s / 8.0),
+            input_port_group=flow.input_port_group, path=flow.path))
+    return results

@@ -1,0 +1,243 @@
+"""Packet-level TCP flow model.
+
+PathDump's active monitoring module watches TCP retransmissions at the end
+hosts (via ``tcpretrans`` in the original system) and raises alerts for flows
+that keep retransmitting; several debugging applications (silent drop
+localization, blackhole diagnosis, outcast diagnosis) are driven entirely by
+those alerts plus the per-path statistics recorded in the TIB.
+
+This module provides a deliberately simple windowed TCP sender that injects
+real packets into the simulated fabric, so that:
+
+* every delivered packet flows through the destination's edge stack and
+  updates its trajectory memory / TIB exactly as in the real system;
+* every drop produces a retransmission that the sender-side monitor can see;
+* blackholed subflows stall and produce timeout streaks, matching the
+  "consecutive retransmissions" signal the paper's monitor keys on.
+
+The model is not meant to reproduce TCP dynamics faithfully (no SACK, no
+delayed ACKs); it reproduces the *observables* PathDump consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.packet import DEFAULT_MSS, FlowId, Packet, TcpFlags
+from repro.network.simulator import Fabric
+from repro.workloads.arrivals import FlowSpec
+
+#: Default initial congestion window, in segments.
+INITIAL_CWND = 10
+
+#: Default minimum retransmission timeout (the paper's monitor interval of
+#: 200 ms is chosen as "default TCP timeout value").
+DEFAULT_RTO_S = 0.2
+
+#: Additive-increase amount per delivered window, in segments.
+AI_SEGMENTS = 1
+
+#: Number of consecutive failed retransmissions of the same segment after
+#: which the sender gives up (models an application-level abort).
+MAX_SEGMENT_RETRIES = 8
+
+
+@dataclass
+class TcpTransferResult:
+    """Observable outcome of one TCP transfer.
+
+    Attributes:
+        flow_id: the 5-tuple.
+        size: requested bytes.
+        bytes_delivered: bytes acknowledged by the receiver.
+        packets_sent: total packets injected (including retransmissions).
+        packets_delivered: packets that reached the destination host.
+        retransmissions: total retransmitted packets.
+        max_consecutive_retransmissions: worst streak of consecutive
+            retransmissions of any single segment - the signal
+            ``getPoorTCPFlows`` thresholds on.
+        timeouts: number of whole-window timeouts.
+        start_time: flow start (simulated seconds).
+        completion_time: time the last byte was delivered (``None`` when the
+            flow aborted, e.g. every path blackholed).
+        completed: whether all bytes were delivered.
+        per_path_delivery: switch-path tuple -> (packets, bytes) delivered
+            along that exact path (ground truth; the TIB learns the same
+            thing from the embedded trajectories).
+        drop_links: directed links on which this flow lost packets, with
+            counts (ground truth used to validate localization results).
+    """
+
+    flow_id: FlowId
+    size: int
+    bytes_delivered: int = 0
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    retransmissions: int = 0
+    max_consecutive_retransmissions: int = 0
+    timeouts: int = 0
+    start_time: float = 0.0
+    completion_time: Optional[float] = None
+    completed: bool = False
+    per_path_delivery: Dict[Tuple[str, ...], Tuple[int, int]] = field(
+        default_factory=dict)
+    drop_links: Counter = field(default_factory=Counter)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Transfer duration in seconds (``None`` if it never completed)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+    @property
+    def throughput_bps(self) -> float:
+        """Achieved goodput in bits per second (0 for stalled flows)."""
+        duration = self.duration
+        if not duration or duration <= 0:
+            return 0.0
+        return self.bytes_delivered * 8.0 / duration
+
+    @property
+    def is_poor(self) -> bool:
+        """Heuristic used by tests: the flow struggled noticeably."""
+        return (not self.completed or self.timeouts > 0
+                or self.max_consecutive_retransmissions >= 2)
+
+
+class TcpSender:
+    """A windowed TCP sender transferring one flow through the fabric.
+
+    Args:
+        fabric: the simulated fabric.
+        spec: the flow to transfer.
+        mss: segment payload size in bytes.
+        initial_cwnd: initial congestion window in segments.
+        rto: retransmission timeout in seconds.
+        rtt_estimate: nominal round-trip time used to pace windows; measured
+            per-packet latencies are added on top of it.
+    """
+
+    def __init__(self, fabric: Fabric, spec: FlowSpec, *,
+                 mss: int = DEFAULT_MSS, initial_cwnd: int = INITIAL_CWND,
+                 rto: float = DEFAULT_RTO_S,
+                 rtt_estimate: float = 250e-6) -> None:
+        self.fabric = fabric
+        self.spec = spec
+        self.mss = mss
+        self.initial_cwnd = initial_cwnd
+        self.rto = rto
+        self.rtt_estimate = rtt_estimate
+
+    # ------------------------------------------------------------------ run
+    def run(self, max_rounds: int = 10_000) -> TcpTransferResult:
+        """Transfer the flow and return its observables.
+
+        The sender transmits in rounds: up to ``cwnd`` outstanding segments
+        per round, one simulated RTT per round (plus an RTO on timeout).
+        Lost segments are retransmitted in the next round; a segment lost
+        :data:`MAX_SEGMENT_RETRIES` times in a row aborts the transfer
+        (which is how a fully blackholed path manifests).
+        """
+        spec = self.spec
+        total_segments = max(1, (spec.size + self.mss - 1) // self.mss)
+        result = TcpTransferResult(flow_id=spec.flow_id, size=spec.size,
+                                   start_time=spec.start_time)
+        per_path: Dict[Tuple[str, ...], List[int]] = defaultdict(
+            lambda: [0, 0])
+
+        now = spec.start_time
+        cwnd = float(self.initial_cwnd)
+        next_new_segment = 0
+        pending_retransmit: List[int] = []
+        retry_streak: Dict[int, int] = defaultdict(int)
+        delivered_segments = 0
+        current_streak = 0
+
+        for _ in range(max_rounds):
+            if delivered_segments >= total_segments:
+                break
+            window: List[Tuple[int, bool]] = []
+            budget = max(1, int(cwnd))
+            while pending_retransmit and len(window) < budget:
+                window.append((pending_retransmit.pop(0), True))
+            while (next_new_segment < total_segments
+                   and len(window) < budget):
+                window.append((next_new_segment, False))
+                next_new_segment += 1
+            if not window:
+                break
+
+            lost_this_round: List[int] = []
+            max_latency = 0.0
+            for seg, is_retx in window:
+                seg_bytes = min(self.mss, spec.size - seg * self.mss)
+                packet = Packet(
+                    flow=spec.flow_id, size=max(seg_bytes, 1), seq=seg,
+                    flags=TcpFlags(ack=True,
+                                   fin=(seg == total_segments - 1)),
+                    retransmission=is_retx)
+                outcome = self.fabric.inject(packet, spec.src, at_time=now)
+                result.packets_sent += 1
+                if is_retx:
+                    result.retransmissions += 1
+                    current_streak += 1
+                    result.max_consecutive_retransmissions = max(
+                        result.max_consecutive_retransmissions,
+                        current_streak)
+                max_latency = max(max_latency, outcome.latency)
+                if outcome.delivered:
+                    delivered_segments += 1
+                    result.packets_delivered += 1
+                    result.bytes_delivered += max(seg_bytes, 1)
+                    retry_streak.pop(seg, None)
+                    if not is_retx:
+                        current_streak = 0
+                    key = tuple(outcome.switch_path)
+                    per_path[key][0] += 1
+                    per_path[key][1] += max(seg_bytes, 1)
+                else:
+                    lost_this_round.append(seg)
+                    retry_streak[seg] += 1
+                    if outcome.drop_link is not None:
+                        result.drop_links[outcome.drop_link] += 1
+
+            abandoned = [seg for seg in lost_this_round
+                         if retry_streak[seg] > MAX_SEGMENT_RETRIES]
+            if abandoned:
+                now += self.rto
+                break
+            pending_retransmit.extend(lost_this_round)
+
+            if lost_this_round:
+                whole_window_lost = len(lost_this_round) == len(window)
+                if whole_window_lost:
+                    result.timeouts += 1
+                    now += self.rto
+                else:
+                    now += max(self.rtt_estimate, 2 * max_latency)
+                cwnd = max(1.0, cwnd / 2.0)
+            else:
+                now += max(self.rtt_estimate, 2 * max_latency)
+                cwnd += AI_SEGMENTS
+
+        result.per_path_delivery = {k: (v[0], v[1])
+                                    for k, v in per_path.items()}
+        result.completed = delivered_segments >= total_segments
+        if result.completed:
+            result.completion_time = now
+        return result
+
+
+def run_flows(fabric: Fabric, specs: List[FlowSpec],
+              **sender_kwargs) -> List[TcpTransferResult]:
+    """Run a list of flows sequentially and return their results.
+
+    The flows share the fabric (and therefore the destination TIBs) but are
+    simulated one at a time; congestion coupling between flows is modelled
+    only where an experiment needs it (see
+    :mod:`repro.transport.contention`).
+    """
+    return [TcpSender(fabric, spec, **sender_kwargs).run() for spec in specs]

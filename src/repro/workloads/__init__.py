@@ -1,0 +1,14 @@
+"""Workload generators: flow-size distributions, arrivals, traffic matrices."""
+
+from repro.workloads.websearch import (EmpiricalCdf, data_mining_cdf,
+                                       web_search_cdf)
+from repro.workloads.arrivals import (FlowGenerator, FlowSpec,
+                                      MEAN_FLOW_INTERARRIVAL_S,
+                                      offered_load_bps)
+from repro.workloads.traffic_matrix import TrafficMatrix, matrix_from_flows
+
+__all__ = [
+    "EmpiricalCdf", "data_mining_cdf", "web_search_cdf",
+    "FlowGenerator", "FlowSpec", "MEAN_FLOW_INTERARRIVAL_S",
+    "offered_load_bps", "TrafficMatrix", "matrix_from_flows",
+]

@@ -1,0 +1,186 @@
+"""Flow arrival processes and communication patterns.
+
+The evaluation needs several traffic patterns:
+
+* **pod-to-other-pods** web traffic from pod 1 (Figure 5's ECMP scenario),
+* **all-to-all** background traffic at a configurable network load
+  (Sections 4.3, 4.4, 4.6),
+* **many-to-one** incast/outcast patterns (Section 4.6),
+* Poisson flow arrivals with a mean inter-arrival time of roughly 15 ms per
+  server, the figure the paper takes from IMC'09 measurements to size the
+  TIB (~67 flows/s, ~240 K flow entries per hour).
+
+A :class:`FlowSpec` is a purely descriptive record (who talks to whom, how
+many bytes, when); the transport layer turns specs into packets or into
+flow-level statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.network.packet import PROTO_TCP, FlowId
+from repro.workloads.websearch import EmpiricalCdf, web_search_cdf
+
+#: Mean flow inter-arrival time per server reported by the IMC'09 study the
+#: paper cites (~15 ms, i.e. ~67 flows per second per server).
+MEAN_FLOW_INTERARRIVAL_S = 0.015
+
+#: Ephemeral port range used when assigning flow source ports.
+EPHEMERAL_PORT_RANGE = (32768, 60999)
+
+#: Well-known destination ports cycled through by the generator.
+SERVICE_PORTS = (80, 443, 8080, 9000)
+
+
+@dataclass
+class FlowSpec:
+    """A flow to be simulated.
+
+    Attributes:
+        flow_id: the 5-tuple.
+        size: bytes to transfer.
+        start_time: arrival time in simulated seconds.
+    """
+
+    flow_id: FlowId
+    size: int
+    start_time: float
+
+    @property
+    def src(self) -> str:
+        """Source host."""
+        return self.flow_id.src_ip
+
+    @property
+    def dst(self) -> str:
+        """Destination host."""
+        return self.flow_id.dst_ip
+
+
+class FlowGenerator:
+    """Generates :class:`FlowSpec` sequences for the evaluation scenarios.
+
+    Args:
+        hosts: the host population.
+        size_cdf: flow-size distribution (defaults to the web-search CDF).
+        seed: RNG seed; every generator method is deterministic given it.
+    """
+
+    def __init__(self, hosts: Sequence[str],
+                 size_cdf: Optional[EmpiricalCdf] = None,
+                 seed: int = 0) -> None:
+        if len(hosts) < 2:
+            raise ValueError("need at least two hosts to generate flows")
+        self.hosts = list(hosts)
+        self.size_cdf = size_cdf or web_search_cdf()
+        self.rng = random.Random(seed)
+        self._port_counter = itertools.count(EPHEMERAL_PORT_RANGE[0])
+
+    # ------------------------------------------------------------- plumbing
+    def _next_src_port(self) -> int:
+        port = next(self._port_counter)
+        lo, hi = EPHEMERAL_PORT_RANGE
+        return lo + (port - lo) % (hi - lo)
+
+    def _make_flow(self, src: str, dst: str, start_time: float,
+                   size: Optional[int] = None) -> FlowSpec:
+        flow_id = FlowId(src, dst, self._next_src_port(),
+                         self.rng.choice(SERVICE_PORTS), PROTO_TCP)
+        flow_size = self.size_cdf.sample(self.rng) if size is None else size
+        return FlowSpec(flow_id=flow_id, size=flow_size, start_time=start_time)
+
+    # -------------------------------------------------------------- patterns
+    def poisson_all_to_all(self, duration: float, load: float,
+                           link_capacity_bps: float = 10e9,
+                           mean_flow_size: Optional[float] = None
+                           ) -> List[FlowSpec]:
+        """Poisson arrivals between uniformly random host pairs.
+
+        The aggregate arrival rate is sized so the expected offered load on
+        the host access links equals ``load`` (0..1), following
+        ``rate = load * capacity * n_hosts / (8 * mean_flow_size)``.
+
+        Args:
+            duration: length of the generated interval in seconds.
+            load: target fractional network load (e.g. 0.7 for 70 %).
+            link_capacity_bps: access link capacity.
+            mean_flow_size: mean flow size in bytes; estimated from the CDF
+                when omitted.
+
+        Returns:
+            Flow specs sorted by start time.
+        """
+        if not 0.0 < load <= 1.5:
+            raise ValueError("load must be a fraction in (0, 1.5]")
+        mean_size = mean_flow_size or self.size_cdf.mean()
+        total_rate = load * link_capacity_bps * len(self.hosts) / (
+            8.0 * mean_size)
+        flows: List[FlowSpec] = []
+        now = 0.0
+        while True:
+            now += self.rng.expovariate(total_rate)
+            if now >= duration:
+                break
+            src, dst = self.rng.sample(self.hosts, 2)
+            flows.append(self._make_flow(src, dst, now))
+        return flows
+
+    def poisson_per_host(self, duration: float,
+                         interarrival_s: float = MEAN_FLOW_INTERARRIVAL_S
+                         ) -> List[FlowSpec]:
+        """Per-host Poisson arrivals matching the paper's TIB sizing figure."""
+        flows: List[FlowSpec] = []
+        for src in self.hosts:
+            now = 0.0
+            while True:
+                now += self.rng.expovariate(1.0 / interarrival_s)
+                if now >= duration:
+                    break
+                dst = self.rng.choice([h for h in self.hosts if h != src])
+                flows.append(self._make_flow(src, dst, now))
+        flows.sort(key=lambda f: f.start_time)
+        return flows
+
+    def pod_to_other_pods(self, src_hosts: Sequence[str],
+                          dst_hosts: Sequence[str], count: int,
+                          duration: float) -> List[FlowSpec]:
+        """Web-traffic flows from one pod to hosts in other pods (Figure 5)."""
+        if not src_hosts or not dst_hosts:
+            raise ValueError("source and destination host sets must be "
+                             "non-empty")
+        flows: List[FlowSpec] = []
+        for i in range(count):
+            start = self.rng.uniform(0.0, duration)
+            src = self.rng.choice(list(src_hosts))
+            dst = self.rng.choice(list(dst_hosts))
+            flows.append(self._make_flow(src, dst, start))
+        flows.sort(key=lambda f: f.start_time)
+        return flows
+
+    def many_to_one(self, senders: Sequence[str], receiver: str,
+                    size: int, start_time: float = 0.0,
+                    stagger_s: float = 0.0) -> List[FlowSpec]:
+        """Incast/outcast pattern: every sender opens one flow to receiver."""
+        flows = []
+        for i, sender in enumerate(senders):
+            flows.append(self._make_flow(sender, receiver,
+                                         start_time + i * stagger_s,
+                                         size=size))
+        return flows
+
+    def single_flow(self, src: str, dst: str, size: int,
+                    start_time: float = 0.0) -> FlowSpec:
+        """One explicit flow (e.g. the 100 MB sprayed flow of Figure 6)."""
+        return self._make_flow(src, dst, start_time, size=size)
+
+
+def offered_load_bps(flows: Iterable[FlowSpec], duration: float) -> float:
+    """Aggregate offered load (bits/s) of a flow set over ``duration``."""
+    total_bytes = sum(f.size for f in flows)
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return total_bytes * 8.0 / duration

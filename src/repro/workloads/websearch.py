@@ -1,0 +1,141 @@
+"""Empirical flow-size distributions for datacenter workloads.
+
+The paper generates its background traffic "based on the web traffic model
+in [10]" (pFabric / the DCTCP web-search workload): a heavy-tailed flow-size
+distribution in which the majority of flows are a few tens of kilobytes while
+a small fraction of multi-megabyte flows carries most of the bytes.  That
+shape is what drives the ECMP load-imbalance experiment (flows above/below
+1 MB hashed to different links) and provides realistic noise for the
+silent-drop and blackhole experiments.
+
+Since the original trace is not distributable, this module provides an
+:class:`EmpiricalCdf` sampler with the published web-search and data-mining
+CDF breakpoints, interpolated log-linearly between points.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: (flow size in bytes, cumulative probability) breakpoints of the DCTCP /
+#: pFabric "web search" workload.
+WEB_SEARCH_POINTS: List[Tuple[float, float]] = [
+    (1_000, 0.0),
+    (6_000, 0.15),
+    (13_000, 0.30),
+    (19_000, 0.45),
+    (33_000, 0.60),
+    (53_000, 0.70),
+    (133_000, 0.80),
+    (667_000, 0.90),
+    (1_333_000, 0.95),
+    (3_333_000, 0.98),
+    (6_667_000, 0.99),
+    (20_000_000, 1.00),
+]
+
+#: (flow size in bytes, cumulative probability) breakpoints of the
+#: "data mining" workload (even heavier tail, mostly tiny flows).
+DATA_MINING_POINTS: List[Tuple[float, float]] = [
+    (100, 0.0),
+    (180, 0.10),
+    (250, 0.20),
+    (560, 0.30),
+    (900, 0.40),
+    (1_100, 0.50),
+    (1_870, 0.60),
+    (3_160, 0.70),
+    (10_000, 0.80),
+    (400_000, 0.90),
+    (3_160_000, 0.95),
+    (100_000_000, 0.98),
+    (1_000_000_000, 1.00),
+]
+
+
+@dataclass
+class EmpiricalCdf:
+    """A flow-size sampler defined by CDF breakpoints.
+
+    Interpolation between breakpoints is log-linear in the size axis, which
+    matches how these distributions are conventionally replayed in datacenter
+    transport studies.
+
+    Args:
+        points: increasing ``(size_bytes, cumulative_probability)`` pairs;
+            the first probability must be 0.0 and the last 1.0.
+        name: label used in reports.
+    """
+
+    points: Sequence[Tuple[float, float]]
+    name: str = "empirical"
+
+    def __post_init__(self) -> None:
+        sizes = [p[0] for p in self.points]
+        probs = [p[1] for p in self.points]
+        if sorted(sizes) != list(sizes) or sorted(probs) != list(probs):
+            raise ValueError("CDF breakpoints must be non-decreasing")
+        if probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ValueError("CDF must start at probability 0 and end at 1")
+        self._sizes = sizes
+        self._probs = probs
+
+    # ------------------------------------------------------------- sampling
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size (bytes) using ``rng``."""
+        u = rng.random()
+        return self.quantile(u)
+
+    def sample_many(self, count: int, rng: random.Random) -> List[int]:
+        """Draw ``count`` flow sizes."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def quantile(self, probability: float) -> int:
+        """Flow size at the given cumulative probability (inverse CDF)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        idx = bisect.bisect_left(self._probs, probability)
+        if idx <= 0:
+            return int(self._sizes[0])
+        if idx >= len(self._probs):
+            return int(self._sizes[-1])
+        p0, p1 = self._probs[idx - 1], self._probs[idx]
+        s0, s1 = self._sizes[idx - 1], self._sizes[idx]
+        if p1 == p0:
+            return int(s1)
+        frac = (probability - p0) / (p1 - p0)
+        log_size = math.log(s0) + frac * (math.log(s1) - math.log(s0))
+        return max(1, int(round(math.exp(log_size))))
+
+    def cdf(self, size: float) -> float:
+        """Cumulative probability of a flow being at most ``size`` bytes."""
+        if size <= self._sizes[0]:
+            return self._probs[0]
+        if size >= self._sizes[-1]:
+            return 1.0
+        idx = bisect.bisect_right(self._sizes, size)
+        s0, s1 = self._sizes[idx - 1], self._sizes[idx]
+        p0, p1 = self._probs[idx - 1], self._probs[idx]
+        frac = (math.log(size) - math.log(s0)) / (math.log(s1) - math.log(s0))
+        return p0 + frac * (p1 - p0)
+
+    # ------------------------------------------------------------ statistics
+    def mean(self, samples: int = 20000, seed: int = 1) -> float:
+        """Monte-Carlo estimate of the mean flow size in bytes."""
+        rng = random.Random(seed)
+        total = sum(self.sample(rng) for _ in range(samples))
+        return total / samples
+
+
+def web_search_cdf() -> EmpiricalCdf:
+    """The web-search workload used throughout the paper's evaluation."""
+    return EmpiricalCdf(points=WEB_SEARCH_POINTS, name="web-search")
+
+
+def data_mining_cdf() -> EmpiricalCdf:
+    """The data-mining workload (used for additional stress scenarios)."""
+    return EmpiricalCdf(points=DATA_MINING_POINTS, name="data-mining")

@@ -1,0 +1,67 @@
+"""Shared fixtures for the PathDump reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PathDumpController, QueryCluster
+from repro.network import Fabric, RoutingFabric
+from repro.topology import (FatTreeTopology, Vl2Topology, apply_assignment,
+                            assign_link_ids)
+from repro.tracing import make_tagger
+
+
+@pytest.fixture(scope="session")
+def fattree4():
+    """A 4-ary fat-tree (16 hosts, 20 switches) shared read-only by tests."""
+    return FatTreeTopology(4)
+
+
+@pytest.fixture()
+def fattree4_fresh():
+    """A private 4-ary fat-tree for tests that mutate link/fault state."""
+    return FatTreeTopology(4)
+
+
+@pytest.fixture(scope="session")
+def fattree4_assignment(fattree4):
+    """Link ID assignment for the shared fat-tree."""
+    return assign_link_ids(fattree4)
+
+
+@pytest.fixture()
+def vl2_small():
+    """A small VL2 topology (4 intermediates, 4 aggregates, 8 hosts)."""
+    return Vl2Topology()
+
+
+@pytest.fixture()
+def traced_fabric():
+    """A fresh fat-tree fabric with CherryPick tagging installed.
+
+    Returns ``(topo, assignment, routing, fabric, tagger)``.
+    """
+    topo = FatTreeTopology(4)
+    assignment = assign_link_ids(topo)
+    apply_assignment(topo, assignment)
+    routing = RoutingFabric(topo)
+    fabric = Fabric(topo, routing, seed=7)
+    tagger = make_tagger(topo, assignment)
+    fabric.install_tagger(tagger)
+    return topo, assignment, routing, fabric, tagger
+
+
+@pytest.fixture()
+def pathdump_deployment():
+    """A full PathDump deployment on a fresh 4-ary fat-tree.
+
+    Returns ``(topo, routing, fabric, cluster, controller)``.
+    """
+    topo = FatTreeTopology(4)
+    assignment = assign_link_ids(topo)
+    apply_assignment(topo, assignment)
+    routing = RoutingFabric(topo)
+    fabric = Fabric(topo, routing, seed=11)
+    cluster = QueryCluster(topo, assignment, fabric=fabric)
+    controller = PathDumpController(cluster, fabric)
+    return topo, routing, fabric, cluster, controller

@@ -1,0 +1,85 @@
+"""Tests for the statistics and table-formatting helpers."""
+
+import pytest
+
+from repro.analysis import (Cdf, format_cdf, format_comparison, format_series,
+                            format_table, histogram, imbalance_rate,
+                            jains_fairness, mean_and_stderr,
+                            score_localization)
+
+
+class TestCdf:
+    def test_probability_and_quantile(self):
+        cdf = Cdf([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert cdf.probability_at(5) == 0.5
+        assert cdf.quantile(0.5) == 5
+        assert cdf.quantile(1.0) == 10
+        assert cdf.median == 5
+        assert cdf.mean == 5.5
+
+    def test_points_are_monotone(self):
+        cdf = Cdf([3, 1, 2])
+        points = cdf.points()
+        assert points[0][0] <= points[-1][0]
+        assert points[-1][1] == 1.0
+
+    def test_subsampling(self):
+        cdf = Cdf(list(range(1000)))
+        assert len(cdf.points(max_points=10)) <= 12
+
+    def test_empty_errors(self):
+        with pytest.raises(ValueError):
+            Cdf([]).quantile(0.5)
+
+
+class TestMetrics:
+    def test_imbalance_rate(self):
+        assert imbalance_rate([100, 100]) == 0.0
+        assert imbalance_rate([150, 50]) == pytest.approx(50.0)
+        assert imbalance_rate([0, 0]) == 0.0
+        with pytest.raises(ValueError):
+            imbalance_rate([])
+
+    def test_precision_recall(self):
+        score = score_localization({"a", "b", "c"}, {"b", "c", "d"})
+        assert score.recall == pytest.approx(2 / 3)
+        assert score.precision == pytest.approx(2 / 3)
+        assert 0 < score.f1 < 1
+        empty = score_localization(set(), set())
+        assert empty.recall == 1.0 and empty.precision == 1.0
+
+    def test_histogram(self):
+        buckets = histogram([1, 2, 11, 12, 25], bin_width=10)
+        assert buckets == {0: 2, 1: 2, 2: 1}
+        with pytest.raises(ValueError):
+            histogram([1], 0)
+
+    def test_mean_and_stderr(self):
+        mean, stderr = mean_and_stderr([2.0, 4.0, 6.0])
+        assert mean == 4.0
+        assert stderr > 0
+        assert mean_and_stderr([5.0]) == (5.0, 0.0)
+
+    def test_jains_fairness(self):
+        assert jains_fairness([10, 10, 10]) == pytest.approx(1.0)
+        assert jains_fairness([10, 0.1, 0.1]) < 0.5
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["x", 1.23456], ["yy", 2]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series_subsamples(self):
+        text = format_series("s", [(i, i * 2) for i in range(100)],
+                             max_points=5)
+        assert text.count("\n") < 15
+
+    def test_format_cdf_and_comparison(self):
+        assert "P(X<=x)" in format_cdf("c", Cdf([1, 2, 3]))
+        line = format_comparison("metric", "10", "12", note="scaled")
+        assert "paper=10" in line and "measured=12" in line and "scaled" in line

@@ -1,0 +1,160 @@
+"""Tests for CherryPick sampling policies, rule compilation and reconstruction."""
+
+import itertools
+
+import pytest
+
+from repro.network import Fabric, RoutingFabric, make_tcp_packet
+from repro.network.simulator import OUTCOME_DELIVERED
+from repro.topology import (FatTreeTopology, Vl2Topology, apply_assignment,
+                            assign_link_ids, assign_vl2_link_ids)
+from repro.tracing import (FatTreeCherryPickTagger, PathReconstructor,
+                           ReconstructionError, Vl2CherryPickTagger,
+                           cherrypick_header_bytes, compile_rules,
+                           make_tagger, naive_header_bytes,
+                           rule_count_report)
+from repro.tracing.rules import TAGGING_TABLE
+
+
+@pytest.fixture()
+def vl2_fabric():
+    topo = Vl2Topology()
+    assignment = assign_vl2_link_ids(topo)
+    apply_assignment(topo, assignment)
+    fabric = Fabric(topo, RoutingFabric(topo), seed=3)
+    tagger = make_tagger(topo, assignment)
+    fabric.install_tagger(tagger)
+    return topo, assignment, fabric, tagger
+
+
+class TestFatTreeSampling:
+    def test_interpod_shortest_path_one_tag(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-3-0-0"))
+        assert result.delivered
+        assert result.packet.vlan_count == 1
+        assert result.packet.dscp is None
+
+    def test_intrapod_path_one_tag(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-0-1-0"))
+        assert result.delivered
+        assert result.packet.vlan_count == 1
+
+    def test_same_rack_path_zero_tags(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-0-0-1"))
+        assert result.delivered
+        assert result.packet.vlan_count == 0
+
+    def test_all_host_pairs_reconstruct_exactly(self, traced_fabric):
+        """Every delivered shortest path must reconstruct to the ground truth."""
+        topo, assignment, _, fabric, tagger = traced_fabric
+        reconstructor = PathReconstructor(topo, assignment)
+        hosts = topo.hosts
+        pairs = list(itertools.product(hosts[:4], hosts[-4:]))
+        for src, dst in pairs:
+            if src == dst:
+                continue
+            result = fabric.inject(make_tcp_packet(src, dst))
+            assert result.outcome == OUTCOME_DELIVERED
+            samples = tagger.samples_in_traversal_order(result.packet)
+            rebuilt = reconstructor.reconstruct(src, dst, samples)
+            assert rebuilt.path == result.hops
+
+    def test_wrong_topology_type_rejected(self, vl2_small):
+        with pytest.raises(TypeError):
+            FatTreeCherryPickTagger(vl2_small, None)
+
+
+class TestVl2Sampling:
+    def test_six_hop_path_uses_dscp_plus_two_tags(self, vl2_fabric):
+        topo, _, fabric, _ = vl2_fabric
+        result = fabric.inject(make_tcp_packet("vh-0-0", "vh-3-1"))
+        assert result.delivered
+        assert result.packet.dscp is not None
+        assert result.packet.vlan_count == 2
+
+    def test_vl2_reconstruction_matches(self, vl2_fabric):
+        topo, assignment, fabric, tagger = vl2_fabric
+        reconstructor = PathReconstructor(topo, assignment)
+        for dst in ("vh-2-0", "vh-3-0", "vh-1-1"):
+            result = fabric.inject(make_tcp_packet("vh-0-0", dst))
+            samples = tagger.samples_in_traversal_order(result.packet)
+            rebuilt = reconstructor.reconstruct("vh-0-0", dst, samples)
+            assert rebuilt.path == result.hops
+
+    def test_wrong_topology_type_rejected(self, fattree4):
+        with pytest.raises(TypeError):
+            Vl2CherryPickTagger(fattree4, None)
+
+
+class TestHeaderSpaceAccounting:
+    def test_naive_needs_more_bytes_than_cherrypick(self):
+        # 6-hop path on 48-port switches: 36 bits naive vs one 4-byte tag.
+        assert naive_header_bytes(6, port_bits=6) == 5
+        assert cherrypick_header_bytes(1) == 4
+        assert cherrypick_header_bytes(2) == 8
+
+
+class TestRuleCompilation:
+    def test_rules_installed_on_switch_pipelines(self, traced_fabric):
+        topo, assignment, _, fabric, _ = traced_fabric
+        compiled = compile_rules(topo, assignment, fabric.switches)
+        assert compiled.total_rules() > 0
+        for switch_name, rules in compiled.per_switch.items():
+            pipeline_rules = len(fabric.switches[switch_name].pipeline.table(
+                TAGGING_TABLE))
+            assert pipeline_rules == len(rules)
+
+    def test_rule_count_grows_linearly_with_ports(self):
+        small = FatTreeTopology(4)
+        large = FatTreeTopology(6)
+        small_rules = compile_rules(small, assign_link_ids(small))
+        large_rules = compile_rules(large, assign_link_ids(large))
+        small_report = rule_count_report(small_rules, small)
+        large_report = rule_count_report(large_rules, large)
+        # Per-switch rule counts scale with port density (k/2 vs k/2).
+        assert (large_report["core"]["rules_per_switch"]
+                > small_report["core"]["rules_per_switch"])
+        ratio = (large_report["core"]["rules_per_switch"] - 1) / (
+            small_report["core"]["rules_per_switch"] - 1)
+        assert ratio == pytest.approx(6 / 4, rel=0.35)
+
+    def test_vl2_two_rules_per_sampling_port(self, vl2_fabric):
+        topo, assignment, _, _ = vl2_fabric
+        compiled = compile_rules(topo, assignment)
+        # An intermediate switch samples on every aggregate-facing port:
+        # 2 rules per port plus the default pass rule.
+        intermediate_rules = compiled.rules_for("int-0")
+        sampling_ports = len(topo.switch_neighbors("int-0"))
+        assert len(intermediate_rules) == 2 * sampling_ports + 1
+
+
+class TestReconstructionErrors:
+    def test_bogus_sample_raises(self, traced_fabric):
+        topo, assignment, _, _, _ = traced_fabric
+        reconstructor = PathReconstructor(topo, assignment)
+        with pytest.raises(ReconstructionError):
+            reconstructor.reconstruct("h-0-0-0", "h-3-0-0", [4000])
+
+    def test_unknown_host_raises(self, traced_fabric):
+        topo, assignment, _, _, _ = traced_fabric
+        reconstructor = PathReconstructor(topo, assignment)
+        with pytest.raises(ReconstructionError):
+            reconstructor.reconstruct("nope", "h-3-0-0", [1])
+
+    def test_empty_samples_give_shortest_path(self, traced_fabric):
+        topo, assignment, _, _, _ = traced_fabric
+        reconstructor = PathReconstructor(topo, assignment)
+        rebuilt = reconstructor.reconstruct("h-0-0-0", "h-0-0-1", [])
+        assert rebuilt.path == ["h-0-0-0", "tor-0-0", "h-0-0-1"]
+        assert rebuilt.exact
+
+    def test_validate_against_topology(self, traced_fabric):
+        topo, assignment, _, _, _ = traced_fabric
+        reconstructor = PathReconstructor(topo, assignment)
+        assert reconstructor.validate_against_topology(
+            ["h-0-0-0", "tor-0-0", "h-0-0-1"])
+        assert not reconstructor.validate_against_topology(
+            ["h-0-0-0", "core-0-0"])

@@ -1,0 +1,152 @@
+"""Tests for distributed queries, the aggregation tree, RPC model and controller."""
+
+import pytest
+
+from repro.core import (AggregationTree, MECHANISM_DIRECT,
+                        MECHANISM_MULTILEVEL, PathDumpController,
+                        Q_FLOW_SIZE_DISTRIBUTION, Q_POOR_TCP_FLOWS,
+                        Q_TOP_K_FLOWS, Query, QueryCluster, RpcChannel)
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+from repro.transport import FlowLevelSimulator
+from repro.workloads import FlowGenerator
+
+
+class TestRpcChannel:
+    def test_latency_and_traffic_accounting(self):
+        rpc = RpcChannel(message_latency_s=0.01, bandwidth_bps=1e9)
+        latency = rpc.send(1000)
+        assert latency > 0.01
+        assert rpc.stats.messages == 1
+        assert rpc.total_traffic_bytes > 1000
+        rpc.round_trip(100, 200)
+        assert rpc.stats.messages == 3
+        rpc.reset()
+        assert rpc.total_traffic_bytes == 0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            RpcChannel().send(-1)
+
+
+class TestAggregationTree:
+    def test_paper_tree_structure_112_hosts(self):
+        hosts = [f"host-{i}" for i in range(112)]
+        tree = AggregationTree(hosts)
+        tree.validate()
+        assert tree.depth() == 3
+        levels = tree.levels()
+        assert len(levels[1]) == 7
+        assert len(levels[2]) == 28
+        assert len(levels[3]) == 77
+
+    def test_small_host_counts(self):
+        tree = AggregationTree(["a", "b", "c"], fanout=(2,))
+        tree.validate()
+        assert tree.depth() == 2
+        assert len(tree.host_nodes()) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            AggregationTree([])
+        with pytest.raises(ValueError):
+            AggregationTree(["a"], fanout=(0,))
+
+
+@pytest.fixture()
+def populated_cluster(fattree4, fattree4_assignment):
+    """A cluster whose TIBs hold a small synthetic workload."""
+    cluster = QueryCluster(fattree4, fattree4_assignment)
+    simulator = FlowLevelSimulator(fattree4, seed=5)
+    generator = FlowGenerator(fattree4.hosts, seed=6)
+    flows = generator.poisson_per_host(duration=0.2)
+    cluster.ingest_flow_outcomes(simulator.simulate(flows))
+    return cluster
+
+
+class TestQueryCluster:
+    def test_ingest_places_records_at_destination(self, populated_cluster):
+        total = populated_cluster.total_tib_records()
+        assert total > 0
+        for host, agent in populated_cluster.agents.items():
+            for flow_id, _ in agent.get_flows():
+                assert flow_id.dst_ip == host
+
+    def test_direct_and_multilevel_agree_on_answer(self, populated_cluster):
+        query = Query(Q_TOP_K_FLOWS, {"k": 20})
+        direct = populated_cluster.execute(query,
+                                           mechanism=MECHANISM_DIRECT)
+        multi = populated_cluster.execute(query,
+                                          mechanism=MECHANISM_MULTILEVEL)
+        assert direct.payload == multi.payload
+        assert direct.host_count == multi.host_count == 16
+        assert direct.response_time_s > 0 and multi.response_time_s > 0
+        assert direct.traffic_bytes > 0 and multi.traffic_bytes > 0
+
+    def test_histogram_query_merging(self, populated_cluster):
+        query = Query(Q_FLOW_SIZE_DISTRIBUTION,
+                      {"links": [None], "binsize": 100_000})
+        direct = populated_cluster.execute(query)
+        multi = populated_cluster.execute(query,
+                                          mechanism=MECHANISM_MULTILEVEL)
+        assert direct.payload == multi.payload
+        assert sum(direct.payload.values()) >= \
+            populated_cluster.total_tib_records()
+
+    def test_unknown_mechanism_rejected(self, populated_cluster):
+        with pytest.raises(ValueError):
+            populated_cluster.execute(Query(Q_TOP_K_FLOWS, {}), None, "bogus")
+
+    def test_storage_report(self, populated_cluster):
+        report = populated_cluster.storage_report()
+        assert report["tib"] > 0
+
+
+class TestController:
+    def test_rules_installed_once_at_startup(self, pathdump_deployment):
+        topo, _, fabric, _, controller = pathdump_deployment
+        counts = controller.switch_rule_counts()
+        assert set(counts) == set(topo.switches)
+        assert all(count >= 1 for count in counts.values())
+        assert controller.compiled_rules.total_rules() == sum(counts.values())
+
+    def test_execute_install_uninstall(self, pathdump_deployment):
+        _, _, _, cluster, controller = pathdump_deployment
+        query = Query(Q_POOR_TCP_FLOWS, {})
+        result = controller.execute(None, query)
+        assert result.host_count == len(cluster.hosts)
+        controller.install(["h-0-0-0"], query, period=0.2)
+        assert Q_POOR_TCP_FLOWS in cluster.agent("h-0-0-0").installed
+        assert controller.uninstall(["h-0-0-0"], Q_POOR_TCP_FLOWS) == 1
+        assert controller.stats.queries_executed == 1
+
+    def test_execute_at_single_host(self, pathdump_deployment):
+        _, _, _, cluster, controller = pathdump_deployment
+        host = cluster.hosts[0]
+        result = controller.execute_at(host, Query(Q_POOR_TCP_FLOWS, {}))
+        assert result.host == host
+
+    def test_alarm_counting(self, pathdump_deployment):
+        _, _, _, cluster, controller = pathdump_deployment
+        agent = cluster.agent("h-0-0-0")
+        flow = FlowId("h-0-0-0", "h-1-0-0", 1, 2, PROTO_TCP)
+        agent.alarm(flow, "POOR_PERF", [])
+        assert controller.stats.alarms_received == 1
+        assert len(controller.alarms("POOR_PERF")) == 1
+
+    def test_trapped_packet_without_fabric_rejected(self, fattree4,
+                                                    fattree4_assignment):
+        cluster = QueryCluster(fattree4, fattree4_assignment)
+        controller = PathDumpController(cluster, fabric=None)
+        from repro.network.packet import make_tcp_packet
+        with pytest.raises(RuntimeError):
+            controller.handle_trapped_packet("agg-0-0",
+                                             make_tcp_packet("a", "b"), 0.0)
+
+    def test_tick_runs_monitors(self, pathdump_deployment):
+        _, _, _, cluster, controller = pathdump_deployment
+        agent = cluster.agent("h-0-0-0")
+        flow = FlowId("h-0-0-0", "h-1-0-0", 1, 2, PROTO_TCP)
+        agent.monitor.observe_flow(flow, retransmissions=10, consecutive=9)
+        alarms = controller.tick(now=1.0)
+        assert any(a.flow_id == flow for a in alarms)

@@ -1,0 +1,166 @@
+"""Tests for the edge stack: trajectory memory/cache, vswitch, monitor, alarms."""
+
+import pytest
+
+from repro.core import (ActiveMonitor, Alarm, AlarmBus, EdgeVSwitch,
+                        POOR_PERF, TrajectoryCache, TrajectoryConstructor,
+                        TrajectoryMemory)
+from repro.network.packet import FlowId, PROTO_TCP, make_tcp_packet
+from repro.storage.records import TrajectoryMemoryRecord
+from repro.tracing import PathReconstructor
+from repro.topology import assign_link_ids
+
+
+def _flow(sport=1000, src="h-0-0-0", dst="h-2-0-0"):
+    return FlowId(src, dst, sport, 80, PROTO_TCP)
+
+
+class TestTrajectoryMemory:
+    def test_aggregates_per_flow_and_linkset(self):
+        memory = TrajectoryMemory()
+        flow = _flow()
+        memory.update(flow, [3], 100, when=0.0)
+        memory.update(flow, [3], 200, when=0.5)
+        memory.update(flow, [5], 50, when=0.6)  # different path
+        assert len(memory) == 2
+        records = {r.link_ids: r for r in memory.live_records()}
+        assert records[(3,)].bytes == 300 and records[(3,)].pkts == 2
+        assert records[(5,)].bytes == 50
+
+    def test_fin_evicts_immediately(self):
+        memory = TrajectoryMemory()
+        flow = _flow()
+        assert memory.update(flow, [3], 100, 0.0) is None
+        evicted = memory.update(flow, [3], 10, 0.1, terminate=True)
+        assert evicted is not None
+        assert evicted.bytes == 110
+        assert len(memory) == 0
+
+    def test_idle_eviction(self):
+        memory = TrajectoryMemory(idle_timeout=5.0)
+        memory.update(_flow(1), [3], 100, when=0.0)
+        memory.update(_flow(2), [3], 100, when=3.0)
+        evicted = memory.evict_idle(now=6.0)
+        assert len(evicted) == 1
+        assert len(memory) == 1
+        assert memory.evict_all() and len(memory) == 0
+
+
+class TestTrajectoryCache:
+    def test_lru_eviction_and_hit_ratio(self):
+        cache = TrajectoryCache(capacity=2)
+        cache.put("h1", [1], ["a", "b"])
+        cache.put("h1", [2], ["a", "c"])
+        assert cache.get("h1", [1]) == ("a", "b")
+        cache.put("h1", [3], ["a", "d"])  # evicts [2] (LRU)
+        assert cache.get("h1", [2]) is None
+        assert cache.get("h1", [1]) is not None
+        assert 0 < cache.hit_ratio < 1
+        assert cache.estimated_bytes() > 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TrajectoryCache(capacity=0)
+
+
+class TestTrajectoryConstructor:
+    def test_constructs_and_caches(self, fattree4, fattree4_assignment):
+        reconstructor = PathReconstructor(fattree4, fattree4_assignment)
+        constructor = TrajectoryConstructor(reconstructor)
+        link_id = fattree4_assignment.lookup("agg-0-0", "core-0-0")
+        memory_record = TrajectoryMemoryRecord(
+            _flow(), (link_id,), 0.0, 1.0, 500, 5)
+        record = constructor.construct(memory_record)
+        assert record is not None
+        assert record.path[0] == "h-0-0-0" and record.path[-1] == "h-2-0-0"
+        assert record.bytes == 500
+        # Second construction hits the cache.
+        constructor.construct(memory_record)
+        assert constructor.cache.hits == 1
+
+    def test_invalid_samples_reported(self, fattree4, fattree4_assignment):
+        invalid = []
+        constructor = TrajectoryConstructor(
+            PathReconstructor(fattree4, fattree4_assignment),
+            on_invalid=lambda record, error: invalid.append(record))
+        memory_record = TrajectoryMemoryRecord(_flow(), (4000,), 0.0, 1.0)
+        assert constructor.construct(memory_record) is None
+        assert len(invalid) == 1
+        assert constructor.invalid == 1
+
+
+class TestEdgeVSwitch:
+    def test_extracts_strips_and_updates_memory(self):
+        memory = TrajectoryMemory()
+        delivered = []
+        vswitch = EdgeVSwitch("h-2-0-0", memory,
+                              upper_stack=lambda p, t: delivered.append(p))
+        packet = make_tcp_packet("h-0-0-0", "h-2-0-0", size=500)
+        packet.push_vlan(7)
+        samples = vswitch.receive(packet, when=1.0)
+        assert list(samples) == [7]
+        assert packet.vlan_count == 0  # stripped before the upper stack
+        assert len(memory) == 1
+        assert delivered and delivered[0] is packet
+        assert vswitch.stats.tagged_packets == 1
+
+    def test_fin_packet_produces_pending_eviction(self):
+        memory = TrajectoryMemory()
+        vswitch = EdgeVSwitch("h-2-0-0", memory)
+        packet = make_tcp_packet("h-0-0-0", "h-2-0-0", fin=True)
+        packet.push_vlan(7)
+        vswitch.receive(packet, when=1.0)
+        assert len(vswitch.drain_evictions()) == 1
+        assert vswitch.drain_evictions() == []
+
+    def test_disabled_mode_is_passthrough(self):
+        memory = TrajectoryMemory()
+        vswitch = EdgeVSwitch("h", memory, pathdump_enabled=False)
+        packet = make_tcp_packet("h-0-0-0", "h-2-0-0")
+        packet.push_vlan(7)
+        vswitch.receive(packet, when=0.0)
+        assert packet.vlan_count == 1  # untouched
+        assert len(memory) == 0
+        assert vswitch.throughput_counters()[0] == 1
+
+
+class TestActiveMonitor:
+    def test_poor_flow_detection_and_alarm(self):
+        alarms = []
+        monitor = ActiveMonitor("h-0-0-0", alarm_sink=alarms.append,
+                                poor_threshold=3)
+        good = _flow(1)
+        bad = _flow(2)
+        monitor.observe_flow(good, retransmissions=1, consecutive=1)
+        monitor.observe_flow(bad, retransmissions=9, consecutive=5)
+        assert monitor.get_poor_tcp_flows() == [bad]
+        assert monitor.get_poor_tcp_flows(threshold=1) == [good, bad]
+        raised = monitor.run_check(now=1.0)
+        assert len(raised) == 1
+        assert raised[0].reason == POOR_PERF
+        assert alarms and alarms[0].flow_id == bad
+        # A second check does not re-alert the same flow.
+        assert monitor.run_check(now=2.0) == []
+
+    def test_timeout_flags_flow_poor(self):
+        monitor = ActiveMonitor("h")
+        flow = _flow(3)
+        monitor.observe_flow(flow, retransmissions=0, consecutive=0,
+                             timeouts=1)
+        assert flow in monitor.get_poor_tcp_flows()
+
+
+class TestAlarmBus:
+    def test_subscription_by_reason(self):
+        bus = AlarmBus()
+        seen_all, seen_poor = [], []
+        bus.subscribe(seen_all.append)
+        bus.subscribe(seen_poor.append, reason=POOR_PERF)
+        bus.raise_alarm(Alarm(_flow(), POOR_PERF, host="h1", time=1.0))
+        bus.raise_alarm(Alarm(_flow(), "OTHER", host="h2", time=2.0))
+        assert len(seen_all) == 2
+        assert len(seen_poor) == 1
+        assert bus.count(POOR_PERF) == 1
+        assert len(bus.involving_destination("h-2-0-0")) == 2
+        bus.clear()
+        assert bus.count() == 0

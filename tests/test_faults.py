@@ -1,0 +1,84 @@
+"""Unit tests for fault injection and the header corruptor."""
+
+import pytest
+
+from repro.network import FaultInjector, RoutingFabric, make_header_corruptor
+from repro.network.packet import make_tcp_packet
+
+
+class TestFaultInjector:
+    def test_fail_link_bidirectional(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        injector.fail_link("tor-0-0", "agg-0-0")
+        assert fattree4_fresh.links.get("tor-0-0", "agg-0-0").failed
+        assert fattree4_fresh.links.get("agg-0-0", "tor-0-0").failed
+        assert len(injector.faulty_interfaces()) == 2
+
+    def test_silent_drop_validation(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        with pytest.raises(ValueError):
+            injector.silent_drop("tor-0-0", "agg-0-0", 0.0)
+        injector.silent_drop("tor-0-0", "agg-0-0", 0.05)
+        assert fattree4_fresh.links.get("tor-0-0",
+                                        "agg-0-0").drop_probability == 0.05
+
+    def test_random_interfaces_are_switch_to_switch(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh, seed=1)
+        chosen = injector.random_silent_drop_interfaces(4, 0.01)
+        assert len(chosen) == 4
+        for a, b in chosen:
+            assert fattree4_fresh.node(a).is_switch
+            assert fattree4_fresh.node(b).is_switch
+        assert injector.faulty_cables() == {frozenset(i) for i in chosen}
+
+    def test_random_interfaces_deterministic_per_seed(self, fattree4_fresh):
+        first = FaultInjector(fattree4_fresh, seed=9)
+        picked_a = first.random_silent_drop_interfaces(2, 0.01)
+        first.clear()
+        second = FaultInjector(fattree4_fresh, seed=9)
+        picked_b = second.random_silent_drop_interfaces(2, 0.01)
+        assert picked_a == picked_b
+
+    def test_misconfiguration_requires_routing(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh, routing=None)
+        with pytest.raises(RuntimeError):
+            injector.misconfigure_route("tor-0-0", "h-3-0-0", "agg-0-0")
+
+    def test_clear_restores_everything(self, fattree4_fresh):
+        routing = RoutingFabric(fattree4_fresh)
+        injector = FaultInjector(fattree4_fresh, routing)
+        injector.blackhole("agg-0-0", "core-0-0")
+        injector.misconfigure_route("tor-0-0", "h-3-0-0", "agg-0-0")
+        injector.clear()
+        assert fattree4_fresh.links.get("agg-0-0", "core-0-0").healthy
+        assert not routing.table("tor-0-0").misconfigured_next_hop
+        assert not injector.records
+
+    def test_filter_by_kind(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        injector.blackhole("agg-0-0", "core-0-0")
+        injector.silent_drop("agg-0-1", "core-1-0", 0.01)
+        assert injector.faulty_interfaces({"blackhole"}) == {
+            ("agg-0-0", "core-0-0")}
+
+
+class TestHeaderCorruptor:
+    def test_rewrites_outer_tag(self):
+        corrupt = make_header_corruptor(wrong_vid=99)
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(5)
+        assert corrupt("s1", packet)
+        assert packet.vlan_ids() == [99]
+
+    def test_no_tag_no_corruption(self):
+        corrupt = make_header_corruptor(wrong_vid=99)
+        packet = make_tcp_packet("a", "b")
+        assert not corrupt("s1", packet)
+
+    def test_probability_zero_effectively_never_fires(self):
+        corrupt = make_header_corruptor(wrong_vid=99, probability=1e-12,
+                                        seed=1)
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(5)
+        assert not corrupt("s1", packet)
+        assert packet.vlan_ids() == [5]

@@ -1,0 +1,132 @@
+"""Unit tests for the OpenFlow-style flow tables."""
+
+import pytest
+
+from repro.network.flowtable import (ActionContext, Drop, FlowTable,
+                                     FlowTablePipeline, GotoTable, Match,
+                                     PopVlan, PushVlan, PuntToController,
+                                     Rule, SetDscp)
+from repro.network.packet import make_tcp_packet
+
+
+class TestMatch:
+    def test_wildcard_matches_anything(self):
+        packet = make_tcp_packet("a", "b")
+        assert Match().matches(packet, in_port=3)
+
+    def test_in_port_match(self):
+        packet = make_tcp_packet("a", "b")
+        assert Match(in_port=2).matches(packet, 2)
+        assert not Match(in_port=2).matches(packet, 1)
+
+    def test_vlan_count_constraints(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(4)
+        assert Match(vlan_count=1).matches(packet, None)
+        assert not Match(vlan_count=0).matches(packet, None)
+        assert Match(vlan_count_min=1).matches(packet, None)
+        assert not Match(vlan_count_min=2).matches(packet, None)
+        assert Match(vlan_count_max=1).matches(packet, None)
+        assert not Match(vlan_count_max=0).matches(packet, None)
+
+    def test_outer_vlan_and_dscp(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(9)
+        assert Match(outer_vlan=9).matches(packet, None)
+        assert not Match(outer_vlan=8).matches(packet, None)
+        assert Match(dscp_set=False).matches(packet, None)
+        packet.set_dscp(1)
+        assert Match(dscp_set=True).matches(packet, None)
+
+    def test_dst_prefix_and_protocol(self):
+        packet = make_tcp_packet("a", "host-9")
+        assert Match(dst_prefix="host-").matches(packet, None)
+        assert not Match(dst_prefix="other-").matches(packet, None)
+        assert Match(protocol=6).matches(packet, None)
+        assert not Match(protocol=17).matches(packet, None)
+
+    def test_requires_ip_parse(self):
+        assert Match(dst_prefix="h").requires_ip_parse
+        assert Match(dscp_set=True).requires_ip_parse
+        assert not Match(in_port=1, vlan_count=2).requires_ip_parse
+
+
+class TestActions:
+    def test_push_vlan_with_explicit_and_ingress_id(self):
+        packet = make_tcp_packet("a", "b")
+        context = ActionContext(ingress_link_id=42)
+        PushVlan(7).apply(packet, context)
+        PushVlan(None).apply(packet, context)
+        assert packet.vlan_ids() == [42, 7]
+
+    def test_push_vlan_without_any_id_raises(self):
+        packet = make_tcp_packet("a", "b")
+        with pytest.raises(ValueError):
+            PushVlan(None).apply(packet, ActionContext())
+
+    def test_pop_and_set_dscp(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(5)
+        PopVlan().apply(packet, ActionContext())
+        assert packet.vlan_count == 0
+        SetDscp(3).apply(packet, ActionContext())
+        assert packet.dscp == 3
+
+    def test_control_actions_set_context(self):
+        packet = make_tcp_packet("a", "b")
+        context = ActionContext()
+        GotoTable(1).apply(packet, context)
+        assert context.goto_table == 1
+        PuntToController().apply(packet, context)
+        assert context.punt
+        Drop().apply(packet, context)
+        assert context.drop
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable()
+        table.add(1, Match(), [Drop()], cookie="low")
+        table.add(10, Match(in_port=1), [PuntToController()], cookie="high")
+        packet = make_tcp_packet("a", "b")
+        assert table.lookup(packet, 1).cookie == "high"
+        assert table.lookup(packet, 2).cookie == "low"
+
+    def test_miss_returns_none(self):
+        table = FlowTable()
+        table.add(5, Match(in_port=9), [Drop()])
+        assert table.lookup(make_tcp_packet("a", "b"), 1) is None
+
+
+class TestPipeline:
+    def test_goto_table_chains(self):
+        pipeline = FlowTablePipeline(num_tables=2)
+        pipeline.table(0).add(10, Match(), [PushVlan(3), GotoTable(1)])
+        pipeline.table(1).add(10, Match(), [])
+        packet = make_tcp_packet("a", "b")
+        context = pipeline.process(packet, in_port=1, ingress_link_id=None)
+        assert packet.vlan_ids() == [3]
+        assert not context.punt
+
+    def test_table_miss_punts(self):
+        pipeline = FlowTablePipeline(num_tables=1)
+        pipeline.table(0).add(10, Match(in_port=99), [Drop()])
+        context = pipeline.process(make_tcp_packet("a", "b"), in_port=1)
+        assert context.punt
+        assert pipeline.misses == 1
+
+    def test_asic_limit_skips_ip_rules(self):
+        """Packets with >2 tags cannot be matched by IP-parsing rules."""
+        pipeline = FlowTablePipeline(num_tables=1, max_parsable_vlan_tags=2)
+        pipeline.table(0).add(10, Match(dst_prefix="b"), [Drop()])
+        packet = make_tcp_packet("a", "b")
+        for vid in (1, 2, 3):
+            packet.push_vlan(vid)
+        context = pipeline.process(packet, in_port=1)
+        assert context.punt  # rule skipped -> miss -> punt
+
+    def test_rule_count(self):
+        pipeline = FlowTablePipeline(num_tables=2)
+        pipeline.table(0).add(1, Match(), [Drop()])
+        pipeline.table(1).add(1, Match(), [Drop()])
+        assert pipeline.rule_count == 2

@@ -1,0 +1,91 @@
+"""End-to-end integration tests exercising the full PathDump pipeline."""
+
+import pytest
+
+from repro.core import (LOOP_DETECTED, MECHANISM_MULTILEVEL, POOR_PERF,
+                        Q_TOP_K_FLOWS, Query)
+from repro.debug import run_ecmp_imbalance_experiment
+from repro.network import FaultInjector, make_tcp_packet
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.transport import TcpSender
+from repro.workloads.arrivals import FlowSpec
+
+
+class TestPacketToQueryPipeline:
+    """Packets injected into the fabric end up answerable via the host API."""
+
+    def test_tcp_transfer_populates_destination_tib(self,
+                                                    pathdump_deployment):
+        topo, _, fabric, cluster, controller = pathdump_deployment
+        spec = FlowSpec(FlowId("h-0-0-0", "h-3-0-0", 45000, 80, PROTO_TCP),
+                        80_000, 0.0)
+        result = TcpSender(fabric, spec).run()
+        assert result.completed
+        cluster.flush_all()
+
+        agent = cluster.agent("h-3-0-0")
+        paths = agent.get_paths(spec.flow_id)
+        assert len(paths) == 1
+        assert paths[0][0] == "h-0-0-0" and paths[0][-1] == "h-3-0-0"
+        assert topo.is_valid_path(list(paths[0]))
+        nbytes, npkts = agent.get_count(spec.flow_id)
+        assert nbytes >= 80_000
+        assert npkts == result.packets_delivered
+
+    def test_distributed_query_sees_traffic_from_all_hosts(
+            self, pathdump_deployment):
+        topo, _, fabric, cluster, controller = pathdump_deployment
+        specs = []
+        hosts = topo.hosts
+        for i, (src, dst) in enumerate(zip(hosts, reversed(hosts))):
+            if src == dst:
+                continue
+            specs.append(FlowSpec(
+                FlowId(src, dst, 46000 + i, 80, PROTO_TCP), 20_000, 0.0))
+        for spec in specs:
+            TcpSender(fabric, spec).run()
+        cluster.flush_all()
+
+        query = Query(Q_TOP_K_FLOWS, {"k": 100})
+        result = controller.execute(None, query,
+                                    mechanism=MECHANISM_MULTILEVEL)
+        assert len(result.payload) == len(specs)
+
+    def test_loop_alarm_raised_through_controller(self, pathdump_deployment):
+        topo, routing, fabric, cluster, controller = pathdump_deployment
+        controller.attach_trap_handler()
+        injector = FaultInjector(topo, routing)
+        injector.misconfigure_route("tor-0-0", "h-3-0-0", "agg-0-0")
+        injector.misconfigure_route("agg-3-0", "h-3-0-0", "core-0-0")
+        fabric.inject(make_tcp_packet("h-0-0-0", "h-3-0-0"))
+        assert controller.stats.packets_trapped == 1
+        assert controller.stats.loops_detected == 1
+        assert controller.alarms(LOOP_DETECTED)
+
+    def test_poor_perf_alarm_flows_to_controller(self, pathdump_deployment):
+        topo, routing, fabric, cluster, controller = pathdump_deployment
+        injector = FaultInjector(topo, routing)
+        injector.blackhole("tor-0-0", "agg-0-0")
+        injector.blackhole("tor-0-0", "agg-0-1")
+        spec = FlowSpec(FlowId("h-0-0-0", "h-2-0-0", 47000, 80, PROTO_TCP),
+                        30_000, 0.0)
+        result = TcpSender(fabric, spec).run()
+        assert not result.completed
+        cluster.ingest_tcp_results([result])
+        alarms = controller.tick(now=1.0)
+        assert any(a.reason == POOR_PERF and a.flow_id == spec.flow_id
+                   for a in alarms)
+
+
+class TestEcmpImbalanceIntegration:
+    def test_figure5_shapes(self):
+        result = run_ecmp_imbalance_experiment(flow_count=300,
+                                               duration_s=120,
+                                               interval_s=10, seed=2)
+        # Figure 5(b): imbalance is high most of the time.
+        cdf = result.imbalance_cdf()
+        assert cdf.median >= 30.0
+        # Figure 5(c): flow sizes are split sharply around 1 MB.
+        assert result.split_quality() >= 0.95
+        assert result.query_result.mechanism == "multilevel"
+        assert len(result.link_flow_sizes) == 2

@@ -1,0 +1,78 @@
+"""Unit tests for links and the link registry."""
+
+import random
+
+import pytest
+
+from repro.network.link import Link, LinkRegistry
+
+
+class TestLink:
+    def test_transmit_healthy(self):
+        link = Link("a", "b")
+        rng = random.Random(0)
+        ok, reason = link.transmit(1000, rng)
+        assert ok and reason == "ok"
+        assert link.stats.tx_packets == 1
+        assert link.stats.tx_bytes == 1000
+
+    def test_failed_link_drops(self):
+        link = Link("a", "b", failed=True)
+        ok, reason = link.transmit(100, random.Random(0))
+        assert not ok and reason == "failed"
+        assert link.stats.dropped_failed == 1
+
+    def test_blackhole_drops_silently(self):
+        link = Link("a", "b", blackhole=True)
+        ok, reason = link.transmit(100, random.Random(0))
+        assert not ok and reason == "blackhole"
+        assert link.stats.dropped_blackhole == 1
+
+    def test_random_drop_rate_is_respected(self):
+        link = Link("a", "b", drop_probability=0.3)
+        rng = random.Random(42)
+        drops = sum(1 for _ in range(5000)
+                    if not link.transmit(100, rng)[0])
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_serialization_delay(self):
+        link = Link("a", "b", capacity_bps=1e9)
+        assert link.serialization_delay(125) == pytest.approx(1e-6)
+
+    def test_clear_faults_and_healthy(self):
+        link = Link("a", "b", drop_probability=0.5, failed=True,
+                    blackhole=True)
+        assert not link.healthy
+        link.clear_faults()
+        assert link.healthy
+
+
+class TestLinkRegistry:
+    def test_bidirectional_add_and_get(self):
+        registry = LinkRegistry()
+        fwd, rev = registry.add_bidirectional("a", "b", latency_s=1e-6)
+        assert registry.get("a", "b") is fwd
+        assert registry.get("b", "a") is rev
+        assert len(registry) == 2
+
+    def test_duplicate_rejected(self):
+        registry = LinkRegistry()
+        registry.add(Link("a", "b"))
+        with pytest.raises(ValueError):
+            registry.add(Link("a", "b"))
+
+    def test_maybe_get(self):
+        registry = LinkRegistry()
+        registry.add(Link("a", "b"))
+        assert registry.maybe_get("a", "b") is not None
+        assert registry.maybe_get("b", "a") is None
+
+    def test_reset_stats_and_clear_faults(self):
+        registry = LinkRegistry()
+        link, _ = registry.add_bidirectional("a", "b")
+        link.failed = True
+        link.stats.tx_packets = 5
+        registry.reset_stats()
+        registry.clear_faults()
+        assert link.stats.tx_packets == 0
+        assert not link.failed

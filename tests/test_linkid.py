@@ -1,0 +1,96 @@
+"""Unit tests for CherryPick link identifier assignment."""
+
+import pytest
+
+from repro.network.packet import MAX_DSCP, MAX_VLAN_ID
+from repro.topology import (FatTreeTopology, Vl2Topology, cable,
+                            assign_fattree_link_ids, assign_generic_link_ids,
+                            assign_link_ids, assign_vl2_link_ids,
+                            apply_assignment, edge_color_bipartite)
+from repro.topology.linkid import LinkIdSpaceError
+
+
+class TestEdgeColoring:
+    def test_complete_bipartite_uses_degree_colors(self):
+        edges = [(a, b) for a in range(4) for b in range(4)]
+        coloring = edge_color_bipartite(edges)
+        assert len(set(coloring.values())) <= 2 * 4 - 1
+        # Proper colouring: no two edges at the same vertex share a colour.
+        for vertex in range(4):
+            left_colors = [c for (a, b), c in coloring.items() if a == vertex]
+            right_colors = [c for (a, b), c in coloring.items() if b == vertex]
+            assert len(left_colors) == len(set(left_colors))
+            assert len(right_colors) == len(set(right_colors))
+
+
+class TestFatTreeAssignment:
+    def test_every_switch_link_has_an_id(self, fattree4,
+                                          fattree4_assignment):
+        for link in fattree4.switch_links():
+            assert fattree4_assignment.lookup(link.src, link.dst) is not None
+
+    def test_host_links_have_no_id(self, fattree4, fattree4_assignment):
+        host = fattree4.hosts[0]
+        tor = fattree4.tor_of(host)
+        assert fattree4_assignment.lookup(host, tor) is None
+
+    def test_id_reuse_across_pods(self, fattree4, fattree4_assignment):
+        """The same ToR-aggregate position shares one ID in every pod."""
+        id_pod0 = fattree4_assignment.lookup("tor-0-0", "agg-0-0")
+        id_pod2 = fattree4_assignment.lookup("tor-2-0", "agg-2-0")
+        assert id_pod0 == id_pod2
+        assert len(fattree4_assignment.candidates(id_pod0)) == 4
+
+    def test_id_space_is_small(self, fattree4_assignment):
+        """k=4 needs only 8 identifiers; far below the 12-bit limit."""
+        assert fattree4_assignment.vlan_ids_used == 8
+
+    def test_large_fattree_supported_72_port(self):
+        assignment_ids = (72 // 2) ** 2 * 2
+        assert assignment_ids <= MAX_VLAN_ID  # the paper's 72-port bound
+
+    def test_resolution_with_pod_context(self, fattree4,
+                                         fattree4_assignment):
+        link_id = fattree4_assignment.lookup("agg-1-0", "core-0-1")
+        resolved = fattree4_assignment.resolve(link_id, pods=(1,),
+                                               topo=fattree4)
+        assert cable("agg-1-0", "core-0-1") in resolved
+        assert all(any(fattree4.node(n).pod in (1, None) for n in c)
+                   for c in resolved)
+
+    def test_apply_assignment_stamps_links(self, fattree4_fresh):
+        assignment = assign_link_ids(fattree4_fresh)
+        apply_assignment(fattree4_fresh, assignment)
+        link = fattree4_fresh.links.get("agg-0-0", "core-0-0")
+        assert link.global_id == assignment.lookup("agg-0-0", "core-0-0")
+
+
+class TestVl2Assignment:
+    def test_dscp_and_vlan_spaces_disjoint(self, vl2_small):
+        assignment = assign_vl2_link_ids(vl2_small)
+        dscp_ids = set()
+        vlan_ids = set()
+        for c, link_id in assignment.id_of.items():
+            roles = {vl2_small.node(n).role for n in c}
+            if "edge" in roles:
+                dscp_ids.add(link_id)
+            else:
+                vlan_ids.add(link_id)
+        assert max(dscp_ids) <= MAX_DSCP
+        assert min(vlan_ids) > MAX_DSCP
+        assert not dscp_ids & vlan_ids
+
+    def test_tor_agg_ids_fit_dscp(self, vl2_small):
+        assignment = assign_vl2_link_ids(vl2_small)
+        assert assignment.dscp_ids_used <= MAX_DSCP
+
+
+class TestGenericAssignment:
+    def test_unique_ids(self, vl2_small):
+        assignment = assign_generic_link_ids(vl2_small)
+        ids = list(assignment.id_of.values())
+        assert len(ids) == len(set(ids))
+
+    def test_dispatch(self, fattree4, vl2_small):
+        assert assign_link_ids(fattree4).vlan_ids_used == 8
+        assert assign_link_ids(vl2_small).dscp_ids_used > 0

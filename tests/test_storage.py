@@ -1,0 +1,115 @@
+"""Tests for the document store and flow-record schema."""
+
+import pytest
+
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import (Collection, DocumentStore, PathFlowRecord,
+                           QueryError, TrajectoryMemoryRecord, flow_key,
+                           parse_flow_key, records_wire_bytes)
+
+
+@pytest.fixture()
+def people():
+    collection = Collection("people")
+    collection.create_index("city")
+    collection.insert_many([
+        {"name": "ada", "age": 36, "city": "london", "tags": ["math"]},
+        {"name": "bob", "age": 25, "city": "paris", "tags": ["art", "math"]},
+        {"name": "eve", "age": 30, "city": "london", "tags": []},
+    ])
+    return collection
+
+
+class TestCollection:
+    def test_equality_and_index_lookup(self, people):
+        assert len(people.find({"city": "london"})) == 2
+        assert people.find_one({"name": "bob"})["age"] == 25
+        assert people.find_one({"name": "nobody"}) is None
+
+    def test_comparison_operators(self, people):
+        assert len(people.find({"age": {"$gte": 30}})) == 2
+        assert len(people.find({"age": {"$gt": 30, "$lt": 40}})) == 1
+        assert len(people.find({"age": {"$in": [25, 36]}})) == 2
+        assert len(people.find({"age": {"$nin": [25, 36]}})) == 1
+        assert len(people.find({"tags": {"$contains": "math"}})) == 2
+
+    def test_unknown_operator_raises(self, people):
+        with pytest.raises(QueryError):
+            people.find({"age": {"$weird": 1}})
+
+    def test_limit_and_count_and_distinct(self, people):
+        assert len(people.find(limit=2)) == 2
+        assert people.count({"city": "london"}) == 2
+        assert sorted(people.distinct("city")) == ["london", "paris"]
+
+    def test_delete_and_compact(self, people):
+        removed = people.delete({"city": "london"})
+        assert removed == 2
+        assert people.count() == 1
+        people.compact()
+        assert people.count() == 1
+
+    def test_insert_assigns_ids(self):
+        collection = Collection("c")
+        first = collection.insert({"x": 1})
+        second = collection.insert({"x": 2})
+        assert first != second
+
+    def test_estimated_bytes_grows(self, people):
+        before = people.estimated_bytes()
+        people.insert({"name": "zoe", "age": 99, "city": "rome", "tags": []})
+        assert people.estimated_bytes() > before
+
+
+class TestDocumentStore:
+    def test_collections_are_cached(self):
+        store = DocumentStore()
+        assert store.collection("a") is store.collection("a")
+        store.collection("b").insert({"x": 1})
+        assert store.collection_names() == ["a", "b"]
+        assert store.estimated_bytes() > 0
+        store.drop("b")
+        assert store.collection_names() == ["a"]
+
+
+class TestRecords:
+    def _flow(self):
+        return FlowId("h-0-0-0", "h-1-0-0", 1234, 80, PROTO_TCP)
+
+    def test_round_trip_serialization(self):
+        record = PathFlowRecord(self._flow(),
+                                ("h-0-0-0", "tor-0-0", "h-1-0-0"),
+                                stime=1.0, etime=2.0, bytes=100, pkts=2)
+        doc = record.to_document()
+        rebuilt = PathFlowRecord.from_document(doc)
+        assert rebuilt == record
+
+    def test_links_and_traversal(self):
+        record = PathFlowRecord(self._flow(),
+                                ("h", "s1", "s2", "h2"), 0.0, 1.0)
+        assert record.links() == [("h", "s1"), ("s1", "s2"), ("s2", "h2")]
+        assert record.traverses_link("s2", "s1")
+        assert not record.traverses_link("s1", "h2")
+
+    def test_update_extends_interval(self):
+        record = PathFlowRecord(self._flow(), ("a", "b"), 5.0, 6.0, 10, 1)
+        record.update(20, 2, when=8.0)
+        assert record.bytes == 30 and record.pkts == 3
+        assert record.etime == 8.0
+        assert record.duration == 3.0
+
+    def test_flow_key_round_trip(self):
+        flow = self._flow()
+        assert parse_flow_key(flow_key(flow)) == flow
+
+    def test_wire_bytes(self):
+        record = PathFlowRecord(self._flow(), ("a", "b", "c"), 0.0, 1.0)
+        assert record.wire_bytes() > 0
+        assert records_wire_bytes([record, record]) == 2 * record.wire_bytes()
+
+    def test_memory_record_update(self):
+        memory = TrajectoryMemoryRecord(self._flow(), (3, 5), 0.0, 0.0)
+        memory.update(100, when=1.0)
+        memory.update(200, when=2.0)
+        assert memory.bytes == 300 and memory.pkts == 2
+        assert memory.etime == 2.0

@@ -1,0 +1,96 @@
+"""Tests for the TIB and the Table 1 host query API."""
+
+import pytest
+
+from repro.core.tib import Tib, link_matches, normalise_time_range
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+
+
+def _flow(src="h-0-0-0", dst="h-2-0-0", sport=1000):
+    return FlowId(src, dst, sport, 80, PROTO_TCP)
+
+
+def _record(flow, path, stime=0.0, etime=1.0, nbytes=1000, pkts=10):
+    return PathFlowRecord(flow, tuple(path), stime, etime, nbytes, pkts)
+
+
+PATH_A = ("h-0-0-0", "tor-0-0", "agg-0-0", "core-0-0", "agg-2-0", "tor-2-0",
+          "h-2-0-0")
+PATH_B = ("h-0-0-0", "tor-0-0", "agg-0-1", "core-1-0", "agg-2-1", "tor-2-0",
+          "h-2-0-0")
+
+
+@pytest.fixture()
+def tib():
+    tib = Tib("h-2-0-0")
+    flow = _flow()
+    tib.add_record(_record(flow, PATH_A, 0.0, 1.0, 1000, 10))
+    tib.add_record(_record(flow, PATH_B, 1.0, 2.0, 500, 5))
+    tib.add_record(_record(_flow(sport=2000), PATH_A, 5.0, 6.0, 200, 2))
+    return tib
+
+
+class TestHelpers:
+    def test_normalise_time_range(self):
+        assert normalise_time_range(None) == (None, None)
+        assert normalise_time_range(("*", 5)) == (None, 5.0)
+        assert normalise_time_range((1, "*")) == (1.0, None)
+        with pytest.raises(ValueError):
+            normalise_time_range((5, 1))
+
+    def test_link_matches_wildcards(self):
+        record = _record(_flow(), PATH_A)
+        assert link_matches(record, None)
+        assert link_matches(record, ("*", "*"))
+        assert link_matches(record, ("agg-0-0", "core-0-0"))
+        assert link_matches(record, ("core-0-0", "agg-0-0"))
+        assert link_matches(record, ("?", "core-0-0"))
+        assert link_matches(record, ("agg-0-0", "*"))
+        assert not link_matches(record, ("agg-0-1", "core-1-0"))
+
+
+class TestTib:
+    def test_get_flows_on_link(self, tib):
+        flows = tib.get_flows(("agg-0-0", "core-0-0"))
+        assert len(flows) == 2  # two flows used PATH_A
+        flows_b = tib.get_flows(("agg-0-1", "core-1-0"))
+        assert len(flows_b) == 1
+
+    def test_get_flows_time_range(self, tib):
+        flows = tib.get_flows(None, (4.0, None))
+        assert len(flows) == 1
+        flows = tib.get_flows(None, (0.0, 2.0))
+        assert len(flows) == 2
+
+    def test_get_paths(self, tib):
+        paths = tib.get_paths(_flow())
+        assert set(paths) == {PATH_A, PATH_B}
+        paths = tib.get_paths(_flow(), link=("core-1-0", "?"))
+        assert paths == [PATH_B]
+
+    def test_get_count_per_path_and_total(self, tib):
+        flow = _flow()
+        assert tib.get_count((flow, PATH_A)) == (1000, 10)
+        assert tib.get_count(flow) == (1500, 15)
+        assert tib.get_count((flow, PATH_A), time_range=(10, 20)) == (0, 0)
+
+    def test_get_duration(self, tib):
+        assert tib.get_duration(_flow()) == pytest.approx(2.0)
+        assert tib.get_duration((_flow(), PATH_B)) == pytest.approx(1.0)
+        assert tib.get_duration(_flow(sport=9999)) == 0.0
+
+    def test_records_merge_same_flow_path(self):
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 0.0, 1.0, 100, 1))
+        tib.add_record(_record(flow, PATH_A, 1.0, 3.0, 200, 2))
+        assert tib.record_count() == 1
+        assert tib.get_count((flow, PATH_A)) == (300, 3)
+        assert tib.get_duration((flow, PATH_A)) == pytest.approx(3.0)
+
+    def test_clear_and_footprint(self, tib):
+        assert tib.estimated_bytes() > 0
+        assert tib.record_count() == 3
+        tib.clear()
+        assert tib.record_count() == 0

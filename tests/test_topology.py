@@ -1,0 +1,116 @@
+"""Unit tests for the topology builders (fat-tree, VL2, generic)."""
+
+import pytest
+
+from repro.topology import (FatTreeTopology, Topology, Vl2Topology,
+                            ROLE_AGGREGATE, ROLE_CORE, ROLE_EDGE, ROLE_HOST)
+
+
+class TestFatTree:
+    def test_k4_counts(self, fattree4):
+        info = fattree4.describe()
+        assert info["hosts"] == 16
+        assert info["edge_switches"] == 8
+        assert info["aggregate_switches"] == 8
+        assert info["core_switches"] == 4
+
+    def test_k6_counts(self):
+        topo = FatTreeTopology(6)
+        assert len(topo.hosts) == 6 * 3 * 3  # k pods * k/2 tors * k/2 hosts
+        assert len(topo.core_switches()) == 9
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            FatTreeTopology(5)
+
+    def test_tor_of_host(self, fattree4):
+        assert fattree4.tor_of("h-2-1-0") == "tor-2-1"
+
+    def test_pod_membership(self, fattree4):
+        assert fattree4.pod_of("agg-3-1") == 3
+        assert fattree4.pod_of("core-0-0") is None
+        assert set(fattree4.hosts_in_pod(0)) == {
+            "h-0-0-0", "h-0-0-1", "h-0-1-0", "h-0-1-1"}
+
+    def test_core_connectivity(self, fattree4):
+        """Core switch (g, i) connects to aggregate g of every pod."""
+        for pod in fattree4.pods():
+            agg = fattree4.agg_in_pod_for_core("core-1-0", pod)
+            assert agg == fattree4.agg_name(pod, 1)
+
+    def test_expected_shortest_hops(self, fattree4):
+        assert fattree4.expected_shortest_hops("h-0-0-0", "h-0-0-1") == 2
+        assert fattree4.expected_shortest_hops("h-0-0-0", "h-0-1-0") == 4
+        assert fattree4.expected_shortest_hops("h-0-0-0", "h-3-1-1") == 6
+
+    def test_all_shortest_paths_interpod(self, fattree4):
+        paths = fattree4.all_shortest_paths("h-0-0-0", "h-1-0-0")
+        assert len(paths) == 4  # (k/2)^2 equal-cost paths
+        for path in paths:
+            assert len(path) == 7
+
+    def test_is_valid_path(self, fattree4):
+        good = fattree4.shortest_path("h-0-0-0", "h-1-0-0")
+        assert fattree4.is_valid_path(good)
+        assert not fattree4.is_valid_path(["h-0-0-0", "core-0-0"])
+        assert not fattree4.is_valid_path(["h-0-0-0", "nonexistent"])
+        assert not fattree4.is_valid_path([])
+
+
+class TestVl2:
+    def test_counts(self, vl2_small):
+        info = vl2_small.describe()
+        assert info["core_switches"] == 4
+        assert info["aggregate_switches"] == 4
+        assert info["edge_switches"] == 4
+        assert info["hosts"] == 8
+
+    def test_tor_dual_homing(self, vl2_small):
+        for tor in vl2_small.edge_switches():
+            assert len(vl2_small.agg_pair_of_tor(tor)) == 2
+
+    def test_agg_int_full_mesh(self, vl2_small):
+        for agg in vl2_small.aggregate_switches():
+            neighbors = vl2_small.switch_neighbors(agg)
+            assert set(vl2_small.intermediates()).issubset(set(neighbors))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Vl2Topology(n_agg=3)
+        with pytest.raises(ValueError):
+            Vl2Topology(n_int=0)
+
+
+class TestGenericTopology:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_host("h1")
+        with pytest.raises(ValueError):
+            topo.add_host("h1")
+
+    def test_link_requires_known_nodes(self):
+        topo = Topology()
+        topo.add_host("h1")
+        with pytest.raises(KeyError):
+            topo.add_link("h1", "missing")
+
+    def test_roles_and_queries(self):
+        topo = Topology()
+        topo.add_host("h1")
+        topo.add_switch("s1", ROLE_EDGE)
+        topo.add_switch("s2", ROLE_AGGREGATE)
+        topo.add_switch("s3", ROLE_CORE)
+        topo.add_link("h1", "s1")
+        topo.add_link("s1", "s2")
+        topo.add_link("s2", "s3")
+        assert topo.tor_of("h1") == "s1"
+        assert topo.hosts_under("s1") == ["h1"]
+        assert topo.switch_neighbors("s2") == ["s1", "s3"]
+        assert len(topo.switch_links()) == 4  # two cables, both directions
+        assert topo.node("h1").is_host
+        assert topo.node("s3").is_switch
+
+    def test_unknown_role_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_switch("x", "weird-role")

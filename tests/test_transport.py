@@ -1,0 +1,182 @@
+"""Tests for the TCP models: packet-level, flow-level and contention."""
+
+import pytest
+
+from repro.network import FaultInjector, RoutingFabric, Fabric
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.network.routing import POLICY_SPRAY
+from repro.topology import FatTreeTopology
+from repro.transport import (ContendingFlow, FlowLevelSimulator, TcpSender,
+                             simulate_incast, simulate_port_blackout)
+from repro.workloads.arrivals import FlowSpec
+
+
+def _spec(src, dst, size, port=42000):
+    return FlowSpec(FlowId(src, dst, port, 80, PROTO_TCP), size, 0.0)
+
+
+class TestTcpSender:
+    def test_clean_transfer_completes(self, traced_fabric):
+        _, _, _, fabric, _ = traced_fabric
+        result = TcpSender(fabric, _spec("h-0-0-0", "h-2-0-0", 100_000)).run()
+        assert result.completed
+        assert result.bytes_delivered >= 100_000 - 1460
+        assert result.retransmissions == 0
+        assert result.throughput_bps > 0
+        assert len(result.per_path_delivery) == 1
+
+    def test_lossy_link_causes_retransmissions(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo)
+        fabric = Fabric(topo, routing, seed=5)
+        # Make both uplinks of the source ToR lossy so the ECMP choice does
+        # not matter.
+        injector = FaultInjector(topo, routing)
+        injector.silent_drop("tor-0-0", "agg-0-0", 0.05)
+        injector.silent_drop("tor-0-0", "agg-0-1", 0.05)
+        result = TcpSender(fabric, _spec("h-0-0-0", "h-2-0-0", 300_000)).run()
+        assert result.completed
+        assert result.retransmissions > 0
+        assert result.drop_links
+
+    def test_blackholed_flow_aborts(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo)
+        fabric = Fabric(topo, routing, seed=5)
+        injector = FaultInjector(topo, routing)
+        injector.blackhole("tor-0-0", "agg-0-0")
+        injector.blackhole("tor-0-0", "agg-0-1")
+        result = TcpSender(fabric, _spec("h-0-0-0", "h-2-0-0", 50_000)).run()
+        assert not result.completed
+        assert result.throughput_bps == 0.0
+        assert result.max_consecutive_retransmissions >= 3
+        assert result.is_poor
+
+
+class TestFlowLevelSimulator:
+    def test_ecmp_path_matches_packet_level(self, traced_fabric):
+        topo, _, routing, fabric, _ = traced_fabric
+        simulator = FlowLevelSimulator(topo, routing, seed=1)
+        spec = _spec("h-0-0-0", "h-3-1-0", 30_000)
+        flow_level_path = simulator.ecmp_path(spec.flow_id)
+        from repro.network.packet import Packet
+        packet = Packet(flow=spec.flow_id, size=100)
+        result = fabric.inject(packet)
+        assert flow_level_path == result.hops
+
+    def test_clean_flow_outcome(self, fattree4_fresh):
+        topo = fattree4_fresh
+        simulator = FlowLevelSimulator(topo, seed=2)
+        outcome = simulator.simulate_flow(_spec("h-0-0-0", "h-1-0-0", 60_000))
+        assert outcome.completed
+        assert outcome.retransmissions == 0
+        assert outcome.bytes_delivered == 60_000
+        assert outcome.finish_time > outcome.start_time
+        assert len(outcome.deliveries) == 1
+
+    def test_lossy_flow_records_drops(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo)
+        injector = FaultInjector(topo, routing)
+        injector.silent_drop("tor-0-0", "agg-0-0", 0.5)
+        injector.silent_drop("tor-0-0", "agg-0-1", 0.5)
+        simulator = FlowLevelSimulator(topo, routing, seed=3)
+        outcome = simulator.simulate_flow(_spec("h-0-0-0", "h-2-0-0",
+                                                500_000))
+        assert outcome.retransmissions > 0
+        assert sum(outcome.drop_links.values()) == outcome.retransmissions
+
+    def test_blackholed_flow_is_stalled(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo)
+        FaultInjector(topo, routing).blackhole("agg-0-0", "core-0-0")
+        simulator = FlowLevelSimulator(topo, routing, seed=4)
+        # Find a flow whose ECMP path crosses the blackholed link.
+        for port in range(42000, 42050):
+            spec = _spec("h-0-0-0", "h-2-0-0", 20_000, port=port)
+            if ("agg-0-0", "core-0-0") in zip(
+                    simulator.ecmp_path(spec.flow_id),
+                    simulator.ecmp_path(spec.flow_id)[1:]):
+                break
+        outcome = simulator.simulate_flow(spec)
+        assert not outcome.completed
+        assert outcome.finish_time is None
+        assert outcome.max_consecutive_retransmissions >= 3
+
+    def test_spray_splits_over_all_paths(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo, policy=POLICY_SPRAY)
+        simulator = FlowLevelSimulator(topo, routing, seed=5)
+        outcome = simulator.simulate_flow(
+            _spec("h-0-0-0", "h-2-0-0", 5_000_000), policy=POLICY_SPRAY)
+        assert len(outcome.deliveries) == 4
+        counts = [d.packets_sent for d in outcome.deliveries]
+        assert min(counts) > 0
+        assert max(counts) / max(1, min(counts)) < 2.0
+
+    def test_spray_weights_bias_split(self, fattree4_fresh):
+        topo = fattree4_fresh
+        routing = RoutingFabric(topo, policy=POLICY_SPRAY)
+        simulator = FlowLevelSimulator(topo, routing, seed=6)
+        outcome = simulator.simulate_flow(
+            _spec("h-0-0-0", "h-2-0-0", 5_000_000), policy=POLICY_SPRAY,
+            spray_weights=[0.7, 0.1, 0.1, 0.1])
+        counts = [d.packets_sent for d in outcome.deliveries]
+        assert counts[0] > 3 * max(counts[1:])
+
+    def test_ambient_loss_adds_noise(self, fattree4_fresh):
+        topo = fattree4_fresh
+        simulator = FlowLevelSimulator(topo, seed=7, ambient_loss=0.05)
+        outcomes = simulator.simulate(
+            [_spec("h-0-0-0", "h-2-0-0", 500_000, port=42000 + i)
+             for i in range(20)])
+        assert any(o.retransmissions > 0 for o in outcomes)
+
+
+class TestContentionModels:
+    def _flows(self, n_local=1, n_remote=14):
+        flows = []
+        for i in range(n_local):
+            flows.append(ContendingFlow(
+                FlowId(f"local-{i}", "recv", 1000 + i, 80, PROTO_TCP),
+                "local-port", ("tor-x",)))
+        for i in range(n_remote):
+            flows.append(ContendingFlow(
+                FlowId(f"remote-{i}", "recv", 2000 + i, 80, PROTO_TCP),
+                "uplink-port", ("agg-x", "tor-x")))
+        return flows
+
+    def test_outcast_starves_minority_port(self):
+        results = simulate_port_blackout(self._flows(), 1e9, 10.0, seed=1)
+        local = [r for r in results if r.input_port_group == "local-port"][0]
+        remote_mean = sum(r.throughput_bps for r in results
+                          if r.input_port_group == "uplink-port") / 14
+        assert local.throughput_bps < 0.3 * remote_mean
+        assert local.is_outcast
+        assert local.retransmissions > max(
+            r.retransmissions for r in results if r is not local) / 2
+
+    def test_capacity_is_conserved_approximately(self):
+        results = simulate_port_blackout(self._flows(), 1e9, 10.0, seed=2)
+        total = sum(r.throughput_bps for r in results)
+        assert total == pytest.approx(1e9, rel=0.15)
+
+    def test_single_port_group_is_fair(self):
+        flows = self._flows(n_local=0, n_remote=10)
+        results = simulate_port_blackout(flows, 1e9, 10.0, seed=3)
+        rates = [r.throughput_bps for r in results]
+        assert max(rates) / min(rates) < 1.5
+
+    def test_incast_collapse_beyond_threshold(self):
+        few = simulate_incast(self._flows(n_local=0, n_remote=4), 1e9, 5.0)
+        many = simulate_incast(self._flows(n_local=0, n_remote=30), 1e9, 5.0)
+        assert sum(r.throughput_bps for r in many) < \
+            sum(r.throughput_bps for r in few)
+
+    def test_empty_input(self):
+        assert simulate_port_blackout([], 1e9, 1.0) == []
+        assert simulate_incast([], 1e9, 1.0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            simulate_port_blackout(self._flows(), 0.0, 1.0)

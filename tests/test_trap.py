@@ -1,0 +1,52 @@
+"""Tests for the long-path trap and controller-side loop chasing."""
+
+from repro.network import FaultInjector, make_tcp_packet
+from repro.network.simulator import OUTCOME_PUNTED
+from repro.tracing import LongPathTrap
+
+
+class TestLongPathTrap:
+    def _create_two_switch_loop(self, traced_fabric):
+        topo, _, routing, fabric, _ = traced_fabric
+        injector = FaultInjector(topo, routing)
+        # Steer into core group 0, then bounce between agg-3-0 and core-0-0.
+        injector.misconfigure_route("tor-0-0", "h-3-0-0", "agg-0-0")
+        injector.misconfigure_route("agg-3-0", "h-3-0-0", "core-0-0")
+        return fabric
+
+    def test_loop_detected_with_repeated_link_id(self, traced_fabric):
+        fabric = self._create_two_switch_loop(traced_fabric)
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-3-0-0"))
+        assert result.outcome == OUTCOME_PUNTED
+        trap = LongPathTrap(fabric)
+        verdict = trap.handle_punt(result.punt_switch, result.packet,
+                                   result.latency)
+        assert verdict.is_loop
+        assert verdict.repeated_link_id is not None
+        assert verdict.rounds >= 1
+        assert verdict.elapsed > 0
+
+    def test_long_but_loop_free_path_not_flagged(self, traced_fabric):
+        """A punted packet that escapes on re-injection is not a loop."""
+        topo, _, routing, fabric, _ = traced_fabric
+        packet = make_tcp_packet("h-0-0-0", "h-3-0-0")
+        # Hand-craft a packet that already carries three distinct tags, as if
+        # it had taken a legitimately long path.
+        for vid in (1, 2, 3):
+            packet.push_vlan(vid)
+        trap = LongPathTrap(fabric)
+        verdict = trap.handle_punt("agg-3-0", packet, punt_time=0.0)
+        assert not verdict.is_loop
+        assert verdict.final_result is not None
+        assert verdict.final_result.delivered
+
+    def test_detection_latency_in_tens_of_milliseconds(self, traced_fabric):
+        fabric = self._create_two_switch_loop(traced_fabric)
+        result = fabric.inject(make_tcp_packet("h-0-0-0", "h-3-0-0"))
+        trap = LongPathTrap(fabric)
+        verdict = trap.handle_punt(result.punt_switch, result.packet,
+                                   result.latency)
+        total = result.latency + verdict.elapsed
+        # The paper reports ~47 ms for the quickly-detected loop; ours should
+        # be the same order of magnitude (tens of milliseconds).
+        assert 0.005 < total < 0.5

@@ -1,0 +1,113 @@
+"""Tests for workload generation: flow sizes, arrivals, traffic matrices."""
+
+import random
+
+import pytest
+
+from repro.workloads import (EmpiricalCdf, FlowGenerator, TrafficMatrix,
+                             data_mining_cdf, matrix_from_flows,
+                             offered_load_bps, web_search_cdf)
+
+
+class TestEmpiricalCdf:
+    def test_quantiles_monotone(self):
+        cdf = web_search_cdf()
+        values = [cdf.quantile(q / 10) for q in range(11)]
+        assert values == sorted(values)
+
+    def test_cdf_inverse_consistency(self):
+        cdf = web_search_cdf()
+        size = cdf.quantile(0.8)
+        assert cdf.cdf(size) == pytest.approx(0.8, abs=0.02)
+
+    def test_sampling_respects_distribution(self):
+        cdf = web_search_cdf()
+        rng = random.Random(1)
+        samples = cdf.sample_many(4000, rng)
+        below_100k = sum(1 for s in samples if s <= 133_000) / len(samples)
+        assert 0.72 <= below_100k <= 0.88  # CDF says 0.80 at 133 KB
+
+    def test_heavy_tail_exists(self):
+        cdf = web_search_cdf()
+        assert cdf.quantile(0.99) > 1_000_000
+
+    def test_data_mining_is_mostly_tiny(self):
+        cdf = data_mining_cdf()
+        assert cdf.quantile(0.5) < 2_000
+
+    def test_invalid_breakpoints_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf(points=[(10, 0.5), (20, 0.4)])
+        with pytest.raises(ValueError):
+            EmpiricalCdf(points=[(10, 0.1), (20, 1.0)])
+
+
+class TestFlowGenerator:
+    def test_poisson_all_to_all_load_sizing(self, fattree4):
+        generator = FlowGenerator(fattree4.hosts, seed=1)
+        flows = generator.poisson_all_to_all(duration=0.2, load=0.5,
+                                             link_capacity_bps=1e9)
+        assert flows
+        offered = offered_load_bps(flows, 0.2)
+        target = 0.5 * 1e9 * len(fattree4.hosts)
+        assert offered == pytest.approx(target, rel=0.5)
+        assert all(f.src != f.dst for f in flows)
+        assert flows == sorted(flows, key=lambda f: f.start_time)
+
+    def test_pod_to_other_pods(self, fattree4):
+        generator = FlowGenerator(fattree4.hosts, seed=2)
+        src = fattree4.hosts_in_pod(1)
+        dst = [h for h in fattree4.hosts if fattree4.node(h).pod != 1]
+        flows = generator.pod_to_other_pods(src, dst, 50, 10.0)
+        assert len(flows) == 50
+        assert all(f.src in src and f.dst in dst for f in flows)
+
+    def test_many_to_one(self, fattree4):
+        generator = FlowGenerator(fattree4.hosts, seed=3)
+        senders = fattree4.hosts[:5]
+        flows = generator.many_to_one(senders, "h-3-1-1", size=1000)
+        assert len(flows) == 5
+        assert all(f.dst == "h-3-1-1" and f.size == 1000 for f in flows)
+
+    def test_deterministic_given_seed(self, fattree4):
+        a = FlowGenerator(fattree4.hosts, seed=7).poisson_per_host(0.05)
+        b = FlowGenerator(fattree4.hosts, seed=7).poisson_per_host(0.05)
+        assert [(f.flow_id, f.size) for f in a] == [(f.flow_id, f.size)
+                                                    for f in b]
+
+    def test_requires_two_hosts(self):
+        with pytest.raises(ValueError):
+            FlowGenerator(["only-one"])
+
+
+class TestTrafficMatrix:
+    def test_add_get_total(self):
+        matrix = TrafficMatrix()
+        matrix.add("a", "b", 100)
+        matrix.add("a", "b", 50)
+        matrix.add("b", "c", 10)
+        assert matrix.get("a", "b") == 150
+        assert matrix.total_bytes() == 160
+        assert matrix.sources() == ["a", "b"]
+
+    def test_merge_and_aggregate(self):
+        left = TrafficMatrix()
+        left.add("h1", "h2", 10)
+        right = TrafficMatrix()
+        right.add("h1", "h2", 5)
+        right.add("h3", "h1", 7)
+        merged = left.merge(right)
+        assert merged.get("h1", "h2") == 15
+        coarse = merged.aggregate_by({"h1": "t1", "h2": "t1", "h3": "t2"})
+        assert coarse.get("t1", "t1") == 15
+        assert coarse.get("t2", "t1") == 7
+
+    def test_matrix_from_flows(self, fattree4):
+        generator = FlowGenerator(fattree4.hosts, seed=5)
+        flows = generator.poisson_per_host(0.03)
+        matrix = matrix_from_flows(flows)
+        assert matrix.total_bytes() == sum(f.size for f in flows)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().add("a", "b", -1)
