@@ -108,7 +108,7 @@ def test_ablation_header_space(benchmark, report_writer):
 def test_ablation_per_path_aggregation(benchmark, report_writer):
     """Per-path aggregation vs per-packet records in the TIB."""
     from repro.core import Tib
-    from repro.storage import PathFlowRecord
+    from repro.storage import Collection, PathFlowRecord
 
     packets_per_flow = 64
     flows = 200
@@ -116,19 +116,25 @@ def test_ablation_per_path_aggregation(benchmark, report_writer):
             "tor-2-0", "h-2-0-0")
 
     def build(aggregated: bool):
-        tib = Tib("h-2-0-0")
-        for f in range(flows):
-            flow = FlowId("h-0-0-0", "h-2-0-0", 40_000 + f, 80, PROTO_TCP)
-            if aggregated:
+        if aggregated:
+            tib = Tib("h-2-0-0")
+            for f in range(flows):
+                flow = FlowId("h-0-0-0", "h-2-0-0", 40_000 + f, 80,
+                              PROTO_TCP)
                 tib.add_record(PathFlowRecord(flow, path, 0.0, 1.0,
                                               1460 * packets_per_flow,
                                               packets_per_flow))
-            else:
-                for p in range(packets_per_flow):
-                    tib._collection.insert(PathFlowRecord(
-                        flow, path, p * 1e-3, p * 1e-3, 1460,
-                        1).to_document())
-        return tib.record_count(), tib.estimated_bytes()
+            return tib.record_count(), tib.estimated_bytes()
+        # Hypothetical per-packet TIB: one document per packet, stored in a
+        # bare collection (the engine's upsert would - by design - merge
+        # them away).
+        collection = Collection("per_packet_tib")
+        for f in range(flows):
+            flow = FlowId("h-0-0-0", "h-2-0-0", 40_000 + f, 80, PROTO_TCP)
+            for p in range(packets_per_flow):
+                collection.insert(PathFlowRecord(
+                    flow, path, p * 1e-3, p * 1e-3, 1460, 1).to_document())
+        return len(collection), collection.estimated_bytes()
 
     (agg_records, agg_bytes), (pkt_records, pkt_bytes) = benchmark.pedantic(
         lambda: (build(True), build(False)), rounds=1, iterations=1)

@@ -1,0 +1,109 @@
+"""Storage-engine regression micro-benchmarks.
+
+Unlike the figure benchmarks, these do not reproduce a paper result; they
+pin down the raw performance of the TIB storage engine so future PRs have a
+perf trajectory to compare against:
+
+* insert throughput (unique records - pure inserts);
+* merge throughput (repeated (flow, path) pairs - pure in-place upserts);
+* time-range query latency on a populated TIB;
+* link query latency on a populated TIB.
+
+``run_storage_bench.py`` runs the same workloads standalone and writes the
+machine-readable ``BENCH_storage.json`` at the repository root.
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.core.tib import Tib
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+
+from storage_workload import make_records, populate_tib
+
+RECORD_COUNT = 20_000
+DISTINCT_PAIRS = 2_000
+
+
+def _fresh_records(count, distinct_pairs):
+    """Per-round setup: the TIB retains and (on merge) mutates the record
+    objects it is given, so every round must run on freshly built records
+    for the workload to stay identical."""
+    return (make_records(count, distinct_pairs),), {}
+
+
+def test_storage_insert_throughput(benchmark):
+    """Unique-record inserts (every add takes the primary-index miss path)."""
+    def insert_all(records):
+        tib = Tib("bench-host")
+        tib.add_records(records)
+        return tib
+
+    tib = benchmark.pedantic(
+        insert_all, setup=lambda: _fresh_records(RECORD_COUNT, RECORD_COUNT),
+        rounds=3, iterations=1)
+    assert tib.record_count() == RECORD_COUNT
+
+
+def test_storage_merge_throughput(benchmark):
+    """Merge-heavy inserts (~90% of adds hit the in-place upsert path)."""
+    def insert_all(records):
+        tib = Tib("bench-host")
+        tib.add_records(records)
+        return tib
+
+    tib = benchmark.pedantic(
+        insert_all, setup=lambda: _fresh_records(RECORD_COUNT,
+                                                 DISTINCT_PAIRS),
+        rounds=3, iterations=1)
+    assert tib.record_count() == DISTINCT_PAIRS
+
+
+def test_storage_time_range_query(benchmark, report_writer):
+    tib = populate_tib(RECORD_COUNT)
+    windows = [(100.0 * i, 100.0 * i + 50.0) for i in range(10)]
+    state = {"i": 0}
+
+    def query():
+        start, end = windows[state["i"] % len(windows)]
+        state["i"] += 1
+        return tib.records(time_range=(start, end))
+
+    result = benchmark(query)
+    assert result  # every window overlaps part of the workload
+
+    report_writer("regress_storage_time_query", format_table(
+        ["records", "windows", "hits (first window)"],
+        [[RECORD_COUNT, len(windows), len(result)]],
+        title="Storage regression: time-range query over the sorted time "
+              "index (see BENCH_storage.json for the trajectory)"))
+
+
+def test_storage_link_query(benchmark):
+    tib = populate_tib(RECORD_COUNT)
+    links = [(f"spine-{i % 2}", f"leaf-{i % 8}") for i in range(16)]
+    state = {"i": 0}
+
+    def query():
+        link = links[state["i"] % len(links)]
+        state["i"] += 1
+        return tib.records(link=link)
+
+    benchmark(query)
+
+
+def test_storage_flow_query(benchmark):
+    tib = populate_tib(RECORD_COUNT)
+    rng = random.Random(9)
+    flows = [FlowId(f"src-{rng.randrange(64)}", "bench-host",
+                    20_000 + rng.randrange(RECORD_COUNT), 80, PROTO_TCP)
+             for _ in range(64)]
+    state = {"i": 0}
+
+    def query():
+        flow = flows[state["i"] % len(flows)]
+        state["i"] += 1
+        return tib.records(flow_id=flow)
+
+    benchmark(query)

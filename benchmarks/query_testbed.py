@@ -62,6 +62,7 @@ def populate_cluster(cluster: QueryCluster, records_per_host: int,
     for host in hosts:
         agent = cluster.agent(host)
         tor = topo.tor_of(host)
+        records = []
         for index in range(records_per_host):
             src = rng.choice(hosts)
             if src == host:
@@ -75,13 +76,12 @@ def populate_cluster(cluster: QueryCluster, records_per_host: int,
             size = cdf.sample(rng)
             start = rng.uniform(0.0, 3600.0)
             flow = FlowId(src, host, 20_000 + index, 80, PROTO_TCP)
-            record = PathFlowRecord(flow, path, start, start + 0.2, size,
-                                    max(1, size // 1460))
-            # Insert directly into the underlying collection: synthetic flows
-            # are unique by construction, so the merge check is unnecessary
-            # and would dominate the set-up time.
-            agent.tib._collection.insert(record.to_document())
-            inserted += 1
+            records.append(PathFlowRecord(flow, path, start, start + 0.2,
+                                          size, max(1, size // 1460)))
+        # Bulk upsert through the TIB's keyed index (O(1) per record) so the
+        # engine's link/time/flow indexes are populated alongside the
+        # documents.
+        inserted += agent.tib.add_records(records)
     return inserted
 
 

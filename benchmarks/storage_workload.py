@@ -1,0 +1,49 @@
+"""Shared synthetic workload for the storage-engine benchmarks.
+
+Used by ``bench_regress_storage.py`` (pytest-benchmark) and
+``run_storage_bench.py`` (standalone, writes ``BENCH_storage.json``) so both
+measure exactly the same record population.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.tib import Tib
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+
+#: Leaf/spine fabric shape of the synthetic paths.
+LEAVES = 8
+SPINES = 2
+
+
+def make_records(count: int, distinct_pairs: int,
+                 seed: int = 0) -> List[PathFlowRecord]:
+    """``count`` records over ``distinct_pairs`` distinct (flow, path) pairs.
+
+    ``distinct_pairs == count`` gives a pure-insert workload; smaller values
+    make the surplus adds exercise the merge (upsert) path.
+    """
+    rng = random.Random(seed)
+    records = []
+    for i in range(count):
+        pair = rng.randrange(distinct_pairs) if distinct_pairs < count else i
+        src = f"src-{pair % 64}"
+        flow = FlowId(src, "bench-host", 20_000 + pair, 80, PROTO_TCP)
+        path = (src, f"leaf-{pair % LEAVES}", f"spine-{pair % SPINES}",
+                f"leaf-{(pair // LEAVES) % LEAVES}", "bench-host")
+        start = rng.uniform(0.0, 1000.0)
+        size = rng.randrange(100, 1_000_000)
+        records.append(PathFlowRecord(flow, path, start, start + 0.2, size,
+                                      max(1, size // 1460)))
+    return records
+
+
+def populate_tib(count: int, distinct_pairs: int | None = None,
+                 seed: int = 0) -> Tib:
+    """A TIB pre-filled with the synthetic workload."""
+    tib = Tib("bench-host")
+    tib.add_records(make_records(count, distinct_pairs or count, seed=seed))
+    return tib

@@ -117,13 +117,12 @@ class PathDumpAgent:
         return self._export(evicted)
 
     def _export(self, evicted: Sequence) -> int:
-        count = 0
-        for memory_record in evicted:
-            record = self.constructor.construct(memory_record)
-            if record is not None:
-                self.tib.add_record(record)
-                count += 1
-        return count
+        construct = self.constructor.construct
+        constructed = [record for record in map(construct, evicted)
+                       if record is not None]
+        if not constructed:
+            return 0
+        return self.tib.add_records(constructed)
 
     def _on_invalid_trajectory(self, memory_record, error) -> None:
         """An extracted trajectory is inconsistent with the topology."""

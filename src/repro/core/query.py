@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.alarms import PC_FAIL, Alarm
-from repro.core.tib import LinkId, TimeRange
+from repro.core.tib import (LinkId, TimeRange, is_unconstrained_link,
+                            normalise_time_range)
 from repro.network.packet import PROTO_TCP, FlowId
 from repro.storage.records import flow_key
 
@@ -192,7 +193,12 @@ class QueryEngine:
 
     @staticmethod
     def _run_flow_size_distribution(agent, params):
-        """Histogram of flow sizes on a link (the Section 2.3 example)."""
+        """Histogram of flow sizes on a link (the Section 2.3 example).
+
+        One pass over the link-indexed records: bytes are grouped per
+        (flow, path) pair - exactly what ``getFlows`` + per-flow
+        ``getCount`` produced, without re-querying the TIB per flow.
+        """
         links = params.get("links")
         if links is None:
             links = [params.get("link")]
@@ -202,35 +208,46 @@ class QueryEngine:
         scanned = 0
         for link in links:
             label = _link_label(link)
-            flows = agent.get_flows(link, time_range)
-            scanned += len(flows)
-            for flow_id, path in flows:
-                nbytes, _ = agent.get_count((flow_id, path), time_range)
-                bucket = nbytes // binsize
-                key = (label, bucket)
+            # The TIB keeps exactly one record per (flow, path), so each
+            # record's byte count already is the pair's ``getCount`` total.
+            for record in agent.records(link=link, time_range=time_range):
+                key = (label, record.bytes // binsize)
                 histogram[key] = histogram.get(key, 0) + 1
+                scanned += 1
         return histogram, _KV_BYTES * max(1, len(histogram)), scanned
 
     @staticmethod
     def _run_top_k_flows(agent, params):
-        """Top-k flows by byte count at this host (the Section 2.3 example)."""
+        """Top-k flows by byte count at this host (the Section 2.3 example).
+
+        Single pass over the (link/time) indexed records; per-path byte
+        counts are grouped by flow key without one ``getCount`` query per
+        flow.
+        """
         k = params.get("k", 1000)
         link = params.get("link")
         time_range = params.get("time_range")
-        flows = agent.get_flows(link, time_range)
+        if is_unconstrained_link(link) and \
+                normalise_time_range(time_range) == (None, None):
+            # Unconstrained: rank the incrementally maintained per-flow
+            # aggregates - no record is touched at all.
+            totals = agent.tib.flow_byte_totals()
+            scanned = agent.tib.record_count()
+        else:
+            totals = {}
+            scanned = 0
+            for record in agent.records(link=link, time_range=time_range):
+                key = flow_key(record.flow_id)
+                totals[key] = totals.get(key, 0) + record.bytes
+                scanned += 1
         heap: List[Tuple[int, str]] = []
-        totals: Dict[str, int] = {}
-        for flow_id, path in flows:
-            nbytes, _ = agent.get_count((flow_id, path), time_range)
-            key = flow_key(flow_id)
-            totals[key] = totals.get(key, 0) + nbytes
         for key, nbytes in totals.items():
             if len(heap) < k:
                 heapq.heappush(heap, (nbytes, key))
             elif nbytes > heap[0][0]:
                 heapq.heapreplace(heap, (nbytes, key))
         result = sorted(heap, reverse=True)
-        return result, _KV_BYTES * max(1, len(result)), len(flows)
+        return result, _KV_BYTES * max(1, len(result)), scanned
 
     @staticmethod
     def _run_traffic_matrix(agent, params):

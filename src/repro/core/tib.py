@@ -12,12 +12,43 @@ is implemented directly on top of it:
 ``linkID`` is a pair of adjacent switch IDs, ``timeRange`` a pair of
 timestamps; both support wildcards (``None`` or ``"*"`` / ``"?"``), exactly
 as described in Section 2.1.
+
+Storage engine
+--------------
+
+The TIB answers those queries from a set of always-maintained indexes over a
+cached-record layer, so no query deserialises documents and no write
+rescans the collection:
+
+* a **primary keyed index** ``(flow key, path) -> record id`` makes
+  :meth:`Tib.add_record` an O(1) in-place upsert - consecutive records of
+  the same (flow, path) are merged by mutating the stored record, never by
+  delete + reinsert;
+* a **per-flow index** ``flow key -> record ids`` serves ``getPaths`` /
+  ``getCount`` / ``getDuration``;
+* an **inverted link index** ``(u, v) -> record ids`` plus per-endpoint
+  postings serve ``getFlows(linkID)`` including wildcard endpoints;
+* a **sorted time index** (bisect over ``stime`` / ``etime``, rebuilt
+  lazily after writes) narrows ``records(time_range=...)`` to the records
+  whose interval can overlap the window;
+* the **cached-record layer** keeps one :class:`PathFlowRecord` per row, so
+  queries return memoized objects instead of re-running ``from_document``;
+* incrementally maintained **per-flow aggregates** (bytes/packets per flow
+  key) answer unconstrained ``getCount`` and whole-TIB byte rankings
+  without touching any record.
+
+The backing :class:`~repro.storage.docstore.Collection` holds the document
+form of every record (for the Section 5.3 storage accounting and external
+document-level consumers) and is kept in sync incrementally.  Callers must
+treat records returned by queries as read-only; all mutation goes through
+:meth:`Tib.add_record`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from bisect import bisect_left, bisect_right
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
+                    Union)
 
 from repro.network.packet import FlowId
 from repro.storage.docstore import Collection, DocumentStore
@@ -36,10 +67,20 @@ TimeRange = Tuple[Optional[float], Optional[float]]
 #: A "Flow" in the paper's sense: a (flowID, Path) pair.
 Flow = Tuple[FlowId, Tuple[str, ...]]
 
+#: Upper sentinel for bisecting past all entries with an exact time value.
+_POS_INF = float("inf")
+
+_EMPTY_IDS: FrozenSet[int] = frozenset()
+
 
 def _is_wild(value) -> bool:
     """Whether a link/time component is a wildcard."""
     return value is None or value in (WILDCARD, "?")
+
+
+def is_unconstrained_link(link: Optional[LinkId]) -> bool:
+    """Whether ``link`` constrains nothing (absent or fully wildcarded)."""
+    return link is None or (_is_wild(link[0]) and _is_wild(link[1]))
 
 
 def normalise_time_range(time_range: Optional[TimeRange]
@@ -72,13 +113,18 @@ def link_matches(record: PathFlowRecord, link: Optional[LinkId]) -> bool:
     if link is None:
         return True
     a, b = link
-    if _is_wild(a) and _is_wild(b):
+    wild_a = _is_wild(a)
+    wild_b = _is_wild(b)
+    if wild_a and wild_b:
         return True
-    links = record.links()
-    if _is_wild(a):
-        return any(v == b for _, v in links) or any(u == b for u, _ in links)
-    if _is_wild(b):
-        return any(u == a for u, _ in links) or any(v == a for _, v in links)
+    if wild_a or wild_b:
+        # One concrete endpoint: it matches when it is an endpoint of any
+        # link on the path, i.e. when it appears anywhere on a path that has
+        # at least one link.  (The path's nodes *are* the set of link
+        # endpoints, so no per-link double scan is needed.)
+        node = a if wild_b else b
+        path = record.path
+        return len(path) >= 2 and node in path
     return record.traverses_link(a, b)
 
 
@@ -99,60 +145,217 @@ class Tib:
         self._collection: Collection = self.store.collection(self.COLLECTION)
         self._collection.create_index("flow_key")
         self._collection.create_index("dst_ip")
+        # Engine state (see the module docstring).  All postings hold record
+        # ids; ids are assigned in insertion order, so id order doubles as
+        # the deterministic result order.
+        self._primary: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self._cache: Dict[int, PathFlowRecord] = {}
+        self._flow_ids: Dict[str, List[int]] = {}
+        self._flow_totals: Dict[str, List[int]] = {}
+        self._link_ids: Dict[Tuple[str, str], Set[int]] = {}
+        self._endpoint_ids: Dict[str, Set[int]] = {}
+        self._by_stime: List[Tuple[float, int]] = []
+        self._by_etime: List[Tuple[float, int]] = []
+        self._time_index_dirty = False
 
     # ----------------------------------------------------------------- writes
     def add_record(self, record: PathFlowRecord) -> None:
         """Insert a finished per-path flow record.
 
-        Consecutive records for the same (flow, path) are merged, mirroring
-        the per-path aggregation the trajectory memory performs.
+        Consecutive records for the same (flow, path) are merged in place,
+        mirroring the per-path aggregation the trajectory memory performs.
+        The record object is retained by the TIB; callers must not mutate it
+        afterwards.
         """
-        existing = self._find_record_document(record.flow_id, record.path)
-        if existing is not None:
-            merged = PathFlowRecord.from_document(existing)
-            merged.update(record.bytes, record.pkts, record.etime)
-            merged.stime = min(merged.stime, record.stime)
-            self._collection.delete({"_id": existing["_id"]})
-            self._collection.insert(merged.to_document())
+        if type(record.path) is not tuple:
+            record.path = tuple(record.path)
+        key = (flow_key(record.flow_id), record.path)
+        record_id = self._primary.get(key)
+        if record_id is None:
+            self._insert_new(key, record)
         else:
-            self._collection.insert(record.to_document())
+            self._merge_into(record_id, key[0], record)
 
     def add_records(self, records: Iterable[PathFlowRecord]) -> int:
-        """Insert many records; returns the number inserted."""
+        """Insert many records (bulk upsert); returns the number processed."""
         count = 0
+        add = self.add_record
         for record in records:
-            self.add_record(record)
+            add(record)
             count += 1
         return count
 
     def clear(self) -> None:
         """Drop every record."""
         self._collection.clear()
+        self._primary.clear()
+        self._cache.clear()
+        self._flow_ids.clear()
+        self._flow_totals.clear()
+        self._link_ids.clear()
+        self._endpoint_ids.clear()
+        self._by_stime = []
+        self._by_etime = []
+        self._time_index_dirty = False
+
+    def _insert_new(self, key: Tuple[str, Tuple[str, ...]],
+                    record: PathFlowRecord) -> None:
+        record_id = self._collection.insert(record.to_document())
+        self._primary[key] = record_id
+        self._cache[record_id] = record
+        self._flow_ids.setdefault(key[0], []).append(record_id)
+        totals = self._flow_totals.get(key[0])
+        if totals is None:
+            self._flow_totals[key[0]] = [record.bytes, record.pkts]
+        else:
+            totals[0] += record.bytes
+            totals[1] += record.pkts
+        path = record.path
+        if len(path) >= 2:
+            for pair in zip(path, path[1:]):
+                self._link_ids.setdefault(pair, set()).add(record_id)
+            for node in set(path):
+                self._endpoint_ids.setdefault(node, set()).add(record_id)
+        self._time_index_dirty = True
+
+    def _merge_into(self, record_id: int, fkey: str,
+                    record: PathFlowRecord) -> None:
+        cached = self._cache[record_id]
+        cached.bytes += record.bytes
+        cached.pkts += record.pkts
+        totals = self._flow_totals[fkey]
+        totals[0] += record.bytes
+        totals[1] += record.pkts
+        changes = {"bytes": cached.bytes, "pkts": cached.pkts}
+        if record.stime < cached.stime:
+            cached.stime = record.stime
+            changes["stime"] = cached.stime
+            self._time_index_dirty = True
+        if record.etime > cached.etime:
+            cached.etime = record.etime
+            changes["etime"] = cached.etime
+            self._time_index_dirty = True
+        self._collection.update(record_id, changes)
 
     # ------------------------------------------------------------------ reads
     def records(self, flow_id: Optional[FlowId] = None,
                 link: Optional[LinkId] = None,
                 time_range: Optional[TimeRange] = None
                 ) -> List[PathFlowRecord]:
-        """All records matching the given constraints."""
-        window = normalise_time_range(time_range)
+        """All records matching the given constraints.
+
+        The returned :class:`PathFlowRecord` objects are the TIB's own
+        memoized instances - treat them as read-only.
+        """
+        start, end = normalise_time_range(time_range)
+        cache = self._cache
+
         if flow_id is not None:
-            documents = self._collection.find({"flow_key": flow_key(flow_id)})
+            # Per-flow index; posting lists are already in id (insertion)
+            # order.
+            results = []
+            for record_id in self._flow_ids.get(flow_key(flow_id), ()):
+                record = cache[record_id]
+                if start is not None and record.etime < start:
+                    continue
+                if end is not None and record.stime > end:
+                    continue
+                if link is not None and not link_matches(record, link):
+                    continue
+                results.append(record)
+            return results
+
+        if link is not None:
+            a, b = link
+            wild_a = _is_wild(a)
+            wild_b = _is_wild(b)
+            if not (wild_a and wild_b):
+                if wild_a or wild_b:
+                    candidates: Iterable[int] = self._endpoint_ids.get(
+                        a if wild_b else b, _EMPTY_IDS)
+                else:
+                    forward = self._link_ids.get((a, b), _EMPTY_IDS)
+                    backward = self._link_ids.get((b, a), _EMPTY_IDS)
+                    candidates = forward | backward if backward else forward
+                results = []
+                for record_id in sorted(candidates):
+                    record = cache[record_id]
+                    if start is not None and record.etime < start:
+                        continue
+                    if end is not None and record.stime > end:
+                        continue
+                    results.append(record)
+                return results
+            # A fully wild link constrains nothing; fall through.
+
+        if start is None and end is None:
+            return list(cache.values())
+        return [cache[record_id]
+                for record_id in self._ids_in_window(start, end)]
+
+    def _ids_in_window(self, start: Optional[float],
+                       end: Optional[float]) -> List[int]:
+        """Record ids whose [stime, etime] overlaps the window, id-ordered.
+
+        Overlap means ``etime >= start`` and ``stime <= end``; each bound is
+        a bisection over the corresponding sorted time index.  With both
+        bounds present the smaller candidate side is enumerated and the
+        other bound verified per record.
+        """
+        self._refresh_time_index()
+        cache = self._cache
+        if start is None:
+            cut = bisect_right(self._by_stime, (end, _POS_INF))
+            ids = [record_id for _, record_id in self._by_stime[:cut]]
+        elif end is None:
+            lo = bisect_left(self._by_etime, (start,))
+            ids = [record_id for _, record_id in self._by_etime[lo:]]
         else:
-            documents = self._collection.find()
-        results = []
-        for document in documents:
-            record = PathFlowRecord.from_document(document)
-            if not record_in_range(record, window):
-                continue
-            if not link_matches(record, link):
-                continue
-            results.append(record)
-        return results
+            lo = bisect_left(self._by_etime, (start,))
+            cut = bisect_right(self._by_stime, (end, _POS_INF))
+            if len(self._by_etime) - lo <= cut:
+                ids = [record_id for _, record_id in self._by_etime[lo:]
+                       if cache[record_id].stime <= end]
+            else:
+                ids = [record_id for _, record_id in self._by_stime[:cut]
+                       if cache[record_id].etime >= start]
+        ids.sort()
+        return ids
+
+    def _refresh_time_index(self) -> None:
+        """Re-sort the time indexes after writes (lazy: once per query burst).
+
+        Merges move ``stime``/``etime`` of existing records, so the sorted
+        views are rebuilt on the first time-constrained query after any
+        write instead of being patched on every upsert - write-heavy phases
+        (the common ingest pattern) pay nothing per record.
+        """
+        if not self._time_index_dirty:
+            return
+        by_stime = []
+        by_etime = []
+        for record_id, record in self._cache.items():
+            by_stime.append((record.stime, record_id))
+            by_etime.append((record.etime, record_id))
+        by_stime.sort()
+        by_etime.sort()
+        self._by_stime = by_stime
+        self._by_etime = by_etime
+        self._time_index_dirty = False
 
     def record_count(self) -> int:
         """Number of stored records."""
-        return len(self._collection)
+        return len(self._cache)
+
+    def flow_byte_totals(self) -> Dict[str, int]:
+        """Total bytes per flow key over the whole TIB.
+
+        Served from the incrementally maintained per-flow aggregates (no
+        record scan); flows appear in first-record order.  This is the fast
+        path behind unconstrained top-k / heavy-hitter style queries.
+        """
+        return {key: totals[0]
+                for key, totals in self._flow_totals.items()}
 
     def estimated_bytes(self) -> int:
         """Approximate storage footprint (Section 5.3 accounting)."""
@@ -194,6 +397,9 @@ class Tib:
         records - or a bare flowID, counting across all its paths.
         """
         flow_id, path = self._split_flow(flow)
+        if path is None and time_range is None:
+            totals = self._flow_totals.get(flow_key(flow_id))
+            return (totals[0], totals[1]) if totals else (0, 0)
         nbytes = 0
         npkts = 0
         for record in self.records(flow_id=flow_id, time_range=time_range):
@@ -226,10 +432,3 @@ class Tib:
             return flow, None
         flow_id, path = flow
         return flow_id, tuple(path) if path is not None else None
-
-    def _find_record_document(self, flow_id: FlowId,
-                              path: Tuple[str, ...]) -> Optional[Dict[str, Any]]:
-        for document in self._collection.find({"flow_key": flow_key(flow_id)}):
-            if tuple(document["path"]) == tuple(path):
-                return document
-        return None

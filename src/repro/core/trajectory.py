@@ -98,7 +98,7 @@ class TrajectoryMemory:
 
     def __init__(self, idle_timeout: float = DEFAULT_IDLE_TIMEOUT_S) -> None:
         self.idle_timeout = idle_timeout
-        self._records: Dict[Tuple[str, Tuple[int, ...]],
+        self._records: Dict[Tuple[FlowId, Tuple[int, ...]],
                             TrajectoryMemoryRecord] = {}
         self.lookups = 0
 
@@ -107,6 +107,10 @@ class TrajectoryMemory:
                when: float, terminate: bool = False
                ) -> Optional[TrajectoryMemoryRecord]:
         """Fold one packet into the memory.
+
+        This is the per-packet fast path: the record is keyed directly by
+        the (hashable) ``FlowId`` plus the sample tuple - no string key is
+        derived and, for a resident record, no object is allocated.
 
         Args:
             flow_id: the packet's flow.
@@ -119,19 +123,24 @@ class TrajectoryMemory:
         Returns:
             The evicted record when ``terminate`` is set, else ``None``.
         """
-        from repro.storage.records import flow_key
-
-        key = (flow_key(flow_id), tuple(link_ids))
+        samples = link_ids if type(link_ids) is tuple else tuple(link_ids)
+        key = (flow_id, samples)
         self.lookups += 1
-        record = self._records.get(key)
+        records = self._records
+        record = records.get(key)
         if record is None:
             record = TrajectoryMemoryRecord(
-                flow_id=flow_id, link_ids=tuple(link_ids), stime=when,
+                flow_id=flow_id, link_ids=samples, stime=when,
                 etime=when, bytes=0, pkts=0, src_host=flow_id.src_ip)
-            self._records[key] = record
-        record.update(nbytes, when)
+            records[key] = record
+        record.bytes += nbytes
+        record.pkts += 1
+        if when < record.stime:
+            record.stime = when
+        if when > record.etime:
+            record.etime = when
         if terminate:
-            del self._records[key]
+            del records[key]
             return record
         return None
 

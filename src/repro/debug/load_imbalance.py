@@ -224,14 +224,12 @@ def run_packet_spraying_experiment(*, k: int = 4, flow_size: int = 100_000_000,
                                       spray_weights=weights)
     cluster.ingest_flow_outcomes([outcome])
 
-    # Read the per-path statistics back from the destination TIB.
+    # Read the per-path statistics back from the destination TIB (one pass
+    # over the flow-indexed records instead of a full getFlows scan).
     agent = cluster.agent(dst)
     per_path: Dict[Tuple[str, ...], int] = {}
-    for flow_id, path in agent.get_flows():
-        if flow_id != spec.flow_id:
-            continue
-        nbytes, _ = agent.get_count((flow_id, path))
-        per_path[path] = nbytes
+    for record in agent.records(flow_id=spec.flow_id):
+        per_path[record.path] = per_path.get(record.path, 0) + record.bytes
 
     values = list(per_path.values())
     rate = imbalance_rate(values) if values else 0.0

@@ -25,7 +25,7 @@ from repro.core.cluster import (MECHANISM_DIRECT, MECHANISM_MULTILEVEL,
 from repro.core.query import Q_TOP_K_FLOWS, Q_TRAFFIC_MATRIX, Query
 from repro.core.tib import LinkId, TimeRange
 from repro.network.packet import FlowId
-from repro.storage.records import parse_flow_key
+from repro.storage.records import flow_key, parse_flow_key
 from repro.workloads.traffic_matrix import TrafficMatrix
 
 
@@ -64,9 +64,8 @@ def heavy_hitters(cluster: QueryCluster, threshold_bytes: int,
     hitters: Dict[str, int] = defaultdict(int)
     for host in targets:
         agent = cluster.agent(host)
-        for flow_id, path in agent.get_flows(time_range=time_range):
-            nbytes, _ = agent.get_count((flow_id, path), time_range)
-            hitters[_key(flow_id)] += nbytes
+        for record in agent.records(time_range=time_range):
+            hitters[flow_key(record.flow_id)] += record.bytes
     return sorted(
         (TopFlow(flow_id=parse_flow_key(key), bytes=nbytes)
          for key, nbytes in hitters.items() if nbytes >= threshold_bytes),
@@ -100,10 +99,8 @@ def congested_link_flows(cluster: QueryCluster, link: LinkId,
     totals: Dict[str, int] = defaultdict(int)
     for host in targets:
         agent = cluster.agent(host)
-        for flow_id, path in agent.get_flows(link=link,
-                                             time_range=time_range):
-            nbytes, _ = agent.get_count((flow_id, path), time_range)
-            totals[_key(flow_id)] += nbytes
+        for record in agent.records(link=link, time_range=time_range):
+            totals[flow_key(record.flow_id)] += record.bytes
     ranked = sorted(totals.items(), key=lambda kv: -kv[1])[:top]
     return [TopFlow(flow_id=parse_flow_key(key), bytes=nbytes)
             for key, nbytes in ranked]
@@ -129,20 +126,13 @@ def ddos_fan_in(cluster: QueryCluster, source_threshold: int = 10,
         agent = cluster.agent(host)
         sources = set()
         total = 0
-        for flow_id, path in agent.get_flows(time_range=time_range):
-            if flow_id.dst_ip != host:
+        for record in agent.records(time_range=time_range):
+            if record.flow_id.dst_ip != host:
                 continue
-            sources.add(flow_id.src_ip)
-            nbytes, _ = agent.get_count((flow_id, path), time_range)
-            total += nbytes
+            sources.add(record.flow_id.src_ip)
+            total += record.bytes
         reports.append(FanInReport(
             destination=host, distinct_sources=len(sources),
             total_bytes=total,
             suspicious=len(sources) >= source_threshold))
     return sorted(reports, key=lambda r: -r.distinct_sources)
-
-
-def _key(flow_id: FlowId) -> str:
-    from repro.storage.records import flow_key
-
-    return flow_key(flow_id)

@@ -109,14 +109,17 @@ class TcpAnomalyDiagnoser:
         agent = self.cluster.agents[receiver]
         throughput: Dict[str, float] = {}
         branch_flows: Dict[str, List[FlowId]] = defaultdict(list)
-        for flow_id, path in agent.get_flows():
-            if flow_id.dst_ip != receiver:
+        # One pass over the receiver's TIB; the engine keeps exactly one
+        # record per (flow, path), so each record already carries the pair's
+        # getCount/getDuration aggregates.
+        for record in agent.records():
+            if record.flow_id.dst_ip != receiver:
                 continue
-            nbytes, _ = agent.get_count((flow_id, path))
-            duration = agent.get_duration((flow_id, path)) or duration_s
+            flow_id, path = record.flow_id, record.path
+            duration = (record.etime - record.stime) or duration_s
             throughput[flow_id.src_ip] = max(
                 throughput.get(flow_id.src_ip, 0.0),
-                nbytes * 8.0 / max(duration, 1e-6))
+                record.bytes * 8.0 / max(duration, 1e-6))
             # The branch is the node the packet came from when it reached the
             # receiver's ToR: a host for rack-local senders, an aggregate
             # switch for remote ones.

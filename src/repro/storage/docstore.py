@@ -11,16 +11,30 @@ Mongo-flavoured query subset:
 * membership: ``{"field": {"$in": [...]}}``
 * containment for list-valued fields: ``{"field": {"$contains": value}}``
 
-Single-field hash indexes accelerate equality lookups; everything else falls
-back to a filtered scan.  The store also tracks an estimate of its storage
-footprint so the Section 5.3 overhead numbers have a concrete counterpart.
+Two index kinds accelerate queries:
+
+* **hash indexes** (:meth:`Collection.create_index`) serve equality lookups;
+* **sorted indexes** (:meth:`Collection.create_sorted_index`) serve range
+  queries (``$gt``/``$gte``/``$lt``/``$lte``/``$eq``) via bisection.
+
+All indexes are maintained *incrementally*: inserts, in-place updates
+(:meth:`Collection.update`) and deletes touch only the affected postings -
+there is no full index rebuild outside :meth:`Collection.create_index`,
+:meth:`Collection.create_sorted_index` and :meth:`Collection.compact`.
+Deletion tombstones document slots to keep index positions stable; a
+compaction reclaiming the space runs automatically once the tombstone ratio
+crosses ``auto_compact_ratio``.  The store also tracks an estimate of its
+storage footprint so the Section 5.3 overhead numbers have a concrete
+counterpart, and per-collection counters (``Collection.stats``) expose how
+often full scans and index rebuilds actually happen.
 """
 
 from __future__ import annotations
 
 import sys
+from bisect import bisect_left, bisect_right, insort
 from collections import defaultdict
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Comparison operators supported in query documents.
 _OPERATORS = {
@@ -35,6 +49,12 @@ _OPERATORS = {
     "$contains": lambda value, ref: isinstance(value, (list, tuple, set))
     and ref in value,
 }
+
+#: Range operators a sorted index can answer by bisection.
+_RANGE_OPERATORS = ("$eq", "$gt", "$gte", "$lt", "$lte")
+
+#: Upper sentinel for bisecting "all entries with this exact value".
+_POS_INF = float("inf")
 
 
 class QueryError(ValueError):
@@ -59,34 +79,84 @@ def _matches(document: Dict[str, Any], query: Dict[str, Any]) -> bool:
 
 
 class Collection:
-    """A named collection of documents with optional hash indexes."""
+    """A named collection of documents with hash and sorted indexes.
 
-    def __init__(self, name: str) -> None:
+    Args:
+        name: the collection name.
+        auto_compact_ratio: tombstone fraction above which a delete triggers
+            an automatic :meth:`compact` (set to ``None`` to disable).
+    """
+
+    #: Minimum number of slots before auto-compaction is considered; keeps
+    #: tiny collections from compacting on every other delete.
+    AUTO_COMPACT_MIN_SLOTS = 64
+
+    def __init__(self, name: str,
+                 auto_compact_ratio: Optional[float] = 0.3) -> None:
         self.name = name
-        self._documents: List[Dict[str, Any]] = []
+        self.auto_compact_ratio = auto_compact_ratio
+        self._documents: List[Optional[Dict[str, Any]]] = []
+        self._id_to_pos: Dict[Any, int] = {}
         self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+        self._sorted_indexes: Dict[str, List[Tuple[Any, int]]] = {}
         self._next_id = 0
+        self._tombstones = 0
+        #: Instrumentation: how often expensive operations actually happen.
+        self.stats = {"full_scans": 0, "index_rebuilds": 0, "compactions": 0}
 
-    # ---------------------------------------------------------------- writes
+    # ---------------------------------------------------------------- indexes
     def create_index(self, field: str) -> None:
         """Create (or rebuild) a hash index on ``field``."""
+        self.stats["index_rebuilds"] += 1
+        self._build_hash_index(field)
+
+    def create_sorted_index(self, field: str) -> None:
+        """Create (or rebuild) a sorted index on ``field``.
+
+        Sorted indexes answer range queries by bisection.  Documents whose
+        ``field`` is missing or ``None`` are excluded; queries whose bounds
+        are all ``None`` (e.g. ``{"$eq": None}``) therefore fall back to a
+        scan instead of the index.  Values must be mutually comparable.
+        """
+        self.stats["index_rebuilds"] += 1
+        self._build_sorted_index(field)
+
+    def _build_hash_index(self, field: str) -> None:
         index: Dict[Any, List[int]] = defaultdict(list)
         for position, document in enumerate(self._documents):
             if document is None:
                 continue
             index[self._index_key(document.get(field))].append(position)
-        self._indexes[field] = index
+        self._indexes[field] = dict(index)
 
+    def _build_sorted_index(self, field: str) -> None:
+        entries = [(document[field], position)
+                   for position, document in enumerate(self._documents)
+                   if document is not None
+                   and document.get(field) is not None]
+        entries.sort()
+        self._sorted_indexes[field] = entries
+
+    # ---------------------------------------------------------------- writes
     def insert(self, document: Dict[str, Any]) -> int:
         """Insert a document; returns its assigned ``_id``."""
         doc = dict(document)
         doc.setdefault("_id", self._next_id)
+        if doc["_id"] in self._id_to_pos:
+            raise QueryError(f"duplicate _id {doc['_id']!r}")
         self._next_id += 1
+        if isinstance(doc["_id"], int) and doc["_id"] >= self._next_id:
+            self._next_id = doc["_id"] + 1
         position = len(self._documents)
         self._documents.append(doc)
+        self._id_to_pos[doc["_id"]] = position
         for field, index in self._indexes.items():
             index.setdefault(self._index_key(doc.get(field)),
                              []).append(position)
+        for field, entries in self._sorted_indexes.items():
+            value = doc.get(field)
+            if value is not None:
+                insort(entries, (value, position))
         return doc["_id"]
 
     def insert_many(self, documents: Iterable[Dict[str, Any]]) -> int:
@@ -97,45 +167,169 @@ class Collection:
             count += 1
         return count
 
+    def update(self, doc_id: Any, changes: Dict[str, Any]) -> bool:
+        """Update fields of the document ``doc_id`` in place.
+
+        Indexes over the changed fields are maintained incrementally (the
+        old posting is removed, the new one added); unchanged fields cost
+        nothing.  Returns whether the document existed.  ``_id`` cannot be
+        changed.
+        """
+        if "_id" in changes:
+            raise QueryError("_id is immutable")
+        position = self._id_to_pos.get(doc_id)
+        if position is None:
+            return False
+        document = self._documents[position]
+        for field, new_value in changes.items():
+            old_value = document.get(field)
+            if old_value == new_value:
+                continue
+            index = self._indexes.get(field)
+            if index is not None:
+                self._posting_remove(index, self._index_key(old_value),
+                                     position)
+                index.setdefault(self._index_key(new_value),
+                                 []).append(position)
+            entries = self._sorted_indexes.get(field)
+            if entries is not None:
+                if old_value is not None:
+                    self._sorted_remove(entries, old_value, position)
+                if new_value is not None:
+                    insort(entries, (new_value, position))
+            document[field] = new_value
+        return True
+
     def delete(self, query: Dict[str, Any]) -> int:
         """Delete matching documents; returns the number removed.
 
-        Deletion marks slots as tombstones to keep index positions stable;
-        :meth:`compact` reclaims the space.
+        Deletion marks slots as tombstones to keep index positions stable
+        and removes only the affected index postings; a tombstone-ratio
+        triggered :meth:`compact` reclaims the space.
         """
+        positions = self._candidate_positions(query)
+        if positions is None:
+            if query:
+                self.stats["full_scans"] += 1
+            positions = range(len(self._documents))
         removed = 0
-        for position, document in enumerate(self._documents):
+        # Copy: postings are mutated while we iterate over them.
+        for position in list(positions):
+            document = self._documents[position]
             if document is None:
                 continue
             if _matches(document, query):
-                self._documents[position] = None
+                self._remove_at(position, document)
                 removed += 1
         if removed:
-            for field in list(self._indexes):
-                self.create_index(field)
+            self._maybe_auto_compact()
         return removed
 
+    def delete_by_id(self, doc_id: Any) -> bool:
+        """Delete the document ``doc_id``; returns whether it existed."""
+        position = self._id_to_pos.get(doc_id)
+        if position is None:
+            return False
+        document = self._documents[position]
+        self._remove_at(position, document)
+        self._maybe_auto_compact()
+        return True
+
+    def _remove_at(self, position: int, document: Dict[str, Any]) -> None:
+        """Tombstone one slot and strip its postings from every index."""
+        self._documents[position] = None
+        self._tombstones += 1
+        self._id_to_pos.pop(document["_id"], None)
+        for field, index in self._indexes.items():
+            self._posting_remove(index, self._index_key(document.get(field)),
+                                 position)
+        for field, entries in self._sorted_indexes.items():
+            value = document.get(field)
+            if value is not None:
+                self._sorted_remove(entries, value, position)
+
+    @staticmethod
+    def _posting_remove(index: Dict[Any, List[int]], key: Any,
+                        position: int) -> None:
+        posting = index.get(key)
+        if posting is None:
+            return
+        try:
+            posting.remove(position)
+        except ValueError:
+            return
+        if not posting:
+            del index[key]
+
+    @staticmethod
+    def _sorted_remove(entries: List[Tuple[Any, int]], value: Any,
+                       position: int) -> None:
+        i = bisect_left(entries, (value, position))
+        if i < len(entries) and entries[i] == (value, position):
+            del entries[i]
+
+    def _maybe_auto_compact(self) -> None:
+        ratio = self.auto_compact_ratio
+        if ratio is None:
+            return
+        slots = len(self._documents)
+        if slots >= self.AUTO_COMPACT_MIN_SLOTS and \
+                self._tombstones / slots >= ratio:
+            self.compact()
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of document slots holding tombstones."""
+        slots = len(self._documents)
+        return self._tombstones / slots if slots else 0.0
+
     def compact(self) -> None:
-        """Drop tombstones and rebuild indexes."""
+        """Drop tombstones and rebuild indexes over the compacted slots."""
+        self.stats["compactions"] += 1
         self._documents = [d for d in self._documents if d is not None]
-        for field in list(self._indexes):
-            self.create_index(field)
+        self._tombstones = 0
+        self._id_to_pos = {d["_id"]: i for i, d in enumerate(self._documents)}
+        for field in self._indexes:
+            self._build_hash_index(field)
+        for field in self._sorted_indexes:
+            self._build_sorted_index(field)
 
     def clear(self) -> None:
         """Remove every document."""
         self._documents.clear()
+        self._id_to_pos.clear()
+        self._tombstones = 0
         for index in self._indexes.values():
             index.clear()
+        for entries in self._sorted_indexes.values():
+            entries.clear()
 
     # ----------------------------------------------------------------- reads
+    def get(self, doc_id: Any) -> Optional[Dict[str, Any]]:
+        """Return the document with ``_id == doc_id`` (O(1)) or ``None``."""
+        position = self._id_to_pos.get(doc_id)
+        return self._documents[position] if position is not None else None
+
     def find(self, query: Optional[Dict[str, Any]] = None,
              limit: Optional[int] = None) -> List[Dict[str, Any]]:
         """Return documents matching ``query`` (all documents when omitted)."""
         results: List[Dict[str, Any]] = []
-        for document in self._candidates(query):
+        if query is None:
+            for document in self._documents:
+                if document is not None:
+                    results.append(document)
+                    if limit is not None and len(results) >= limit:
+                        break
+            return results
+        positions = self._candidate_positions(query)
+        if positions is None:
+            self.stats["full_scans"] += 1
+            positions = range(len(self._documents))
+        for position in positions:
+            document = self._documents[position]
             if document is None:
                 continue
-            if query is None or _matches(document, query):
+            if _matches(document, query):
                 results.append(document)
                 if limit is not None and len(results) >= limit:
                     break
@@ -150,7 +344,7 @@ class Collection:
     def count(self, query: Optional[Dict[str, Any]] = None) -> int:
         """Count matching documents."""
         if query is None:
-            return sum(1 for d in self._documents if d is not None)
+            return len(self._documents) - self._tombstones
         return len(self.find(query))
 
     def distinct(self, field: str,
@@ -173,16 +367,49 @@ class Collection:
         return (d for d in self._documents if d is not None)
 
     # ------------------------------------------------------------- internals
-    def _candidates(self, query: Optional[Dict[str, Any]]
-                    ) -> Iterable[Optional[Dict[str, Any]]]:
-        """Use an index for a single equality term when possible."""
-        if query:
-            for field, condition in query.items():
-                if field in self._indexes and not isinstance(condition, dict):
-                    positions = self._indexes[field].get(
-                        self._index_key(condition), [])
-                    return (self._documents[p] for p in positions)
-        return iter(self._documents)
+    def _candidate_positions(self, query: Dict[str, Any]
+                             ) -> Optional[Iterable[int]]:
+        """Narrow the scan with an index when one covers a query term.
+
+        Returns candidate positions (a superset of the matches - ``find``
+        and ``delete`` still verify every term), or ``None`` when no index
+        applies and a full scan is required.
+        """
+        for field, condition in query.items():
+            if not isinstance(condition, dict):
+                if field == "_id":
+                    position = self._id_to_pos.get(condition)
+                    return [] if position is None else [position]
+                index = self._indexes.get(field)
+                if index is not None:
+                    return index.get(self._index_key(condition), [])
+                continue
+            entries = self._sorted_indexes.get(field)
+            # None bounds cannot be bisected (and None-valued documents are
+            # not in the sorted index), so only non-None refs qualify.
+            if entries is not None and any(condition.get(op) is not None
+                                           for op in _RANGE_OPERATORS):
+                return self._sorted_candidates(entries, condition)
+        return None
+
+    @staticmethod
+    def _sorted_candidates(entries: List[Tuple[Any, int]],
+                           condition: Dict[str, Any]) -> List[int]:
+        """Bisect a sorted index down to the slice a range query allows."""
+        lo, hi = 0, len(entries)
+        eq = condition.get("$eq")
+        if eq is not None:
+            lo = max(lo, bisect_left(entries, (eq,)))
+            hi = min(hi, bisect_right(entries, (eq, _POS_INF)))
+        if "$gte" in condition:
+            lo = max(lo, bisect_left(entries, (condition["$gte"],)))
+        if "$gt" in condition:
+            lo = max(lo, bisect_right(entries, (condition["$gt"], _POS_INF)))
+        if "$lte" in condition:
+            hi = min(hi, bisect_right(entries, (condition["$lte"], _POS_INF)))
+        if "$lt" in condition:
+            hi = min(hi, bisect_left(entries, (condition["$lt"],)))
+        return [position for _, position in entries[lo:hi]]
 
     @staticmethod
     def _index_key(value: Any) -> Any:

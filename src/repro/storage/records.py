@@ -5,16 +5,19 @@ Section 3.2 of the paper defines the TIB record as
     ``<flow ID, path, stime, etime, #bytes, #pkts>``
 
 and the trajectory-memory record as the pre-path-construction variant keyed
-by ``(flow ID, link IDs)``.  This module defines both as dataclasses plus the
-(de)serialisation to the plain-dict documents stored in the
-:class:`~repro.storage.docstore.DocumentStore`, along with the payload-size
-estimator used by the query traffic-volume experiments.
+by ``(flow ID, link IDs)``.  This module defines both as slotted dataclasses
+(the trajectory-memory record is allocated on the packet fast path, the TIB
+record once per stored row) plus the (de)serialisation to the plain-dict
+documents stored in the :class:`~repro.storage.docstore.DocumentStore`,
+along with the payload-size estimator used by the query traffic-volume
+experiments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.network.packet import FlowId
 
@@ -24,7 +27,7 @@ from repro.network.packet import FlowId
 RECORD_FIXED_BYTES = 13 + 16 + 16
 
 
-@dataclass
+@dataclass(slots=True)
 class PathFlowRecord:
     """A per-path flow record (one row of the TIB).
 
@@ -43,6 +46,10 @@ class PathFlowRecord:
     etime: float
     bytes: int = 0
     pkts: int = 0
+    #: Lazily computed set of the path's directed link pairs; ``path`` never
+    #: changes once the record is stored, so the set is computed at most once.
+    _link_pairs: Optional[FrozenSet[Tuple[str, str]]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------- accessors
     @property
@@ -52,16 +59,28 @@ class PathFlowRecord:
 
     def links(self) -> List[Tuple[str, str]]:
         """Directed links along the recorded path."""
-        return [(self.path[i], self.path[i + 1])
-                for i in range(len(self.path) - 1)]
+        return list(zip(self.path, self.path[1:]))
+
+    def link_pairs(self) -> FrozenSet[Tuple[str, str]]:
+        """The path's directed links as a (cached) frozen set."""
+        pairs = self._link_pairs
+        if pairs is None:
+            pairs = frozenset(zip(self.path, self.path[1:]))
+            self._link_pairs = pairs
+        return pairs
 
     def traverses_link(self, a: str, b: str) -> bool:
         """Whether the record's path uses the (undirected) link ``a``-``b``."""
-        pairs = set(self.links())
+        pairs = self.link_pairs()
         return (a, b) in pairs or (b, a) in pairs
 
     def update(self, nbytes: int, npkts: int, when: float) -> None:
-        """Fold another observation into this record."""
+        """Fold another observation into this record.
+
+        Reference implementation of the fold: the TIB's merge path
+        (``Tib._merge_into``) inlines this arithmetic for speed and must
+        stay equivalent.
+        """
         self.bytes += nbytes
         self.pkts += npkts
         if when < self.stime:
@@ -101,7 +120,7 @@ class PathFlowRecord:
         return RECORD_FIXED_BYTES + 2 * len(self.path)
 
 
-@dataclass
+@dataclass(slots=True)
 class TrajectoryMemoryRecord:
     """A per-path flow record *before* path construction.
 
@@ -119,7 +138,12 @@ class TrajectoryMemoryRecord:
     src_host: str = ""
 
     def update(self, nbytes: int, when: float) -> None:
-        """Fold one more packet into the record."""
+        """Fold one more packet into the record.
+
+        Reference implementation of the per-packet fold: the fast path
+        (``TrajectoryMemory.update``) inlines this arithmetic and must
+        stay equivalent.
+        """
         self.bytes += nbytes
         self.pkts += 1
         if when < self.stime:
@@ -133,11 +157,15 @@ class TrajectoryMemoryRecord:
         return self.etime
 
 
+@lru_cache(maxsize=1 << 16)
 def flow_key(flow_id: FlowId) -> str:
     """Canonical string key for a flow (used as an index field).
 
     Uses ``|`` as the field separator because host names themselves contain
-    dashes and colons are used inside the endpoint fields.
+    dashes and colons are used inside the endpoint fields.  The result is
+    memoized per flow ID: building the string once per *flow* instead of
+    once per call keeps repeated key derivations (record upserts, query
+    grouping) off the hot paths.
     """
     return (f"{flow_id.src_ip}:{flow_id.src_port}|{flow_id.dst_ip}:"
             f"{flow_id.dst_port}|{flow_id.protocol}")

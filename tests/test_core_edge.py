@@ -113,6 +113,52 @@ class TestEdgeVSwitch:
         assert len(vswitch.drain_evictions()) == 1
         assert vswitch.drain_evictions() == []
 
+    def test_memory_update_matches_reference_fold(self):
+        """TrajectoryMemory.update inlines TrajectoryMemoryRecord.update;
+        pin the fast path to the reference implementation."""
+        import random
+
+        rng = random.Random(17)
+        memory = TrajectoryMemory()
+        flow = _flow()
+        reference = TrajectoryMemoryRecord(flow, (3, 5), 2.0, 2.0,
+                                           src_host=flow.src_ip)
+        memory.update(flow, (3, 5), 0, when=2.0)
+        reference.update(0, when=2.0)
+        for _ in range(50):
+            nbytes = rng.randrange(0, 2000)
+            when = rng.uniform(0.0, 10.0)
+            memory.update(flow, (3, 5), nbytes, when)
+            reference.update(nbytes, when)
+        (resident,) = memory.live_records()
+        assert (resident.stime, resident.etime, resident.bytes,
+                resident.pkts) == (reference.stime, reference.etime,
+                                   reference.bytes, reference.pkts)
+
+    def test_inlined_extraction_matches_cherrypick_helper(self):
+        """The fast path's inlined decode must track the shared helper.
+
+        ``EdgeVSwitch.receive`` hand-inlines
+        ``CherryPickTagger.samples_in_traversal_order`` (and the header
+        strip) for speed; this pins the two implementations together.
+        """
+        import random
+
+        from repro.tracing.cherrypick import CherryPickTagger
+
+        rng = random.Random(11)
+        for _ in range(100):
+            packet = make_tcp_packet("h-0-0-0", "h-2-0-0")
+            for _ in range(rng.randrange(0, 4)):
+                packet.push_vlan(1 + rng.randrange(0, 4000))
+            if rng.random() < 0.5:
+                packet.set_dscp(rng.randrange(0, 64))
+            expected = CherryPickTagger.samples_in_traversal_order(packet)
+            vswitch = EdgeVSwitch("h-2-0-0", TrajectoryMemory())
+            samples = vswitch.receive(packet, when=0.0)
+            assert list(samples) == expected
+            assert packet.vlan_count == 0 and packet.dscp is None
+
     def test_disabled_mode_is_passthrough(self):
         memory = TrajectoryMemory()
         vswitch = EdgeVSwitch("h", memory, pathdump_enabled=False)

@@ -61,6 +61,158 @@ class TestCollection:
         assert people.estimated_bytes() > before
 
 
+class TestIncrementalIndexMaintenance:
+    def _collection(self, auto_compact_ratio=None):
+        collection = Collection("c", auto_compact_ratio=auto_compact_ratio)
+        collection.create_index("city")
+        for i in range(10):
+            collection.insert({"n": i, "city": "london" if i % 2 else "paris"})
+        return collection
+
+    def test_delete_updates_postings_without_rebuild(self):
+        collection = self._collection()
+        rebuilds = collection.stats["index_rebuilds"]
+        removed = collection.delete({"city": "paris"})
+        assert removed == 5
+        assert collection.stats["index_rebuilds"] == rebuilds
+        assert collection.find({"city": "paris"}) == []
+        assert len(collection.find({"city": "london"})) == 5
+        # The index keeps serving inserts after the incremental delete.
+        collection.insert({"n": 99, "city": "paris"})
+        assert len(collection.find({"city": "paris"})) == 1
+
+    def test_delete_by_id_and_get(self):
+        collection = Collection("c")
+        doc_id = collection.insert({"x": 1})
+        assert collection.get(doc_id)["x"] == 1
+        assert collection.delete_by_id(doc_id)
+        assert collection.get(doc_id) is None
+        assert not collection.delete_by_id(doc_id)
+
+    def test_update_moves_index_postings(self):
+        collection = self._collection()
+        doc = collection.find_one({"n": 0})
+        assert collection.update(doc["_id"], {"city": "rome"})
+        assert len(collection.find({"city": "paris"})) == 4
+        assert collection.find_one({"city": "rome"})["n"] == 0
+
+    def test_update_rejects_id_change(self):
+        collection = Collection("c")
+        doc_id = collection.insert({"x": 1})
+        with pytest.raises(QueryError):
+            collection.update(doc_id, {"_id": 5})
+
+    def test_update_unknown_id(self):
+        collection = Collection("c")
+        assert not collection.update(12345, {"x": 1})
+
+    def test_duplicate_explicit_id_rejected(self):
+        collection = Collection("c")
+        collection.insert({"_id": 5, "x": "first"})
+        with pytest.raises(QueryError):
+            collection.insert({"_id": 5, "x": "second"})
+        # The original document stays reachable by id.
+        assert collection.get(5)["x"] == "first"
+        assert collection.count() == 1
+        # Auto-assigned ids continue past the explicit one.
+        assert collection.insert({"x": "next"}) > 5
+
+    def test_auto_compact_on_tombstone_ratio(self):
+        collection = Collection("c", auto_compact_ratio=0.3)
+        collection.create_index("bucket")
+        for i in range(100):
+            collection.insert({"n": i, "bucket": i % 4})
+        assert collection.stats["compactions"] == 0
+        collection.delete({"bucket": 0})
+        collection.delete({"bucket": 1})
+        assert collection.stats["compactions"] >= 1
+        assert collection.tombstone_ratio == 0.0
+        assert collection.count() == 50
+        assert len(collection.find({"bucket": 2})) == 25
+        assert len(collection.find({"bucket": 0})) == 0
+
+    def test_indexes_consistent_after_delete_compact_clear(self):
+        collection = self._collection()
+        collection.delete({"n": {"$lt": 4}})
+        collection.compact()
+        assert collection.count() == 6
+        assert sorted(d["n"] for d in collection.find({"city": "paris"})) == \
+            [4, 6, 8]
+        collection.clear()
+        assert collection.count() == 0
+        assert collection.find({"city": "paris"}) == []
+        collection.insert({"n": 1, "city": "paris"})
+        assert len(collection.find({"city": "paris"})) == 1
+
+
+class TestSortedIndex:
+    def _collection(self):
+        collection = Collection("c")
+        collection.create_sorted_index("age")
+        for age in (30, 10, 20, 40, 20, None):
+            collection.insert({"age": age})
+        return collection
+
+    def test_range_queries_use_bisection(self):
+        collection = self._collection()
+        scans = collection.stats["full_scans"]
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$gte": 20}})) == [20, 20, 30, 40]
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$gt": 20}})) == [30, 40]
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$lt": 20}})) == [10]
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$lte": 20}})) == [10, 20, 20]
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$eq": 20}})) == [20, 20]
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$gt": 10, "$lt": 40}})) == \
+            [20, 20, 30]
+        # Every query above was answered from the sorted index.
+        assert collection.stats["full_scans"] == scans
+
+    def test_boundary_values_exact(self):
+        collection = self._collection()
+        assert len(collection.find({"age": {"$gte": 40}})) == 1
+        assert len(collection.find({"age": {"$gt": 40}})) == 0
+        assert len(collection.find({"age": {"$lte": 10}})) == 1
+        assert len(collection.find({"age": {"$lt": 10}})) == 0
+
+    def test_missing_values_never_match_ranges(self):
+        collection = self._collection()
+        assert all(d["age"] is not None
+                   for d in collection.find({"age": {"$gte": 0}}))
+
+    def test_eq_none_falls_back_to_scan(self):
+        # {"$eq": None} cannot be answered from the sorted index (None
+        # values are excluded from it); it must still find the document.
+        collection = self._collection()
+        hits = collection.find({"age": {"$eq": None}})
+        assert len(hits) == 1 and hits[0]["age"] is None
+
+    def test_id_equality_uses_id_map(self):
+        collection = self._collection()
+        doc = collection.find_one({"age": 40})
+        scans = collection.stats["full_scans"]
+        assert collection.find({"_id": doc["_id"]}) == [doc]
+        assert collection.find({"_id": "no-such-id"}) == []
+        assert collection.delete({"_id": doc["_id"]}) == 1
+        assert collection.stats["full_scans"] == scans
+
+    def test_maintained_through_update_and_delete(self):
+        collection = self._collection()
+        doc = collection.find_one({"age": 30})
+        collection.update(doc["_id"], {"age": 5})
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$lt": 10}})) == [5]
+        collection.delete({"age": {"$lte": 5}})
+        assert collection.find({"age": {"$lt": 10}}) == []
+        collection.compact()
+        assert sorted(d["age"] for d in
+                      collection.find({"age": {"$gte": 20}})) == [20, 20, 40]
+
+
 class TestDocumentStore:
     def test_collections_are_cached(self):
         store = DocumentStore()

@@ -1,8 +1,11 @@
 """Tests for the TIB and the Table 1 host query API."""
 
+import random
+
 import pytest
 
-from repro.core.tib import Tib, link_matches, normalise_time_range
+from repro.core.tib import (Tib, link_matches, normalise_time_range,
+                            record_in_range)
 from repro.network.packet import FlowId, PROTO_TCP
 from repro.storage import PathFlowRecord
 
@@ -94,3 +97,212 @@ class TestTib:
         assert tib.record_count() == 3
         tib.clear()
         assert tib.record_count() == 0
+
+
+class TestTimeIndex:
+    """Boundary behaviour of the sorted time index."""
+
+    def _tib(self):
+        tib = Tib("h")
+        for sport, (stime, etime) in enumerate(
+                [(0.0, 1.0), (1.0, 2.0), (2.0, 4.0), (5.0, 5.0)]):
+            tib.add_record(_record(_flow(sport=sport), PATH_A, stime, etime))
+        return tib
+
+    def test_start_boundary_inclusive(self):
+        tib = self._tib()
+        # etime == start overlaps; etime < start does not.
+        assert len(tib.records(time_range=(1.0, None))) == 4
+        assert len(tib.records(time_range=(1.0 + 1e-9, None))) == 3
+        assert len(tib.records(time_range=(5.0, None))) == 1
+        assert len(tib.records(time_range=(5.1, None))) == 0
+
+    def test_end_boundary_inclusive(self):
+        tib = self._tib()
+        # stime == end overlaps; stime > end does not.
+        assert len(tib.records(time_range=(None, 0.0))) == 1
+        assert len(tib.records(time_range=(None, 1.0))) == 2
+        assert len(tib.records(time_range=(None, 4.999))) == 3
+        assert len(tib.records(time_range=(None, 5.0))) == 4
+
+    def test_both_bounds_match_brute_force(self):
+        tib = self._tib()
+        full = tib.records()
+        for start in (None, 0.0, 0.5, 1.0, 2.5, 5.0, 6.0):
+            for end in (0.0, 0.5, 1.0, 2.5, 5.0, 6.0, None):
+                if start is not None and end is not None and end < start:
+                    continue
+                expected = [r for r in full
+                            if record_in_range(r, (start, end))]
+                assert tib.records(time_range=(start, end)) == expected
+
+    def test_point_range_and_instant_record(self):
+        tib = self._tib()
+        hits = tib.records(time_range=(5.0, 5.0))
+        assert len(hits) == 1 and hits[0].stime == 5.0
+
+    def test_merge_extends_indexed_interval(self):
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 1.0, 2.0))
+        assert tib.records(time_range=(3.0, None)) == []
+        tib.add_record(_record(flow, PATH_A, 3.5, 4.0))
+        assert len(tib.records(time_range=(3.0, None))) == 1
+        assert len(tib.records(time_range=(None, 1.0))) == 1
+
+
+class TestLinkIndex:
+    def _tib(self):
+        tib = Tib("h")
+        tib.add_record(_record(_flow(sport=1), PATH_A))
+        tib.add_record(_record(_flow(sport=2), PATH_B))
+        return tib
+
+    def test_concrete_link_both_directions(self):
+        tib = self._tib()
+        assert len(tib.records(link=("agg-0-0", "core-0-0"))) == 1
+        assert len(tib.records(link=("core-0-0", "agg-0-0"))) == 1
+        assert len(tib.records(link=("agg-0-0", "core-1-0"))) == 0
+
+    def test_wildcard_endpoint(self):
+        tib = self._tib()
+        assert len(tib.records(link=("*", "core-0-0"))) == 1
+        assert len(tib.records(link=("core-1-0", "?"))) == 1
+        assert len(tib.records(link=(None, "tor-0-0"))) == 2
+        assert len(tib.records(link=("*", "nowhere"))) == 0
+        assert len(tib.records(link=("*", "*"))) == 2
+
+    def test_matches_link_matches_predicate(self):
+        tib = self._tib()
+        full = tib.records()
+        for link in [("agg-0-0", "core-0-0"), ("*", "agg-2-1"),
+                     ("tor-2-0", "*"), ("h-0-0-0", "tor-0-0"),
+                     ("nowhere", "*"), ("*", "*")]:
+            expected = [r for r in full if link_matches(r, link)]
+            assert tib.records(link=link) == expected
+
+    def test_index_reset_on_clear(self):
+        tib = self._tib()
+        tib.clear()
+        assert tib.records(link=("agg-0-0", "core-0-0")) == []
+        tib.add_record(_record(_flow(sport=3), PATH_A))
+        assert len(tib.records(link=("agg-0-0", "core-0-0"))) == 1
+
+
+class TestUpsertMerge:
+    def test_merge_equivalent_to_delete_plus_insert(self):
+        """The in-place upsert reproduces the old delete+insert semantics."""
+        rng = random.Random(7)
+        tib = Tib("h")
+        expected = {}
+        for _ in range(500):
+            sport = rng.randrange(20)
+            path = PATH_A if rng.random() < 0.5 else PATH_B
+            stime = rng.uniform(0.0, 50.0)
+            record = _record(_flow(sport=sport), path, stime,
+                             stime + rng.uniform(0.0, 5.0),
+                             rng.randrange(1, 10_000), rng.randrange(1, 10))
+            key = (record.flow_id, record.path)
+            if key in expected:
+                old = expected[key]
+                expected[key] = (min(old[0], record.stime),
+                                 max(old[1], record.etime),
+                                 old[2] + record.bytes, old[3] + record.pkts)
+            else:
+                expected[key] = (record.stime, record.etime, record.bytes,
+                                 record.pkts)
+            tib.add_record(record)
+        assert tib.record_count() == len(expected)
+        for record in tib.records():
+            stime, etime, nbytes, pkts = expected[(record.flow_id,
+                                                   record.path)]
+            assert record.stime == stime and record.etime == etime
+            assert record.bytes == nbytes and record.pkts == pkts
+        # The document store mirrors the merged state.
+        for document in tib._collection:
+            flow = FlowId(document["src_ip"], document["dst_ip"],
+                          document["src_port"], document["dst_port"],
+                          document["protocol"])
+            stime, etime, nbytes, pkts = expected[(flow,
+                                                   tuple(document["path"]))]
+            assert document["stime"] == stime
+            assert document["etime"] == etime
+            assert document["bytes"] == nbytes
+            assert document["pkts"] == pkts
+
+    def test_add_records_bulk(self):
+        tib = Tib("h")
+        flow = _flow()
+        count = tib.add_records([_record(flow, PATH_A, 0.0, 1.0, 100, 1),
+                                 _record(flow, PATH_A, 1.0, 2.0, 200, 2),
+                                 _record(flow, PATH_B, 0.0, 1.0, 50, 1)])
+        assert count == 3
+        assert tib.record_count() == 2
+        assert tib.get_count(flow) == (350, 4)
+
+    def test_merge_matches_reference_fold(self):
+        """Tib._merge_into inlines PathFlowRecord.update; pin them together."""
+        rng = random.Random(13)
+        tib = Tib("h")
+        first = _record(_flow(), PATH_A, 10.0, 11.0, 100, 2)
+        reference = PathFlowRecord(first.flow_id, first.path, first.stime,
+                                   first.etime, first.bytes, first.pkts)
+        tib.add_record(first)
+        for _ in range(50):
+            stime = rng.uniform(0.0, 30.0)
+            incoming = _record(_flow(), PATH_A, stime,
+                               stime + rng.uniform(0.0, 5.0),
+                               rng.randrange(1, 1000), rng.randrange(1, 5))
+            # Reference semantics: fold counters + etime, then extend stime.
+            reference.update(incoming.bytes, incoming.pkts, incoming.etime)
+            reference.stime = min(reference.stime, incoming.stime)
+            tib.add_record(incoming)
+        stored = tib.records()[0]
+        assert (stored.stime, stored.etime, stored.bytes, stored.pkts) == \
+            (reference.stime, reference.etime, reference.bytes,
+             reference.pkts)
+
+    def test_list_path_normalised(self):
+        tib = Tib("h")
+        record = PathFlowRecord(_flow(), list(PATH_A), 0.0, 1.0, 10, 1)
+        tib.add_record(record)
+        tib.add_record(_record(_flow(), PATH_A, 1.0, 2.0, 10, 1))
+        assert tib.record_count() == 1
+        assert tib.get_paths(_flow()) == [PATH_A]
+
+
+class TestEngineDiscipline:
+    """Acceptance: writes never rescan the collection or rebuild indexes."""
+
+    def test_merge_heavy_insert_does_no_scans_or_rebuilds(self):
+        tib = Tib("h")
+        stats = tib._collection.stats
+        rebuilds = stats["index_rebuilds"]
+        scans = stats["full_scans"]
+        rng = random.Random(3)
+        # 10k adds over 1k distinct (flow, path) pairs: ~90% merges.
+        for i in range(10_000):
+            sport = rng.randrange(1_000)
+            tib.add_record(_record(_flow(sport=sport), PATH_A,
+                                   float(i), float(i) + 1.0, 100, 1))
+        assert tib.record_count() == 1_000
+        assert stats["index_rebuilds"] == rebuilds
+        assert stats["full_scans"] == scans
+
+    def test_records_are_memoized(self):
+        tib = Tib("h")
+        tib.add_record(_record(_flow(), PATH_A, 0.0, 1.0, 10, 1))
+        first = tib.records()[0]
+        assert tib.records()[0] is first
+        assert tib.records(flow_id=_flow())[0] is first
+        assert tib.records(link=("agg-0-0", "core-0-0"))[0] is first
+
+    def test_count_fast_path_matches_scan(self):
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 0.0, 1.0, 100, 2))
+        tib.add_record(_record(flow, PATH_B, 1.0, 2.0, 50, 1))
+        assert tib.get_count(flow) == (150, 3)
+        assert tib.get_count(flow, time_range=(0.0, 10.0)) == (150, 3)
+        assert tib.flow_byte_totals() == {
+            "h-0-0-0:1000|h-2-0-0:80|6": 150}
