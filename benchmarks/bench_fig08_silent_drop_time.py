@@ -10,13 +10,16 @@ so the pure-Python flow simulation stays fast; the monotone trends are what
 this benchmark checks.
 """
 
+import os
+
 from repro.analysis import format_table, mean_and_stderr
 from repro.debug import run_silent_drop_experiment
 
 LINK_CAPACITY = 3e7
 DURATION_S = 90.0
 INTERVAL_S = 3.0
-RUNS = 3
+#: Repetitions per configuration (1 in the --quick CI smoke tier).
+RUNS = 1 if os.environ.get("PATHDUMP_QUICK") else 3
 
 
 def _time_to_perfect(faulty, loss, load, seed):

@@ -27,6 +27,9 @@ def test_fig11_flow_size_distribution_query(benchmark, report_writer):
     def sweep():
         rows = []
         for count in HOST_COUNTS:
+            # Fresh RPC/storage counters per experiment: repeated runs on
+            # the same cluster must not double-count earlier sweeps.
+            cluster.reset_stats()
             hosts = cluster.hosts[:count]
             direct = cluster.execute(query, hosts, MECHANISM_DIRECT)
             multi = cluster.execute(query, hosts, MECHANISM_MULTILEVEL)

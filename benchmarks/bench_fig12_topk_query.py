@@ -31,6 +31,9 @@ def test_fig12_top_k_query(benchmark, report_writer):
     def sweep():
         rows = []
         for count in HOST_COUNTS:
+            # Fresh RPC/storage counters per experiment: repeated runs on
+            # the same cluster must not double-count earlier sweeps.
+            cluster.reset_stats()
             hosts = cluster.hosts[:count]
             direct = cluster.execute(query, hosts, MECHANISM_DIRECT)
             multi = cluster.execute(query, hosts, MECHANISM_MULTILEVEL)

@@ -8,15 +8,34 @@ prints.  Run with::
     pytest benchmarks/ --benchmark-only
 
 and inspect ``benchmarks/reports/*.txt`` afterwards.
+
+``--quick`` selects the smoke tier used by CI: the same benchmarks and the
+same trend assertions, at a reduced scale (fewer hosts/records/repetitions)
+so the whole sweep finishes in a few seconds.  The scale knob travels to
+the benchmark modules via the ``PATHDUMP_QUICK`` environment variable,
+which they read at import time (set it manually to get the same effect
+outside pytest).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="run the reduced-scale smoke tier of the figure benchmarks")
+
+
+def pytest_configure(config):
+    if config.getoption("--quick", default=False):
+        os.environ["PATHDUMP_QUICK"] = "1"
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,7 @@ the aggregation structure, not on the absolute record count.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List
 
@@ -24,11 +25,14 @@ from repro.storage import PathFlowRecord
 from repro.topology.graph import (ROLE_AGGREGATE, ROLE_EDGE, Topology)
 from repro.workloads.websearch import web_search_cdf
 
+#: Smoke tier (CI): same sweep shape, reduced scale (see conftest --quick).
+QUICK = bool(os.environ.get("PATHDUMP_QUICK"))
+
 #: Host counts swept by the Figures 11/12 benchmarks (paper: 28..112).
-HOST_COUNTS = (28, 56, 84, 112)
+HOST_COUNTS = (8, 32) if QUICK else (28, 56, 84, 112)
 
 #: Default number of TIB records per host (paper: 240,000; scaled down).
-RECORDS_PER_HOST = 1_500
+RECORDS_PER_HOST = 300 if QUICK else 1_500
 
 
 def build_query_topology(num_hosts: int, hosts_per_tor: int = 8) -> Topology:
@@ -87,9 +91,14 @@ def populate_cluster(cluster: QueryCluster, records_per_host: int,
 
 def build_query_cluster(num_hosts: int,
                         records_per_host: int = RECORDS_PER_HOST,
-                        seed: int = 0) -> QueryCluster:
-    """Build and populate a query test bed with ``num_hosts`` agents."""
+                        seed: int = 0, **cluster_kwargs) -> QueryCluster:
+    """Build and populate a query test bed with ``num_hosts`` agents.
+
+    Extra keyword arguments go to :class:`QueryCluster` (executor mode,
+    transport, ...).  The default is the executor's deterministic serial
+    mode, so figure payloads reproduce run to run.
+    """
     topo = build_query_topology(num_hosts)
-    cluster = QueryCluster(topo, rpc=RpcChannel())
+    cluster = QueryCluster(topo, rpc=RpcChannel(), **cluster_kwargs)
     populate_cluster(cluster, records_per_host, seed=seed)
     return cluster

@@ -6,14 +6,17 @@ record counts and records insert/merge throughput plus time-range, link and
 flow query latencies in a machine-readable file at the repository root, so
 successive PRs accumulate a perf trajectory::
 
-    PYTHONPATH=src python benchmarks/run_storage_bench.py
+    PYTHONPATH=src python benchmarks/run_storage_bench.py [--quick]
 
-Keep the workload deterministic (fixed seeds) so numbers are comparable
-across runs on the same machine.
+``--quick`` drops the largest record count and most query repetitions - the
+tier CI runs (and uploads as a build artifact) on every push.  Keep the
+workload deterministic (fixed seeds) so numbers are comparable across runs
+on the same machine.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import statistics
@@ -29,10 +32,12 @@ from repro.core.tib import Tib  # noqa: E402
 
 #: Record counts swept (the largest dominates the runtime).
 SIZES = (2_000, 10_000, 50_000)
+QUICK_SIZES = (2_000, 10_000)
 #: Merge-heavy workloads reuse this fraction of distinct pairs.
 MERGE_PAIR_FRACTION = 0.1
 #: Query repetitions per measurement.
 QUERY_ROUNDS = 50
+QUICK_QUERY_ROUNDS = 10
 
 OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_storage.json"
 
@@ -53,7 +58,7 @@ def _timeit(func, rounds: int, setup=None) -> float:
     return statistics.median(samples)
 
 
-def bench_size(count: int) -> dict:
+def bench_size(count: int, query_rounds: int = QUERY_ROUNDS) -> dict:
     merge_pairs = max(1, int(count * MERGE_PAIR_FRACTION))
 
     def add_all(records):
@@ -93,21 +98,29 @@ def bench_size(count: int) -> dict:
         "insert_ops_per_s": round(count / insert_s, 1),
         "merge_ops_per_s": round(count / merge_s, 1),
         "time_range_query_ms": round(_timeit(time_query,
-                                             QUERY_ROUNDS) * 1e3, 4),
-        "link_query_ms": round(_timeit(link_query, QUERY_ROUNDS) * 1e3, 4),
-        "flow_query_ms": round(_timeit(flow_query, QUERY_ROUNDS) * 1e3, 4),
+                                             query_rounds) * 1e3, 4),
+        "link_query_ms": round(_timeit(link_query, query_rounds) * 1e3, 4),
+        "flow_query_ms": round(_timeit(flow_query, query_rounds) * 1e3, 4),
     }
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep for CI (fewer sizes and "
+                             "query repetitions)")
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else SIZES
+    query_rounds = QUICK_QUERY_ROUNDS if args.quick else QUERY_ROUNDS
     report = {
         "benchmark": "storage-engine",
         "generated_unix_time": int(time.time()),
+        "quick": args.quick,
         "workload": {
             "merge_pair_fraction": MERGE_PAIR_FRACTION,
-            "query_rounds": QUERY_ROUNDS,
+            "query_rounds": query_rounds,
         },
-        "results": [bench_size(size) for size in SIZES],
+        "results": [bench_size(size, query_rounds) for size in sizes],
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

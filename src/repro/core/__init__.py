@@ -17,6 +17,10 @@ from repro.core.query import (Q_FLOW_SIZE_DISTRIBUTION, Q_GET_COUNT,
                               Q_TRAFFIC_MATRIX, Query, QueryEngine,
                               QueryResult)
 from repro.core.rpc import RpcChannel
+from repro.core.executor import (ExecWarning, GatherResult, LoopbackTransport,
+                                 MODE_CONCURRENT, MODE_SERIAL, ModelTransport,
+                                 PlanNode, ScatterGatherExecutor, Transport,
+                                 TransportError)
 from repro.core.aggregation import AggregationTree
 from repro.core.cluster import (DistributedQueryResult, MECHANISM_DIRECT,
                                 MECHANISM_MULTILEVEL, QueryCluster)
@@ -30,7 +34,10 @@ __all__ = [
     "Q_FLOW_SIZE_DISTRIBUTION", "Q_GET_COUNT", "Q_GET_DURATION",
     "Q_GET_FLOWS", "Q_GET_PATHS", "Q_PATH_CONFORMANCE", "Q_POOR_TCP_FLOWS",
     "Q_SUBFLOW_IMBALANCE", "Q_TOP_K_FLOWS", "Q_TRAFFIC_MATRIX", "Query",
-    "QueryEngine", "QueryResult", "RpcChannel", "AggregationTree",
-    "DistributedQueryResult", "MECHANISM_DIRECT", "MECHANISM_MULTILEVEL",
-    "QueryCluster", "PathDumpController",
+    "QueryEngine", "QueryResult", "RpcChannel", "ExecWarning",
+    "GatherResult", "LoopbackTransport", "MODE_CONCURRENT", "MODE_SERIAL",
+    "ModelTransport", "PlanNode", "ScatterGatherExecutor", "Transport",
+    "TransportError", "AggregationTree", "DistributedQueryResult",
+    "MECHANISM_DIRECT", "MECHANISM_MULTILEVEL", "QueryCluster",
+    "PathDumpController",
 ]

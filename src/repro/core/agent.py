@@ -280,6 +280,10 @@ class PathDumpAgent:
         return self.monitor.run_check(now)
 
     # ------------------------------------------------------------ accounting
+    def reset_stats(self) -> None:
+        """Zero this agent's per-experiment storage-engine counters."""
+        self.tib.reset_stats()
+
     def memory_footprint_bytes(self) -> Dict[str, int]:
         """Approximate RAM/disk usage of the agent's components."""
         return {

@@ -21,6 +21,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: The fan-outs of the paper's 4-level tree (controller -> 7 -> 4 -> 4).
 PAPER_TREE_FANOUT = (7, 4, 4)
 
+#: Estimated serialized bytes of a subtree-description message: fixed
+#: framing plus one entry per host in the subtree.  The description rides
+#: in the same (batched) request message as the query itself.
+SPEC_BASE_BYTES = 16
+SPEC_HOST_BYTES = 8
+
 
 @dataclass
 class TreeNode:
@@ -48,6 +54,22 @@ class TreeNode:
         for child in self.children:
             nodes.extend(child.descend())
         return nodes
+
+    def subtree_host_count(self) -> int:
+        """Number of end hosts in this subtree (including this node)."""
+        count = 1 if self.host is not None else 0
+        for child in self.children:
+            count += child.subtree_host_count()
+        return count
+
+    def subtree_spec_bytes(self) -> int:
+        """Serialized size of the description of this node's subtree.
+
+        A parent forwarding a multi-level query tells each child which part
+        of the tree it is responsible for; the estimate is a fixed framing
+        cost plus one entry per host the child must cover.
+        """
+        return SPEC_BASE_BYTES + SPEC_HOST_BYTES * self.subtree_host_count()
 
 
 class AggregationTree:

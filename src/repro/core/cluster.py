@@ -8,27 +8,43 @@ children's partial results (Section 3.2).  Figures 11 and 12 compare the two
 mechanisms on response time and generated network traffic.
 
 :class:`QueryCluster` owns the per-host agents, wires them to the fabric (or
-to the flow-level simulator), and implements both query mechanisms with an
-explicit response-time/traffic model:
+to the flow-level simulator), and maps both query mechanisms onto the
+:class:`~repro.core.executor.ScatterGatherExecutor`:
 
+* a direct query is a one-level scatter plan (controller -> every host); a
+  multi-level query maps the aggregation tree onto the plan one to one,
+  with the query and the subtree description *batched* into a single
+  request message per child;
 * per-host query execution and per-node aggregation costs are *measured*
-  (wall-clock) on the real in-memory TIBs;
-* message latencies and byte counts come from the
-  :class:`~repro.core.rpc.RpcChannel` model;
-* hosts work in parallel, so a level's contribution to response time is the
-  maximum over its nodes, while the direct mechanism pays the controller-side
-  aggregation serially - reproducing the scaling behaviour the paper reports.
+  (wall-clock) on the real in-memory TIBs, and partial results stream into
+  each node's accumulator as they arrive - no full-level barrier;
+* message latencies and byte counts come from the pluggable
+  :class:`~repro.core.executor.Transport` (by default the
+  :class:`~repro.core.rpc.RpcChannel` latency/bandwidth model), and the
+  modelled response time combines them with the measured execution/merge
+  times over the plan tree - reproducing the scaling behaviour the paper
+  reports;
+* hosts that are dead, time out or lose messages surface as structured
+  warnings with ``partial=True`` instead of failing the whole query.
+
+The cluster defaults to the executor's deterministic *serial* mode so the
+figure benchmarks are reproducible run to run; pass ``mode="concurrent"``
+(or call :meth:`QueryCluster.configure_executor`) for real thread-pool
+fan-out.  Both modes merge in the same canonical order, so they produce
+identical query payloads.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.agent import PathDumpAgent
 from repro.core.aggregation import PAPER_TREE_FANOUT, AggregationTree, TreeNode
 from repro.core.alarms import AlarmBus
+from repro.core.executor import (ExecWarning, GatherResult, MODE_SERIAL,
+                                 ModelTransport, PlanNode,
+                                 ScatterGatherExecutor, Transport)
 from repro.core.query import Query, QueryEngine, QueryResult
 from repro.core.rpc import RpcChannel
 from repro.core.trajectory import TrajectoryCache
@@ -55,8 +71,15 @@ class DistributedQueryResult:
         payload: the fully aggregated result.
         response_time_s: modelled end-to-end response time.
         traffic_bytes: total bytes moved over the management network.
-        host_count: number of hosts that executed the query.
+        host_count: number of hosts the query was scattered to.
         breakdown: named components of the response time (for reports).
+        partial: whether one or more hosts' partial results are missing.
+        hosts_failed: the hosts whose results are missing.
+        warnings: structured warnings describing failures/hedges/retries.
+        wall_clock_s: *measured* end-to-end duration of the scatter-gather
+            (the real number, as opposed to the modelled
+            ``response_time_s``).
+        mode: executor mode the query ran under (serial/concurrent).
     """
 
     query: Query
@@ -66,6 +89,11 @@ class DistributedQueryResult:
     traffic_bytes: int
     host_count: int
     breakdown: Dict[str, float] = field(default_factory=dict)
+    partial: bool = False
+    hosts_failed: List[str] = field(default_factory=list)
+    warnings: Tuple[ExecWarning, ...] = ()
+    wall_clock_s: float = 0.0
+    mode: str = MODE_SERIAL
 
 
 class QueryCluster:
@@ -80,6 +108,15 @@ class QueryCluster:
         rpc: management-channel model (a default one is created if omitted).
         shared_cache: share one trajectory cache across agents (saves memory
             in large clusters; per-agent caches when ``False``).
+        transport: pluggable query transport; defaults to a
+            :class:`ModelTransport` over ``rpc``.
+        mode: executor mode - ``"serial"`` (deterministic, the default, so
+            figures reproduce) or ``"concurrent"`` (real thread-pool
+            fan-out).
+        max_workers: worker-pool cap for concurrent mode.
+        timeout_s: per-host query deadline (see the executor docs).
+        hedge_after_s: straggler-hedging threshold (concurrent mode).
+        retries: bounded per-host retry budget for transport errors.
     """
 
     def __init__(self, topo: Topology,
@@ -87,12 +124,24 @@ class QueryCluster:
                  hosts: Optional[Sequence[str]] = None,
                  fabric: Optional[Fabric] = None,
                  rpc: Optional[RpcChannel] = None,
-                 shared_cache: bool = True) -> None:
+                 shared_cache: bool = True,
+                 transport: Optional[Transport] = None,
+                 mode: str = MODE_SERIAL,
+                 max_workers: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 hedge_after_s: Optional[float] = None,
+                 retries: int = 0) -> None:
         self.topo = topo
         self.assignment = assignment or assign_link_ids(topo)
         self.hosts = list(hosts) if hosts is not None else list(topo.hosts)
         self.alarm_bus = AlarmBus()
         self.rpc = rpc or RpcChannel()
+        self.transport: Transport = transport or ModelTransport(self.rpc)
+        self._adopt_transport(self.transport)
+        self.executor = ScatterGatherExecutor(
+            self.transport, mode=mode, max_workers=max_workers,
+            timeout_s=timeout_s, hedge_after_s=hedge_after_s,
+            retries=retries)
         self.engine = QueryEngine()
         self._reconstructor = PathReconstructor(topo, self.assignment)
         cache = TrajectoryCache() if shared_cache else None
@@ -116,6 +165,36 @@ class QueryCluster:
     def agent(self, host: str) -> PathDumpAgent:
         """The agent running on ``host``."""
         return self.agents[host]
+
+    def configure_executor(self, mode: Optional[str] = None,
+                           max_workers: Optional[int] = None,
+                           timeout_s: Optional[float] = None,
+                           hedge_after_s: Optional[float] = None,
+                           retries: Optional[int] = None,
+                           transport: Optional[Transport] = None) -> None:
+        """Rebuild the query executor with new settings (``None`` keeps the
+        current value; ``transport`` replaces the delivery protocol)."""
+        current = self.executor
+        if transport is not None:
+            self._adopt_transport(transport)
+        self.executor = ScatterGatherExecutor(
+            self.transport,
+            mode=mode if mode is not None else current.mode,
+            max_workers=(max_workers if max_workers is not None
+                         else current.max_workers),
+            timeout_s=timeout_s if timeout_s is not None
+            else current.timeout_s,
+            hedge_after_s=(hedge_after_s if hedge_after_s is not None
+                           else current.hedge_after_s),
+            retries=retries if retries is not None else current.retries)
+
+    def _adopt_transport(self, transport: Transport) -> None:
+        """Install ``transport`` and keep ``self.rpc`` pointing at the
+        channel that actually carries query traffic, so its counters (and
+        :meth:`reset_stats`) stay meaningful with custom transports."""
+        self.transport = transport
+        if isinstance(transport, ModelTransport):
+            self.rpc = transport.channel
 
     # ---------------------------------------------------------------- ingest
     def ingest_flow_outcomes(self, outcomes: Iterable[FlowOutcome]) -> int:
@@ -174,29 +253,20 @@ class QueryCluster:
                        ) -> DistributedQueryResult:
         """Direct query: every host answers the controller directly."""
         targets = list(hosts) if hosts is not None else list(self.hosts)
-        traffic = 0
-        exec_times: List[float] = []
-        results: List[QueryResult] = []
-        network_time = 0.0
-        for host in targets:
-            agent = self.agents[host]
-            network_time = max(network_time, self.rpc.round_trip(
-                query.request_bytes(), 0))
-            result, elapsed = self._timed_execute(agent, query)
-            exec_times.append(elapsed)
-            traffic += query.request_bytes() + result.wire_bytes
-            results.append(result)
-        merged, merge_time = self._timed_merge(query, results)
-        # Hosts execute in parallel; the controller merges serially.
-        response_time = (network_time + (max(exec_times) if exec_times else 0.0)
-                         + merge_time)
-        return DistributedQueryResult(
-            query=query, mechanism=MECHANISM_DIRECT, payload=merged.payload,
-            response_time_s=response_time, traffic_bytes=traffic,
-            host_count=len(targets),
-            breakdown={"network": network_time,
-                       "host_execution": max(exec_times) if exec_times else 0.0,
-                       "controller_aggregation": merge_time})
+        plan = PlanNode(host=None, children=[
+            PlanNode(host=host, request_parts=(query.request_bytes(),))
+            for host in targets])
+        gather = self._gather(plan, query)
+        merged = self._finalise(query, gather)
+        network = max(
+            (report.request_latency_s + report.respond_latency_s
+             for report in gather.reports.values() if report.ok),
+            default=0.0)
+        return self._distributed_result(
+            query, MECHANISM_DIRECT, merged, gather, len(targets),
+            breakdown={"network": network,
+                       "host_execution": gather.max_exec_s,
+                       "controller_aggregation": gather.root_merge_s})
 
     def execute_multilevel(self, query: Query,
                            hosts: Optional[Sequence[str]] = None,
@@ -205,14 +275,14 @@ class QueryCluster:
         """Multi-level query along an aggregation tree."""
         targets = list(hosts) if hosts is not None else list(self.hosts)
         tree = AggregationTree(targets, fanout=fanout)
-        traffic_box = {"bytes": 0}
-        total_time, result = self._run_subtree(tree.root, query, traffic_box)
-        return DistributedQueryResult(
-            query=query, mechanism=MECHANISM_MULTILEVEL,
-            payload=result.payload if result is not None else None,
-            response_time_s=total_time, traffic_bytes=traffic_box["bytes"],
-            host_count=len(targets),
-            breakdown={"tree_depth": float(tree.depth())})
+        plan = self._plan_from_tree(tree.root, query)
+        gather = self._gather(plan, query)
+        merged = self._finalise(query, gather)
+        return self._distributed_result(
+            query, MECHANISM_MULTILEVEL, merged, gather, len(targets),
+            breakdown={"tree_depth": float(tree.depth()),
+                       "merge_total": gather.merge_s_total,
+                       "controller_aggregation": gather.root_merge_s})
 
     def execute(self, query: Query, hosts: Optional[Sequence[str]] = None,
                 mechanism: str = MECHANISM_DIRECT) -> DistributedQueryResult:
@@ -224,60 +294,67 @@ class QueryCluster:
         raise ValueError(f"unknown query mechanism {mechanism!r}")
 
     # ------------------------------------------------------------- internals
-    def _run_subtree(self, node: TreeNode, query: Query,
-                     traffic_box: Dict[str, int]
-                     ) -> Tuple[float, Optional[QueryResult]]:
-        """Recursively execute the query over an aggregation subtree.
+    def _plan_from_tree(self, node: TreeNode, query: Query) -> PlanNode:
+        """Map an aggregation (sub)tree onto a scatter plan.
 
-        Returns the subtree's completion time (from when the node receives
-        the query) and its merged partial result.
+        Every non-root edge batches the query and the child's subtree
+        description into one request message.
         """
-        # Local execution at this node (the controller root has no TIB).
-        local_result: Optional[QueryResult] = None
-        local_time = 0.0
+        parts: Tuple[int, ...] = ()
         if node.host is not None:
-            agent = self.agents[node.host]
-            local_result, local_time = self._timed_execute(agent, query)
+            parts = (query.request_bytes(), node.subtree_spec_bytes())
+        return PlanNode(
+            host=node.host, request_parts=parts,
+            children=[self._plan_from_tree(child, query)
+                      for child in node.children])
 
-        if not node.children:
-            return local_time, local_result
+    def _gather(self, plan: PlanNode, query: Query) -> GatherResult:
+        """Run a scatter plan: per-host query execution + streaming merge."""
+        agents = self.agents
 
-        # Forward query + tree description to the children (in parallel),
-        # wait for the slowest subtree, then merge at this node.
-        child_results: List[QueryResult] = []
-        slowest_child = 0.0
-        for child in node.children:
-            request_latency = self.rpc.send(query.request_bytes())
-            traffic_box["bytes"] += query.request_bytes()
-            child_time, child_result = self._run_subtree(child, query,
-                                                         traffic_box)
-            if child_result is not None:
-                response_latency = self.rpc.send(child_result.wire_bytes)
-                traffic_box["bytes"] += child_result.wire_bytes
-                child_results.append(child_result)
-            else:
-                response_latency = self.rpc.send(0)
-            slowest_child = max(slowest_child,
-                                request_latency + child_time
-                                + response_latency)
+        def work(host: str) -> QueryResult:
+            agent = agents.get(host)
+            if agent is None:
+                raise KeyError(f"no agent running on {host}")
+            return agent.execute_query(query)
 
-        to_merge = child_results + ([local_result]
-                                    if local_result is not None else [])
-        merged, merge_time = self._timed_merge(query, to_merge)
-        # The node can run its local query while children work.
-        return max(local_time, slowest_child) + merge_time, merged
+        def merge(acc: QueryResult, value: QueryResult) -> QueryResult:
+            return self.engine.merge(query, (acc, value))
 
-    def _timed_execute(self, agent: PathDumpAgent,
-                       query: Query) -> Tuple[QueryResult, float]:
-        start = time.perf_counter()
-        result = agent.execute_query(query)
-        return result, time.perf_counter() - start
+        return self.executor.run(
+            plan, work, merge,
+            response_bytes=lambda result: result.wire_bytes)
 
-    def _timed_merge(self, query: Query, results: Sequence[QueryResult]
-                     ) -> Tuple[QueryResult, float]:
-        start = time.perf_counter()
-        merged = self.engine.merge(query, results)
-        return merged, time.perf_counter() - start
+    def _finalise(self, query: Query, gather: GatherResult) -> QueryResult:
+        """Normalise the gathered accumulator into one aggregate result."""
+        if gather.value is None:
+            # Nothing gathered (no hosts targeted, or every host failed):
+            # the canonical empty aggregate, with ``partial``/``warnings``
+            # telling the two cases apart.
+            merged = self.engine.merge(query, ())
+        elif gather.root_merges == 0:
+            # A single partial reached the root unmerged; run it through the
+            # merger once so the aggregate has canonical shape.
+            merged = self.engine.merge(query, (gather.value,))
+        else:
+            merged = gather.value
+        merged.partial = gather.partial
+        merged.warnings = tuple(gather.warnings)
+        return merged
+
+    def _distributed_result(self, query: Query, mechanism: str,
+                            merged: QueryResult, gather: GatherResult,
+                            host_count: int,
+                            breakdown: Dict[str, float]
+                            ) -> DistributedQueryResult:
+        return DistributedQueryResult(
+            query=query, mechanism=mechanism, payload=merged.payload,
+            response_time_s=gather.model_time_s,
+            traffic_bytes=gather.traffic_bytes, host_count=host_count,
+            breakdown=breakdown, partial=gather.partial,
+            hosts_failed=list(gather.hosts_failed),
+            warnings=tuple(gather.warnings), wall_clock_s=gather.wall_s,
+            mode=self.executor.mode)
 
     # ------------------------------------------------------------ accounting
     def total_tib_records(self) -> int:
@@ -292,3 +369,18 @@ class QueryCluster:
             for key in report:
                 report[key] += footprint[key]
         return report
+
+    def reset_stats(self) -> None:
+        """Zero every per-experiment counter in one place.
+
+        Resets the RPC channel's message/byte counters and each agent's
+        storage-engine counters (document-store full-scan / index-rebuild /
+        compaction counts), so repeated runs against the same cluster can't
+        double-count.  Call once per experiment.
+        """
+        self.rpc.reset()
+        reset_transport = getattr(self.transport, "reset_stats", None)
+        if callable(reset_transport):
+            reset_transport()
+        for agent in self.agents.values():
+            agent.reset_stats()

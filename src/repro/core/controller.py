@@ -171,6 +171,13 @@ class PathDumpController:
             raise RuntimeError("no fabric attached")
         self.fabric.punt_handler = self.handle_trapped_packet
 
+    # ------------------------------------------------------------ accounting
+    def reset_stats(self) -> None:
+        """Zero per-experiment counters: controller activity, the RPC
+        channel, and every agent's storage-engine instrumentation."""
+        self.stats = ControllerStats()
+        self.cluster.reset_stats()
+
     # ------------------------------------------------------------- simulation
     def tick(self, now: float) -> List[Alarm]:
         """Advance periodic work: installed queries and TCP monitors."""

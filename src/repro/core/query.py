@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.core.alarms import PC_FAIL, Alarm
 from repro.core.tib import (LinkId, TimeRange, is_unconstrained_link,
@@ -86,6 +87,13 @@ class QueryResult:
         records_scanned: number of TIB records touched while producing the
             payload (the compute-cost proxy).
         host: the host (or aggregation node) that produced the result.
+        partial: ``True`` when one or more hosts' partial results are
+            missing from ``payload`` (dead agent, timeout, lost response) -
+            debug apps must treat "no anomaly" in a partial result as
+            "couldn't ask everyone", not as a clean bill of health.
+        warnings: structured :class:`~repro.core.executor.ExecWarning`
+            entries describing what went wrong (and what was hedged or
+            retried) while gathering.
     """
 
     query: Query
@@ -93,6 +101,8 @@ class QueryResult:
     wire_bytes: int
     records_scanned: int = 0
     host: str = ""
+    partial: bool = False
+    warnings: Tuple[Any, ...] = ()
 
 
 # --------------------------------------------------------------------------
@@ -240,13 +250,8 @@ class QueryEngine:
                 key = flow_key(record.flow_id)
                 totals[key] = totals.get(key, 0) + record.bytes
                 scanned += 1
-        heap: List[Tuple[int, str]] = []
-        for key, nbytes in totals.items():
-            if len(heap) < k:
-                heapq.heappush(heap, (nbytes, key))
-            elif nbytes > heap[0][0]:
-                heapq.heapreplace(heap, (nbytes, key))
-        result = sorted(heap, reverse=True)
+        result = top_k_select(
+            ((nbytes, key) for key, nbytes in totals.items()), k)
         return result, _KV_BYTES * max(1, len(result)), scanned
 
     @staticmethod
@@ -329,6 +334,26 @@ class QueryEngine:
 # --------------------------------------------------------------------------
 # Merge functions (aggregation-tree reduction)
 # --------------------------------------------------------------------------
+def top_k_select(items: Iterable[Tuple[int, str]], k: int
+                 ) -> List[Tuple[int, str]]:
+    """The k largest ``(nbytes, key)`` pairs, descending.
+
+    Full-tuple comparison keeps the selection a total order, so the result
+    is a well-defined *set* regardless of input order - which makes per-host
+    selection and the partial-result merge commutative and associative, the
+    property the streaming/concurrent aggregation's payload determinism
+    rests on.  Shared by the per-host handler and the merge function so the
+    tie-break can never diverge between them.
+    """
+    heap: List[Tuple[int, str]] = []
+    for item in items:
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item > heap[0]:
+            heapq.heapreplace(heap, item)
+    return sorted(heap, reverse=True)
+
+
 def _merge_concat(query: Query, payloads: Sequence[Any]) -> Tuple[Any, int]:
     """Concatenate list-like partial results."""
     merged: List[Any] = []
@@ -355,14 +380,8 @@ def _merge_top_k(query: Query, payloads: Sequence[List[Tuple[int, str]]]
     level (Section 5.2).
     """
     k = query.params.get("k", 1000)
-    heap: List[Tuple[int, str]] = []
-    for payload in payloads:
-        for nbytes, key in payload:
-            if len(heap) < k:
-                heapq.heappush(heap, (nbytes, key))
-            elif nbytes > heap[0][0]:
-                heapq.heapreplace(heap, (nbytes, key))
-    merged = sorted(heap, reverse=True)
+    merged = top_k_select(
+        (item for payload in payloads for item in payload), k)
     return merged, _KV_BYTES * max(1, len(merged))
 
 

@@ -68,6 +68,20 @@ class RpcChannel:
         self.stats.bytes += total_bytes
         return self.message_latency_s + total_bytes * 8.0 / self.bandwidth_bps
 
+    def send_batch(self, parts) -> float:
+        """Account for one message carrying several logical payloads.
+
+        Request batching: a query and its aggregation-subtree description
+        travel to a child in a single message, paying the fixed per-message
+        overhead (and latency floor) once instead of once per part.
+        """
+        total = 0
+        for part in parts:
+            if part < 0:
+                raise ValueError("payload size cannot be negative")
+            total += part
+        return self.send(total)
+
     def round_trip(self, request_bytes: int, response_bytes: int) -> float:
         """Latency of a request/response exchange."""
         return self.send(request_bytes) + self.send(response_bytes)

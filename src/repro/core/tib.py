@@ -28,9 +28,16 @@ rescans the collection:
   ``getCount`` / ``getDuration``;
 * an **inverted link index** ``(u, v) -> record ids`` plus per-endpoint
   postings serve ``getFlows(linkID)`` including wildcard endpoints;
-* a **sorted time index** (bisect over ``stime`` / ``etime``, rebuilt
-  lazily after writes) narrows ``records(time_range=...)`` to the records
-  whose interval can overlap the window;
+* a **sorted time index** (bisect over ``stime`` / ``etime``) narrows
+  ``records(time_range=...)`` to the records whose interval can overlap
+  the window.  Writes never re-sort it: new entries land in a *batched
+  insertion buffer* that the first time-constrained read sorts
+  (O(k log k) for k buffered entries) and merges into the sorted runs
+  (galloping merge, O(n) compares).  Merges that move a record's
+  ``stime``/``etime`` leave the old entry behind as a *stale* entry -
+  detected at read time because ``stime`` only ever decreases and
+  ``etime`` only ever increases - and a full rebuild runs only when the
+  stale fraction grows past a threshold;
 * the **cached-record layer** keeps one :class:`PathFlowRecord` per row, so
   queries return memoized objects instead of re-running ``from_document``;
 * incrementally maintained **per-flow aggregates** (bytes/packets per flow
@@ -46,6 +53,7 @@ treat records returned by queries as read-only; all mutation goes through
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from typing import (Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
                     Union)
@@ -154,9 +162,17 @@ class Tib:
         self._flow_totals: Dict[str, List[int]] = {}
         self._link_ids: Dict[Tuple[str, str], Set[int]] = {}
         self._endpoint_ids: Dict[str, Set[int]] = {}
+        # Sorted time index + batched insertion buffers (see docstring).
         self._by_stime: List[Tuple[float, int]] = []
         self._by_etime: List[Tuple[float, int]] = []
-        self._time_index_dirty = False
+        self._pending_stime: List[Tuple[float, int]] = []
+        self._pending_etime: List[Tuple[float, int]] = []
+        self._stale_time_entries = 0
+        # Serialises the fold of the insertion buffers: read-only queries
+        # may run concurrently (the scatter-gather executor's worker pool,
+        # hedged duplicate attempts), and the fold is the one place a read
+        # mutates index state.  Writes must still not race with queries.
+        self._time_index_lock = threading.Lock()
 
     # ----------------------------------------------------------------- writes
     def add_record(self, record: PathFlowRecord) -> None:
@@ -196,7 +212,9 @@ class Tib:
         self._endpoint_ids.clear()
         self._by_stime = []
         self._by_etime = []
-        self._time_index_dirty = False
+        self._pending_stime = []
+        self._pending_etime = []
+        self._stale_time_entries = 0
 
     def _insert_new(self, key: Tuple[str, Tuple[str, ...]],
                     record: PathFlowRecord) -> None:
@@ -216,7 +234,8 @@ class Tib:
                 self._link_ids.setdefault(pair, set()).add(record_id)
             for node in set(path):
                 self._endpoint_ids.setdefault(node, set()).add(record_id)
-        self._time_index_dirty = True
+        self._pending_stime.append((record.stime, record_id))
+        self._pending_etime.append((record.etime, record_id))
 
     def _merge_into(self, record_id: int, fkey: str,
                     record: PathFlowRecord) -> None:
@@ -227,14 +246,20 @@ class Tib:
         totals[0] += record.bytes
         totals[1] += record.pkts
         changes = {"bytes": cached.bytes, "pkts": cached.pkts}
+        # A moved bound strands the old index entry; since ``stime`` only
+        # ever decreases and ``etime`` only ever increases, the live entry
+        # is the one whose time equals the record's current bound, and
+        # reads skip the stale ones (compacted once they pile up).
         if record.stime < cached.stime:
             cached.stime = record.stime
             changes["stime"] = cached.stime
-            self._time_index_dirty = True
+            self._pending_stime.append((cached.stime, record_id))
+            self._stale_time_entries += 1
         if record.etime > cached.etime:
             cached.etime = record.etime
             changes["etime"] = cached.etime
-            self._time_index_dirty = True
+            self._pending_etime.append((cached.etime, record_id))
+            self._stale_time_entries += 1
         self._collection.update(record_id, changes)
 
     # ------------------------------------------------------------------ reads
@@ -300,38 +325,88 @@ class Tib:
         Overlap means ``etime >= start`` and ``stime <= end``; each bound is
         a bisection over the corresponding sorted time index.  With both
         bounds present the smaller candidate side is enumerated and the
-        other bound verified per record.
+        other bound verified per record.  When merges have stranded stale
+        entries, each candidate is additionally checked against the
+        record's current bound (``stime`` strictly decreases and ``etime``
+        strictly increases on change, so exactly one entry per record
+        matches).
         """
         self._refresh_time_index()
         cache = self._cache
+        stale = self._stale_time_entries > 0
         if start is None:
             cut = bisect_right(self._by_stime, (end, _POS_INF))
-            ids = [record_id for _, record_id in self._by_stime[:cut]]
+            ids = [record_id for stime, record_id in self._by_stime[:cut]
+                   if not stale or cache[record_id].stime == stime]
         elif end is None:
             lo = bisect_left(self._by_etime, (start,))
-            ids = [record_id for _, record_id in self._by_etime[lo:]]
+            ids = [record_id for etime, record_id in self._by_etime[lo:]
+                   if not stale or cache[record_id].etime == etime]
         else:
             lo = bisect_left(self._by_etime, (start,))
             cut = bisect_right(self._by_stime, (end, _POS_INF))
             if len(self._by_etime) - lo <= cut:
-                ids = [record_id for _, record_id in self._by_etime[lo:]
-                       if cache[record_id].stime <= end]
+                ids = [record_id for etime, record_id in self._by_etime[lo:]
+                       if cache[record_id].stime <= end
+                       and (not stale or cache[record_id].etime == etime)]
             else:
-                ids = [record_id for _, record_id in self._by_stime[:cut]
-                       if cache[record_id].etime >= start]
+                ids = [record_id for stime, record_id in self._by_stime[:cut]
+                       if cache[record_id].etime >= start
+                       and (not stale or cache[record_id].stime == stime)]
         ids.sort()
         return ids
 
-    def _refresh_time_index(self) -> None:
-        """Re-sort the time indexes after writes (lazy: once per query burst).
+    #: Rebuild the time index outright once stale entries exceed this
+    #: fraction of it (and this many entries in absolute terms).
+    TIME_INDEX_STALE_RATIO = 0.5
+    TIME_INDEX_STALE_MIN = 64
 
-        Merges move ``stime``/``etime`` of existing records, so the sorted
-        views are rebuilt on the first time-constrained query after any
-        write instead of being patched on every upsert - write-heavy phases
-        (the common ingest pattern) pay nothing per record.
+    def _refresh_time_index(self) -> None:
+        """Fold the insertion buffers into the sorted time index.
+
+        Writes only append to the pending buffers; the first
+        time-constrained query after a write burst sorts the buffer
+        (O(k log k) for k buffered entries) and concatenates it onto the
+        sorted run - Timsort's galloping merge then combines the two runs
+        in O(n) comparisons, replacing the old O(n log n) full re-sort.
+        When merges have stranded enough stale entries, the index is
+        rebuilt from the record cache instead, which also drops them.
+
+        Thread-safe against concurrent *queries* (the fold runs under a
+        lock, so duplicate hedged attempts can't fold the same buffer
+        twice); writes must not race with queries.
         """
-        if not self._time_index_dirty:
-            return
+        if not self._pending_stime and not self._pending_etime:
+            stale = self._stale_time_entries
+            if stale < self.TIME_INDEX_STALE_MIN or \
+                    stale <= len(self._by_stime) * self.TIME_INDEX_STALE_RATIO:
+                # Steady-state read path: everything already folded and no
+                # compaction due - skip the lock entirely.
+                return
+        with self._time_index_lock:
+            size = len(self._by_stime) + len(self._pending_stime)
+            if self._stale_time_entries >= self.TIME_INDEX_STALE_MIN and \
+                    self._stale_time_entries > \
+                    size * self.TIME_INDEX_STALE_RATIO:
+                self._rebuild_time_index()
+                return
+            # Fold into fresh lists (not in place) so a reader still
+            # enumerating the previous run keeps a stable snapshot.
+            if self._pending_stime:
+                self._pending_stime.sort()
+                merged = self._by_stime + self._pending_stime
+                merged.sort()
+                self._by_stime = merged
+                self._pending_stime = []
+            if self._pending_etime:
+                self._pending_etime.sort()
+                merged = self._by_etime + self._pending_etime
+                merged.sort()
+                self._by_etime = merged
+                self._pending_etime = []
+
+    def _rebuild_time_index(self) -> None:
+        """Full rebuild from the record cache (drops stale entries)."""
         by_stime = []
         by_etime = []
         for record_id, record in self._cache.items():
@@ -341,7 +416,9 @@ class Tib:
         by_etime.sort()
         self._by_stime = by_stime
         self._by_etime = by_etime
-        self._time_index_dirty = False
+        self._pending_stime = []
+        self._pending_etime = []
+        self._stale_time_entries = 0
 
     def record_count(self) -> int:
         """Number of stored records."""
@@ -360,6 +437,10 @@ class Tib:
     def estimated_bytes(self) -> int:
         """Approximate storage footprint (Section 5.3 accounting)."""
         return self._collection.estimated_bytes()
+
+    def reset_stats(self) -> None:
+        """Zero the backing collection's instrumentation counters."""
+        self._collection.reset_stats()
 
     # ----------------------------------------------------------- Table 1 API
     def get_flows(self, link: Optional[LinkId] = None,

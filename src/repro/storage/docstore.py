@@ -104,6 +104,16 @@ class Collection:
         #: Instrumentation: how often expensive operations actually happen.
         self.stats = {"full_scans": 0, "index_rebuilds": 0, "compactions": 0}
 
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters (call once per experiment).
+
+        Only the counters are touched - documents and indexes stay intact -
+        so repeated benchmark runs against the same collection start from a
+        clean slate instead of double-counting earlier phases.
+        """
+        for key in self.stats:
+            self.stats[key] = 0
+
     # ---------------------------------------------------------------- indexes
     def create_index(self, field: str) -> None:
         """Create (or rebuild) a hash index on ``field``."""
@@ -473,3 +483,8 @@ class DocumentStore:
     def estimated_bytes(self) -> int:
         """Total estimated footprint of the store."""
         return sum(c.estimated_bytes() for c in self._collections.values())
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters of every collection."""
+        for collection in self._collections.values():
+            collection.reset_stats()

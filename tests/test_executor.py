@@ -1,0 +1,440 @@
+"""Tests for the concurrent scatter-gather executor.
+
+Covers the pluggable transports, the streaming ordered merge, and every
+partial-failure path: dead agents, per-host timeouts, straggler hedging,
+bounded retries, lost responses - plus the concurrent-vs-serial payload
+determinism the figure benchmarks rely on.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (LoopbackTransport, MECHANISM_DIRECT,
+                        MECHANISM_MULTILEVEL, MODE_CONCURRENT, MODE_SERIAL,
+                        ModelTransport, PlanNode, Q_FLOW_SIZE_DISTRIBUTION,
+                        Q_GET_FLOWS, Q_TOP_K_FLOWS, Query, QueryCluster,
+                        RpcChannel, ScatterGatherExecutor, TransportError)
+from repro.core.executor import (W_HEDGED, W_HOST_FAILED, W_HOST_TIMEOUT,
+                                 W_RESPONSE_LOST, W_RETRIED)
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+
+
+# --------------------------------------------------------------------------
+# Plain-executor helpers (no cluster): work = look up a value, merge = sum.
+# --------------------------------------------------------------------------
+HOSTS = ["h0", "h1", "h2", "h3", "h4", "h5"]
+VALUES = {host: index + 1 for index, host in enumerate(HOSTS)}
+
+
+def flat_plan(hosts=HOSTS):
+    return PlanNode(host=None, children=[
+        PlanNode(host=host, request_parts=(64,)) for host in hosts])
+
+
+def tree_plan(hosts=HOSTS):
+    """Two-level plan: h0 and h1 are interior, the rest are leaves."""
+    return PlanNode(host=None, children=[
+        PlanNode(host="h0", request_parts=(64, 16), children=[
+            PlanNode(host="h2", request_parts=(64, 8)),
+            PlanNode(host="h3", request_parts=(64, 8))]),
+        PlanNode(host="h1", request_parts=(64, 16), children=[
+            PlanNode(host="h4", request_parts=(64, 8)),
+            PlanNode(host="h5", request_parts=(64, 8))])])
+
+
+def run(executor, plan=None):
+    return executor.run(plan or flat_plan(), work=VALUES.__getitem__,
+                        merge=lambda a, b: a + b,
+                        response_bytes=lambda value: 8)
+
+
+class TestTransports:
+    def test_model_transport_batches_requests(self):
+        rpc = RpcChannel()
+        transport = ModelTransport(rpc)
+        leg = transport.request("h0", (128, 32))
+        assert leg.payload_bytes == 160
+        assert rpc.stats.messages == 1  # one message for both parts
+        transport.respond("h0", 500)
+        assert rpc.stats.messages == 2
+
+    def test_send_batch_rejects_negative_parts(self):
+        with pytest.raises(ValueError):
+            RpcChannel().send_batch((10, -1))
+
+    def test_loopback_drops_first_attempts(self):
+        transport = LoopbackTransport(drop_requests={"h0": 2})
+        with pytest.raises(TransportError):
+            transport.request("h0", (1,))
+        with pytest.raises(TransportError):
+            transport.request("h0", (1,))
+        assert transport.request("h0", (1,)).payload_bytes == 1
+        assert transport.dropped == 2
+
+    def test_loopback_dead_host_never_delivers(self):
+        transport = LoopbackTransport(dead_hosts=["h0"])
+        for _ in range(3):
+            with pytest.raises(TransportError):
+                transport.request("h0", (1,))
+        with pytest.raises(TransportError):
+            transport.respond("h0", 1)
+
+    def test_loopback_attempt_aware_delay(self):
+        transport = LoopbackTransport(delay=lambda host, attempt: 0.0)
+        leg = transport.request("h0", (5, 6))
+        assert leg.latency_s == 0.0 and leg.payload_bytes == 11
+
+
+class TestScatterGather:
+    def test_serial_and_concurrent_same_merge(self):
+        serial = run(ScatterGatherExecutor(LoopbackTransport(),
+                                           mode=MODE_SERIAL))
+        concurrent = run(ScatterGatherExecutor(LoopbackTransport(),
+                                               mode=MODE_CONCURRENT))
+        assert serial.value == concurrent.value == sum(VALUES.values())
+        assert not serial.partial and not concurrent.partial
+
+    def test_tree_plan_aggregates_all_hosts(self):
+        result = run(ScatterGatherExecutor(LoopbackTransport()), tree_plan())
+        assert result.value == sum(VALUES.values())
+        assert result.hosts_failed == []
+
+    def test_model_chains_request_legs_through_tree_levels(self):
+        """A leaf cannot start before its parent received the query: the
+        modelled response time of a 2-level tree must include two request
+        legs and two response legs on the deepest path."""
+        from repro.core import ModelTransport, RpcChannel
+        latency = 0.05
+        transport = ModelTransport(RpcChannel(message_latency_s=latency,
+                                              bandwidth_bps=1e12))
+        executor = ScatterGatherExecutor(transport, mode=MODE_SERIAL)
+        result = run(executor, tree_plan())
+        # Deepest path: req(root->h0) + req(h0->h2) + resp(h2->h0) +
+        # resp(h0->root) = 4 legs (executions/merges add ~microseconds).
+        assert result.model_time_s > 4 * latency
+        assert result.model_time_s < 5 * latency
+
+    def test_serial_timeout_contributes_modelled_duration(self):
+        """A host timed out in serial mode contributes the modelled
+        request latency + execution (what blew the deadline), not the
+        near-zero measured wall time of the latency model."""
+        from repro.core import ModelTransport, RpcChannel
+        transport = ModelTransport(RpcChannel(message_latency_s=0.2,
+                                              bandwidth_bps=1e12))
+        executor = ScatterGatherExecutor(transport, mode=MODE_SERIAL,
+                                         timeout_s=0.1)
+        result = run(executor)
+        assert set(result.hosts_failed) == set(HOSTS)  # all exceed 0.1s
+        assert result.model_time_s >= 0.2  # the modelled blown deadline
+
+    def test_traffic_accounts_requests_and_responses(self):
+        result = run(ScatterGatherExecutor(LoopbackTransport(),
+                                           mode=MODE_SERIAL))
+        # 6 requests of 64 payload bytes + 6 responses of 8 bytes.
+        assert result.traffic_bytes == 6 * 64 + 6 * 8
+
+    def test_empty_plan_yields_empty_gather(self):
+        executor = ScatterGatherExecutor(LoopbackTransport())
+        result = executor.run(PlanNode(host=None), work=lambda host: 1,
+                              merge=lambda a, b: a + b)
+        assert result.value is None
+        assert not result.partial and result.hosts_failed == []
+        assert result.traffic_bytes == 0
+
+    @pytest.mark.parametrize("mode", [MODE_SERIAL, MODE_CONCURRENT])
+    def test_broken_merge_raises_instead_of_hanging(self, mode):
+        def merge(a, b):
+            raise TypeError("cannot merge partials")
+
+        executor = ScatterGatherExecutor(LoopbackTransport(), mode=mode)
+        with pytest.raises(TypeError, match="cannot merge partials"):
+            executor.run(flat_plan(), VALUES.__getitem__, merge)
+
+    def test_broken_response_bytes_raises_instead_of_hanging(self):
+        executor = ScatterGatherExecutor(LoopbackTransport(),
+                                         mode=MODE_CONCURRENT)
+
+        def response_bytes(value):
+            raise RuntimeError("unsizeable payload")
+
+        with pytest.raises(RuntimeError, match="unsizeable payload"):
+            executor.run(tree_plan(), VALUES.__getitem__,
+                         lambda a, b: a + b, response_bytes=response_bytes)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ScatterGatherExecutor(mode="bogus")
+        with pytest.raises(ValueError):
+            ScatterGatherExecutor(retries=-1)
+
+    def test_dead_host_yields_partial_result(self):
+        executor = ScatterGatherExecutor(
+            LoopbackTransport(dead_hosts=["h2"]), mode=MODE_CONCURRENT,
+            retries=1)
+        result = run(executor)
+        assert result.partial
+        assert result.hosts_failed == ["h2"]
+        assert result.value == sum(VALUES.values()) - VALUES["h2"]
+        warning = next(w for w in result.warnings if w.code == W_HOST_FAILED)
+        assert warning.host == "h2" and warning.attempts == 2
+
+    def test_broken_work_yields_partial_result(self):
+        def work(host):
+            if host == "h1":
+                raise RuntimeError("agent crashed")
+            return VALUES[host]
+
+        executor = ScatterGatherExecutor(LoopbackTransport(),
+                                         mode=MODE_SERIAL)
+        result = executor.run(flat_plan(), work, lambda a, b: a + b)
+        assert result.partial and result.hosts_failed == ["h1"]
+        assert "agent crashed" in result.warnings[0].detail
+
+    def test_bounded_retries_recover_dropped_requests(self):
+        executor = ScatterGatherExecutor(
+            LoopbackTransport(drop_requests={"h3": 1}), retries=1)
+        result = run(executor)
+        assert not result.partial
+        assert result.value == sum(VALUES.values())
+        retried = [w for w in result.warnings if w.code == W_RETRIED]
+        assert len(retried) == 1 and retried[0].host == "h3"
+        assert result.reports["h3"].attempts == 2
+
+    def test_retry_budget_exhaustion_fails_host(self):
+        executor = ScatterGatherExecutor(
+            LoopbackTransport(drop_requests={"h3": 5}), retries=1)
+        result = run(executor)
+        assert result.partial and result.hosts_failed == ["h3"]
+
+    def test_timeout_declares_host_failed(self):
+        slow = LoopbackTransport(
+            delay=lambda host, attempt: 0.5 if host == "h4" else 0.0)
+        executor = ScatterGatherExecutor(slow, mode=MODE_CONCURRENT,
+                                         timeout_s=0.05)
+        started = time.perf_counter()
+        result = run(executor)
+        elapsed = time.perf_counter() - started
+        assert result.partial and result.hosts_failed == ["h4"]
+        assert any(w.code == W_HOST_TIMEOUT and w.host == "h4"
+                   for w in result.warnings)
+        assert elapsed < 0.4  # did not wait for the sleeping straggler
+
+    def test_serial_timeout_applies_after_the_fact(self):
+        slow = LoopbackTransport(
+            delay=lambda host, attempt: 0.1 if host == "h4" else 0.0)
+        executor = ScatterGatherExecutor(slow, mode=MODE_SERIAL,
+                                         timeout_s=0.05)
+        result = run(executor)
+        assert result.hosts_failed == ["h4"]
+        assert any(w.code == W_HOST_TIMEOUT for w in result.warnings)
+
+    def test_straggler_hedge_wins(self):
+        # First attempt at h5 is slow; the hedge (attempt 2) is instant.
+        slow_first = LoopbackTransport(
+            delay=lambda host, attempt: 0.5 if host == "h5" and attempt == 1
+            else 0.0)
+        executor = ScatterGatherExecutor(slow_first, mode=MODE_CONCURRENT,
+                                         hedge_after_s=0.02)
+        started = time.perf_counter()
+        result = run(executor)
+        elapsed = time.perf_counter() - started
+        assert not result.partial
+        assert result.value == sum(VALUES.values())
+        assert result.reports["h5"].hedged
+        assert any(w.code == W_HEDGED and w.host == "h5"
+                   for w in result.warnings)
+        assert elapsed < 0.4  # the hedge, not the straggler, completed
+
+    def test_hedged_attempts_never_run_work_concurrently(self):
+        """Hedge twins may overlap transport legs but the per-host work
+        must stay serialised (agents are not thread-safe)."""
+        import threading
+        active = {}
+        overlaps = []
+        guard = threading.Lock()
+
+        def work(host):
+            with guard:
+                if active.get(host):
+                    overlaps.append(host)
+                active[host] = True
+            time.sleep(0.03)  # long enough for a hedge twin to catch up
+            with guard:
+                active[host] = False
+            return VALUES[host]
+
+        slow_first = LoopbackTransport(
+            delay=lambda host, attempt: 0.05 if attempt == 1 else 0.0)
+        executor = ScatterGatherExecutor(slow_first, mode=MODE_CONCURRENT,
+                                         hedge_after_s=0.01,
+                                         max_workers=2 * len(HOSTS))
+        result = executor.run(flat_plan(), work, lambda a, b: a + b,
+                              response_bytes=lambda value: 8)
+        assert overlaps == []
+        assert result.value == sum(VALUES.values())
+
+    def test_non_transport_error_in_respond_raises(self):
+        class BuggyTransport(LoopbackTransport):
+            def respond(self, host, payload_bytes):
+                raise OSError("socket exploded")
+
+        executor = ScatterGatherExecutor(BuggyTransport(),
+                                         mode=MODE_CONCURRENT)
+        with pytest.raises(OSError, match="socket exploded"):
+            run(executor)
+
+    def test_lost_response_drops_subtree(self):
+        executor = ScatterGatherExecutor(
+            LoopbackTransport(drop_responses={"h0": 5}),
+            mode=MODE_SERIAL)
+        result = run(executor, tree_plan())
+        assert result.partial
+        # h0's subtree (h0, h2, h3) is lost; h1's subtree survives.
+        assert set(result.hosts_failed) == {"h0", "h2", "h3"}
+        assert result.value == sum(VALUES[h] for h in ("h1", "h4", "h5"))
+        assert any(w.code == W_RESPONSE_LOST for w in result.warnings)
+
+    def test_all_hosts_failed_returns_none(self):
+        executor = ScatterGatherExecutor(
+            LoopbackTransport(dead_hosts=HOSTS), mode=MODE_SERIAL)
+        result = run(executor)
+        assert result.value is None
+        assert result.partial and set(result.hosts_failed) == set(HOSTS)
+
+    def test_concurrent_overlaps_transport_delays(self):
+        delay = 0.03
+        serial = ScatterGatherExecutor(LoopbackTransport(delay=delay),
+                                       mode=MODE_SERIAL)
+        concurrent = ScatterGatherExecutor(LoopbackTransport(delay=delay),
+                                           mode=MODE_CONCURRENT,
+                                           max_workers=len(HOSTS))
+        serial_result = run(serial)
+        concurrent_result = run(concurrent)
+        assert serial_result.value == concurrent_result.value
+        assert serial_result.wall_s > delay * len(HOSTS) * 0.9
+        assert concurrent_result.wall_s < serial_result.wall_s / 2
+
+
+# --------------------------------------------------------------------------
+# Cluster-level integration: real agents, real queries.
+# --------------------------------------------------------------------------
+@pytest.fixture()
+def populated_cluster(fattree4, fattree4_assignment):
+    cluster = QueryCluster(fattree4, fattree4_assignment)
+    for index, host in enumerate(cluster.hosts):
+        agent = cluster.agent(host)
+        other = cluster.hosts[(index + 1) % len(cluster.hosts)]
+        for flow in range(20):
+            flow_id = FlowId(other, host, 30_000 + flow, 80, PROTO_TCP)
+            record = PathFlowRecord(
+                flow_id, (other, "tor", host), float(flow),
+                float(flow) + 0.5, 1000 * (flow + 1), flow + 1)
+            agent.tib.add_record(record)
+    return cluster
+
+
+class TestClusterExecutorIntegration:
+    @pytest.mark.parametrize("mechanism", [MECHANISM_DIRECT,
+                                           MECHANISM_MULTILEVEL])
+    @pytest.mark.parametrize("name,params", [
+        (Q_TOP_K_FLOWS, {"k": 25}),
+        (Q_FLOW_SIZE_DISTRIBUTION, {"links": [None], "binsize": 2000}),
+        (Q_GET_FLOWS, {}),
+    ])
+    def test_concurrent_matches_serial_payload(self, populated_cluster,
+                                               mechanism, name, params):
+        """Same query, same data: serial and concurrent runs must produce
+        identical payloads and aggregate counts."""
+        query = Query(name, dict(params))
+        populated_cluster.configure_executor(mode=MODE_SERIAL)
+        serial = populated_cluster.execute(query, mechanism=mechanism)
+        populated_cluster.configure_executor(mode=MODE_CONCURRENT,
+                                             max_workers=8)
+        concurrent = populated_cluster.execute(query, mechanism=mechanism)
+        assert serial.payload == concurrent.payload
+        assert serial.host_count == concurrent.host_count
+        assert not serial.partial and not concurrent.partial
+
+    def test_dead_agent_direct_query_partial(self, populated_cluster):
+        dead = populated_cluster.hosts[2]
+        populated_cluster.configure_executor(
+            transport=LoopbackTransport(dead_hosts=[dead]))
+        query = Query(Q_TOP_K_FLOWS, {"k": 1000})
+        result = populated_cluster.execute(query,
+                                           mechanism=MECHANISM_DIRECT)
+        assert result.partial and result.hosts_failed == [dead]
+        # The dead host's flows are missing, everyone else's are present.
+        keys = {key for _, key in result.payload}
+        assert keys  # sanity: the query did return flows
+        assert not any(f"|{dead}:" in key for key in keys)
+        survivors = set(populated_cluster.hosts) - {dead}
+        assert len(result.payload) == 20 * len(survivors)
+
+    def test_missing_agent_is_a_dead_agent(self, populated_cluster):
+        gone = populated_cluster.hosts[5]
+        del populated_cluster.agents[gone]
+        query = Query(Q_TOP_K_FLOWS, {"k": 10})
+        result = populated_cluster.execute(query,
+                                           mechanism=MECHANISM_MULTILEVEL)
+        assert result.partial and gone in result.hosts_failed
+        assert result.payload  # everyone else still answered
+
+    def test_warnings_surface_on_query_result(self, populated_cluster):
+        dead = populated_cluster.hosts[0]
+        populated_cluster.configure_executor(
+            transport=LoopbackTransport(dead_hosts=[dead]), retries=2)
+        result = populated_cluster.execute(Query(Q_GET_FLOWS, {}),
+                                           mechanism=MECHANISM_DIRECT)
+        codes = {w.code for w in result.warnings}
+        assert W_HOST_FAILED in codes
+        failed = next(w for w in result.warnings
+                      if w.code == W_HOST_FAILED)
+        assert failed.attempts == 3  # initial + 2 retries
+
+    def test_empty_host_list_returns_empty_aggregate(self,
+                                                     populated_cluster):
+        result = populated_cluster.execute(Query(Q_TOP_K_FLOWS, {"k": 5}),
+                                           hosts=[])
+        assert result.payload == [] and result.host_count == 0
+        assert not result.partial and result.hosts_failed == []
+        histogram = populated_cluster.execute(
+            Query(Q_FLOW_SIZE_DISTRIBUTION, {"links": [None]}), hosts=[])
+        assert histogram.payload == {}
+
+    def test_custom_model_transport_keeps_rpc_coupled(self, fattree4,
+                                                      fattree4_assignment):
+        transport = ModelTransport(RpcChannel())
+        cluster = QueryCluster(fattree4, fattree4_assignment,
+                               transport=transport)
+        assert cluster.rpc is transport.channel
+        cluster.execute(Query(Q_GET_FLOWS, {}))
+        assert cluster.rpc.stats.messages > 0
+        cluster.reset_stats()
+        assert cluster.rpc.stats.messages == 0
+        # Swapping the transport later re-couples the stats channel too.
+        replacement = ModelTransport(RpcChannel())
+        cluster.configure_executor(transport=replacement)
+        cluster.execute(Query(Q_GET_FLOWS, {}))
+        assert cluster.rpc is replacement.channel
+        assert cluster.rpc.stats.messages > 0
+
+    def test_reset_stats_resets_loopback_transport(self, populated_cluster):
+        transport = LoopbackTransport()
+        populated_cluster.configure_executor(transport=transport)
+        populated_cluster.execute(Query(Q_GET_FLOWS, {}))
+        assert transport.messages > 0
+        populated_cluster.reset_stats()
+        assert transport.messages == 0
+
+    def test_reset_stats_clears_rpc_and_storage_counters(self,
+                                                         populated_cluster):
+        populated_cluster.execute(Query(Q_GET_FLOWS, {}))
+        assert populated_cluster.rpc.stats.messages > 0
+        agent = populated_cluster.agent(populated_cluster.hosts[0])
+        agent.tib._collection.stats["full_scans"] += 3
+        populated_cluster.reset_stats()
+        assert populated_cluster.rpc.stats.messages == 0
+        assert populated_cluster.rpc.total_traffic_bytes == 0
+        assert agent.tib._collection.stats["full_scans"] == 0

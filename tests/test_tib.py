@@ -151,6 +151,78 @@ class TestTimeIndex:
         assert len(tib.records(time_range=(None, 1.0))) == 1
 
 
+class TestTimeIndexInsertionBuffer:
+    """The batched insertion buffer behind the sorted time index."""
+
+    def test_interleaved_writes_and_reads(self):
+        """Reads between write bursts fold the pending buffer correctly."""
+        tib = Tib("h")
+        rng = random.Random(7)
+        inserted = []
+        for sport in range(200):
+            start = rng.uniform(0.0, 100.0)
+            tib.add_record(_record(_flow(sport=sport), PATH_A,
+                                   start, start + 1.0))
+            inserted.append(start)
+            if sport % 17 == 0:  # interleave time reads with the writes
+                window = (20.0, 40.0)
+                got = tib.records(time_range=window)
+                expected = [s for s in inserted
+                            if s + 1.0 >= window[0] and s <= window[1]]
+                assert len(got) == len(expected)
+        assert tib._pending_stime  # the trailing burst is still buffered
+        assert len(tib.records(time_range=(0.0, 200.0))) == 200
+        assert tib._pending_stime == [] and tib._pending_etime == []
+
+    def test_stale_entries_do_not_duplicate_records(self):
+        """Merges that move stime/etime leave stale index entries behind;
+        reads must see each record exactly once."""
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 5.0, 6.0))
+        tib.records(time_range=(0.0, 100.0))  # fold into the sorted run
+        # Move both bounds outward (stime down, etime up) via merges.
+        tib.add_record(_record(flow, PATH_A, 2.0, 8.0))
+        tib.add_record(_record(flow, PATH_A, 1.0, 9.0))
+        assert tib._stale_time_entries > 0
+        # The record must appear exactly once in any overlapping window -
+        # including windows only its *old* bounds would have matched.
+        for window in [(0.0, 100.0), (0.5, 1.5), (8.5, 9.5), (5.0, 6.0)]:
+            assert len(tib.records(time_range=window)) == 1
+        # A window before the current stime must not match stale entries.
+        assert tib.records(time_range=(0.0, 0.5)) == []
+        assert tib.records(time_range=(9.5, 10.0)) == []
+
+    def test_stale_threshold_triggers_rebuild(self):
+        tib = Tib("h")
+        flows = [_flow(sport=sport) for sport in range(80)]
+        for index, flow in enumerate(flows):
+            tib.add_record(_record(flow, PATH_A, 10.0 + index, 11.0 + index))
+        tib.records(time_range=(0.0, 1000.0))
+        # Every merge moves both bounds -> two stale entries per record.
+        for index, flow in enumerate(flows):
+            tib.add_record(_record(flow, PATH_A, 1.0 + index, 20.0 + index))
+        assert tib._stale_time_entries == 160
+        got = tib.records(time_range=(0.0, 1000.0))
+        assert len(got) == len(flows)
+        assert tib._stale_time_entries == 0  # compaction ran
+        assert len(tib._by_stime) == len(flows)
+
+    def test_no_full_resort_between_bursts(self):
+        """The pending buffer is merged into the sorted run, so the main
+        run object only changes by extension (no per-read rebuild)."""
+        tib = Tib("h")
+        for sport in range(50):
+            tib.add_record(_record(_flow(sport=sport), PATH_A,
+                                   float(sport), float(sport) + 0.5))
+        tib.records(time_range=(0.0, 10.0))
+        assert len(tib._by_stime) == 50 and not tib._pending_stime
+        tib.add_record(_record(_flow(sport=99), PATH_A, 7.25, 7.5))
+        assert len(tib._pending_stime) == 1  # buffered, not sorted in
+        assert len(tib.records(time_range=(7.0, 8.0))) == 3
+        assert len(tib._by_stime) == 51 and not tib._pending_stime
+
+
 class TestLinkIndex:
     def _tib(self):
         tib = Tib("h")
