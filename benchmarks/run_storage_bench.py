@@ -62,7 +62,11 @@ def bench_size(count: int, query_rounds: int = QUERY_ROUNDS) -> dict:
     merge_pairs = max(1, int(count * MERGE_PAIR_FRACTION))
 
     def add_all(records):
-        Tib("bench-host").add_records(records)
+        # adopt=True: the records are freshly built and never touched
+        # again, which is the trajectory-eviction fast path the engine
+        # numbers have always tracked (the default copies on insert to
+        # protect caller-owned records).
+        Tib("bench-host").add_records(records, adopt=True)
 
     insert_s = _timeit(add_all, rounds=3,
                        setup=lambda: make_records(count, count))

@@ -21,9 +21,13 @@ from repro.core.executor import (ExecWarning, GatherResult, LoopbackTransport,
                                  MODE_CONCURRENT, MODE_SERIAL, ModelTransport,
                                  PlanNode, ScatterGatherExecutor, Transport,
                                  TransportError)
+from repro.core import wire
+from repro.core.agentserver import (AgentServerError, AgentServerPool,
+                                    ProcessTransport)
 from repro.core.aggregation import AggregationTree
 from repro.core.cluster import (DistributedQueryResult, MECHANISM_DIRECT,
-                                MECHANISM_MULTILEVEL, QueryCluster)
+                                MECHANISM_MULTILEVEL, MODE_PROCESS,
+                                QueryCluster)
 from repro.core.controller import PathDumpController
 
 __all__ = [
@@ -36,8 +40,9 @@ __all__ = [
     "Q_SUBFLOW_IMBALANCE", "Q_TOP_K_FLOWS", "Q_TRAFFIC_MATRIX", "Query",
     "QueryEngine", "QueryResult", "RpcChannel", "ExecWarning",
     "GatherResult", "LoopbackTransport", "MODE_CONCURRENT", "MODE_SERIAL",
-    "ModelTransport", "PlanNode", "ScatterGatherExecutor", "Transport",
-    "TransportError", "AggregationTree", "DistributedQueryResult",
-    "MECHANISM_DIRECT", "MECHANISM_MULTILEVEL", "QueryCluster",
-    "PathDumpController",
+    "MODE_PROCESS", "ModelTransport", "PlanNode", "ScatterGatherExecutor",
+    "Transport", "TransportError", "AgentServerError", "AgentServerPool",
+    "ProcessTransport", "wire", "AggregationTree",
+    "DistributedQueryResult", "MECHANISM_DIRECT", "MECHANISM_MULTILEVEL",
+    "QueryCluster", "PathDumpController",
 ]

@@ -80,6 +80,14 @@ class PathDumpAgent:
         self.engine = QueryEngine()
         self.installed: Dict[str, InstalledQuery] = {}
         self.alarms_raised: List[Alarm] = []
+        #: Optional mirror for TIB writes: every batch of records stored in
+        #: the local TIB is also handed to this callable.  The cluster's
+        #: process mode uses it to stream encoded record batches to the
+        #: host's agent-server worker, keeping the worker TIB in sync with
+        #: every ingest path (fabric deliveries, flow outcomes, direct
+        #: inserts through the agent).
+        self.record_sink: Optional[Callable[[Sequence[PathFlowRecord]],
+                                            None]] = None
 
     # --------------------------------------------------------------- ingest
     def on_packet_delivered(self, host: str, packet: Packet,
@@ -96,9 +104,12 @@ class PathDumpAgent:
         """Directly insert a finished per-path flow record into the TIB.
 
         Used by the flow-level traffic simulator, which produces aggregate
-        per-path statistics rather than individual packets.
+        per-path statistics rather than individual packets.  The caller's
+        record is copied on insert (never mutated or retained).
         """
         self.tib.add_record(record)
+        if self.record_sink is not None:
+            self.record_sink((record,))
 
     def flush(self, now: Optional[float] = None) -> int:
         """Evict trajectory-memory records into the TIB.
@@ -122,7 +133,13 @@ class PathDumpAgent:
                        if record is not None]
         if not constructed:
             return 0
-        return self.tib.add_records(constructed)
+        if self.record_sink is not None:
+            # Mirror before handing ownership over: adopted records may be
+            # merged into (mutated) by later TIB writes.
+            self.record_sink(constructed)
+        # The constructor built these records solely for this TIB: transfer
+        # ownership instead of copy-on-insert (the eviction fast path).
+        return self.tib.add_records(constructed, adopt=True)
 
     def _on_invalid_trajectory(self, memory_record, error) -> None:
         """An extracted trajectory is inconsistent with the topology."""

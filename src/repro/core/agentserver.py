@@ -1,0 +1,397 @@
+"""Process-parallel agent servers: each host's TIB in its own worker process.
+
+PathDump's central claim is that trajectory queries run *on the end hosts
+themselves*.  The thread-pool executor already overlaps transport waits, but
+pure-Python per-host query work is GIL-bound: a CPU-heavy 8-host scatter on
+threads runs no faster than serially.  This module moves the per-host state
+out of the controller process entirely:
+
+* :func:`agent_server_main` - the worker process.  It owns one host's
+  :class:`~repro.core.tib.Tib` and a :class:`~repro.core.query.QueryEngine`,
+  and speaks the :mod:`~repro.core.wire` binary protocol over a pipe: the
+  simulator streams encoded record batches in, the executor sends encoded
+  query(+subtree-spec) requests and receives encoded results.  No pickle
+  crosses the pipe on the query path.
+* :class:`AgentServerPool` - the controller-side handle: spawns one worker
+  per host, streams ingest, runs queries, and exposes ``kill``/``alive``
+  for failure testing.  A killed worker surfaces as
+  :class:`AgentServerError` on the next exchange, which the scatter-gather
+  executor turns into the same ``partial=True`` / ``hosts_failed`` /
+  ``W_HOST_FAILED`` outcome as a dead in-thread agent.
+* :class:`ProcessTransport` - a :class:`~repro.core.executor.ModelTransport`
+  bound to a pool.  Request/response *sizes* are the real encoded frame
+  lengths (the cluster builds plans from ``len(encoded)``), the channel
+  model still prices the legs, and the measured wall clock shows the real
+  process-level overlap.
+
+Because workers block in ``recv`` (releasing nothing - they are separate
+processes), a CPU-bound scatter's per-host work runs genuinely in parallel
+across cores while the executor threads merely wait on pipes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import wire
+from repro.core.executor import ModelTransport
+from repro.core.query import (Q_PATH_CONFORMANCE, Q_POOR_TCP_FLOWS,
+                              QueryEngine, QueryResult)
+from repro.core.rpc import RpcChannel
+from repro.core.tib import Tib
+from repro.storage.records import PathFlowRecord
+
+#: Queries an agent-server worker can answer.  Workers hold the host's TIB
+#: but not its TCP health monitor (transfer observations are not forwarded)
+#: or a path back to the controller's alarm bus, so monitor-backed and
+#: alarm-raising queries fall back to the in-process agent; custom handlers
+#: registered on individual agents do too.
+SERVED_QUERIES = frozenset(QueryEngine()._handlers) - {Q_POOR_TCP_FLOWS,
+                                                       Q_PATH_CONFORMANCE}
+
+
+class AgentServerError(RuntimeError):
+    """An agent-server worker failed or became unreachable."""
+
+
+class _WorkerMonitor:
+    """Monitor stub inside a worker (no transfer observations arrive)."""
+
+    __slots__ = ("flows",)
+
+    def __init__(self) -> None:
+        self.flows: Dict = {}
+
+
+class _WorkerAgent:
+    """The TIB-backed slice of the agent API the query handlers need.
+
+    Lives inside the worker process; serves everything in
+    :data:`SERVED_QUERIES` from the worker-owned :class:`Tib`.
+    """
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self.tib = Tib(host)
+        self.monitor = _WorkerMonitor()
+        self.alarms_raised: List = []
+
+    # Host API subset (mirrors PathDumpAgent over the TIB only).
+    def records(self, flow_id=None, link=None, time_range=None,
+                include_live: bool = False) -> List[PathFlowRecord]:
+        return self.tib.records(flow_id=flow_id, link=link,
+                                time_range=time_range)
+
+    def get_flows(self, link=None, time_range=None,
+                  include_live: bool = False):
+        return self.tib.get_flows(link, time_range)
+
+    def get_paths(self, flow_id, link=None, time_range=None,
+                  include_live: bool = False):
+        return self.tib.get_paths(flow_id, link, time_range)
+
+    def get_count(self, flow, time_range=None, include_live: bool = False):
+        return self.tib.get_count(flow, time_range)
+
+    def get_duration(self, flow, time_range=None,
+                     include_live: bool = False):
+        return self.tib.get_duration(flow, time_range)
+
+    def get_poor_tcp_flows(self, threshold=None):
+        return []
+
+    def alarm(self, flow_id, reason, paths, detail: str = "",
+              when: float = 0.0):
+        self.alarms_raised.append((flow_id, reason,
+                                   [tuple(p) for p in paths]))
+
+
+def agent_server_main(conn, host: str) -> None:
+    """Worker process main loop: serve wire frames until shutdown/EOF.
+
+    Record batches are fire-and-forget (the pipe's FIFO ordering guarantees
+    they are applied before any later query); an ingest failure is latched
+    and reported as the reply to the next query instead of being lost.
+    """
+    agent = _WorkerAgent(host)
+    engine = QueryEngine()
+    pending_error: Optional[str] = None
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                kind, reader = wire.open_frame(frame)
+            except wire.WireError as error:
+                pending_error = f"undecodable frame: {error}"
+                continue
+            if kind == wire.MSG_SHUTDOWN:
+                break
+            if kind == wire.MSG_RECORD_BATCH:
+                try:
+                    agent.tib.add_records(wire.decode_record_batch(frame),
+                                          adopt=True)
+                except Exception as error:
+                    pending_error = (f"record batch failed: "
+                                     f"{type(error).__name__}: {error}")
+            elif kind == wire.MSG_QUERY_REQUEST:
+                if pending_error is not None:
+                    conn.send_bytes(wire.encode_error(pending_error))
+                    pending_error = None
+                    continue
+                try:
+                    query, _spec = wire.decode_query_request(frame)
+                    # measure_wire=False: the frame we are about to send IS
+                    # the measurement (encoding twice would double the
+                    # serialization cost on the hot path); the client sets
+                    # wire_bytes = len(frame) on decode.
+                    result = engine.execute(agent, query,
+                                            measure_wire=False)
+                    conn.send_bytes(wire.encode_result(result))
+                except Exception as error:
+                    conn.send_bytes(wire.encode_error(
+                        f"{type(error).__name__}: {error}"))
+            elif kind == wire.MSG_PING:
+                conn.send_bytes(wire.encode_pong(agent.tib.record_count()))
+            elif kind == wire.MSG_RESET:
+                agent.tib.clear()
+                pending_error = None  # a reset wipes latched ingest errors
+            elif kind == wire.MSG_SLEEP:
+                time.sleep(wire.decode_sleep(frame))
+            else:
+                pending_error = f"unknown message type {kind}"
+    finally:
+        conn.close()
+
+
+@dataclass
+class PoolStats:
+    """Frame/byte counters of one :class:`AgentServerPool`."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_received: int = 0
+    bytes_received: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.bytes_received = 0
+
+
+class AgentServerPool:
+    """One agent-server worker process per host, plus the client protocol.
+
+    Args:
+        hosts: hosts to spawn workers for.
+        context: a :mod:`multiprocessing` context or start-method name
+            (defaults to the platform default - ``fork`` on Linux, which
+            keeps worker start cheap).
+        reply_timeout_s: optional deadline for a worker's reply; ``None``
+            blocks until the worker answers or dies (a killed worker's pipe
+            raises immediately, so failure tests never hang).
+    """
+
+    def __init__(self, hosts: Sequence[str], context=None,
+                 reply_timeout_s: Optional[float] = None) -> None:
+        if isinstance(context, str) or context is None:
+            context = multiprocessing.get_context(context)
+        self.reply_timeout_s = reply_timeout_s
+        self.stats = PoolStats()
+        self._stats_lock = threading.Lock()
+        self._conns = {}
+        self._procs = {}
+        self._locks: Dict[str, threading.Lock] = {}
+        for host in hosts:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=agent_server_main, args=(child_conn, host),
+                name=f"pathdump-agent-{host}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._conns[host] = parent_conn
+            self._procs[host] = process
+            self._locks[host] = threading.Lock()
+
+    # ------------------------------------------------------------------- API
+    @property
+    def hosts(self) -> List[str]:
+        """Hosts this pool runs workers for."""
+        return list(self._procs)
+
+    #: Records per ingest frame: large batches are split so no single frame
+    #: monopolises the pipe (the worker interleaves consuming them with
+    #: serving queries queued behind).
+    INGEST_CHUNK_RECORDS = 4096
+
+    def add_records(self, host: str,
+                    records: Sequence[PathFlowRecord]) -> int:
+        """Stream a record batch to ``host``'s worker; returns frame bytes.
+
+        Fire-and-forget: the pipe's ordering guarantees the batches land
+        before any later query on the same connection.  Use :meth:`ping`
+        afterwards to barrier on the ingest having been applied.
+        """
+        if not records:
+            return 0
+        total = 0
+        chunk = self.INGEST_CHUNK_RECORDS
+        with self._lock_for(host):
+            for start in range(0, len(records), chunk):
+                frame = wire.encode_record_batch(records[start:start + chunk])
+                self._send(host, frame)
+                total += len(frame)
+        return total
+
+    def query(self, host: str, query,
+              spec: Optional[wire.SubtreeSpec] = None) -> QueryResult:
+        """Run ``query`` on ``host``'s worker; returns its partial result.
+
+        The request is the batched query+spec frame; the reply's measured
+        frame length becomes the result's ``wire_bytes``.
+        """
+        frame = wire.encode_query_request(query, spec)
+        with self._lock_for(host):
+            self._send(host, frame)
+            reply = self._recv(host)
+        kind = wire.frame_type(reply)
+        if kind == wire.MSG_ERROR:
+            raise AgentServerError(
+                f"agent server on {host}: {wire.decode_error(reply)}")
+        return wire.decode_result(reply, query)
+
+    def ping(self, host: str) -> int:
+        """Probe ``host``'s worker; returns its TIB record count."""
+        with self._lock_for(host):
+            self._send(host, wire.encode_ping())
+            reply = self._recv(host)
+        return wire.decode_pong(reply)
+
+    def reset(self, host: str) -> None:
+        """Clear ``host``'s worker TIB."""
+        with self._lock_for(host):
+            self._send(host, wire.encode_reset())
+
+    def stall(self, host: str, seconds: float) -> None:
+        """Make ``host``'s worker sleep before its next frame (debug/test)."""
+        with self._lock_for(host):
+            self._send(host, wire.encode_sleep(seconds))
+
+    def kill(self, host: str) -> None:
+        """Hard-kill ``host``'s worker (failure injection)."""
+        self._lock_for(host)
+        self._procs[host].kill()
+
+    def alive(self, host: str) -> bool:
+        """Whether ``host``'s worker process is running."""
+        self._lock_for(host)
+        return self._procs[host].is_alive()
+
+    def _lock_for(self, host: str) -> threading.Lock:
+        lock = self._locks.get(host)
+        if lock is None:
+            raise AgentServerError(f"no agent server for {host}")
+        return lock
+
+    def reset_stats(self) -> None:
+        """Zero the pool's frame/byte counters."""
+        with self._stats_lock:
+            self.stats.reset()
+
+    def shutdown(self, join_timeout_s: float = 2.0) -> None:
+        """Stop every worker (politely, then by force) and close the pipes."""
+        for host, conn in self._conns.items():
+            try:
+                conn.send_bytes(wire.encode_shutdown())
+            except (OSError, ValueError):
+                pass
+        for host, process in self._procs.items():
+            process.join(join_timeout_s)
+            if process.is_alive():
+                process.kill()
+                process.join(join_timeout_s)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "AgentServerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------- internals
+    def _send(self, host: str, frame: bytes) -> None:
+        conn = self._conns.get(host)
+        if conn is None:
+            raise AgentServerError(f"no agent server for {host}")
+        try:
+            conn.send_bytes(frame)
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise AgentServerError(
+                f"agent server on {host} unreachable: "
+                f"{type(error).__name__}: {error}") from error
+        with self._stats_lock:
+            self.stats.frames_sent += 1
+            self.stats.bytes_sent += len(frame)
+
+    def _recv(self, host: str) -> bytes:
+        conn = self._conns[host]
+        try:
+            if self.reply_timeout_s is not None and \
+                    not conn.poll(self.reply_timeout_s):
+                # The reply will still arrive *eventually* and would sit in
+                # the pipe, answering the wrong request forever after (the
+                # protocol is strict request/reply).  A timed-out worker is
+                # declared dead: kill it and close the pipe so every later
+                # exchange fails loudly instead of desynchronising.
+                self._procs[host].kill()
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                raise AgentServerError(
+                    f"agent server on {host} did not reply within "
+                    f"{self.reply_timeout_s}s; worker killed")
+            reply = conn.recv_bytes()
+        except (EOFError, OSError) as error:
+            raise AgentServerError(
+                f"agent server on {host} died mid-exchange: "
+                f"{type(error).__name__}: {error}") from error
+        with self._stats_lock:
+            self.stats.frames_received += 1
+            self.stats.bytes_received += len(reply)
+        return reply
+
+
+class ProcessTransport(ModelTransport):
+    """The model transport bound to an agent-server pool.
+
+    The executor's request/response legs are priced by the same
+    :class:`~repro.core.rpc.RpcChannel` model as :class:`ModelTransport`
+    (so modelled response times stay comparable across modes), but the
+    *sizes* flowing through it are the real encoded frame lengths the
+    cluster measured, and the per-host work itself is the real pipe
+    exchange with the worker - its cost shows up in the measured
+    ``exec_s``/``wall_s``, not the model.
+    """
+
+    def __init__(self, pool: AgentServerPool,
+                 channel: Optional[RpcChannel] = None) -> None:
+        super().__init__(channel)
+        self.pool = pool
+
+    def reset_stats(self) -> None:
+        """Zero the channel counters and the pool's frame counters."""
+        self.channel.reset()
+        self.pool.reset_stats()

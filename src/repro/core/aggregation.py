@@ -21,9 +21,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: The fan-outs of the paper's 4-level tree (controller -> 7 -> 4 -> 4).
 PAPER_TREE_FANOUT = (7, 4, 4)
 
-#: Estimated serialized bytes of a subtree-description message: fixed
+#: *Estimated* serialized bytes of a subtree-description message: fixed
 #: framing plus one entry per host in the subtree.  The description rides
-#: in the same (batched) request message as the query itself.
+#: in the same (batched) request message as the query itself.  Reported
+#: spec sizes are measured against the real :mod:`repro.core.wire` codec
+#: now; the estimate survives as a cross-check.
 SPEC_BASE_BYTES = 16
 SPEC_HOST_BYTES = 8
 
@@ -62,13 +64,30 @@ class TreeNode:
             count += child.subtree_host_count()
         return count
 
-    def subtree_spec_bytes(self) -> int:
-        """Serialized size of the description of this node's subtree.
+    def subtree_hosts(self) -> List[str]:
+        """Every host in this subtree (including this node), pre-order."""
+        hosts = [] if self.host is None else [self.host]
+        for child in self.children:
+            hosts.extend(child.subtree_hosts())
+        return hosts
+
+    def subtree_spec(self):
+        """The wire-codec description of this node's subtree.
 
         A parent forwarding a multi-level query tells each child which part
-        of the tree it is responsible for; the estimate is a fixed framing
-        cost plus one entry per host the child must cover.
+        of the tree it is responsible for; this is the message that rides
+        in the batched request frame next to the query.
         """
+        from repro.core import wire
+        return wire.SubtreeSpec(self.host or "", tuple(self.subtree_hosts()))
+
+    def subtree_spec_bytes(self) -> int:
+        """Measured serialized size of this node's subtree description."""
+        from repro.core import wire
+        return len(wire.encode_subtree_spec(self.subtree_spec()))
+
+    def estimated_spec_bytes(self) -> int:
+        """The pre-codec size estimate (cross-check only)."""
         return SPEC_BASE_BYTES + SPEC_HOST_BYTES * self.subtree_host_count()
 
 

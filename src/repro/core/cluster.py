@@ -30,8 +30,12 @@ to the flow-level simulator), and maps both query mechanisms onto the
 The cluster defaults to the executor's deterministic *serial* mode so the
 figure benchmarks are reproducible run to run; pass ``mode="concurrent"``
 (or call :meth:`QueryCluster.configure_executor`) for real thread-pool
-fan-out.  Both modes merge in the same canonical order, so they produce
-identical query payloads.
+fan-out, or ``mode="process"`` to move every host's TIB into its own
+agent-server worker process (:mod:`repro.core.agentserver`): ingest streams
+encoded record batches over a pipe, queries travel as encoded
+query+subtree-spec frames, and CPU-bound scatters escape the GIL.  All
+modes merge in the same canonical order, so they produce byte-identical
+query payloads.
 """
 
 from __future__ import annotations
@@ -39,13 +43,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core import wire
 from repro.core.agent import PathDumpAgent
 from repro.core.aggregation import PAPER_TREE_FANOUT, AggregationTree, TreeNode
+from repro.core.agentserver import (AgentServerError, AgentServerPool,
+                                    ProcessTransport, SERVED_QUERIES)
 from repro.core.alarms import AlarmBus
-from repro.core.executor import (ExecWarning, GatherResult, MODE_SERIAL,
-                                 ModelTransport, PlanNode,
+from repro.core.executor import (ExecWarning, GatherResult, MODE_CONCURRENT,
+                                 MODE_SERIAL, ModelTransport, PlanNode,
                                  ScatterGatherExecutor, Transport)
-from repro.core.query import Query, QueryEngine, QueryResult
+from repro.core.query import (Query, QueryEngine, QueryResult,
+                              measured_result_wire_bytes)
 from repro.core.rpc import RpcChannel
 from repro.core.trajectory import TrajectoryCache
 from repro.network.simulator import Fabric
@@ -59,6 +67,14 @@ from repro.transport.tcp import TcpTransferResult
 #: The query mechanisms.
 MECHANISM_DIRECT = "direct"
 MECHANISM_MULTILEVEL = "multilevel"
+
+#: Cluster execution mode: per-host work runs in agent-server worker
+#: processes (the executor itself fans out on threads that merely block on
+#: the workers' pipes).  See :mod:`repro.core.agentserver`.
+MODE_PROCESS = "process"
+
+#: Valid cluster execution modes.
+CLUSTER_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS)
 
 
 @dataclass
@@ -79,7 +95,10 @@ class DistributedQueryResult:
         wall_clock_s: *measured* end-to-end duration of the scatter-gather
             (the real number, as opposed to the modelled
             ``response_time_s``).
-        mode: executor mode the query ran under (serial/concurrent).
+        mode: cluster mode the query ran under (serial/concurrent/process).
+        duplicate_traffic_bytes: bytes moved by non-winning duplicate
+            attempts (hedge twins that lost the race, retries whose work
+            failed) - overhead, deliberately kept out of ``traffic_bytes``.
     """
 
     query: Query
@@ -94,6 +113,7 @@ class DistributedQueryResult:
     warnings: Tuple[ExecWarning, ...] = ()
     wall_clock_s: float = 0.0
     mode: str = MODE_SERIAL
+    duplicate_traffic_bytes: int = 0
 
 
 class QueryCluster:
@@ -110,10 +130,13 @@ class QueryCluster:
             in large clusters; per-agent caches when ``False``).
         transport: pluggable query transport; defaults to a
             :class:`ModelTransport` over ``rpc``.
-        mode: executor mode - ``"serial"`` (deterministic, the default, so
-            figures reproduce) or ``"concurrent"`` (real thread-pool
-            fan-out).
-        max_workers: worker-pool cap for concurrent mode.
+        mode: execution mode - ``"serial"`` (deterministic, the default, so
+            figures reproduce), ``"concurrent"`` (real thread-pool
+            fan-out) or ``"process"`` (per-host agent-server worker
+            processes speaking the binary wire protocol; CPU-bound
+            scatters run genuinely in parallel).  All modes produce
+            byte-identical query payloads.
+        max_workers: worker-pool cap for concurrent/process mode.
         timeout_s: per-host query deadline (see the executor docs).
         hedge_after_s: straggler-hedging threshold (concurrent mode).
         retries: bounded per-host retry budget for transport errors.
@@ -131,17 +154,21 @@ class QueryCluster:
                  timeout_s: Optional[float] = None,
                  hedge_after_s: Optional[float] = None,
                  retries: int = 0) -> None:
+        if mode not in CLUSTER_MODES:
+            raise ValueError(f"unknown cluster mode {mode!r}")
         self.topo = topo
         self.assignment = assignment or assign_link_ids(topo)
         self.hosts = list(hosts) if hosts is not None else list(topo.hosts)
         self.alarm_bus = AlarmBus()
         self.rpc = rpc or RpcChannel()
+        self.mode = mode
+        self._process_pool: Optional[AgentServerPool] = None
         self.transport: Transport = transport or ModelTransport(self.rpc)
         self._adopt_transport(self.transport)
         self.executor = ScatterGatherExecutor(
-            self.transport, mode=mode, max_workers=max_workers,
-            timeout_s=timeout_s, hedge_after_s=hedge_after_s,
-            retries=retries)
+            self.transport, mode=self._executor_mode(),
+            max_workers=max_workers, timeout_s=timeout_s,
+            hedge_after_s=hedge_after_s, retries=retries)
         self.engine = QueryEngine()
         self._reconstructor = PathReconstructor(topo, self.assignment)
         cache = TrajectoryCache() if shared_cache else None
@@ -155,6 +182,11 @@ class QueryCluster:
             self.agents[host] = agent
         if fabric is not None:
             self.attach_fabric(fabric)
+        if mode == MODE_PROCESS:
+            # Through configure_executor so the executor is rebuilt over
+            # the adopted ProcessTransport (it was constructed above with
+            # the default transport).
+            self.configure_executor(mode=MODE_PROCESS)
 
     # ---------------------------------------------------------------- wiring
     def attach_fabric(self, fabric: Fabric) -> None:
@@ -173,13 +205,25 @@ class QueryCluster:
                            retries: Optional[int] = None,
                            transport: Optional[Transport] = None) -> None:
         """Rebuild the query executor with new settings (``None`` keeps the
-        current value; ``transport`` replaces the delivery protocol)."""
+        current value; ``transport`` replaces the delivery protocol).
+
+        ``mode="process"`` starts the agent-server workers (if not already
+        running) and installs a :class:`ProcessTransport`; switching back to
+        ``"serial"``/``"concurrent"`` keeps the workers alive and in sync
+        (ingest mirrors to them), so modes can be flipped per experiment.
+        """
         current = self.executor
+        if mode is not None:
+            if mode not in CLUSTER_MODES:
+                raise ValueError(f"unknown cluster mode {mode!r}")
+            self.mode = mode
+            if mode == MODE_PROCESS:
+                self.start_agent_servers()
         if transport is not None:
             self._adopt_transport(transport)
         self.executor = ScatterGatherExecutor(
             self.transport,
-            mode=mode if mode is not None else current.mode,
+            mode=self._executor_mode(),
             max_workers=(max_workers if max_workers is not None
                          else current.max_workers),
             timeout_s=timeout_s if timeout_s is not None
@@ -188,6 +232,11 @@ class QueryCluster:
                            else current.hedge_after_s),
             retries=retries if retries is not None else current.retries)
 
+    def _executor_mode(self) -> str:
+        """The executor-level mode implementing the cluster mode (process
+        mode fans out on threads that block on the workers' pipes)."""
+        return MODE_SERIAL if self.mode == MODE_SERIAL else MODE_CONCURRENT
+
     def _adopt_transport(self, transport: Transport) -> None:
         """Install ``transport`` and keep ``self.rpc`` pointing at the
         channel that actually carries query traffic, so its counters (and
@@ -195,6 +244,102 @@ class QueryCluster:
         self.transport = transport
         if isinstance(transport, ModelTransport):
             self.rpc = transport.channel
+
+    # ----------------------------------------------------------- process mode
+    @property
+    def agent_servers(self) -> Optional[AgentServerPool]:
+        """The agent-server worker pool (``None`` until process mode is
+        enabled)."""
+        return self._process_pool
+
+    def start_agent_servers(self, context=None,
+                            reply_timeout_s: Optional[float] = None
+                            ) -> AgentServerPool:
+        """Spawn one agent-server worker per host and bring it in sync.
+
+        Each worker receives a snapshot of its host's current TIB as
+        encoded record batches; afterwards every agent's TIB writes are
+        mirrored to its worker through ``record_sink``, so all ingest paths
+        (fabric deliveries, flow outcomes, direct inserts through the
+        agent) keep both sides identical.  Records written straight into
+        ``agent.tib`` bypass the mirror - do that only before starting the
+        workers.  Idempotent: an already-running pool is returned as is.
+        """
+        if self._process_pool is not None:
+            return self._process_pool
+        pool = AgentServerPool(self.hosts, context=context,
+                               reply_timeout_s=reply_timeout_s)
+        try:
+            synced = []
+            for host in self.hosts:
+                agent = self.agents.get(host)
+                if agent is None:
+                    continue
+                snapshot = agent.tib.records()
+                if snapshot:
+                    pool.add_records(host, snapshot)
+                    synced.append((host, len(snapshot)))
+                agent.record_sink = self._make_record_sink(pool, host)
+            # Barrier: a ping round-trip drains each worker's ingest queue
+            # (pipe FIFO), so callers - and benchmarks - start from workers
+            # that are actually in sync instead of racing their background
+            # ingest.
+            for host, count in synced:
+                applied = pool.ping(host)
+                if applied < count:
+                    raise AgentServerError(
+                        f"agent server on {host} applied {applied} of "
+                        f"{count} snapshot records")
+        except BaseException:
+            # Don't leak a half-started pool: detach any sinks installed so
+            # far and stop every worker before re-raising.
+            for agent in self.agents.values():
+                agent.record_sink = None
+            pool.shutdown()
+            raise
+        self._process_pool = pool
+        self.process_transport = ProcessTransport(pool, self.rpc)
+        self._adopt_transport(self.process_transport)
+        return pool
+
+    def _make_record_sink(self, pool: AgentServerPool, host: str):
+        """An ingest mirror for ``host`` that degrades instead of raising.
+
+        A dead worker must not break the *local* ingest path (the query
+        path already reports it as ``partial`` + ``W_HOST_FAILED``): on the
+        first delivery failure the mirror detaches itself, so the simulator
+        keeps running against the local TIB.
+        """
+        def sink(records) -> None:
+            try:
+                pool.add_records(host, records)
+            except AgentServerError:
+                agent = self.agents.get(host)
+                if agent is not None and agent.record_sink is sink:
+                    agent.record_sink = None
+        return sink
+
+    def stop_agent_servers(self) -> None:
+        """Shut the worker pool down and detach the ingest mirrors."""
+        if self._process_pool is None:
+            return
+        for agent in self.agents.values():
+            agent.record_sink = None
+        self._process_pool.shutdown()
+        self._process_pool = None
+        if self.mode == MODE_PROCESS:
+            self.mode = MODE_CONCURRENT
+            self.configure_executor(transport=ModelTransport(self.rpc))
+
+    def close(self) -> None:
+        """Release external resources (the agent-server workers)."""
+        self.stop_agent_servers()
+
+    def __enter__(self) -> "QueryCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- ingest
     def ingest_flow_outcomes(self, outcomes: Iterable[FlowOutcome]) -> int:
@@ -253,8 +398,9 @@ class QueryCluster:
                        ) -> DistributedQueryResult:
         """Direct query: every host answers the controller directly."""
         targets = list(hosts) if hosts is not None else list(self.hosts)
+        request_len = query.request_bytes()  # one encode for all hosts
         plan = PlanNode(host=None, children=[
-            PlanNode(host=host, request_parts=(query.request_bytes(),))
+            PlanNode(host=host, request_parts=(request_len,))
             for host in targets])
         gather = self._gather(plan, query)
         merged = self._finalise(query, gather)
@@ -275,8 +421,10 @@ class QueryCluster:
         """Multi-level query along an aggregation tree."""
         targets = list(hosts) if hosts is not None else list(self.hosts)
         tree = AggregationTree(targets, fanout=fanout)
-        plan = self._plan_from_tree(tree.root, query)
-        gather = self._gather(plan, query)
+        specs: Dict[str, wire.SubtreeSpec] = {}
+        plan = self._plan_from_tree(tree.root, query, specs,
+                                    request_len=query.request_bytes())
+        gather = self._gather(plan, query, specs)
         merged = self._finalise(query, gather)
         return self._distributed_result(
             query, MECHANISM_MULTILEVEL, merged, gather, len(targets),
@@ -294,36 +442,81 @@ class QueryCluster:
         raise ValueError(f"unknown query mechanism {mechanism!r}")
 
     # ------------------------------------------------------------- internals
-    def _plan_from_tree(self, node: TreeNode, query: Query) -> PlanNode:
+    def _plan_from_tree(self, node: TreeNode, query: Query,
+                        specs: Optional[Dict[str, wire.SubtreeSpec]] = None,
+                        request_len: Optional[int] = None) -> PlanNode:
         """Map an aggregation (sub)tree onto a scatter plan.
 
         Every non-root edge batches the query and the child's subtree
-        description into one request message.
+        description into one request message; the part sizes are measured
+        so that their sum is exactly the length of the combined
+        ``encode_query_request(query, spec)`` frame that process mode
+        actually ships (the spec part is its frame body - the batched
+        message pays the fixed header once).  ``request_len`` carries the
+        query frame's length down the recursion (one encode per plan, not
+        one per host); ``specs`` (when given) collects each host's subtree
+        description so process mode can ship the real thing.
         """
+        if request_len is None:
+            request_len = query.request_bytes()
         parts: Tuple[int, ...] = ()
         if node.host is not None:
-            parts = (query.request_bytes(), node.subtree_spec_bytes())
+            spec = node.subtree_spec()
+            if specs is not None:
+                specs[node.host] = spec
+            parts = (request_len,
+                     len(wire.encode_subtree_spec(spec)) - wire.HEADER_BYTES)
         return PlanNode(
             host=node.host, request_parts=parts,
-            children=[self._plan_from_tree(child, query)
+            children=[self._plan_from_tree(child, query, specs, request_len)
                       for child in node.children])
 
-    def _gather(self, plan: PlanNode, query: Query) -> GatherResult:
+    def _uses_agent_servers(self, query: Query) -> bool:
+        """Whether this query's per-host work runs on the worker pool.
+
+        Monitor-backed / alarm-raising built-ins and custom handlers stay
+        on the in-process agents even in process mode (the workers hold
+        the TIB, not the monitor state or the controller's alarm bus).
+        """
+        return (self.mode == MODE_PROCESS
+                and self._process_pool is not None
+                and query.name in SERVED_QUERIES)
+
+    def _gather(self, plan: PlanNode, query: Query,
+                specs: Optional[Dict[str, wire.SubtreeSpec]] = None
+                ) -> GatherResult:
         """Run a scatter plan: per-host query execution + streaming merge."""
         agents = self.agents
 
-        def work(host: str) -> QueryResult:
-            agent = agents.get(host)
-            if agent is None:
-                raise KeyError(f"no agent running on {host}")
-            return agent.execute_query(query)
+        if self._uses_agent_servers(query):
+            pool = self._process_pool
+            spec_map = specs or {}
+
+            def work(host: str) -> QueryResult:
+                if host not in agents:
+                    raise KeyError(f"no agent running on {host}")
+                return pool.query(host, query, spec_map.get(host))
+        else:
+            def work(host: str) -> QueryResult:
+                agent = agents.get(host)
+                if agent is None:
+                    raise KeyError(f"no agent running on {host}")
+                return agent.execute_query(query)
 
         def merge(acc: QueryResult, value: QueryResult) -> QueryResult:
-            return self.engine.merge(query, (acc, value))
+            # Intermediate pairwise merges are not sized (that would
+            # re-encode a growing payload per merge - quadratic); only a
+            # node's final accumulator is measured, in response_bytes.
+            return self.engine.merge(query, (acc, value),
+                                     measure_wire=False)
 
-        return self.executor.run(
-            plan, work, merge,
-            response_bytes=lambda result: result.wire_bytes)
+        def response_bytes(result: QueryResult) -> int:
+            if not result.wire_bytes:  # an unmeasured merge accumulator
+                result.wire_bytes = measured_result_wire_bytes(result)
+            return result.wire_bytes
+
+        return self.executor.run(plan, work, merge,
+                                 response_bytes=response_bytes)
 
     def _finalise(self, query: Query, gather: GatherResult) -> QueryResult:
         """Normalise the gathered accumulator into one aggregate result."""
@@ -338,6 +531,10 @@ class QueryCluster:
             merged = self.engine.merge(query, (gather.value,))
         else:
             merged = gather.value
+        if not merged.wire_bytes:
+            # The root accumulator never travels, so the streaming merge
+            # left it unsized; measure it here for API consumers.
+            merged.wire_bytes = measured_result_wire_bytes(merged)
         merged.partial = gather.partial
         merged.warnings = tuple(gather.warnings)
         return merged
@@ -354,7 +551,8 @@ class QueryCluster:
             breakdown=breakdown, partial=gather.partial,
             hosts_failed=list(gather.hosts_failed),
             warnings=tuple(gather.warnings), wall_clock_s=gather.wall_s,
-            mode=self.executor.mode)
+            mode=self.mode,
+            duplicate_traffic_bytes=gather.duplicate_traffic_bytes)
 
     # ------------------------------------------------------------ accounting
     def total_tib_records(self) -> int:

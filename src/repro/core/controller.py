@@ -108,10 +108,12 @@ class PathDumpController:
     def install(self, hosts: Optional[Sequence[str]], query: Query,
                 period: Optional[float] = None) -> None:
         """``install(List<HostID>, Query, Period)`` from Table 1."""
+        from repro.core import wire
         targets = hosts if hosts is not None else self.cluster.hosts
+        frame = wire.encode_query(query)  # encoded once, shipped per host
         for host in targets:
             self.cluster.agent(host).install_query(query, period)
-            self.cluster.rpc.send(query.request_bytes())
+            self.cluster.rpc.send_encoded(frame)
         self.stats.queries_installed += 1
 
     def uninstall(self, hosts: Optional[Sequence[str]], query_name: str) -> int:

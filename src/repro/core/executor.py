@@ -264,7 +264,17 @@ class GatherResult:
         model_time_s: modelled end-to-end response time (transport
             latencies + measured per-node execution and merge times,
             combined over the plan tree).
-        traffic_bytes: logical payload bytes moved by all transport legs.
+        traffic_bytes: logical payload bytes moved by the transport legs
+            that produced the gathered result - one winning request leg
+            per host plus the delivered responses.  Bytes moved by
+            duplicate attempts (lost hedge races, retries whose work
+            failed, deliveries voided by a timeout) are **not** included
+            here; they are tallied separately so hedging can never inflate
+            the traffic attributed to the query itself.
+        duplicate_traffic_bytes: payload bytes moved by those non-winning
+            attempts (the overhead cost of hedging/retrying).  Attempts
+            still sleeping in the transport when the gather completes are
+            not observed at all.
         root_merge_s: cumulative merge time spent at the root node.
         merge_s_total: cumulative merge time over every node.
         root_merges: number of pairwise merges performed at the root.
@@ -279,6 +289,7 @@ class GatherResult:
     wall_s: float
     model_time_s: float
     traffic_bytes: int
+    duplicate_traffic_bytes: int
     root_merge_s: float
     merge_s_total: float
     root_merges: int
@@ -408,6 +419,7 @@ class _Run:
         self._build(plan, self.root)
         self.lock = threading.Lock()
         self.traffic_bytes = 0
+        self.duplicate_bytes = 0
         self.warnings: List[ExecWarning] = []
         self.finished = threading.Event()
         self.model_time_s = 0.0
@@ -484,16 +496,23 @@ class _Run:
             if hstate.started_at is None:
                 hstate.started_at = time.perf_counter()
         request_latency = 0.0
+        # Bytes this attempt's delivered request leg moved: accounted as
+        # real traffic up front, reclassified as duplicate overhead if the
+        # attempt turns out not to be the one that produced the host's
+        # result (hedge race lost, work failed, deadline voided it).
+        leg_bytes = 0
         try:
             parts = hstate.node.plan.request_parts
             if parts:
                 leg = self.transport.request(host, parts)
                 request_latency = leg.latency_s
+                leg_bytes = leg.payload_bytes
                 self._account(leg)
             with hstate.work_lock:
                 with hstate.lock:
                     already_done = hstate.done
                 if already_done:  # a hedge twin won while we waited
+                    self._reclassify_duplicate(leg_bytes)
                     with hstate.lock:
                         hstate.inflight -= 1
                     return
@@ -501,12 +520,14 @@ class _Run:
                 value = self.work(host)
                 exec_s = time.perf_counter() - exec_started
         except Exception as error:  # TransportError or broken agent/work
+            self._reclassify_duplicate(leg_bytes)
             self._attempt_failed(hstate, error)
             return
         if self.serial and self.executor.timeout_s is not None and \
                 request_latency + exec_s > self.executor.timeout_s:
             # The deadline was blown by the (modelled) delivery plus the
             # execution, so that is what the slot contributes to the model.
+            self._reclassify_duplicate(leg_bytes)
             self._host_failed(hstate, W_HOST_TIMEOUT,
                               f"exceeded per-host timeout of "
                               f"{self.executor.timeout_s}s",
@@ -515,7 +536,11 @@ class _Run:
         with hstate.lock:
             hstate.inflight -= 1
             if hstate.done:
-                return  # a hedge twin won, or the watchdog timed us out
+                # A hedge twin won, or the watchdog timed us out: this
+                # attempt's delivered request was overhead, not query
+                # traffic.
+                self._reclassify_duplicate(leg_bytes)
+                return
             hstate.done = True
             hstate.report.ok = True
             hstate.report.exec_s = exec_s
@@ -709,6 +734,15 @@ class _Run:
         with self.lock:
             self.traffic_bytes += leg.payload_bytes
 
+    def _reclassify_duplicate(self, payload_bytes: int) -> None:
+        """Move a delivered-but-useless request leg's bytes from the query's
+        traffic total to the duplicate-attempt overhead stat."""
+        if not payload_bytes:
+            return
+        with self.lock:
+            self.traffic_bytes -= payload_bytes
+            self.duplicate_bytes += payload_bytes
+
     def _warn(self, code: str, host: str, detail: str,
               attempts: int = 1) -> None:
         with self.lock:
@@ -729,6 +763,7 @@ class _Run:
             partial=bool(hosts_failed), wall_s=wall,
             model_time_s=self.model_time_s,
             traffic_bytes=self.traffic_bytes,
+            duplicate_traffic_bytes=self.duplicate_bytes,
             root_merge_s=self.root.merge_s, merge_s_total=merge_total,
             root_merges=self.root.merges, max_exec_s=max_exec,
             reports=reports)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
 
+from repro.core import wire
 from repro.core.alarms import PC_FAIL, Alarm
 from repro.core.tib import (LinkId, TimeRange, is_unconstrained_link,
                             normalise_time_range)
@@ -44,6 +45,10 @@ Q_TRAFFIC_MATRIX = "traffic_matrix"
 Q_PATH_CONFORMANCE = "path_conformance"
 Q_SUBFLOW_IMBALANCE = "subflow_imbalance"
 
+# Pre-codec size estimators.  Reported wire sizes are *measured* now
+# (``len(encoded)`` of the :mod:`repro.core.wire` frames); the handlers still
+# compute these cheap estimates, kept on ``QueryResult.estimated_wire_bytes``
+# as a cross-check against the codec (see the wire tests).
 #: Estimated serialized bytes of small scalar payloads.
 _SCALAR_BYTES = 16
 #: Estimated serialized bytes of one (key, value) pair in histograms / top-k.
@@ -71,7 +76,11 @@ class Query:
     period: Optional[float] = None
 
     def request_bytes(self) -> int:
-        """Approximate serialized size of the query request."""
+        """Measured serialized size of the query request (codec frame)."""
+        return len(wire.encode_query(self))
+
+    def estimated_request_bytes(self) -> int:
+        """The pre-codec size estimate (cross-check only)."""
         return QUERY_REQUEST_BYTES + 8 * len(self.params)
 
 
@@ -82,10 +91,14 @@ class QueryResult:
     Attributes:
         query: the query this result answers.
         payload: handler-specific result value.
-        wire_bytes: serialized size of the payload, used by the traffic
-            accounting of the query-performance experiments.
+        wire_bytes: *measured* serialized size of the result message (the
+            :mod:`repro.core.wire` frame length - in process mode, the
+            frame that actually crossed the pipe); this is what the traffic
+            accounting of the query-performance experiments sums.
         records_scanned: number of TIB records touched while producing the
             payload (the compute-cost proxy).
+        estimated_wire_bytes: the handler's pre-codec size estimate, kept
+            as a cross-check against the measured size.
         host: the host (or aggregation node) that produced the result.
         partial: ``True`` when one or more hosts' partial results are
             missing from ``payload`` (dead agent, timeout, lost response) -
@@ -100,9 +113,24 @@ class QueryResult:
     payload: Any
     wire_bytes: int
     records_scanned: int = 0
+    estimated_wire_bytes: int = 0
     host: str = ""
     partial: bool = False
     warnings: Tuple[Any, ...] = ()
+
+
+def measured_result_wire_bytes(result: "QueryResult") -> int:
+    """Measured frame size of a result, estimate-backed for exotic payloads.
+
+    Built-in query payloads always encode; a *custom* handler may return a
+    payload outside the codec's tagged-value set, which must not kill the
+    query (custom handlers predate the codec) - its handler-supplied size
+    estimate stands in, exactly as before the codec existed.
+    """
+    try:
+        return wire.result_wire_bytes(result)
+    except wire.WireError:
+        return result.estimated_wire_bytes
 
 
 # --------------------------------------------------------------------------
@@ -143,25 +171,48 @@ class QueryEngine:
             self._mergers[name] = merger
 
     # ------------------------------------------------------------------ exec
-    def execute(self, agent, query: Query) -> QueryResult:
-        """Run ``query`` on ``agent`` and return its partial result."""
+    def execute(self, agent, query: Query,
+                measure_wire: bool = True) -> QueryResult:
+        """Run ``query`` on ``agent`` and return its partial result.
+
+        ``wire_bytes`` is the *measured* encoded size of the result frame
+        (identical to what an agent-server worker would put on the pipe);
+        the handler's size estimate is kept on ``estimated_wire_bytes``.
+        ``measure_wire=False`` leaves ``wire_bytes`` at 0 for callers that
+        encode the frame themselves anyway (the agent-server worker) - the
+        decoded side reconstructs the same value from the frame length.
+        """
         handler = self._handlers.get(query.name)
         if handler is None:
             raise KeyError(f"unknown query {query.name!r}")
-        payload, wire_bytes, scanned = handler(agent, query.params)
-        return QueryResult(query=query, payload=payload,
-                           wire_bytes=wire_bytes, records_scanned=scanned,
-                           host=agent.host)
+        payload, estimated, scanned = handler(agent, query.params)
+        result = QueryResult(query=query, payload=payload, wire_bytes=0,
+                             records_scanned=scanned,
+                             estimated_wire_bytes=estimated,
+                             host=agent.host)
+        if measure_wire:
+            result.wire_bytes = measured_result_wire_bytes(result)
+        return result
 
-    def merge(self, query: Query,
-              results: Sequence[QueryResult]) -> QueryResult:
-        """Merge partial results into one (aggregation-tree reduction)."""
+    def merge(self, query: Query, results: Sequence[QueryResult],
+              measure_wire: bool = True) -> QueryResult:
+        """Merge partial results into one (aggregation-tree reduction).
+
+        ``measure_wire=False`` skips sizing the merged payload - the
+        streaming gather merges pairwise, and only a node's *final*
+        accumulator ever travels, so intermediate merge results are sized
+        lazily at the point they are actually sent (re-encoding a growing
+        payload after every pairwise merge would be quadratic).
+        """
         merger = self._mergers.get(query.name, _merge_concat)
-        payload, wire_bytes = merger(query, [r.payload for r in results])
-        return QueryResult(
-            query=query, payload=payload, wire_bytes=wire_bytes,
+        payload, estimated = merger(query, [r.payload for r in results])
+        result = QueryResult(
+            query=query, payload=payload, wire_bytes=0,
             records_scanned=sum(r.records_scanned for r in results),
-            host="aggregate")
+            estimated_wire_bytes=estimated, host="aggregate")
+        if measure_wire:
+            result.wire_bytes = measured_result_wire_bytes(result)
+        return result
 
     # -------------------------------------------------------------- handlers
     @staticmethod

@@ -82,6 +82,14 @@ class RpcChannel:
             total += part
         return self.send(total)
 
+    def send_encoded(self, frame: bytes) -> float:
+        """Account for one message whose payload is a real codec frame.
+
+        The measured-accounting entry point: the payload size is the actual
+        length of the :mod:`repro.core.wire` frame, not an estimate.
+        """
+        return self.send(len(frame))
+
     def round_trip(self, request_bytes: int, response_bytes: int) -> float:
         """Latency of a request/response exchange."""
         return self.send(request_bytes) + self.send(response_bytes)

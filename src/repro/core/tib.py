@@ -48,7 +48,9 @@ The backing :class:`~repro.storage.docstore.Collection` holds the document
 form of every record (for the Section 5.3 storage accounting and external
 document-level consumers) and is kept in sync incrementally.  Callers must
 treat records returned by queries as read-only; all mutation goes through
-:meth:`Tib.add_record`.
+:meth:`Tib.add_record`, which copies on insert by default (``adopt=True``
+transfers ownership instead) so a caller's record object is never mutated
+behind its back.
 """
 
 from __future__ import annotations
@@ -175,29 +177,49 @@ class Tib:
         self._time_index_lock = threading.Lock()
 
     # ----------------------------------------------------------------- writes
-    def add_record(self, record: PathFlowRecord) -> None:
+    def add_record(self, record: PathFlowRecord, adopt: bool = False) -> None:
         """Insert a finished per-path flow record.
 
         Consecutive records for the same (flow, path) are merged in place,
         mirroring the per-path aggregation the trajectory memory performs.
-        The record object is retained by the TIB; callers must not mutate it
-        afterwards.
+
+        The caller's record is **never mutated**: by default the TIB stores
+        a private copy on first insert (copy-on-insert), so the caller may
+        keep, reuse or mutate its object freely - earlier, the TIB both
+        rewrote ``record.path`` in place and folded later merges into the
+        caller's retained object.  Producers that hand over freshly built,
+        never-again-touched records (the trajectory constructor's eviction
+        path) pass ``adopt=True`` to transfer ownership and skip the copy.
         """
-        if type(record.path) is not tuple:
-            record.path = tuple(record.path)
-        key = (flow_key(record.flow_id), record.path)
+        path = record.path
+        if type(path) is not tuple:
+            path = tuple(path)
+        key = (flow_key(record.flow_id), path)
         record_id = self._primary.get(key)
         if record_id is None:
-            self._insert_new(key, record)
+            if adopt:
+                if record.path is not path:
+                    record.path = path
+                stored = record
+            else:
+                stored = PathFlowRecord(
+                    flow_id=record.flow_id, path=path, stime=record.stime,
+                    etime=record.etime, bytes=record.bytes, pkts=record.pkts)
+            self._insert_new(key, stored)
         else:
             self._merge_into(record_id, key[0], record)
 
-    def add_records(self, records: Iterable[PathFlowRecord]) -> int:
-        """Insert many records (bulk upsert); returns the number processed."""
+    def add_records(self, records: Iterable[PathFlowRecord],
+                    adopt: bool = False) -> int:
+        """Insert many records (bulk upsert); returns the number processed.
+
+        ``adopt=True`` transfers ownership of the record objects to the TIB
+        (no copy-on-insert; the caller must not touch them again).
+        """
         count = 0
         add = self.add_record
         for record in records:
-            add(record)
+            add(record, adopt)
             count += 1
         return count
 

@@ -1,0 +1,564 @@
+"""Versioned binary wire codec for PathDump's control-plane messages.
+
+Until this module existed, every "wire byte" in the query traffic accounting
+was an *estimate*: per-payload-kind size constants in :mod:`repro.core.query`,
+a fixed-plus-per-hop formula in :mod:`repro.storage.records`, a
+bytes-per-host guess in :mod:`repro.core.aggregation`.  This module defines
+the real thing - a compact, struct-packed binary encoding of every message
+that crosses the controller <-> agent boundary - and the accounting layers
+now report ``len(encoded)`` of these frames (the old estimators survive as
+cross-checks only).
+
+The same frames are what actually travels to the
+:mod:`~repro.core.agentserver` worker processes in ``mode="process"``:
+**no pickle is used anywhere on the query path** (pickle would both distort
+the byte accounting and execute arbitrary code on unpacking).
+
+Frame layout
+------------
+
+Every frame starts with a 4-byte header::
+
+    +----+----+---------+----------+
+    | 'P'| 'D'| version | msg type |
+    +----+----+---------+----------+
+
+followed by a message-type specific body.  Integers are LEB128 varints
+(zigzag for signed values, so huge Python ints round-trip losslessly),
+floats are little-endian IEEE doubles, strings are UTF-8 with a varint
+length prefix.  Arbitrary query parameters and result payloads use a
+tagged-value encoding (``NONE``/``TRUE``/``FALSE``/``INT``/``FLOAT``/
+``STR``/``BYTES``/``LIST``/``TUPLE``/``DICT``/``SET``/``FROZENSET``/
+``FLOWID``) that preserves container and :class:`FlowId` types exactly -
+the property the "payload-identical across execution modes" guarantee is
+verified against, byte for byte.
+
+Message kinds: query requests (query + optional aggregation-subtree spec,
+batched into one frame exactly as the executor batches the logical edge
+payloads), record batches (the simulator -> agent-server ingest stream),
+query results / partial aggregates, and the small control frames of the
+agent-server protocol (error, ping/pong, reset, sleep, shutdown).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import (Any, Iterable, List, NamedTuple, Optional, Sequence,
+                    Tuple)
+
+from repro.network.packet import FlowId
+from repro.storage.records import PathFlowRecord
+
+#: Frame magic + codec version (bump on any incompatible layout change).
+MAGIC = b"PD"
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct("<2sBB")
+#: Bytes of the fixed frame header.
+HEADER_BYTES = _HEADER.size
+
+#: Message types.
+MSG_QUERY_REQUEST = 1
+MSG_SUBTREE_SPEC = 2
+MSG_RECORD_BATCH = 3
+MSG_QUERY_RESULT = 4
+MSG_ERROR = 5
+MSG_PING = 6
+MSG_PONG = 7
+MSG_RESET = 8
+MSG_SHUTDOWN = 9
+MSG_SLEEP = 10
+
+#: Tagged-value type codes.
+_V_NONE = 0
+_V_TRUE = 1
+_V_FALSE = 2
+_V_INT = 3
+_V_FLOAT = 4
+_V_STR = 5
+_V_BYTES = 6
+_V_LIST = 7
+_V_TUPLE = 8
+_V_DICT = 9
+_V_SET = 10
+_V_FROZENSET = 11
+_V_FLOWID = 12
+
+_DOUBLE = struct.Struct("<d")
+
+
+class WireError(ValueError):
+    """A message could not be encoded or decoded."""
+
+
+class SubtreeSpec(NamedTuple):
+    """The aggregation-subtree description shipped with a multi-level query.
+
+    Attributes:
+        root: the host responsible for this subtree.
+        hosts: every host in the subtree (including ``root``), pre-order.
+    """
+
+    root: str
+    hosts: Tuple[str, ...]
+
+
+# --------------------------------------------------------------------------
+# Primitive writers
+# --------------------------------------------------------------------------
+def _w_uvarint(buf: bytearray, value: int) -> None:
+    if value < 0:
+        raise WireError(f"negative value {value} for unsigned varint")
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def _w_varint(buf: bytearray, value: int) -> None:
+    # Zigzag: arbitrary-precision safe in both directions.
+    _w_uvarint(buf, value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+
+def _w_str(buf: bytearray, value: str) -> None:
+    data = value.encode("utf-8")
+    _w_uvarint(buf, len(data))
+    buf += data
+
+
+def _w_flow_id(buf: bytearray, flow_id: FlowId) -> None:
+    _w_str(buf, flow_id.src_ip)
+    _w_str(buf, flow_id.dst_ip)
+    _w_varint(buf, flow_id.src_port)
+    _w_varint(buf, flow_id.dst_port)
+    _w_varint(buf, flow_id.protocol)
+
+
+def _w_value(buf: bytearray, value: Any) -> None:
+    kind = type(value)
+    if value is None:
+        buf.append(_V_NONE)
+    elif kind is bool:
+        buf.append(_V_TRUE if value else _V_FALSE)
+    elif kind is int:
+        buf.append(_V_INT)
+        _w_varint(buf, value)
+    elif kind is float:
+        buf.append(_V_FLOAT)
+        buf += _DOUBLE.pack(value)
+    elif kind is str:
+        buf.append(_V_STR)
+        _w_str(buf, value)
+    elif kind is FlowId:
+        buf.append(_V_FLOWID)
+        _w_flow_id(buf, value)
+    elif kind is tuple or kind is list:
+        buf.append(_V_TUPLE if kind is tuple else _V_LIST)
+        _w_uvarint(buf, len(value))
+        for item in value:
+            _w_value(buf, item)
+    elif kind is dict:
+        buf.append(_V_DICT)
+        _w_uvarint(buf, len(value))
+        for key, item in value.items():
+            _w_value(buf, key)
+            _w_value(buf, item)
+    elif kind is set or kind is frozenset:
+        buf.append(_V_SET if kind is set else _V_FROZENSET)
+        _w_uvarint(buf, len(value))
+        # Sorted by encoding so equal sets encode to equal bytes.
+        chunks = []
+        for item in value:
+            chunk = bytearray()
+            _w_value(chunk, item)
+            chunks.append(bytes(chunk))
+        for chunk in sorted(chunks):
+            buf += chunk
+    elif kind is bytes or kind is bytearray:
+        buf.append(_V_BYTES)
+        _w_uvarint(buf, len(value))
+        buf += value
+    # Slow path: subclasses (bool already handled; NamedTuples other than
+    # FlowId encode as plain tuples).
+    elif isinstance(value, bool):
+        buf.append(_V_TRUE if value else _V_FALSE)
+    elif isinstance(value, int):
+        buf.append(_V_INT)
+        _w_varint(buf, value)
+    elif isinstance(value, float):
+        buf.append(_V_FLOAT)
+        buf += _DOUBLE.pack(value)
+    elif isinstance(value, FlowId):
+        buf.append(_V_FLOWID)
+        _w_flow_id(buf, value)
+    elif isinstance(value, (tuple, list)):
+        buf.append(_V_TUPLE if isinstance(value, tuple) else _V_LIST)
+        _w_uvarint(buf, len(value))
+        for item in value:
+            _w_value(buf, item)
+    else:
+        raise WireError(f"cannot encode value of type {kind.__name__}")
+
+
+def _w_record(buf: bytearray, record: PathFlowRecord) -> None:
+    _w_flow_id(buf, record.flow_id)
+    _w_uvarint(buf, len(record.path))
+    for node in record.path:
+        _w_str(buf, node)
+    buf += _DOUBLE.pack(record.stime)
+    buf += _DOUBLE.pack(record.etime)
+    _w_varint(buf, record.bytes)
+    _w_varint(buf, record.pkts)
+
+
+def _w_spec(buf: bytearray, spec: SubtreeSpec) -> None:
+    _w_str(buf, spec.root)
+    _w_uvarint(buf, len(spec.hosts))
+    for host in spec.hosts:
+        _w_str(buf, host)
+
+
+# --------------------------------------------------------------------------
+# Reader
+# --------------------------------------------------------------------------
+class _Reader:
+    """Sequential decoder over one frame's bytes."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def _need(self, count: int) -> None:
+        if self.pos + count > len(self.data):
+            raise WireError("truncated frame")
+
+    def u8(self) -> int:
+        self._need(1)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def uvarint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def varint(self) -> int:
+        value = self.uvarint()
+        return -((value + 1) >> 1) if value & 1 else value >> 1
+
+    def double(self) -> float:
+        self._need(8)
+        value = _DOUBLE.unpack_from(self.data, self.pos)[0]
+        self.pos += 8
+        return value
+
+    def str_(self) -> str:
+        count = self.uvarint()
+        self._need(count)
+        value = self.data[self.pos:self.pos + count]
+        self.pos += count
+        try:
+            return bytes(value).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(f"invalid UTF-8 string: {error}") from None
+
+    def bytes_(self) -> bytes:
+        count = self.uvarint()
+        self._need(count)
+        value = bytes(self.data[self.pos:self.pos + count])
+        self.pos += count
+        return value
+
+    def flow_id(self) -> FlowId:
+        return FlowId(self.str_(), self.str_(), self.varint(),
+                      self.varint(), self.varint())
+
+    def value(self) -> Any:
+        tag = self.u8()
+        if tag == _V_NONE:
+            return None
+        if tag == _V_TRUE:
+            return True
+        if tag == _V_FALSE:
+            return False
+        if tag == _V_INT:
+            return self.varint()
+        if tag == _V_FLOAT:
+            return self.double()
+        if tag == _V_STR:
+            return self.str_()
+        if tag == _V_BYTES:
+            return self.bytes_()
+        if tag == _V_FLOWID:
+            return self.flow_id()
+        if tag in (_V_LIST, _V_TUPLE):
+            count = self.uvarint()
+            items = [self.value() for _ in range(count)]
+            return tuple(items) if tag == _V_TUPLE else items
+        if tag == _V_DICT:
+            count = self.uvarint()
+            return {self.value(): self.value() for _ in range(count)}
+        if tag in (_V_SET, _V_FROZENSET):
+            count = self.uvarint()
+            items = {self.value() for _ in range(count)}
+            return items if tag == _V_SET else frozenset(items)
+        raise WireError(f"unknown value tag {tag}")
+
+    def record(self) -> PathFlowRecord:
+        flow_id = self.flow_id()
+        count = self.uvarint()
+        path = tuple(self.str_() for _ in range(count))
+        stime = self.double()
+        etime = self.double()
+        nbytes = self.varint()
+        pkts = self.varint()
+        return PathFlowRecord(flow_id=flow_id, path=path, stime=stime,
+                              etime=etime, bytes=nbytes, pkts=pkts)
+
+    def spec(self) -> SubtreeSpec:
+        root = self.str_()
+        count = self.uvarint()
+        return SubtreeSpec(root, tuple(self.str_() for _ in range(count)))
+
+
+# --------------------------------------------------------------------------
+# Frames
+# --------------------------------------------------------------------------
+def _frame(msg_type: int, body: bytes = b"") -> bytes:
+    return _HEADER.pack(MAGIC, WIRE_VERSION, msg_type) + body
+
+
+def open_frame(data: bytes) -> Tuple[int, _Reader]:
+    """Validate a frame header; return ``(msg_type, body reader)``."""
+    if len(data) < HEADER_BYTES:
+        raise WireError("frame shorter than header")
+    magic, version, msg_type = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version} "
+                        f"(speaking {WIRE_VERSION})")
+    return msg_type, _Reader(data, HEADER_BYTES)
+
+
+def frame_type(data: bytes) -> int:
+    """The message type of a frame (header validated)."""
+    return open_frame(data)[0]
+
+
+def _expect(data: bytes, msg_type: int) -> _Reader:
+    kind, reader = open_frame(data)
+    if kind != msg_type:
+        raise WireError(f"expected message type {msg_type}, got {kind}")
+    return reader
+
+
+# ------------------------------------------------------------------- values
+def encode_value(value: Any) -> bytes:
+    """Encode one tagged value (payloads, parameters)."""
+    buf = bytearray()
+    _w_value(buf, value)
+    return bytes(buf)
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`."""
+    reader = _Reader(data)
+    value = reader.value()
+    if reader.pos != len(data):
+        raise WireError("trailing bytes after value")
+    return value
+
+
+def payload_wire_bytes(payload: Any) -> int:
+    """Measured serialized size of a result payload."""
+    buf = bytearray()
+    _w_value(buf, payload)
+    return len(buf)
+
+
+# ------------------------------------------------------------------ queries
+def _w_query(buf: bytearray, query) -> None:
+    _w_str(buf, query.name)
+    params = query.params
+    _w_uvarint(buf, len(params))
+    for key, value in params.items():
+        _w_str(buf, key)
+        _w_value(buf, value)
+    _w_value(buf, query.period)
+
+
+def encode_query(query) -> bytes:
+    """Encode a bare query request (no subtree spec)."""
+    return encode_query_request(query, None)
+
+
+def encode_query_request(query, spec: Optional[SubtreeSpec]) -> bytes:
+    """Encode the batched parent->child edge message: query + optional
+    aggregation-subtree description in one frame."""
+    body = bytearray()
+    _w_query(body, query)
+    if spec is None:
+        body.append(0)
+    else:
+        body.append(1)
+        _w_spec(body, spec)
+    return _frame(MSG_QUERY_REQUEST, bytes(body))
+
+
+def decode_query_request(data: bytes):
+    """Decode a query request; returns ``(Query, Optional[SubtreeSpec])``."""
+    from repro.core.query import Query
+    reader = _expect(data, MSG_QUERY_REQUEST)
+    name = reader.str_()
+    params = {}
+    for _ in range(reader.uvarint()):
+        key = reader.str_()
+        params[key] = reader.value()
+    period = reader.value()
+    spec = reader.spec() if reader.u8() else None
+    return Query(name=name, params=params, period=period), spec
+
+
+def encode_subtree_spec(spec: SubtreeSpec) -> bytes:
+    """Encode a standalone subtree description (used for sizing the spec
+    part of a batched request)."""
+    body = bytearray()
+    _w_spec(body, spec)
+    return _frame(MSG_SUBTREE_SPEC, bytes(body))
+
+
+def decode_subtree_spec(data: bytes) -> SubtreeSpec:
+    """Inverse of :func:`encode_subtree_spec`."""
+    return _expect(data, MSG_SUBTREE_SPEC).spec()
+
+
+# ------------------------------------------------------------------ records
+def record_wire_bytes(record: PathFlowRecord) -> int:
+    """Measured serialized size of one record (its batch-body bytes)."""
+    buf = bytearray()
+    _w_record(buf, record)
+    return len(buf)
+
+
+def encode_record_batch(records: Sequence[PathFlowRecord]) -> bytes:
+    """Encode a record batch (the simulator -> agent-server ingest frame)."""
+    body = bytearray()
+    _w_uvarint(body, len(records))
+    for record in records:
+        _w_record(body, record)
+    return _frame(MSG_RECORD_BATCH, bytes(body))
+
+
+def decode_record_batch(data: bytes) -> List[PathFlowRecord]:
+    """Inverse of :func:`encode_record_batch`."""
+    reader = _expect(data, MSG_RECORD_BATCH)
+    return [reader.record() for _ in range(reader.uvarint())]
+
+
+# ------------------------------------------------------------------ results
+def encode_result(result) -> bytes:
+    """Encode a (partial) query result.
+
+    ``wire_bytes`` itself is *not* part of the encoding - it is defined as
+    the length of this frame, so the field is reconstructed on decode
+    (and :meth:`~repro.core.query.QueryEngine.execute` sets it the same
+    way), keeping the accounting identical on both sides of the pipe.
+    """
+    body = bytearray()
+    _w_str(body, result.query.name)
+    _w_str(body, result.host)
+    _w_varint(body, result.records_scanned)
+    _w_varint(body, result.estimated_wire_bytes)
+    _w_value(body, result.payload)
+    return _frame(MSG_QUERY_RESULT, bytes(body))
+
+
+def result_wire_bytes(result) -> int:
+    """Measured serialized size of a result frame (defines ``wire_bytes``)."""
+    return len(encode_result(result))
+
+
+def decode_result(data: bytes, query=None):
+    """Decode a result frame into a :class:`~repro.core.query.QueryResult`.
+
+    ``query`` supplies the caller's query object (the frame carries only the
+    name); when omitted a parameter-less placeholder is reconstructed.
+    ``wire_bytes`` is set to ``len(data)`` - the measured frame size.
+    """
+    from repro.core.query import Query, QueryResult
+    reader = _expect(data, MSG_QUERY_RESULT)
+    name = reader.str_()
+    host = reader.str_()
+    scanned = reader.varint()
+    estimated = reader.varint()
+    payload = reader.value()
+    if query is not None and query.name != name:
+        raise WireError(f"result for query {name!r} does not answer "
+                        f"{query.name!r}")
+    return QueryResult(query=query if query is not None else Query(name),
+                       payload=payload, wire_bytes=len(data),
+                       records_scanned=scanned, estimated_wire_bytes=estimated,
+                       host=host)
+
+
+# ------------------------------------------------------------------ control
+def encode_error(detail: str) -> bytes:
+    """Encode an agent-server error reply."""
+    body = bytearray()
+    _w_str(body, detail)
+    return _frame(MSG_ERROR, bytes(body))
+
+
+def decode_error(data: bytes) -> str:
+    """Inverse of :func:`encode_error`."""
+    return _expect(data, MSG_ERROR).str_()
+
+
+def encode_ping() -> bytes:
+    """Encode a liveness probe."""
+    return _frame(MSG_PING)
+
+
+def encode_pong(record_count: int) -> bytes:
+    """Encode a liveness reply carrying the worker's TIB record count."""
+    body = bytearray()
+    _w_uvarint(body, record_count)
+    return _frame(MSG_PONG, bytes(body))
+
+
+def decode_pong(data: bytes) -> int:
+    """Inverse of :func:`encode_pong`."""
+    return _expect(data, MSG_PONG).uvarint()
+
+
+def encode_reset() -> bytes:
+    """Encode a TIB-clear command."""
+    return _frame(MSG_RESET)
+
+
+def encode_shutdown() -> bytes:
+    """Encode a clean-shutdown command."""
+    return _frame(MSG_SHUTDOWN)
+
+
+def encode_sleep(seconds: float) -> bytes:
+    """Encode a debug stall: the worker sleeps before its next frame.
+
+    Used by tests and benchmarks to turn a worker into a deterministic
+    straggler (e.g. to hold a query in flight while the process is killed).
+    """
+    return _frame(MSG_SLEEP, _DOUBLE.pack(seconds))
+
+
+def decode_sleep(data: bytes) -> float:
+    """Inverse of :func:`encode_sleep`."""
+    return _expect(data, MSG_SLEEP).double()

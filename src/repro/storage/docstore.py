@@ -101,6 +101,9 @@ class Collection:
         self._sorted_indexes: Dict[str, List[Tuple[Any, int]]] = {}
         self._next_id = 0
         self._tombstones = 0
+        # Incrementally maintained storage-footprint estimate: adjusted on
+        # every insert/update/delete instead of walked O(n) per call.
+        self._estimated_bytes = 0
         #: Instrumentation: how often expensive operations actually happen.
         self.stats = {"full_scans": 0, "index_rebuilds": 0, "compactions": 0}
 
@@ -160,6 +163,7 @@ class Collection:
         position = len(self._documents)
         self._documents.append(doc)
         self._id_to_pos[doc["_id"]] = position
+        self._estimated_bytes += _estimate_document_bytes(doc)
         for field, index in self._indexes.items():
             index.setdefault(self._index_key(doc.get(field)),
                              []).append(position)
@@ -195,6 +199,11 @@ class Collection:
             old_value = document.get(field)
             if old_value == new_value:
                 continue
+            if field in document:
+                self._estimated_bytes -= _estimate_value_bytes(old_value)
+            else:
+                self._estimated_bytes += len(field)
+            self._estimated_bytes += _estimate_value_bytes(new_value)
             index = self._indexes.get(field)
             if index is not None:
                 self._posting_remove(index, self._index_key(old_value),
@@ -249,6 +258,7 @@ class Collection:
         """Tombstone one slot and strip its postings from every index."""
         self._documents[position] = None
         self._tombstones += 1
+        self._estimated_bytes -= _estimate_document_bytes(document)
         self._id_to_pos.pop(document["_id"], None)
         for field, index in self._indexes.items():
             self._posting_remove(index, self._index_key(document.get(field)),
@@ -309,6 +319,7 @@ class Collection:
         self._documents.clear()
         self._id_to_pos.clear()
         self._tombstones = 0
+        self._estimated_bytes = 0
         for index in self._indexes.values():
             index.clear()
         for entries in self._sorted_indexes.values():
@@ -430,7 +441,16 @@ class Collection:
 
     # ------------------------------------------------------------ accounting
     def estimated_bytes(self) -> int:
-        """Rough storage footprint of the collection in bytes."""
+        """Rough storage footprint of the collection in bytes.
+
+        O(1): the estimate is maintained incrementally by every
+        insert/update/delete (it used to be an O(n) walk per call, which
+        made per-experiment storage accounting quadratic).
+        """
+        return self._estimated_bytes
+
+    def recompute_estimated_bytes(self) -> int:
+        """The O(n) reference walk (cross-checks the incremental counter)."""
         total = 0
         for document in self._documents:
             if document is None:
@@ -450,7 +470,14 @@ def _estimate_document_bytes(document: Dict[str, Any]) -> int:
 
 def _estimate_value_bytes(value: Any) -> int:
     if isinstance(value, str):
-        return len(value) + 1
+        # UTF-8 length, not code-point count: non-ASCII characters occupy
+        # 2-4 bytes serialized, and the wire codec measures them that way.
+        # (For ASCII - the overwhelmingly common case on this write path -
+        # the code-point count already is the UTF-8 length; isascii()
+        # avoids allocating an encoded copy per string per insert.)
+        if value.isascii():
+            return len(value) + 1
+        return len(value.encode("utf-8")) + 1
     if isinstance(value, (int, float, bool)) or value is None:
         return 8
     if isinstance(value, (list, tuple)):

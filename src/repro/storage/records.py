@@ -21,9 +21,11 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.network.packet import FlowId
 
-#: Wire size (bytes) of one serialized TIB record in query responses; derived
-#: from the field sizes (5-tuple ~ 13 B, timestamps 2 x 8 B, counters 2 x 8 B,
-#: path as a list of 2-byte switch indices).
+#: *Estimated* wire size (bytes) of one serialized TIB record; derived from
+#: the field sizes (5-tuple ~ 13 B, timestamps 2 x 8 B, counters 2 x 8 B,
+#: path as a list of 2-byte switch indices).  Reported record sizes are
+#: measured against the real :mod:`repro.core.wire` codec now; this estimate
+#: survives as a cross-check (see ``estimated_wire_bytes``).
 RECORD_FIXED_BYTES = 13 + 16 + 16
 
 
@@ -116,7 +118,12 @@ class PathFlowRecord:
                    bytes=document["bytes"], pkts=document["pkts"])
 
     def wire_bytes(self) -> int:
-        """Approximate serialized size in a query response."""
+        """Measured serialized size in a query response (codec body bytes)."""
+        from repro.core import wire
+        return wire.record_wire_bytes(self)
+
+    def estimated_wire_bytes(self) -> int:
+        """The pre-codec size estimate (cross-check only)."""
         return RECORD_FIXED_BYTES + 2 * len(self.path)
 
 
@@ -180,5 +187,11 @@ def parse_flow_key(key: str) -> FlowId:
 
 
 def records_wire_bytes(records: Sequence[PathFlowRecord]) -> int:
-    """Total serialized size of a record batch (query traffic accounting)."""
-    return sum(r.wire_bytes() for r in records)
+    """Total measured serialized size of the records in a batch.
+
+    Sums the codec body bytes of each record; the full batch frame adds
+    only a fixed header plus a count varint on top (see
+    :func:`repro.core.wire.encode_record_batch`).
+    """
+    from repro.core import wire
+    return sum(wire.record_wire_bytes(r) for r in records)

@@ -275,6 +275,61 @@ class TestScatterGather:
         assert overlaps == []
         assert result.value == sum(VALUES.values())
 
+    def test_lost_hedge_leg_counts_as_duplicate_not_traffic(self):
+        """A hedge twin that loses the race must not inflate the traffic
+        (or latency) attributed to the winning response: its delivered
+        request leg moves to the separate duplicate-overhead stat."""
+        def delay(host, attempt):
+            if host == "h5":
+                return 0.06 if attempt == 1 else 0.0
+            if host == "h0":
+                # Keeps the gather running past h5's losing leg landing
+                # (its own loser stays asleep until after the run ends).
+                return 0.5 if attempt == 1 else 0.12
+            return 0.0
+
+        executor = ScatterGatherExecutor(
+            LoopbackTransport(delay=delay), mode=MODE_CONCURRENT,
+            hedge_after_s=0.02, max_workers=2 * len(HOSTS))
+        result = run(executor)
+        assert not result.partial
+        assert result.value == sum(VALUES.values())
+        # Exactly one winning request leg and one response per host.
+        assert result.traffic_bytes == 6 * 64 + 6 * 8
+        # h5's slow first attempt delivered at 0.06s - after its hedge twin
+        # won but well before the gather completed - so it was observed and
+        # reclassified.  (h0's loser is still sleeping at completion and is
+        # not observed at all.)
+        assert result.duplicate_traffic_bytes == 64
+        # The winning attempt's (instant) leg defines the reported latency.
+        assert result.reports["h5"].request_latency_s == 0.0
+        assert result.reports["h5"].hedged
+
+    def test_retried_work_failure_counts_first_leg_as_duplicate(self):
+        """A request that delivered but whose work failed is overhead once
+        the retry succeeds - deterministic in serial mode."""
+        calls = {}
+
+        def work(host):
+            calls[host] = calls.get(host, 0) + 1
+            if host == "h2" and calls[host] == 1:
+                raise RuntimeError("transient agent failure")
+            return VALUES[host]
+
+        executor = ScatterGatherExecutor(LoopbackTransport(),
+                                         mode=MODE_SERIAL, retries=1)
+        result = executor.run(flat_plan(), work, lambda a, b: a + b,
+                              response_bytes=lambda value: 8)
+        assert not result.partial
+        assert result.value == sum(VALUES.values())
+        assert result.traffic_bytes == 6 * 64 + 6 * 8
+        assert result.duplicate_traffic_bytes == 64
+
+    def test_no_duplicates_without_hedges_or_retries(self):
+        result = run(ScatterGatherExecutor(LoopbackTransport(),
+                                           mode=MODE_SERIAL))
+        assert result.duplicate_traffic_bytes == 0
+
     def test_non_transport_error_in_respond_raises(self):
         class BuggyTransport(LoopbackTransport):
             def respond(self, host, payload_bytes):

@@ -1,0 +1,389 @@
+"""Tests for the agent-server worker processes and cluster process mode.
+
+Covers: byte-identical payloads across serial / thread / process execution,
+measured (not estimated) traffic accounting, the ingest mirror keeping
+worker TIBs in sync, worker failure semantics matching the thread-mode
+failure path (including a worker killed *mid-scatter*), and the local
+fallback for queries the workers cannot serve.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (AgentServerError, AgentServerPool, MECHANISM_DIRECT,
+                        MECHANISM_MULTILEVEL, MODE_CONCURRENT, MODE_PROCESS,
+                        MODE_SERIAL, ProcessTransport, Q_FLOW_SIZE_DISTRIBUTION,
+                        Q_GET_FLOWS, Q_PATH_CONFORMANCE, Q_POOR_TCP_FLOWS,
+                        Q_TOP_K_FLOWS, Q_TRAFFIC_MATRIX, Query, QueryCluster,
+                        wire)
+from repro.core.executor import W_HOST_FAILED
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+from repro.topology.graph import ROLE_AGGREGATE, ROLE_EDGE, Topology
+
+NUM_HOSTS = 4
+
+
+def small_topology(num_hosts=NUM_HOSTS):
+    topo = Topology(name=f"mini-{num_hosts}")
+    topo.add_switch("spine-0", ROLE_AGGREGATE, index=0)
+    tors = (num_hosts + 1) // 2
+    for t in range(tors):
+        topo.add_switch(f"leaf-{t}", ROLE_EDGE, pod=t, index=t)
+        topo.add_link(f"leaf-{t}", "spine-0")
+    for h in range(num_hosts):
+        host = f"server-{h}"
+        topo.add_host(host, pod=h // 2, index=h)
+        topo.add_link(host, f"leaf-{h // 2}")
+    return topo
+
+
+def populate(cluster, records_per_host=25):
+    hosts = cluster.hosts
+    for index, host in enumerate(hosts):
+        agent = cluster.agent(host)
+        src = hosts[(index + 1) % len(hosts)]
+        for flow in range(records_per_host):
+            flow_id = FlowId(src, host, 30_000 + flow, 80, PROTO_TCP)
+            record = PathFlowRecord(
+                flow_id, (src, f"leaf-{index // 2}", host), float(flow),
+                flow + 0.5, 1000 * (flow + 1), flow + 1)
+            agent.tib.add_record(record)
+
+
+@pytest.fixture()
+def process_cluster():
+    """A populated cluster with agent servers running (process mode)."""
+    cluster = QueryCluster(small_topology(), shared_cache=True)
+    populate(cluster)
+    cluster.configure_executor(mode=MODE_PROCESS)
+    yield cluster
+    cluster.close()
+
+
+QUERIES = [
+    (Q_TOP_K_FLOWS, {"k": 30}),
+    (Q_FLOW_SIZE_DISTRIBUTION, {"links": [None], "binsize": 4000}),
+    (Q_GET_FLOWS, {}),
+    (Q_TRAFFIC_MATRIX, {}),
+]
+
+
+class TestPayloadIdentity:
+    @pytest.mark.parametrize("mechanism", [MECHANISM_DIRECT,
+                                           MECHANISM_MULTILEVEL])
+    @pytest.mark.parametrize("name,params", QUERIES)
+    def test_three_modes_byte_identical(self, process_cluster, mechanism,
+                                        name, params):
+        """Serial, thread and process runs of the same query return
+        byte-identical payloads and identical measured traffic."""
+        query = Query(name, dict(params))
+        results = {}
+        for mode in (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS):
+            process_cluster.configure_executor(mode=mode)
+            results[mode] = process_cluster.execute(query,
+                                                    mechanism=mechanism)
+        encoded = {mode: wire.encode_value(result.payload)
+                   for mode, result in results.items()}
+        assert encoded[MODE_SERIAL] == encoded[MODE_CONCURRENT]
+        assert encoded[MODE_SERIAL] == encoded[MODE_PROCESS]
+        assert results[MODE_SERIAL].traffic_bytes == \
+            results[MODE_PROCESS].traffic_bytes
+        assert results[MODE_PROCESS].mode == MODE_PROCESS
+        assert not results[MODE_PROCESS].partial
+
+    def test_workers_hold_the_same_records(self, process_cluster):
+        pool = process_cluster.agent_servers
+        for host in process_cluster.hosts:
+            local = process_cluster.agent(host).tib.record_count()
+            assert pool.ping(host) == local
+
+
+class TestMeasuredTraffic:
+    def test_direct_traffic_is_sum_of_encoded_frames(self, process_cluster):
+        """Reported traffic is exactly: one encoded query frame per host
+        plus each host's measured result frame (no estimates anywhere)."""
+        query = Query(Q_TOP_K_FLOWS, {"k": 10})
+        expected = 0
+        for host in process_cluster.hosts:
+            result = process_cluster.agent(host).execute_query(query)
+            expected += len(wire.encode_query(query)) + result.wire_bytes
+        # The root's response leg is free (it is the controller); direct
+        # plans only move host requests and host responses.
+        outcome = process_cluster.execute(query, mechanism=MECHANISM_DIRECT)
+        assert outcome.traffic_bytes == expected
+        assert outcome.duplicate_traffic_bytes == 0
+
+    def test_multilevel_edge_parts_sum_to_the_combined_frame(
+            self, process_cluster):
+        """An edge's (query, spec) part sizes reconcile exactly with the
+        batched request frame process mode actually ships."""
+        from repro.core.aggregation import AggregationTree
+        query = Query(Q_TOP_K_FLOWS, {"k": 3})
+        specs = {}
+        tree = AggregationTree(process_cluster.hosts, fanout=(2, 2))
+        plan = process_cluster._plan_from_tree(tree.root, query, specs)
+        stack = [plan]
+        checked = 0
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children)
+            if node.host is None:
+                continue
+            frame = wire.encode_query_request(query, specs[node.host])
+            assert sum(node.request_parts) == len(frame)
+            checked += 1
+        assert checked == len(process_cluster.hosts)
+
+    def test_reply_timeout_fails_worker_instead_of_desyncing(self):
+        """A timed-out reply must not be read by the *next* request: the
+        worker is declared dead, so later exchanges raise instead of
+        returning stale payloads."""
+        with AgentServerPool(["a"], reply_timeout_s=0.1) as pool:
+            record = PathFlowRecord(FlowId("x", "a", 1, 2, PROTO_TCP),
+                                    ("x", "sw", "a"), 0.0, 1.0, 10, 1)
+            pool.add_records("a", [record])
+            pool.stall("a", 0.6)
+            with pytest.raises(AgentServerError, match="did not reply"):
+                pool.query("a", Query(Q_GET_FLOWS, {}))
+            # The stale reply is never served to a later request.
+            with pytest.raises(AgentServerError):
+                pool.query("a", Query(Q_TOP_K_FLOWS, {"k": 3}))
+            deadline = time.monotonic() + 2.0
+            while pool.alive("a") and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not pool.alive("a")
+
+    def test_result_wire_bytes_is_the_pipe_frame(self, process_cluster):
+        pool = process_cluster.agent_servers
+        host = process_cluster.hosts[0]
+        query = Query(Q_GET_FLOWS, {})
+        remote = pool.query(host, query)
+        local = process_cluster.agent(host).execute_query(query)
+        assert remote.wire_bytes == local.wire_bytes == \
+            len(wire.encode_result(local))
+        assert wire.encode_value(remote.payload) == \
+            wire.encode_value(local.payload)
+
+
+class TestIngestMirror:
+    def test_ingest_after_start_reaches_workers(self, process_cluster):
+        host = process_cluster.hosts[0]
+        agent = process_cluster.agent(host)
+        before = process_cluster.agent_servers.ping(host)
+        flow = FlowId("newcomer", host, 5555, 80, PROTO_TCP)
+        agent.ingest_path_record(PathFlowRecord(
+            flow, ("newcomer", "leaf-0", host), 100.0, 100.5, 4242, 3))
+        assert process_cluster.agent_servers.ping(host) == before + 1
+        result = process_cluster.execute(Query(Q_GET_FLOWS, {}),
+                                         hosts=[host])
+        assert any(flow_id == flow for flow_id, _ in result.payload)
+        assert result.mode == MODE_PROCESS
+
+    def test_mirror_detached_after_stop(self, process_cluster):
+        host = process_cluster.hosts[0]
+        process_cluster.stop_agent_servers()
+        assert process_cluster.agent(host).record_sink is None
+        assert process_cluster.agent_servers is None
+        assert process_cluster.mode == MODE_CONCURRENT
+        # Queries still work (local agents kept everything via dual-write).
+        result = process_cluster.execute(Query(Q_TOP_K_FLOWS, {"k": 5}))
+        assert result.payload
+
+
+class TestLocalFallback:
+    def test_monitor_backed_query_runs_locally(self, process_cluster):
+        result = process_cluster.execute(Query(Q_POOR_TCP_FLOWS, {}))
+        assert not result.partial  # served by the in-process agents
+
+    def test_alarm_raising_query_reaches_alarm_bus(self, process_cluster):
+        # Path conformance raises PC_FAIL alarms via the agent; running it
+        # in a worker would strand them, so it falls back to local agents.
+        query = Query(Q_PATH_CONFORMANCE, {"max_hops": 0})
+        result = process_cluster.execute(query)
+        assert not result.partial
+        assert result.payload  # every flow violates max_hops=0
+        assert process_cluster.alarm_bus.alarms
+
+    def test_custom_handler_with_unencodable_payload(self, process_cluster):
+        """A custom handler may return a payload outside the codec's value
+        set; its size estimate stands in instead of killing the query."""
+        class Opaque:
+            pass
+
+        token = Opaque()
+        for agent in process_cluster.agents.values():
+            agent.engine.register("opaque", lambda a, p: ([token], 42, 0))
+        process_cluster.engine.register(
+            "opaque", lambda a, p: ([token], 42, 0))  # default concat merge
+        result = process_cluster.execute(Query("opaque", {}))
+        assert not result.partial
+        assert len(result.payload) == len(process_cluster.hosts)
+        assert all(item is token for item in result.payload)
+
+    def test_custom_handler_runs_locally(self, process_cluster):
+        for agent in process_cluster.agents.values():
+            agent.engine.register(
+                "record_count",
+                lambda agent, params: (agent.tib.record_count(), 8, 0))
+        process_cluster.engine.register(
+            "record_count", lambda agent, params: (0, 8, 0),
+            merger=lambda query, payloads: (sum(payloads), 8))
+        result = process_cluster.execute(Query("record_count", {}))
+        assert result.payload == sum(
+            a.tib.record_count() for a in process_cluster.agents.values())
+
+
+class TestWorkerFailures:
+    def test_kill_mid_scatter_matches_thread_failure_path(
+            self, process_cluster):
+        """A worker killed while its query is in flight surfaces exactly
+        like a dead in-thread agent: partial=True, the host in
+        hosts_failed, a W_HOST_FAILED warning - and everyone else's
+        results intact."""
+        victim = process_cluster.hosts[2]
+        pool = process_cluster.agent_servers
+        # Stall the victim so its query is genuinely in flight when the
+        # process dies (the pipe read is interrupted by the kill).
+        pool.stall(victim, 5.0)
+        killer = threading.Timer(0.15, pool.kill, args=(victim,))
+        killer.start()
+        try:
+            started = time.perf_counter()
+            result = process_cluster.execute(Query(Q_TOP_K_FLOWS,
+                                                   {"k": 1000}))
+            elapsed = time.perf_counter() - started
+        finally:
+            killer.cancel()
+        assert elapsed < 4.0  # the kill, not the stall, ended the wait
+        assert result.partial
+        assert result.hosts_failed == [victim]
+        warning = next(w for w in result.warnings
+                       if w.code == W_HOST_FAILED)
+        assert warning.host == victim
+        assert "AgentServerError" in warning.detail
+        # The survivors' flows are all present, the victim's missing.
+        keys = {key for _, key in result.payload}
+        assert keys and not any(f"|{victim}:" in key for key in keys)
+        survivors = set(process_cluster.hosts) - {victim}
+        assert len(result.payload) == 25 * len(survivors)
+
+    def test_dead_worker_before_scatter(self, process_cluster):
+        victim = process_cluster.hosts[1]
+        pool = process_cluster.agent_servers
+        pool.kill(victim)
+        deadline = time.monotonic() + 2.0
+        while pool.alive(victim) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not pool.alive(victim)
+        result = process_cluster.execute(Query(Q_GET_FLOWS, {}),
+                                         mechanism=MECHANISM_MULTILEVEL)
+        assert result.partial and victim in result.hosts_failed
+        assert result.payload  # everyone else still answered
+
+    def test_pool_query_raises_agent_server_error(self, process_cluster):
+        victim = process_cluster.hosts[0]
+        pool = process_cluster.agent_servers
+        pool.kill(victim)
+        with pytest.raises(AgentServerError):
+            for _ in range(3):  # first send may still hit the OS buffer
+                pool.query(victim, Query(Q_GET_FLOWS, {}))
+                time.sleep(0.05)
+
+    def test_worker_reports_unknown_query(self, process_cluster):
+        pool = process_cluster.agent_servers
+        with pytest.raises(AgentServerError, match="unknown query"):
+            pool.query(process_cluster.hosts[0], Query("no_such_query", {}))
+
+
+class TestPoolLifecycle:
+    def test_standalone_pool_roundtrip(self):
+        with AgentServerPool(["a", "b"]) as pool:
+            record = PathFlowRecord(FlowId("x", "a", 1, 2, PROTO_TCP),
+                                    ("x", "sw", "a"), 0.0, 1.0, 10, 1)
+            pool.add_records("a", [record])
+            assert pool.ping("a") == 1
+            assert pool.ping("b") == 0
+            pool.reset("a")
+            assert pool.ping("a") == 0
+            assert pool.stats.frames_sent >= 4
+
+    def test_unknown_host_rejected(self):
+        with AgentServerPool(["a"]) as pool:
+            with pytest.raises(AgentServerError):
+                pool.query("nope", Query(Q_GET_FLOWS, {}))
+
+    def test_close_is_idempotent(self):
+        cluster = QueryCluster(small_topology(), mode=MODE_PROCESS)
+        assert cluster.agent_servers is not None
+        cluster.close()
+        cluster.close()
+        assert cluster.agent_servers is None
+
+    def test_process_transport_resets_pool_stats(self, process_cluster):
+        transport = process_cluster.transport
+        assert isinstance(transport, ProcessTransport)
+        process_cluster.execute(Query(Q_GET_FLOWS, {}))
+        assert transport.pool.stats.frames_sent > 0
+        assert process_cluster.rpc.stats.messages > 0
+        process_cluster.reset_stats()
+        assert transport.pool.stats.frames_sent == 0
+        assert process_cluster.rpc.stats.messages == 0
+
+    def test_ingest_survives_dead_worker(self, process_cluster):
+        """A dead worker must not break the *local* ingest path: the
+        mirror detaches itself and the simulator keeps running (queries
+        report the dead host as partial, as elsewhere)."""
+        host = process_cluster.hosts[0]
+        agent = process_cluster.agent(host)
+        pool = process_cluster.agent_servers
+        pool.kill(host)
+        deadline = time.monotonic() + 2.0
+        while pool.alive(host) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        before = agent.tib.record_count()
+        flow = FlowId("late", host, 777, 80, PROTO_TCP)
+        record = PathFlowRecord(flow, ("late", "leaf-0", host),
+                                50.0, 50.5, 10, 1)
+        for _ in range(3):  # first sends may still land in the OS buffer
+            agent.ingest_path_record(record)  # must not raise
+        assert agent.tib.record_count() == before + 1
+        assert agent.record_sink is None  # mirror detached itself
+
+    def test_failed_startup_sync_does_not_leak_workers(self, monkeypatch):
+        cluster = QueryCluster(small_topology())
+        populate(cluster, records_per_host=3)
+        monkeypatch.setattr(
+            AgentServerPool, "ping",
+            lambda self, host: (_ for _ in ()).throw(
+                AgentServerError("sync probe failed")))
+        with pytest.raises(AgentServerError):
+            cluster.start_agent_servers()
+        assert cluster.agent_servers is None
+        assert all(a.record_sink is None for a in cluster.agents.values())
+        cluster.close()  # no-op; nothing left behind
+
+    def test_constructor_process_mode_wires_executor_transport(self):
+        with QueryCluster(small_topology(), mode=MODE_PROCESS) as cluster:
+            assert isinstance(cluster.transport, ProcessTransport)
+            assert cluster.executor.transport is cluster.transport
+
+    def test_missing_agent_still_fails_host(self, process_cluster):
+        gone = process_cluster.hosts[3]
+        del process_cluster.agents[gone]
+        result = process_cluster.execute(Query(Q_TOP_K_FLOWS, {"k": 10}))
+        assert result.partial and gone in result.hosts_failed
+
+
+class TestWorkerReset:
+    def test_reset_clears_latched_ingest_error(self):
+        """A reset wipes a latched ingest error: the first query after a
+        reset must answer from the clean TIB, not replay the old error."""
+        with AgentServerPool(["a"]) as pool:
+            with pool._lock_for("a"):
+                pool._send("a", b"garbage-frame")  # latches a wire error
+            pool.reset("a")
+            result = pool.query("a", Query(Q_GET_FLOWS, {}))
+            assert result.payload == []

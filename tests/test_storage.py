@@ -265,3 +265,43 @@ class TestRecords:
         memory.update(200, when=2.0)
         assert memory.bytes == 300 and memory.pkts == 2
         assert memory.etime == 2.0
+
+
+class TestEstimatedBytesAccounting:
+    """The storage-footprint estimate is maintained incrementally (O(1)
+    reads) and counts strings at their UTF-8 length."""
+
+    def test_incremental_matches_reference_walk(self, people):
+        assert people.estimated_bytes() == people.recompute_estimated_bytes()
+        people.insert({"name": "zoë", "age": 1, "city": "zürich"})
+        people.update(1, {"age": 26, "city": "london"})
+        people.update(2, {"nickname": "evie"})  # adds a new field
+        people.delete({"name": "ada"})
+        assert people.estimated_bytes() == people.recompute_estimated_bytes()
+        people.compact()
+        assert people.estimated_bytes() == people.recompute_estimated_bytes()
+        people.clear()
+        assert people.estimated_bytes() == 0
+        assert people.recompute_estimated_bytes() == 0
+
+    def test_update_adjusts_estimate_both_directions(self):
+        collection = Collection("c")
+        doc_id = collection.insert({"value": "short"})
+        before = collection.estimated_bytes()
+        collection.update(doc_id, {"value": "a much longer string value"})
+        grown = collection.estimated_bytes()
+        assert grown > before
+        collection.update(doc_id, {"value": "s"})
+        assert collection.estimated_bytes() < grown
+        assert collection.estimated_bytes() == \
+            collection.recompute_estimated_bytes()
+
+    def test_unicode_counted_at_utf8_length(self):
+        ascii_coll = Collection("a")
+        unicode_coll = Collection("u")
+        ascii_coll.insert({"name": "xx"})
+        unicode_coll.insert({"name": "中中"})  # 2 chars, 6 UTF-8 bytes
+        assert unicode_coll.estimated_bytes() == \
+            ascii_coll.estimated_bytes() + 4
+        assert unicode_coll.estimated_bytes() == \
+            unicode_coll.recompute_estimated_bytes()

@@ -378,3 +378,48 @@ class TestEngineDiscipline:
         assert tib.get_count(flow, time_range=(0.0, 10.0)) == (150, 3)
         assert tib.flow_byte_totals() == {
             "h-0-0-0:1000|h-2-0-0:80|6": 150}
+
+
+class TestNoMutateContract:
+    """``add_record`` never mutates (or silently retains) a caller's record."""
+
+    def test_list_path_not_rewritten_in_place(self):
+        tib = Tib("h")
+        record = PathFlowRecord(_flow(), list(PATH_A), 0.0, 1.0, 100, 1)
+        tib.add_record(record)
+        assert type(record.path) is list  # caller's object untouched
+        assert tib.records()[0].path == PATH_A  # stored form normalised
+
+    def test_merge_does_not_mutate_first_callers_record(self):
+        """The old engine retained the first record and folded later merges
+        into it, so the *caller's* object grew byte counts behind its back."""
+        tib = Tib("h")
+        first = _record(_flow(), PATH_A, 1.0, 2.0, 100, 1)
+        second = _record(_flow(), PATH_A, 0.5, 3.0, 50, 2)
+        tib.add_record(first)
+        tib.add_record(second)
+        assert (first.bytes, first.pkts) == (100, 1)
+        assert (first.stime, first.etime) == (1.0, 2.0)
+        assert (second.bytes, second.pkts) == (50, 2)
+        stored = tib.records()[0]
+        assert stored is not first and stored is not second
+        assert (stored.bytes, stored.pkts) == (150, 3)
+        assert (stored.stime, stored.etime) == (0.5, 3.0)
+
+    def test_caller_mutation_cannot_corrupt_the_tib(self):
+        tib = Tib("h")
+        record = _record(_flow(), PATH_A, 0.0, 1.0, 100, 1)
+        tib.add_record(record)
+        record.bytes = 999_999
+        record.path = ("garbage",)
+        assert tib.get_count(_flow()) == (100, 1)
+        assert tib.records()[0].path == PATH_A
+
+    def test_adopt_transfers_ownership_without_copy(self):
+        tib = Tib("h")
+        record = _record(_flow(), PATH_A)
+        tib.add_record(record, adopt=True)
+        assert tib.records()[0] is record
+        listy = PathFlowRecord(_flow(sport=9), list(PATH_B), 0.0, 1.0, 1, 1)
+        tib.add_record(listy, adopt=True)
+        assert type(listy.path) is tuple  # adopted records are normalised

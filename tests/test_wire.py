@@ -1,0 +1,304 @@
+"""Round-trip and property tests for the binary wire codec.
+
+The codec is what the byte accounting measures and what the agent-server
+workers speak, so these tests pin down: lossless round-trips over every
+supported value shape (including the edge values the fuzzer favours - empty
+paths, huge counters, unicode flow keys), frame validation, and the
+reconciliation between the measured sizes and the surviving pre-codec
+estimators.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import Query, QueryEngine, QueryResult, wire
+from repro.core.aggregation import AggregationTree
+from repro.network.packet import PROTO_TCP, PROTO_UDP, FlowId
+from repro.storage import PathFlowRecord
+from repro.storage.docstore import _estimate_value_bytes
+
+
+UNICODE_HOST = "hôst-中心-9"
+
+
+def sample_record(path=("h1", "tor-a", "h2"), nbytes=1234, pkts=3):
+    flow = FlowId("h1", "h2", 43210, 80, PROTO_TCP)
+    return PathFlowRecord(flow_id=flow, path=tuple(path), stime=1.25,
+                          etime=9.5, bytes=nbytes, pkts=pkts)
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -1, 7, 255, -(1 << 40), 1 << 100,
+        -(1 << 99) - 17, 0.0, -2.5, 1e308, "", "plain", "hôst-中",
+        b"", b"\x00\xff raw", [], (), {}, set(), frozenset(),
+        [1, "two", None], ("a", ("b", ("c",))),
+        {"k": 1, ("tor", 3): [1, 2]}, {1, 2, 3}, frozenset({"x", "y"}),
+        FlowId("srv-é", "dst", 1, 2, PROTO_UDP),
+        [(FlowId("a", "b", 1, 2, 6), ("a", "s", "b"))],
+    ])
+    def test_round_trip(self, value):
+        assert wire.decode_value(wire.encode_value(value)) == value
+
+    def test_types_preserved(self):
+        """Containers and FlowId keep their exact types (payload identity
+        across execution modes is checked byte for byte)."""
+        value = {"t": (1, 2), "l": [1, 2], "f": FlowId("a", "b", 1, 2, 6),
+                 "s": {1}, "fs": frozenset({2})}
+        decoded = wire.decode_value(wire.encode_value(value))
+        assert type(decoded["t"]) is tuple
+        assert type(decoded["l"]) is list
+        assert type(decoded["f"]) is FlowId
+        assert type(decoded["s"]) is set
+        assert type(decoded["fs"]) is frozenset
+
+    def test_equal_sets_encode_identically(self):
+        a = wire.encode_value({"x", "y", "zz", "w"})
+        b = wire.encode_value({"w", "zz", "y", "x"})
+        assert a == b
+
+    def test_nan_round_trips(self):
+        decoded = wire.decode_value(wire.encode_value(float("nan")))
+        assert math.isnan(decoded)
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_value(object())
+
+    def test_fuzz_round_trip(self):
+        rng = random.Random(20260726)
+
+        def make(depth):
+            kind = rng.randrange(10 if depth < 3 else 7)
+            if kind == 0:
+                return None
+            if kind == 1:
+                return rng.random() < 0.5
+            if kind == 2:
+                return rng.randint(-(1 << rng.randrange(1, 128)),
+                                   1 << rng.randrange(1, 128))
+            if kind == 3:
+                return rng.uniform(-1e12, 1e12)
+            if kind == 4:
+                alphabet = "abé中\U0001f409 -:"
+                return "".join(rng.choice(alphabet)
+                               for _ in range(rng.randrange(8)))
+            if kind == 5:
+                return bytes(rng.randrange(256)
+                             for _ in range(rng.randrange(8)))
+            if kind == 6:
+                return FlowId(f"h{rng.randrange(99)}", UNICODE_HOST,
+                              rng.randrange(1 << 16), rng.randrange(1 << 16),
+                              rng.choice([6, 17, 1]))
+            if kind == 7:
+                return [make(depth + 1) for _ in range(rng.randrange(4))]
+            if kind == 8:
+                return tuple(make(depth + 1)
+                             for _ in range(rng.randrange(4)))
+            return {f"k{i}": make(depth + 1)
+                    for i in range(rng.randrange(4))}
+
+        for _ in range(300):
+            value = make(0)
+            assert wire.decode_value(wire.encode_value(value)) == value
+
+
+class TestRecordBatches:
+    @pytest.mark.parametrize("record", [
+        sample_record(),
+        sample_record(path=()),                     # empty path
+        sample_record(nbytes=1 << 80, pkts=1 << 70),  # huge counters
+        PathFlowRecord(FlowId(UNICODE_HOST, "dst-ü", 0, 0, PROTO_UDP),
+                       (UNICODE_HOST, "sw", "dst-ü"), 0.0, 0.0),
+    ])
+    def test_batch_round_trip(self, record):
+        decoded = wire.decode_record_batch(
+            wire.encode_record_batch([record]))
+        assert len(decoded) == 1
+        got = decoded[0]
+        assert got.flow_id == record.flow_id
+        assert got.path == record.path
+        assert got.stime == record.stime and got.etime == record.etime
+        assert got.bytes == record.bytes and got.pkts == record.pkts
+
+    def test_empty_batch(self):
+        assert wire.decode_record_batch(wire.encode_record_batch([])) == []
+
+    def test_record_wire_bytes_matches_batch_layout(self):
+        """A single-record batch is exactly header + count varint + body."""
+        record = sample_record()
+        frame = wire.encode_record_batch([record])
+        assert len(frame) == wire.HEADER_BYTES + 1 + \
+            wire.record_wire_bytes(record)
+        assert record.wire_bytes() == wire.record_wire_bytes(record)
+
+    def test_fuzz_batch_round_trip(self):
+        rng = random.Random(7)
+        records = []
+        for i in range(100):
+            flow = FlowId(f"src-{rng.randrange(16)}", UNICODE_HOST,
+                          rng.randrange(1 << 16), 80, PROTO_TCP)
+            path = tuple(f"sw{j}" for j in range(rng.randrange(7)))
+            records.append(PathFlowRecord(
+                flow, path, rng.uniform(0, 1e6), rng.uniform(1e6, 2e6),
+                rng.randrange(1 << rng.randrange(1, 77)),
+                rng.randrange(1 << 20)))
+        decoded = wire.decode_record_batch(
+            wire.encode_record_batch(records))
+        assert [(r.flow_id, r.path, r.bytes, r.pkts) for r in decoded] == \
+            [(r.flow_id, r.path, r.bytes, r.pkts) for r in records]
+
+
+class TestQueryFrames:
+    def test_query_round_trip(self):
+        query = Query("top_k_flows",
+                      {"k": 50, "time_range": (None, 12.5),
+                       "flow_id": FlowId("a", "b", 1, 2, 6),
+                       "forbidden": {"sw-1", "sw-2"}},
+                      period=1.5)
+        decoded, spec = wire.decode_query_request(wire.encode_query(query))
+        assert decoded.name == query.name
+        assert decoded.params == query.params
+        assert decoded.period == query.period
+        assert spec is None
+
+    def test_query_with_subtree_spec(self):
+        query = Query("get_flows", {})
+        spec = wire.SubtreeSpec("h0", ("h0", "h1", UNICODE_HOST))
+        frame = wire.encode_query_request(query, spec)
+        decoded, got_spec = wire.decode_query_request(frame)
+        assert got_spec == spec
+        # The batched frame carries both logical parts; its size is the
+        # parts' sizes minus the one duplicated header.
+        assert len(frame) == len(wire.encode_query(query)) + \
+            len(wire.encode_subtree_spec(spec)) - wire.HEADER_BYTES
+        assert wire.decode_subtree_spec(wire.encode_subtree_spec(spec)) == \
+            spec
+
+    def test_tree_spec_bytes_are_measured(self):
+        tree = AggregationTree([f"h{i}" for i in range(13)], fanout=(3, 2))
+        for node in tree.host_nodes():
+            assert node.subtree_spec_bytes() == \
+                len(wire.encode_subtree_spec(node.subtree_spec()))
+            assert node.subtree_spec().hosts == tuple(node.subtree_hosts())
+            # The surviving estimate stays within a small constant of the
+            # measurement (both are linear in the subtree's host count).
+            measured = node.subtree_spec_bytes()
+            estimated = node.estimated_spec_bytes()
+            assert abs(measured - estimated) <= \
+                16 + 4 * node.subtree_host_count()
+
+    def test_request_bytes_are_measured(self):
+        query = Query("get_flows", {"link": ("a", "b")})
+        assert query.request_bytes() == len(wire.encode_query(query))
+        assert query.estimated_request_bytes() == 128 + 8  # the old formula
+
+
+class TestResultFrames:
+    def test_result_round_trip(self):
+        query = Query("traffic_matrix", {})
+        result = QueryResult(query=query,
+                             payload={("tor-a", "tor-b"): 12345},
+                             wire_bytes=0, records_scanned=77,
+                             estimated_wire_bytes=24, host=UNICODE_HOST)
+        frame = wire.encode_result(result)
+        decoded = wire.decode_result(frame, query)
+        assert decoded.payload == result.payload
+        assert decoded.records_scanned == 77
+        assert decoded.estimated_wire_bytes == 24
+        assert decoded.host == UNICODE_HOST
+        assert decoded.wire_bytes == len(frame)
+        assert wire.result_wire_bytes(result) == len(frame)
+
+    def test_result_for_wrong_query_rejected(self):
+        result = QueryResult(query=Query("get_flows", {}), payload=[],
+                             wire_bytes=0)
+        frame = wire.encode_result(result)
+        with pytest.raises(wire.WireError):
+            wire.decode_result(frame, Query("top_k_flows", {}))
+
+    def test_engine_sets_measured_wire_bytes(self):
+        """QueryEngine.execute defines wire_bytes exactly as the frame an
+        agent-server worker would put on the pipe."""
+        class TibStub:
+            def record_count(self):
+                return 4
+
+        class AgentStub:
+            host = "h0"
+            tib = TibStub()
+
+            def get_flows(self, link, time_range):
+                return [(FlowId("a", "b", 1, 2, 6), ("a", "s", "b"))]
+
+        result = QueryEngine().execute(AgentStub(), Query("get_flows", {}))
+        assert result.wire_bytes == len(wire.encode_result(result))
+        assert result.estimated_wire_bytes > 0
+
+
+class TestControlFrames:
+    def test_error(self):
+        frame = wire.encode_error("boom: 中")
+        assert wire.frame_type(frame) == wire.MSG_ERROR
+        assert wire.decode_error(frame) == "boom: 中"
+
+    def test_ping_pong_reset_shutdown_sleep(self):
+        assert wire.frame_type(wire.encode_ping()) == wire.MSG_PING
+        assert wire.decode_pong(wire.encode_pong(12345)) == 12345
+        assert wire.frame_type(wire.encode_reset()) == wire.MSG_RESET
+        assert wire.frame_type(wire.encode_shutdown()) == wire.MSG_SHUTDOWN
+        assert wire.decode_sleep(wire.encode_sleep(0.25)) == 0.25
+
+
+class TestFrameValidation:
+    def test_bad_magic(self):
+        frame = bytearray(wire.encode_ping())
+        frame[0] = ord("X")
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.open_frame(bytes(frame))
+
+    def test_unsupported_version(self):
+        frame = bytearray(wire.encode_ping())
+        frame[2] = wire.WIRE_VERSION + 1
+        with pytest.raises(wire.WireError, match="version"):
+            wire.open_frame(bytes(frame))
+
+    def test_truncated_frame(self):
+        with pytest.raises(wire.WireError):
+            wire.open_frame(b"PD")
+        full = wire.encode_record_batch([sample_record()])
+        with pytest.raises(wire.WireError):
+            wire.decode_record_batch(full[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_value(wire.encode_value(1) + b"\x00")
+
+    def test_wrong_frame_type_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_record_batch(wire.encode_ping())
+
+
+class TestEstimatorReconciliation:
+    """The surviving estimators line up with the codec's measured sizes."""
+
+    def test_string_estimate_counts_utf8_bytes(self):
+        # len(str) used to undercount non-ASCII strings; the estimator now
+        # matches the codec, which writes UTF-8.
+        for text in ["ascii", "hôst", "中心", "\U0001f409"]:
+            encoded = text.encode("utf-8")
+            assert _estimate_value_bytes(text) == len(encoded) + 1
+            # Codec string layout: 1 tag byte + length varint + UTF-8 body,
+            # so for short strings the estimate equals measured size - 1.
+            assert len(wire.encode_value(text)) == len(encoded) + 2
+
+    def test_record_estimate_tracks_measured_size(self):
+        """Estimate and measurement stay within a small constant of each
+        other across path lengths (both are linear in path size)."""
+        for hops in (0, 2, 5, 9):
+            record = sample_record(path=tuple(f"s{i}" for i in range(hops)))
+            measured = wire.record_wire_bytes(record)
+            estimated = record.estimated_wire_bytes()
+            assert abs(measured - estimated) <= 16 + 4 * max(1, hops)
