@@ -1,0 +1,166 @@
+"""Event plane: measured alarm-delivery latency and per-tick overhead.
+
+The paper's end hosts run a continuous TCP-performance monitor and push
+``Alarm(flowID, Reason, Paths)`` events to the controller (Sections 3.2 and
+4).  This benchmark measures the reproduction's event plane across all
+three cluster modes:
+
+* **Alarm-delivery latency**: wall-clock time from the start of one
+  cluster-wide monitor sweep (``run_monitors``) until each POOR_PERF alarm
+  lands in a bus subscriber.  In serial/thread mode delivery is an
+  in-process call; in process mode every alarm crosses the wire protocol
+  (a monitor-tick frame out, an encoded alarm batch back) - the measured
+  difference is the real cost of moving the monitors host-side.
+* **Idle tick overhead**: the cost of one sweep when every poor flow is
+  already latched (the steady-state periodic check the paper runs every
+  200 ms).
+* **Tick traffic**: measured ``len(encoded)`` of the tick/alarm frames in
+  process mode (zero in the in-process modes, which need no wire).
+
+Alarm streams must be byte-identical across all three modes (asserted),
+so the latency/overhead columns compare like with like.  The summary is
+folded into ``BENCH_storage.json`` under ``"event_plane"`` so the cross-PR
+perf trajectory captures it.
+"""
+
+import json
+import os
+import pathlib
+import statistics
+import time
+
+from repro.analysis import format_table
+from repro.core import (MODE_CONCURRENT, MODE_PROCESS, MODE_SERIAL,
+                        QueryCluster, wire)
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+
+from query_testbed import QUICK, build_query_topology
+
+#: Smoke tier (CI) keeps the shape, cuts the scale.
+NUM_HOSTS = 4 if QUICK else 8
+#: Monitored flows per host (a fraction of them persistently poor).
+FLOWS_PER_HOST = 50 if QUICK else 400
+#: Fraction of monitored flows that trip the poor-flow check.
+POOR_FRACTION = 0.25
+#: Measurement rounds per mode (each round re-opens alerting).
+ROUNDS = 2 if QUICK else 5
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_storage.json"
+
+ALL_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS)
+
+
+def build_event_cluster(mode):
+    """A cluster whose monitors hold FLOWS_PER_HOST observed flows each."""
+    cluster = QueryCluster(build_query_topology(NUM_HOSTS), mode=mode)
+    poor_every = max(1, int(1 / POOR_FRACTION))
+    for index, host in enumerate(cluster.hosts):
+        agent = cluster.agent(host)
+        dst = cluster.hosts[(index + 1) % len(cluster.hosts)]
+        for n in range(FLOWS_PER_HOST):
+            flow = FlowId(host, dst, 20_000 + n, 80, PROTO_TCP)
+            poor = n % poor_every == 0
+            agent.monitor.observe_flow(
+                flow, retransmissions=6 if poor else 1,
+                consecutive=5 if poor else 1, when=float(n))
+            agent.ingest_path_record(PathFlowRecord(
+                flow, (host, "leaf-0", dst), float(n), n + 0.2,
+                1000 * (n + 1), n + 1))
+    return cluster
+
+
+def measure_mode(cluster, rounds=ROUNDS):
+    """Per-alarm delivery latencies, idle tick durations, tick traffic."""
+    delivery_ms = []
+    sweep_start = 0.0
+
+    def on_alarm(alarm):
+        delivery_ms.append((time.perf_counter() - sweep_start) * 1e3)
+
+    cluster.alarm_bus.subscribe(on_alarm)
+    streams = []
+    traffic = 0
+    for round_index in range(rounds):
+        cluster.reset_stats()  # re-opens alerting (new measurement interval)
+        sweep_start = time.perf_counter()
+        # Constant simulated tick time: alarm payloads (time included) must
+        # be identical round to round so the streams can be byte-compared.
+        sweep = cluster.run_monitors(1.0)
+        assert sweep and not sweep.partial
+        streams.append(wire.encode_alarm_batch(list(sweep)))
+        traffic = sweep.traffic_bytes
+    # Idle ticks: every poor flow stays latched, nothing is delivered.
+    idle_ms = []
+    for round_index in range(rounds):
+        started = time.perf_counter()
+        sweep = cluster.run_monitors(100.0 + round_index)
+        idle_ms.append((time.perf_counter() - started) * 1e3)
+        assert sweep == []
+    assert all(stream == streams[0] for stream in streams)
+    return {
+        "alarms_per_sweep": len(delivery_ms) // rounds,
+        "alarm_delivery_ms": round(statistics.median(delivery_ms), 4),
+        "idle_tick_ms": round(statistics.median(idle_ms), 4),
+        "tick_traffic_bytes": traffic,
+        "stream": streams[0],
+    }
+
+
+def fold_into_bench_json(summary):
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data["event_plane"] = summary
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_event_plane_latency(benchmark, report_writer):
+    clusters = {mode: build_event_cluster(mode) for mode in ALL_MODES}
+    try:
+        def sweep():
+            return {mode: measure_mode(clusters[mode])
+                    for mode in ALL_MODES}
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    finally:
+        for cluster in clusters.values():
+            cluster.close()
+
+    # The alarm stream (order included) is byte-identical in every mode.
+    serial_stream = results[MODE_SERIAL].pop("stream")
+    for mode in (MODE_CONCURRENT, MODE_PROCESS):
+        assert results[mode].pop("stream") == serial_stream
+
+    table = [[mode, row["alarms_per_sweep"],
+              f"{row['alarm_delivery_ms']:.3f}",
+              f"{row['idle_tick_ms']:.3f}", row["tick_traffic_bytes"]]
+             for mode, row in results.items()]
+    report_writer("event_plane", format_table(
+        ["mode", "alarms/sweep", "delivery latency (ms, median)",
+         "idle tick (ms, median)", "tick traffic (B, measured)"], table,
+        title=f"Event plane: {NUM_HOSTS}-host monitor sweep, "
+              f"{FLOWS_PER_HOST} monitored flows/host "
+              f"({POOR_FRACTION:.0%} poor), median over {ROUNDS} rounds "
+              "(measured wall clock; alarm streams byte-identical across "
+              "modes; process-mode traffic is len(encoded) of the "
+              "tick/alarm frames)"))
+
+    fold_into_bench_json({
+        "hosts": NUM_HOSTS,
+        "flows_per_host": FLOWS_PER_HOST,
+        "poor_fraction": POOR_FRACTION,
+        "rounds": ROUNDS,
+        "quick": QUICK,
+        "per_mode": results,
+    })
+
+    # Sanity bounds, not a speed race: every mode delivers every alarm,
+    # and the in-process sweep needs no wire.
+    poor_every = max(1, int(1 / POOR_FRACTION))
+    expected = NUM_HOSTS * len(range(0, FLOWS_PER_HOST, poor_every))
+    for mode, row in results.items():
+        assert row["alarms_per_sweep"] == expected
+    assert results[MODE_SERIAL]["tick_traffic_bytes"] == 0
+    assert results[MODE_PROCESS]["tick_traffic_bytes"] > 0

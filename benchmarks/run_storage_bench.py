@@ -126,6 +126,12 @@ def main(argv=None) -> None:
         },
         "results": [bench_size(size, query_rounds) for size in sizes],
     }
+    if OUTPUT.exists():
+        # Keep sections other benchmarks fold in (e.g. bench_event_plane's
+        # "event_plane" summary) instead of clobbering them.
+        previous = json.loads(OUTPUT.read_text())
+        for key, value in previous.items():
+            report.setdefault(key, value)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {OUTPUT}")

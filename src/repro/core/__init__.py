@@ -8,7 +8,8 @@ from repro.core.tib import Tib, WILDCARD
 from repro.core.trajectory import (TrajectoryCache, TrajectoryConstructor,
                                    TrajectoryMemory)
 from repro.core.vswitch import EdgeVSwitch
-from repro.core.monitor import ActiveMonitor
+from repro.core.monitor import (ActiveMonitor, MonitorSnapshot,
+                                TransferObservation)
 from repro.core.agent import PathDumpAgent
 from repro.core.query import (Q_FLOW_SIZE_DISTRIBUTION, Q_GET_COUNT,
                               Q_GET_DURATION, Q_GET_FLOWS, Q_GET_PATHS,
@@ -27,14 +28,15 @@ from repro.core.agentserver import (AgentServerError, AgentServerPool,
 from repro.core.aggregation import AggregationTree
 from repro.core.cluster import (DistributedQueryResult, MECHANISM_DIRECT,
                                 MECHANISM_MULTILEVEL, MODE_PROCESS,
-                                QueryCluster)
+                                MonitorSweep, QueryCluster)
 from repro.core.controller import PathDumpController
 
 __all__ = [
     "Alarm", "AlarmBus", "BLACKHOLE_SUSPECTED", "INVALID_TRAJECTORY",
     "LOAD_IMBALANCE", "LONG_PATH", "LOOP_DETECTED", "PC_FAIL", "POOR_PERF",
     "Tib", "WILDCARD", "TrajectoryCache", "TrajectoryConstructor",
-    "TrajectoryMemory", "EdgeVSwitch", "ActiveMonitor", "PathDumpAgent",
+    "TrajectoryMemory", "EdgeVSwitch", "ActiveMonitor", "MonitorSnapshot",
+    "MonitorSweep", "TransferObservation", "PathDumpAgent",
     "Q_FLOW_SIZE_DISTRIBUTION", "Q_GET_COUNT", "Q_GET_DURATION",
     "Q_GET_FLOWS", "Q_GET_PATHS", "Q_PATH_CONFORMANCE", "Q_POOR_TCP_FLOWS",
     "Q_SUBFLOW_IMBALANCE", "Q_TOP_K_FLOWS", "Q_TRAFFIC_MATRIX", "Query",

@@ -292,14 +292,17 @@ class PathDumpAgent:
             installed.runs += 1
             installed.results.append(result)
 
-    def run_monitor(self, now: float) -> List[Alarm]:
+    def run_monitor(self, now: float,
+                    threshold: Optional[int] = None) -> List[Alarm]:
         """Run one periodic TCP health check."""
-        return self.monitor.run_check(now)
+        return self.monitor.run_check(now, threshold)
 
     # ------------------------------------------------------------ accounting
     def reset_stats(self) -> None:
-        """Zero this agent's per-experiment storage-engine counters."""
+        """Zero this agent's per-experiment counters: the storage engine's
+        instrumentation and the monitor's alert counters/latches."""
         self.tib.reset_stats()
+        self.monitor.reset_stats()
 
     def memory_footprint_bytes(self) -> Dict[str, int]:
         """Approximate RAM/disk usage of the agent's components."""

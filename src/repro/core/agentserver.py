@@ -7,17 +7,26 @@ threads runs no faster than serially.  This module moves the per-host state
 out of the controller process entirely:
 
 * :func:`agent_server_main` - the worker process.  It owns one host's
-  :class:`~repro.core.tib.Tib` and a :class:`~repro.core.query.QueryEngine`,
-  and speaks the :mod:`~repro.core.wire` binary protocol over a pipe: the
-  simulator streams encoded record batches in, the executor sends encoded
-  query(+subtree-spec) requests and receives encoded results.  No pickle
-  crosses the pipe on the query path.
+  :class:`~repro.core.tib.Tib`, a :class:`~repro.core.query.QueryEngine`
+  *and* the host's :class:`~repro.core.monitor.ActiveMonitor`, and speaks
+  the :mod:`~repro.core.wire` binary protocol over a pipe: the simulator
+  streams encoded record batches and transfer-observation batches in, the
+  executor sends encoded query(+subtree-spec) requests and receives encoded
+  results, and the controller's monitor sweep sends tick commands answered
+  with alarm batches.  No pickle crosses the pipe on the query path.
+* The **event plane**: the worker's monitor is the authoritative one in
+  process mode.  Alarms it raises (periodic checks, alarm-raising query
+  handlers like ``path_conformance``) are queued host-side and travel to
+  the controller either as the reply to a monitor tick or piggybacked on
+  the next query reply - the strict request/reply pipe's rendering of the
+  asynchronous agent -> controller alert channel.
 * :class:`AgentServerPool` - the controller-side handle: spawns one worker
-  per host, streams ingest, runs queries, and exposes ``kill``/``alive``
-  for failure testing.  A killed worker surfaces as
-  :class:`AgentServerError` on the next exchange, which the scatter-gather
-  executor turns into the same ``partial=True`` / ``hosts_failed`` /
-  ``W_HOST_FAILED`` outcome as a dead in-thread agent.
+  per host, streams ingest (records and observations), runs queries and
+  monitor ticks, and exposes ``kill``/``alive`` for failure testing.  A
+  killed worker surfaces as :class:`AgentServerError` on the next
+  exchange, which the scatter-gather executor turns into the same
+  ``partial=True`` / ``hosts_failed`` / ``W_HOST_FAILED`` outcome as a
+  dead in-thread agent.
 * :class:`ProcessTransport` - a :class:`~repro.core.executor.ModelTransport`
   bound to a pool.  Request/response *sizes* are the real encoded frame
   lengths (the cluster builds plans from ``len(encoded)``), the channel
@@ -35,52 +44,50 @@ import multiprocessing
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import wire
+from repro.core.alarms import Alarm
 from repro.core.executor import ModelTransport
-from repro.core.query import (Q_PATH_CONFORMANCE, Q_POOR_TCP_FLOWS,
-                              QueryEngine, QueryResult)
+from repro.core.monitor import (ActiveMonitor, MonitorSnapshot,
+                                TransferObservation)
+from repro.core.query import QueryEngine, QueryResult
 from repro.core.rpc import RpcChannel
 from repro.core.tib import Tib
 from repro.storage.records import PathFlowRecord
 
-#: Queries an agent-server worker can answer.  Workers hold the host's TIB
-#: but not its TCP health monitor (transfer observations are not forwarded)
-#: or a path back to the controller's alarm bus, so monitor-backed and
-#: alarm-raising queries fall back to the in-process agent; custom handlers
-#: registered on individual agents do too.
-SERVED_QUERIES = frozenset(QueryEngine()._handlers) - {Q_POOR_TCP_FLOWS,
-                                                       Q_PATH_CONFORMANCE}
+#: Queries an agent-server worker can answer: every built-in, including the
+#: monitor-backed (``poor_tcp_flows``) and alarm-raising
+#: (``path_conformance``) ones - the worker owns the host's monitor and its
+#: alarms travel back over the wire.  Only *custom* handlers registered on
+#: individual in-process agents fall back local (the worker cannot know
+#: them).
+SERVED_QUERIES = frozenset(QueryEngine()._handlers)
 
 
 class AgentServerError(RuntimeError):
     """An agent-server worker failed or became unreachable."""
 
 
-class _WorkerMonitor:
-    """Monitor stub inside a worker (no transfer observations arrive)."""
-
-    __slots__ = ("flows",)
-
-    def __init__(self) -> None:
-        self.flows: Dict = {}
-
-
 class _WorkerAgent:
-    """The TIB-backed slice of the agent API the query handlers need.
+    """The slice of the agent API the query handlers and event plane need.
 
     Lives inside the worker process; serves everything in
-    :data:`SERVED_QUERIES` from the worker-owned :class:`Tib`.
+    :data:`SERVED_QUERIES` from the worker-owned :class:`Tib` and
+    :class:`ActiveMonitor`.  Alarms raised host-side (periodic checks,
+    ``Alarm(...)`` calls from query handlers) are queued on
+    ``pending_alarms`` until a reply frame carries them to the controller.
     """
 
     def __init__(self, host: str) -> None:
         self.host = host
         self.tib = Tib(host)
-        self.monitor = _WorkerMonitor()
-        self.alarms_raised: List = []
+        self.pending_alarms: List[Alarm] = []
+        self.monitor = ActiveMonitor(host,
+                                     alarm_sink=self.pending_alarms.append)
+        self.alarms_raised: List[Alarm] = []
 
-    # Host API subset (mirrors PathDumpAgent over the TIB only).
+    # Host API subset (mirrors PathDumpAgent over the TIB + monitor).
     def records(self, flow_id=None, link=None, time_range=None,
                 include_live: bool = False) -> List[PathFlowRecord]:
         return self.tib.records(flow_id=flow_id, link=link,
@@ -102,20 +109,34 @@ class _WorkerAgent:
         return self.tib.get_duration(flow, time_range)
 
     def get_poor_tcp_flows(self, threshold=None):
-        return []
+        return self.monitor.get_poor_tcp_flows(threshold)
 
     def alarm(self, flow_id, reason, paths, detail: str = "",
-              when: float = 0.0):
-        self.alarms_raised.append((flow_id, reason,
-                                   [tuple(p) for p in paths]))
+              when: float = 0.0) -> Alarm:
+        """``Alarm(flowID, Reason, Paths)`` - queued for the next reply."""
+        alarm = Alarm(flow_id=flow_id, reason=reason,
+                      paths=[tuple(p) for p in paths], host=self.host,
+                      time=when, detail=detail)
+        self.alarms_raised.append(alarm)
+        self.pending_alarms.append(alarm)
+        return alarm
+
+    def drain_alarms(self) -> Tuple[Alarm, ...]:
+        """Take every pending alarm (they leave on the reply being built)."""
+        drained = tuple(self.pending_alarms)
+        self.pending_alarms.clear()
+        return drained
 
 
 def agent_server_main(conn, host: str) -> None:
     """Worker process main loop: serve wire frames until shutdown/EOF.
 
-    Record batches are fire-and-forget (the pipe's FIFO ordering guarantees
-    they are applied before any later query); an ingest failure is latched
-    and reported as the reply to the next query instead of being lost.
+    Record/observation batches and monitor-state seeds are fire-and-forget
+    (the pipe's FIFO ordering guarantees they are applied before any later
+    query or tick); an ingest failure is latched and reported as the reply
+    to the next request instead of being lost.  Alarms raised host-side are
+    queued and leave on the next reply that can carry them: a monitor
+    tick's alarm batch, or piggybacked on a query result.
     """
     agent = _WorkerAgent(host)
     engine = QueryEngine()
@@ -140,6 +161,19 @@ def agent_server_main(conn, host: str) -> None:
                 except Exception as error:
                     pending_error = (f"record batch failed: "
                                      f"{type(error).__name__}: {error}")
+            elif kind == wire.MSG_OBSERVATION_BATCH:
+                try:
+                    for obs in wire.decode_observation_batch(frame):
+                        agent.monitor.apply_observation(obs)
+                except Exception as error:
+                    pending_error = (f"observation batch failed: "
+                                     f"{type(error).__name__}: {error}")
+            elif kind == wire.MSG_MONITOR_STATE:
+                try:
+                    agent.monitor.restore(wire.decode_monitor_state(frame))
+                except Exception as error:
+                    pending_error = (f"monitor state failed: "
+                                     f"{type(error).__name__}: {error}")
             elif kind == wire.MSG_QUERY_REQUEST:
                 if pending_error is not None:
                     conn.send_bytes(wire.encode_error(pending_error))
@@ -153,14 +187,47 @@ def agent_server_main(conn, host: str) -> None:
                     # wire_bytes = len(frame) on decode.
                     result = engine.execute(agent, query,
                                             measure_wire=False)
+                    # Drain *after* executing: alarms the handler raised
+                    # ride this reply to the controller's bus.
+                    result.alarms = agent.drain_alarms()
                     conn.send_bytes(wire.encode_result(result))
                 except Exception as error:
                     conn.send_bytes(wire.encode_error(
                         f"{type(error).__name__}: {error}"))
+            elif kind == wire.MSG_MONITOR_TICK:
+                if pending_error is not None:
+                    conn.send_bytes(wire.encode_error(pending_error))
+                    pending_error = None
+                    continue
+                try:
+                    now, threshold = wire.decode_monitor_tick(frame)
+                    agent.monitor.run_check(now, threshold)
+                    # The check's alarms landed on the pending queue via
+                    # the monitor's sink; the reply drains everything
+                    # pending (including alarms from earlier activity).
+                    conn.send_bytes(
+                        wire.encode_alarm_batch(agent.drain_alarms()))
+                except Exception as error:
+                    conn.send_bytes(wire.encode_error(
+                        f"{type(error).__name__}: {error}"))
+            elif kind == wire.MSG_MONITOR_PULL:
+                if pending_error is not None:
+                    # The snapshot is the mirror's ground truth; serving it
+                    # while an observation/seed batch silently failed would
+                    # report state the worker never reached.
+                    conn.send_bytes(wire.encode_error(pending_error))
+                    pending_error = None
+                    continue
+                conn.send_bytes(
+                    wire.encode_monitor_state(agent.monitor.snapshot()))
             elif kind == wire.MSG_PING:
-                conn.send_bytes(wire.encode_pong(agent.tib.record_count()))
+                conn.send_bytes(wire.encode_pong(agent.tib.record_count(),
+                                                 len(agent.monitor.flows)))
             elif kind == wire.MSG_RESET:
                 agent.tib.clear()
+                agent.monitor.reset()
+                agent.pending_alarms.clear()
+                agent.alarms_raised.clear()
                 pending_error = None  # a reset wipes latched ingest errors
             elif kind == wire.MSG_SLEEP:
                 time.sleep(wire.decode_sleep(frame))
@@ -251,12 +318,45 @@ class AgentServerPool:
                 total += len(frame)
         return total
 
+    def add_observations(self, host: str,
+                         observations: Sequence[TransferObservation]) -> int:
+        """Stream a transfer-observation batch to ``host``'s worker.
+
+        Fire-and-forget, like :meth:`add_records`: pipe ordering guarantees
+        the observations land before any later tick or query.  Returns the
+        frame bytes sent.
+        """
+        if not observations:
+            return 0
+        total = 0
+        chunk = self.INGEST_CHUNK_RECORDS
+        with self._lock_for(host):
+            for start in range(0, len(observations), chunk):
+                frame = wire.encode_observation_batch(
+                    observations[start:start + chunk])
+                self._send(host, frame)
+                total += len(frame)
+        return total
+
+    def seed_monitor(self, host: str, snapshot: MonitorSnapshot) -> int:
+        """Replace ``host``'s worker monitor state with ``snapshot``.
+
+        Fire-and-forget (the startup sync barrier is the later ping).
+        Returns the frame bytes sent.
+        """
+        frame = wire.encode_monitor_state(snapshot)
+        with self._lock_for(host):
+            self._send(host, frame)
+        return len(frame)
+
     def query(self, host: str, query,
               spec: Optional[wire.SubtreeSpec] = None) -> QueryResult:
         """Run ``query`` on ``host``'s worker; returns its partial result.
 
         The request is the batched query+spec frame; the reply's measured
-        frame length becomes the result's ``wire_bytes``.
+        frame length becomes the result's ``wire_bytes``.  Alarms the
+        worker had pending ride the reply on ``result.alarms`` - the
+        caller is responsible for dispatching them to the alarm bus.
         """
         frame = wire.encode_query_request(query, spec)
         with self._lock_for(host):
@@ -268,15 +368,47 @@ class AgentServerPool:
                 f"agent server on {host}: {wire.decode_error(reply)}")
         return wire.decode_result(reply, query)
 
+    def monitor_tick(self, host: str, now: float,
+                     threshold: Optional[int] = None
+                     ) -> Tuple[List[Alarm], int]:
+        """Run one periodic monitor check on ``host``'s worker.
+
+        Returns ``(alarms, reply_bytes)``: the alarms the check raised
+        (plus any the worker had pending) and the measured length of the
+        alarm-batch reply frame that carried them.
+        """
+        frame = wire.encode_monitor_tick(now, threshold)
+        with self._lock_for(host):
+            self._send(host, frame)
+            reply = self._recv(host)
+        if wire.frame_type(reply) == wire.MSG_ERROR:
+            raise AgentServerError(
+                f"agent server on {host}: {wire.decode_error(reply)}")
+        return wire.decode_alarm_batch(reply), len(reply)
+
+    def monitor_state(self, host: str) -> MonitorSnapshot:
+        """Pull ``host``'s worker monitor-state snapshot."""
+        with self._lock_for(host):
+            self._send(host, wire.encode_monitor_pull())
+            reply = self._recv(host)
+        if wire.frame_type(reply) == wire.MSG_ERROR:
+            raise AgentServerError(
+                f"agent server on {host}: {wire.decode_error(reply)}")
+        return wire.decode_monitor_state(reply)
+
     def ping(self, host: str) -> int:
         """Probe ``host``'s worker; returns its TIB record count."""
+        return self.ping_state(host)[0]
+
+    def ping_state(self, host: str) -> Tuple[int, int]:
+        """Probe ``host``'s worker: ``(TIB records, monitor flows)``."""
         with self._lock_for(host):
             self._send(host, wire.encode_ping())
             reply = self._recv(host)
-        return wire.decode_pong(reply)
+        return wire.decode_pong_state(reply)
 
     def reset(self, host: str) -> None:
-        """Clear ``host``'s worker TIB."""
+        """Clear ``host``'s worker state (TIB, monitor, pending alarms)."""
         with self._lock_for(host):
             self._send(host, wire.encode_reset())
 

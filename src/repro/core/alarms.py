@@ -72,15 +72,24 @@ class AlarmBus:
         self._handlers: Dict[Optional[str], List[AlarmHandler]] = defaultdict(
             list)
         self._counter = itertools.count()
+        #: Per-reason index, maintained incrementally by :meth:`raise_alarm`
+        #: (``by_reason``/``count`` used to scan every recorded alarm per
+        #: call - O(all alarms) inside every event-driven app's hot path).
+        self._by_reason: Dict[str, List[Alarm]] = {}
 
     def subscribe(self, handler: AlarmHandler,
                   reason: Optional[str] = None) -> None:
-        """Subscribe ``handler`` to alarms (optionally only one reason)."""
+        """Subscribe ``handler`` to alarms (optionally only one reason).
+
+        Handlers fire in subscription order: every any-reason subscriber
+        first, then the reason-specific subscribers.
+        """
         self._handlers[reason].append(handler)
 
     def raise_alarm(self, alarm: Alarm) -> None:
         """Record and dispatch one alarm."""
         self.alarms.append(alarm)
+        self._by_reason.setdefault(alarm.reason, []).append(alarm)
         for handler in self._handlers.get(None, []):
             handler(alarm)
         for handler in self._handlers.get(alarm.reason, []):
@@ -88,19 +97,31 @@ class AlarmBus:
 
     # ---------------------------------------------------------------- access
     def by_reason(self, reason: str) -> List[Alarm]:
-        """All alarms with the given reason, in arrival order."""
-        return [a for a in self.alarms if a.reason == reason]
+        """All alarms with the given reason, in arrival order (O(matches))."""
+        return list(self._by_reason.get(reason, ()))
+
+    def recompute_by_reason(self) -> Dict[str, List[Alarm]]:
+        """Rebuild the per-reason index from scratch (cross-check only).
+
+        The incremental index must always equal this recomputation; tests
+        assert it, mirroring ``Collection.recompute_estimated_bytes()``.
+        """
+        rebuilt: Dict[str, List[Alarm]] = {}
+        for alarm in self.alarms:
+            rebuilt.setdefault(alarm.reason, []).append(alarm)
+        return rebuilt
 
     def involving_destination(self, dst_host: str) -> List[Alarm]:
         """All alarms whose flow is destined to ``dst_host``."""
         return [a for a in self.alarms if a.flow_id.dst_ip == dst_host]
 
     def count(self, reason: Optional[str] = None) -> int:
-        """Number of alarms (optionally filtered by reason)."""
+        """Number of alarms (optionally filtered by reason); O(1)."""
         if reason is None:
             return len(self.alarms)
-        return len(self.by_reason(reason))
+        return len(self._by_reason.get(reason, ()))
 
     def clear(self) -> None:
         """Forget all recorded alarms (subscribers stay)."""
         self.alarms.clear()
+        self._by_reason.clear()

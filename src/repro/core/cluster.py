@@ -36,10 +36,19 @@ encoded record batches over a pipe, queries travel as encoded
 query+subtree-spec frames, and CPU-bound scatters escape the GIL.  All
 modes merge in the same canonical order, so they produce byte-identical
 query payloads.
+
+Process mode also carries the paper's *event plane* (Sections 3.2 and 4):
+transfer observations stream to the workers alongside record batches (the
+monitor's ``observation_sink`` mirror), :meth:`QueryCluster.run_monitors`
+scatters monitor-tick frames whose replies are alarm batches, and alarms
+raised by worker-side query handlers piggyback on query replies - all
+decoded into the controller's :class:`AlarmBus`, so event-driven debugging
+applications run unchanged in every mode and see identical alarm streams.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -48,7 +57,7 @@ from repro.core.agent import PathDumpAgent
 from repro.core.aggregation import PAPER_TREE_FANOUT, AggregationTree, TreeNode
 from repro.core.agentserver import (AgentServerError, AgentServerPool,
                                     ProcessTransport, SERVED_QUERIES)
-from repro.core.alarms import AlarmBus
+from repro.core.alarms import Alarm, AlarmBus, POOR_PERF
 from repro.core.executor import (ExecWarning, GatherResult, MODE_CONCURRENT,
                                  MODE_SERIAL, ModelTransport, PlanNode,
                                  ScatterGatherExecutor, Transport)
@@ -114,6 +123,108 @@ class DistributedQueryResult:
     wall_clock_s: float = 0.0
     mode: str = MODE_SERIAL
     duplicate_traffic_bytes: int = 0
+
+
+class MonitorSweep(list):
+    """Alarms raised by one cluster-wide monitor sweep.
+
+    A plain ``list`` of :class:`~repro.core.alarms.Alarm` (so existing
+    callers iterate it unchanged), annotated with the scatter's outcome in
+    process mode - a worker that dies mid-tick surfaces here exactly like a
+    dead agent does on a query:
+
+    Attributes:
+        mode: cluster mode the sweep ran under.
+        partial: whether one or more hosts' ticks are missing.
+        hosts_failed: the hosts whose ticks failed.
+        warnings: structured :class:`~repro.core.executor.ExecWarning`\\ s.
+        traffic_bytes: measured wire bytes moved by the tick scatter
+            (encoded tick frames out, encoded alarm-batch replies back);
+            zero for in-process sweeps, which need no wire.
+        wall_clock_s: measured duration of the scatter (process mode).
+    """
+
+    def __init__(self, alarms: Iterable[Alarm] = (), *,
+                 mode: str = MODE_SERIAL, partial: bool = False,
+                 hosts_failed: Iterable[str] = (),
+                 warnings: Iterable[ExecWarning] = (),
+                 traffic_bytes: int = 0,
+                 wall_clock_s: float = 0.0) -> None:
+        super().__init__(alarms)
+        self.mode = mode
+        self.partial = partial
+        self.hosts_failed = list(hosts_failed)
+        self.warnings = tuple(warnings)
+        self.traffic_bytes = traffic_bytes
+        self.wall_clock_s = wall_clock_s
+
+
+class _AlarmCollector:
+    """Parks worker-raised alarms during a scatter, dispatches them into
+    the controller's bus in canonical host order afterwards.
+
+    The agent -> controller alert channel is asynchronous while the pipe
+    protocol is strict request/reply, so alarms ride reply frames that the
+    executor may *discard* (per-host timeout fired, a hedge twin won, the
+    reply landed after the gather returned).  The worker has already
+    latched its flows by then - a dropped reply would lose its alarms
+    forever - so ``park`` captures them the moment the reply lands, and
+    anything arriving after the ordered dispatch is delivered directly
+    (late, but never lost).
+
+    ``latch``: monitor sweeps latch the local mirror of each POOR_PERF
+    alarm's flow (``run_check`` latched it worker-side); query piggybacks
+    do not, matching the in-process behaviour where ``Alarm(...)`` from a
+    handler never touches the monitor.
+    """
+
+    def __init__(self, cluster: "QueryCluster", latch: bool) -> None:
+        self._cluster = cluster
+        self._latch = latch
+        self._lock = threading.Lock()
+        self._parked: Dict[str, Tuple[Alarm, ...]] = {}
+        self._dispatched = False
+
+    def park(self, host: str, alarms: Sequence[Alarm]) -> None:
+        """Capture one host's alarms, at most once per host.
+
+        A hedge twin's duplicate attempt re-runs the host's work and can
+        raise the same (unlatched) alarms again; only the first reply per
+        host surrenders its alarms, whether it lands before the ordered
+        dispatch or after it (out-of-band delivery, late but never lost
+        and never doubled).
+        """
+        if not alarms:
+            return
+        with self._lock:
+            if host in self._parked:
+                return  # a duplicate attempt's reply; already captured
+            self._parked[host] = tuple(alarms)
+            deliver_now = self._dispatched
+        if deliver_now:
+            self._deliver(alarms)
+
+    def dispatch(self, host_order: Sequence[str]) -> List[Alarm]:
+        """Dispatch everything parked, in canonical host order."""
+        with self._lock:
+            self._dispatched = True
+            parked = self._parked
+        alarms = [alarm for host in host_order
+                  for alarm in parked.get(host, ())]
+        self._deliver(alarms)
+        return alarms
+
+    def _deliver(self, alarms: Sequence[Alarm]) -> None:
+        cluster = self._cluster
+        for alarm in alarms:
+            if self._latch and alarm.reason == POOR_PERF:
+                agent = cluster.agents.get(alarm.host)
+                if agent is not None:
+                    # The worker latched this flow when it alerted; latch
+                    # the local mirror too so a later in-process check
+                    # cannot re-raise an alarm the controller already has.
+                    agent.monitor.mark_alerted(alarm.flow_id)
+            cluster.alarm_bus.raise_alarm(alarm)
 
 
 class QueryCluster:
@@ -258,12 +369,16 @@ class QueryCluster:
         """Spawn one agent-server worker per host and bring it in sync.
 
         Each worker receives a snapshot of its host's current TIB as
-        encoded record batches; afterwards every agent's TIB writes are
-        mirrored to its worker through ``record_sink``, so all ingest paths
-        (fabric deliveries, flow outcomes, direct inserts through the
+        encoded record batches and of its monitor as an encoded state
+        frame; afterwards every agent's TIB writes are mirrored to its
+        worker through ``record_sink`` and every monitor observation
+        through ``monitor.observation_sink``, so all ingest paths (fabric
+        deliveries, flow outcomes, direct inserts/observations through the
         agent) keep both sides identical.  Records written straight into
-        ``agent.tib`` bypass the mirror - do that only before starting the
-        workers.  Idempotent: an already-running pool is returned as is.
+        ``agent.tib`` - and monitor state mutated outside ``observe_flow``
+        (e.g. changing ``poor_threshold``) - bypass the mirror; do that
+        only before starting the workers.  Idempotent: an already-running
+        pool is returned as is.
         """
         if self._process_pool is not None:
             return self._process_pool
@@ -278,23 +393,30 @@ class QueryCluster:
                 snapshot = agent.tib.records()
                 if snapshot:
                     pool.add_records(host, snapshot)
-                    synced.append((host, len(snapshot)))
+                pool.seed_monitor(host, agent.monitor.snapshot())
                 agent.record_sink = self._make_record_sink(pool, host)
+                agent.monitor.observation_sink = \
+                    self._make_observation_sink(pool, host)
+                synced.append((host, len(snapshot),
+                               len(agent.monitor.flows)))
             # Barrier: a ping round-trip drains each worker's ingest queue
             # (pipe FIFO), so callers - and benchmarks - start from workers
             # that are actually in sync instead of racing their background
             # ingest.
-            for host, count in synced:
-                applied = pool.ping(host)
+            for host, count, flows in synced:
+                applied, monitor_flows = pool.ping_state(host)
                 if applied < count:
                     raise AgentServerError(
                         f"agent server on {host} applied {applied} of "
                         f"{count} snapshot records")
+                if monitor_flows < flows:
+                    raise AgentServerError(
+                        f"agent server on {host} holds {monitor_flows} of "
+                        f"{flows} monitored flows")
         except BaseException:
             # Don't leak a half-started pool: detach any sinks installed so
             # far and stop every worker before re-raising.
-            for agent in self.agents.values():
-                agent.record_sink = None
+            self._detach_mirrors()
             pool.shutdown()
             raise
         self._process_pool = pool
@@ -319,12 +441,30 @@ class QueryCluster:
                     agent.record_sink = None
         return sink
 
+    def _make_observation_sink(self, pool: AgentServerPool, host: str):
+        """The observation mirror for ``host``; degrades like the record
+        sink (a dead worker detaches the mirror instead of breaking the
+        local monitor)."""
+        def sink(observations) -> None:
+            try:
+                pool.add_observations(host, observations)
+            except AgentServerError:
+                agent = self.agents.get(host)
+                if agent is not None and \
+                        agent.monitor.observation_sink is sink:
+                    agent.monitor.observation_sink = None
+        return sink
+
+    def _detach_mirrors(self) -> None:
+        for agent in self.agents.values():
+            agent.record_sink = None
+            agent.monitor.observation_sink = None
+
     def stop_agent_servers(self) -> None:
         """Shut the worker pool down and detach the ingest mirrors."""
         if self._process_pool is None:
             return
-        for agent in self.agents.values():
-            agent.record_sink = None
+        self._detach_mirrors()
         self._process_pool.shutdown()
         self._process_pool = None
         if self.mode == MODE_PROCESS:
@@ -385,12 +525,72 @@ class QueryCluster:
         """Flush every agent's trajectory memory into its TIB."""
         return sum(agent.flush(now) for agent in self.agents.values())
 
-    def run_monitors(self, now: float) -> List:
-        """Run one monitoring check on every agent; returns raised alarms."""
-        alarms = []
+    def run_monitors(self, now: float,
+                     threshold: Optional[int] = None) -> MonitorSweep:
+        """Run one monitoring check on every host; returns raised alarms.
+
+        In serial/concurrent mode the in-process monitors run directly and
+        raise into the alarm bus as they go.  In process mode this is a
+        *scatter of monitor-tick frames*: every worker runs the check
+        host-side, replies with an encoded alarm batch, and the decoded
+        alarms are dispatched into the bus in canonical host order - the
+        same order the serial loop produces, so alarm streams are identical
+        across modes.  A worker that dies mid-tick surfaces on the returned
+        :class:`MonitorSweep` exactly like a dead agent does on a query
+        (``partial`` / ``hosts_failed`` / a ``W_HOST_FAILED`` warning).
+        """
+        if self.mode == MODE_PROCESS and self._process_pool is not None:
+            return self._run_monitors_process(now, threshold)
+        alarms: List[Alarm] = []
         for agent in self.agents.values():
-            alarms.extend(agent.run_monitor(now))
-        return alarms
+            alarms.extend(agent.run_monitor(now, threshold))
+        if alarms and self._process_pool is not None:
+            # Workers alive but the sweep ran locally (mode flipped off
+            # process): push the freshly latched state to the workers so a
+            # later wire tick cannot re-raise alarms the bus already has.
+            self._seed_worker_monitors()
+        return MonitorSweep(alarms, mode=self.mode)
+
+    def _seed_worker_monitors(self) -> None:
+        """Push every agent's current monitor state to its worker."""
+        for host, agent in self.agents.items():
+            try:
+                self._process_pool.seed_monitor(host,
+                                                agent.monitor.snapshot())
+            except AgentServerError:
+                pass  # dead worker: the query path reports it already
+
+    def _run_monitors_process(self, now: float,
+                              threshold: Optional[int]) -> MonitorSweep:
+        """Scatter tick frames to the workers and gather their alarms."""
+        pool = self._process_pool
+        tick_bytes = len(wire.encode_monitor_tick(now, threshold))
+        plan = PlanNode(host=None, children=[
+            PlanNode(host=host, request_parts=(tick_bytes,))
+            for host in self.hosts])
+        sink = _AlarmCollector(self, latch=True)
+
+        def work(host: str):
+            result = pool.monitor_tick(host, now, threshold)
+            # Hand the alarms over as soon as the reply lands: the worker
+            # already latched its flows, so even if the executor discards
+            # this reply (per-host timeout fired, hedge twin won, reply
+            # arrived after the gather returned) they must still reach the
+            # bus - the alert channel is asynchronous, the query is not.
+            sink.park(host, result[0])
+            return result
+
+        def merge(acc, value):
+            return acc[0] + value[0], acc[1] + value[1]
+
+        gather = self.executor.run(plan, work, merge,
+                                   response_bytes=lambda value: value[1])
+        alarms = sink.dispatch(self.hosts)
+        return MonitorSweep(alarms, mode=self.mode, partial=gather.partial,
+                            hosts_failed=gather.hosts_failed,
+                            warnings=gather.warnings,
+                            traffic_bytes=gather.traffic_bytes,
+                            wall_clock_s=gather.wall_s)
 
     # ------------------------------------------------------- distributed query
     def execute_direct(self, query: Query,
@@ -474,28 +674,57 @@ class QueryCluster:
     def _uses_agent_servers(self, query: Query) -> bool:
         """Whether this query's per-host work runs on the worker pool.
 
-        Monitor-backed / alarm-raising built-ins and custom handlers stay
-        on the in-process agents even in process mode (the workers hold
-        the TIB, not the monitor state or the controller's alarm bus).
+        Every built-in runs host-side: the workers own the TIB *and* the
+        monitor, and alarms their handlers raise ride the reply frames back
+        to the controller's bus.  Only custom handlers registered on
+        individual in-process agents fall back local (the worker cannot
+        know them).
         """
         return (self.mode == MODE_PROCESS
                 and self._process_pool is not None
                 and query.name in SERVED_QUERIES)
+
+    @staticmethod
+    def _plan_hosts(plan: PlanNode) -> List[str]:
+        """Plan hosts in canonical (depth-first, serial-execution) order."""
+        hosts: List[str] = []
+
+        def walk(node: PlanNode) -> None:
+            if node.host is not None:
+                hosts.append(node.host)
+            for child in node.children:
+                walk(child)
+
+        walk(plan)
+        return hosts
 
     def _gather(self, plan: PlanNode, query: Query,
                 specs: Optional[Dict[str, wire.SubtreeSpec]] = None
                 ) -> GatherResult:
         """Run a scatter plan: per-host query execution + streaming merge."""
         agents = self.agents
+        alarm_sink: Optional[_AlarmCollector] = None
 
         if self._uses_agent_servers(query):
             pool = self._process_pool
             spec_map = specs or {}
+            alarm_sink = _AlarmCollector(self, latch=False)
+            sink = alarm_sink
 
             def work(host: str) -> QueryResult:
                 if host not in agents:
                     raise KeyError(f"no agent running on {host}")
-                return pool.query(host, query, spec_map.get(host))
+                result = pool.query(host, query, spec_map.get(host))
+                if result.alarms:
+                    # Piggybacked host alarms: parked here and dispatched
+                    # after the gather in canonical host order, so the
+                    # controller's alarm stream is deterministic (identical
+                    # to the serial in-process stream) regardless of which
+                    # worker replied first - and a reply the executor
+                    # discards still surrenders its alarms.
+                    sink.park(host, result.alarms)
+                    result.alarms = ()
+                return result
         else:
             def work(host: str) -> QueryResult:
                 agent = agents.get(host)
@@ -515,8 +744,11 @@ class QueryCluster:
                 result.wire_bytes = measured_result_wire_bytes(result)
             return result.wire_bytes
 
-        return self.executor.run(plan, work, merge,
-                                 response_bytes=response_bytes)
+        gather = self.executor.run(plan, work, merge,
+                                   response_bytes=response_bytes)
+        if alarm_sink is not None:
+            alarm_sink.dispatch(self._plan_hosts(plan))
+        return gather
 
     def _finalise(self, query: Query, gather: GatherResult) -> QueryResult:
         """Normalise the gathered accumulator into one aggregate result."""
@@ -571,14 +803,21 @@ class QueryCluster:
     def reset_stats(self) -> None:
         """Zero every per-experiment counter in one place.
 
-        Resets the RPC channel's message/byte counters and each agent's
+        Resets the RPC channel's message/byte counters, each agent's
         storage-engine counters (document-store full-scan / index-rebuild /
-        compaction counts), so repeated runs against the same cluster can't
-        double-count.  Call once per experiment.
+        compaction counts) and each monitor's alert counters/latches, so
+        repeated runs against the same cluster can't double-count and a new
+        measurement interval re-alerts still-poor flows.  In process mode
+        the reset monitor state is re-seeded to the workers, keeping both
+        sides of the mirror identical.  Call once per experiment.
         """
+        for agent in self.agents.values():
+            agent.reset_stats()
+        if self._process_pool is not None:
+            # Re-seed before zeroing the traffic counters: the sync frames
+            # are reset bookkeeping, not part of the next experiment.
+            self._seed_worker_monitors()
         self.rpc.reset()
         reset_transport = getattr(self.transport, "reset_stats", None)
         if callable(reset_transport):
             reset_transport()
-        for agent in self.agents.values():
-            agent.reset_stats()

@@ -182,7 +182,13 @@ class PathDumpController:
 
     # ------------------------------------------------------------- simulation
     def tick(self, now: float) -> List[Alarm]:
-        """Advance periodic work: installed queries and TCP monitors."""
+        """Advance periodic work: installed queries and TCP monitors.
+
+        Returns the alarms the monitor sweep raised (a
+        :class:`~repro.core.cluster.MonitorSweep`; in process mode the
+        sweep is a scatter of tick frames to the agent-server workers and
+        carries ``partial``/``hosts_failed`` when a worker died mid-tick).
+        """
         alarms = self.cluster.run_monitors(now)
         for agent in self.cluster.agents.values():
             agent.run_installed(now)

@@ -10,12 +10,20 @@ transport models, and implements:
   retransmissions exceed a threshold;
 * the periodic monitoring check (default period 200 ms, "default TCP timeout
   value") that raises ``POOR_PERF`` alarms towards the controller.
+
+The monitor participates in the event plane: every ``observe_flow`` call is
+normalised into a :class:`TransferObservation` and mirrored to an optional
+``observation_sink`` (the cluster's process mode streams these to the
+host's agent-server worker, exactly like TIB writes flow through
+``record_sink``), and the full monitor state can be snapshotted/restored so
+a freshly started worker begins from the same ledger - including the
+per-flow ``alerted`` latches that make alerting at-most-once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.alarms import POOR_PERF, Alarm
 from repro.network.packet import FlowId
@@ -25,6 +33,25 @@ DEFAULT_MONITOR_PERIOD_S = 0.2
 
 #: Default consecutive-retransmission threshold for "poor" TCP flows.
 DEFAULT_POOR_THRESHOLD = 3
+
+
+class TransferObservation(NamedTuple):
+    """One normalised TCP health observation for a flow.
+
+    This is the unit of the event-plane ingest stream: whatever shape the
+    transport models hand to :meth:`ActiveMonitor.observe_flow` /
+    :meth:`ActiveMonitor.observe_transfer`, the monitor folds it into its
+    ledger *and* forwards this canonical tuple to its ``observation_sink``,
+    so a mirrored monitor replaying the stream reaches byte-identical
+    state.
+    """
+
+    flow_id: FlowId
+    retransmissions: int
+    consecutive: int
+    timeouts: int
+    bytes_sent: int
+    when: float
 
 
 @dataclass
@@ -50,13 +77,31 @@ class TcpFlowStats:
         self.last_update = when
 
 
+class MonitorSnapshot(NamedTuple):
+    """The full state of one :class:`ActiveMonitor`.
+
+    Shipped over the wire (``MSG_MONITOR_STATE``) when agent-server workers
+    start, so the worker's monitor begins exactly where the local one is -
+    flows in insertion order (``getPoorTCPFlows`` payload identity depends
+    on it) and ``alerted`` latches intact (at-most-once alerting must not
+    restart when the monitor moves host-side).
+    """
+
+    host: str
+    period: float
+    poor_threshold: int
+    alerts_raised: int
+    flows: Tuple[TcpFlowStats, ...]
+
+
 class ActiveMonitor:
     """The end host's TCP performance monitor.
 
     Args:
         host: the owning end host.
         alarm_sink: callback receiving :class:`Alarm` objects (the agent
-            wires this to the controller's alarm bus).
+            wires this to the controller's alarm bus; inside an agent-server
+            worker it feeds the pending-alarm queue drained over the wire).
         period: monitoring period in seconds.
         poor_threshold: consecutive-retransmission threshold used by the
             periodic check and ``getPoorTCPFlows``'s default.
@@ -72,6 +117,15 @@ class ActiveMonitor:
         self.poor_threshold = poor_threshold
         self.flows: Dict[FlowId, TcpFlowStats] = {}
         self.alerts_raised = 0
+        #: Optional mirror for observations: every observation folded into
+        #: this monitor is also handed to this callable as a (batched)
+        #: sequence of :class:`TransferObservation`.  The cluster's process
+        #: mode uses it to stream encoded observation batches to the host's
+        #: agent-server worker, keeping the worker monitor in sync with
+        #: every ingest path (flow outcomes, TCP results, direct
+        #: ``observe_flow`` calls through the agent).
+        self.observation_sink: Optional[
+            Callable[[Sequence[TransferObservation]], None]] = None
 
     # ---------------------------------------------------------------- updates
     def observe_flow(self, flow_id: FlowId, *, retransmissions: int = 0,
@@ -85,7 +139,22 @@ class ActiveMonitor:
         stats.record_retransmissions(retransmissions, consecutive, when)
         stats.timeouts += timeouts
         stats.bytes_sent += bytes_sent
+        if self.observation_sink is not None:
+            self.observation_sink((TransferObservation(
+                flow_id, retransmissions, consecutive, timeouts, bytes_sent,
+                when),))
         return stats
+
+    def apply_observation(self, observation: TransferObservation
+                          ) -> TcpFlowStats:
+        """Fold one canonical observation into the ledger (mirror replay)."""
+        return self.observe_flow(
+            observation.flow_id,
+            retransmissions=observation.retransmissions,
+            consecutive=observation.consecutive,
+            timeouts=observation.timeouts,
+            bytes_sent=observation.bytes_sent,
+            when=observation.when)
 
     def observe_transfer(self, result, when: Optional[float] = None) -> None:
         """Convenience hook for transport results.
@@ -145,6 +214,59 @@ class ActiveMonitor:
                 self.alarm_sink(alarm)
         return alarms
 
+    def mark_alerted(self, flow_id: FlowId) -> bool:
+        """Latch a flow as already-alerted (and count the alert).
+
+        Used when the alert was raised by this monitor's *mirror* - the
+        agent-server worker whose tick produced the alarm - so the local
+        ledger stays coherent: a later local check must not re-raise the
+        alarm the controller already received over the wire.  Returns
+        whether the latch was newly set.
+        """
+        stats = self.flows.get(flow_id)
+        if stats is None or stats.alerted:
+            return False
+        stats.alerted = True
+        self.alerts_raised += 1
+        return True
+
+    # ------------------------------------------------------- snapshot/restore
+    def snapshot(self) -> MonitorSnapshot:
+        """The monitor's full state (flows in insertion order)."""
+        return MonitorSnapshot(host=self.host, period=self.period,
+                               poor_threshold=self.poor_threshold,
+                               alerts_raised=self.alerts_raised,
+                               flows=tuple(self.flows.values()))
+
+    def restore(self, snapshot: MonitorSnapshot) -> None:
+        """Replace this monitor's state with ``snapshot``.
+
+        Adopts the snapshot's :class:`TcpFlowStats` objects (callers hand
+        over freshly decoded ones); flow insertion order is preserved so a
+        restored monitor's ``getPoorTCPFlows`` payload is byte-identical to
+        the original's.
+        """
+        self.period = snapshot.period
+        self.poor_threshold = snapshot.poor_threshold
+        self.alerts_raised = snapshot.alerts_raised
+        self.flows = {stats.flow_id: stats for stats in snapshot.flows}
+
+    # ------------------------------------------------------------ accounting
+    def reset_stats(self) -> None:
+        """Zero the per-experiment alert counters.
+
+        Clears ``alerts_raised`` and every flow's ``alerted`` latch, so the
+        next measurement interval re-alerts still-poor flows instead of
+        inheriting the previous experiment's suppression.  Wired into
+        ``cluster.reset_stats()`` alongside the RPC and storage counters.
+        """
+        self.alerts_raised = 0
+        for stats in self.flows.values():
+            stats.alerted = False
+
     def reset(self) -> None:
         """Forget every flow (new measurement interval)."""
         self.flows.clear()
+        # The latches died with the flows; the alert counter must not
+        # outlive them (it used to leak across resets).
+        self.alerts_raised = 0

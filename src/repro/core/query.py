@@ -107,6 +107,12 @@ class QueryResult:
         warnings: structured :class:`~repro.core.executor.ExecWarning`
             entries describing what went wrong (and what was hedged or
             retried) while gathering.
+        alarms: alarms raised at the host while producing this result,
+            piggybacked on the encoded reply frame (an agent-server worker
+            has no channel of its own to the controller's alarm bus).  The
+            cluster drains them into the bus on receipt; in-process
+            executions leave this empty because their agents raise straight
+            into the bus.
     """
 
     query: Query
@@ -117,6 +123,7 @@ class QueryResult:
     host: str = ""
     partial: bool = False
     warnings: Tuple[Any, ...] = ()
+    alarms: Tuple[Any, ...] = ()
 
 
 def measured_result_wire_bytes(result: "QueryResult") -> int:

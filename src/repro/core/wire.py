@@ -36,8 +36,12 @@ verified against, byte for byte.
 Message kinds: query requests (query + optional aggregation-subtree spec,
 batched into one frame exactly as the executor batches the logical edge
 payloads), record batches (the simulator -> agent-server ingest stream),
-query results / partial aggregates, and the small control frames of the
-agent-server protocol (error, ping/pong, reset, sleep, shutdown).
+query results / partial aggregates (with any pending host alarms
+piggybacked - the asynchronous agent -> controller alert channel drains on
+the reply), the event-plane frames (transfer-observation batches, monitor
+ticks, alarm batches, monitor-state snapshots/pulls), and the small control
+frames of the agent-server protocol (error, ping/pong, reset, sleep,
+shutdown).
 """
 
 from __future__ import annotations
@@ -46,12 +50,17 @@ import struct
 from typing import (Any, Iterable, List, NamedTuple, Optional, Sequence,
                     Tuple)
 
+from repro.core.alarms import Alarm
+from repro.core.monitor import (MonitorSnapshot, TcpFlowStats,
+                                TransferObservation)
 from repro.network.packet import FlowId
 from repro.storage.records import PathFlowRecord
 
 #: Frame magic + codec version (bump on any incompatible layout change).
+#: Version 2: result frames carry a piggybacked alarm batch, pongs carry
+#: the worker's monitor flow count, and the event-plane frame kinds exist.
 MAGIC = b"PD"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 _HEADER = struct.Struct("<2sBB")
 #: Bytes of the fixed frame header.
@@ -68,6 +77,11 @@ MSG_PONG = 7
 MSG_RESET = 8
 MSG_SHUTDOWN = 9
 MSG_SLEEP = 10
+MSG_OBSERVATION_BATCH = 11
+MSG_MONITOR_TICK = 12
+MSG_ALARM_BATCH = 13
+MSG_MONITOR_STATE = 14
+MSG_MONITOR_PULL = 15
 
 #: Tagged-value type codes.
 _V_NONE = 0
@@ -218,6 +232,39 @@ def _w_spec(buf: bytearray, spec: SubtreeSpec) -> None:
         _w_str(buf, host)
 
 
+def _w_alarm(buf: bytearray, alarm: Alarm) -> None:
+    _w_flow_id(buf, alarm.flow_id)
+    _w_str(buf, alarm.reason)
+    _w_uvarint(buf, len(alarm.paths))
+    for path in alarm.paths:
+        _w_uvarint(buf, len(path))
+        for node in path:
+            _w_str(buf, node)
+    _w_str(buf, alarm.host)
+    buf += _DOUBLE.pack(alarm.time)
+    _w_str(buf, alarm.detail)
+
+
+def _w_observation(buf: bytearray, obs: TransferObservation) -> None:
+    _w_flow_id(buf, obs.flow_id)
+    _w_varint(buf, obs.retransmissions)
+    _w_varint(buf, obs.consecutive)
+    _w_varint(buf, obs.timeouts)
+    _w_varint(buf, obs.bytes_sent)
+    buf += _DOUBLE.pack(obs.when)
+
+
+def _w_flow_stats(buf: bytearray, stats: TcpFlowStats) -> None:
+    _w_flow_id(buf, stats.flow_id)
+    _w_varint(buf, stats.retransmissions)
+    _w_varint(buf, stats.consecutive_retransmissions)
+    _w_varint(buf, stats.max_consecutive_retransmissions)
+    _w_varint(buf, stats.timeouts)
+    _w_varint(buf, stats.bytes_sent)
+    buf += _DOUBLE.pack(stats.last_update)
+    buf.append(1 if stats.alerted else 0)
+
+
 # --------------------------------------------------------------------------
 # Reader
 # --------------------------------------------------------------------------
@@ -327,6 +374,41 @@ class _Reader:
         root = self.str_()
         count = self.uvarint()
         return SubtreeSpec(root, tuple(self.str_() for _ in range(count)))
+
+    def alarm(self) -> Alarm:
+        flow_id = self.flow_id()
+        reason = self.str_()
+        paths = []
+        for _ in range(self.uvarint()):
+            hops = self.uvarint()
+            paths.append(tuple(self.str_() for _ in range(hops)))
+        host = self.str_()
+        when = self.double()
+        detail = self.str_()
+        return Alarm(flow_id=flow_id, reason=reason, paths=paths, host=host,
+                     time=when, detail=detail)
+
+    def observation(self) -> TransferObservation:
+        return TransferObservation(
+            flow_id=self.flow_id(), retransmissions=self.varint(),
+            consecutive=self.varint(), timeouts=self.varint(),
+            bytes_sent=self.varint(), when=self.double())
+
+    def flow_stats(self) -> TcpFlowStats:
+        flow_id = self.flow_id()
+        retransmissions = self.varint()
+        consecutive = self.varint()
+        max_consecutive = self.varint()
+        timeouts = self.varint()
+        bytes_sent = self.varint()
+        last_update = self.double()
+        alerted = bool(self.u8())
+        return TcpFlowStats(
+            flow_id=flow_id, retransmissions=retransmissions,
+            consecutive_retransmissions=consecutive,
+            max_consecutive_retransmissions=max_consecutive,
+            timeouts=timeouts, bytes_sent=bytes_sent,
+            last_update=last_update, alerted=alerted)
 
 
 # --------------------------------------------------------------------------
@@ -472,6 +554,15 @@ def encode_result(result) -> bytes:
     the length of this frame, so the field is reconstructed on decode
     (and :meth:`~repro.core.query.QueryEngine.execute` sets it the same
     way), keeping the accounting identical on both sides of the pipe.
+
+    Any alarms on ``result.alarms`` are piggybacked at the tail of the
+    frame: an agent-server worker has no channel of its own back to the
+    controller's alarm bus, so alarms its query handlers raise (e.g.
+    ``path_conformance``'s PC_FAIL) ride the reply and are dispatched on
+    decode - the strict request/reply pipe's version of the asynchronous
+    agent -> controller alert channel.  A result without alarms (every
+    in-process execution) pays one count byte, so sizes stay identical
+    across execution modes for alarm-free queries.
     """
     body = bytearray()
     _w_str(body, result.query.name)
@@ -479,6 +570,10 @@ def encode_result(result) -> bytes:
     _w_varint(body, result.records_scanned)
     _w_varint(body, result.estimated_wire_bytes)
     _w_value(body, result.payload)
+    alarms = getattr(result, "alarms", ())
+    _w_uvarint(body, len(alarms))
+    for alarm in alarms:
+        _w_alarm(body, alarm)
     return _frame(MSG_QUERY_RESULT, bytes(body))
 
 
@@ -501,13 +596,14 @@ def decode_result(data: bytes, query=None):
     scanned = reader.varint()
     estimated = reader.varint()
     payload = reader.value()
+    alarms = tuple(reader.alarm() for _ in range(reader.uvarint()))
     if query is not None and query.name != name:
         raise WireError(f"result for query {name!r} does not answer "
                         f"{query.name!r}")
     return QueryResult(query=query if query is not None else Query(name),
                        payload=payload, wire_bytes=len(data),
                        records_scanned=scanned, estimated_wire_bytes=estimated,
-                       host=host)
+                       host=host, alarms=alarms)
 
 
 # ------------------------------------------------------------------ control
@@ -528,16 +624,25 @@ def encode_ping() -> bytes:
     return _frame(MSG_PING)
 
 
-def encode_pong(record_count: int) -> bytes:
-    """Encode a liveness reply carrying the worker's TIB record count."""
+def encode_pong(record_count: int, monitor_flows: int = 0) -> bytes:
+    """Encode a liveness reply carrying the worker's TIB record count and
+    its monitor's flow-ledger size (the ingest/observation sync barrier
+    checks both)."""
     body = bytearray()
     _w_uvarint(body, record_count)
+    _w_uvarint(body, monitor_flows)
     return _frame(MSG_PONG, bytes(body))
 
 
 def decode_pong(data: bytes) -> int:
-    """Inverse of :func:`encode_pong`."""
+    """The TIB record count of a pong frame."""
     return _expect(data, MSG_PONG).uvarint()
+
+
+def decode_pong_state(data: bytes) -> Tuple[int, int]:
+    """Inverse of :func:`encode_pong`: ``(record_count, monitor_flows)``."""
+    reader = _expect(data, MSG_PONG)
+    return reader.uvarint(), reader.uvarint()
 
 
 def encode_reset() -> bytes:
@@ -562,3 +667,98 @@ def encode_sleep(seconds: float) -> bytes:
 def decode_sleep(data: bytes) -> float:
     """Inverse of :func:`encode_sleep`."""
     return _expect(data, MSG_SLEEP).double()
+
+
+# -------------------------------------------------------------- event plane
+def alarm_wire_bytes(alarm: Alarm) -> int:
+    """Measured serialized size of one alarm (its batch-body bytes)."""
+    buf = bytearray()
+    _w_alarm(buf, alarm)
+    return len(buf)
+
+
+def encode_alarm_batch(alarms: Sequence[Alarm]) -> bytes:
+    """Encode an alarm batch (the agent -> controller alert event frame)."""
+    body = bytearray()
+    _w_uvarint(body, len(alarms))
+    for alarm in alarms:
+        _w_alarm(body, alarm)
+    return _frame(MSG_ALARM_BATCH, bytes(body))
+
+
+def decode_alarm_batch(data: bytes) -> List[Alarm]:
+    """Inverse of :func:`encode_alarm_batch`."""
+    reader = _expect(data, MSG_ALARM_BATCH)
+    return [reader.alarm() for _ in range(reader.uvarint())]
+
+
+def encode_observation_batch(observations: Sequence[TransferObservation]
+                             ) -> bytes:
+    """Encode a transfer-observation batch (the monitor ingest stream,
+    batched like record batches)."""
+    body = bytearray()
+    _w_uvarint(body, len(observations))
+    for obs in observations:
+        _w_observation(body, obs)
+    return _frame(MSG_OBSERVATION_BATCH, bytes(body))
+
+
+def decode_observation_batch(data: bytes) -> List[TransferObservation]:
+    """Inverse of :func:`encode_observation_batch`."""
+    reader = _expect(data, MSG_OBSERVATION_BATCH)
+    return [reader.observation() for _ in range(reader.uvarint())]
+
+
+def encode_monitor_tick(now: float,
+                        threshold: Optional[int] = None) -> bytes:
+    """Encode a monitor-tick command: run one periodic check at ``now``.
+
+    The worker replies with an alarm batch carrying every alarm the check
+    raised plus any alarms still pending from earlier activity.
+    """
+    body = bytearray()
+    body += _DOUBLE.pack(now)
+    if threshold is None:
+        body.append(0)
+    else:
+        body.append(1)
+        _w_varint(body, threshold)
+    return _frame(MSG_MONITOR_TICK, bytes(body))
+
+
+def decode_monitor_tick(data: bytes) -> Tuple[float, Optional[int]]:
+    """Inverse of :func:`encode_monitor_tick`: ``(now, threshold)``."""
+    reader = _expect(data, MSG_MONITOR_TICK)
+    now = reader.double()
+    threshold = reader.varint() if reader.u8() else None
+    return now, threshold
+
+
+def encode_monitor_state(snapshot: MonitorSnapshot) -> bytes:
+    """Encode a full monitor-state snapshot (startup sync / state pull)."""
+    body = bytearray()
+    _w_str(body, snapshot.host)
+    body += _DOUBLE.pack(snapshot.period)
+    _w_varint(body, snapshot.poor_threshold)
+    _w_varint(body, snapshot.alerts_raised)
+    _w_uvarint(body, len(snapshot.flows))
+    for stats in snapshot.flows:
+        _w_flow_stats(body, stats)
+    return _frame(MSG_MONITOR_STATE, bytes(body))
+
+
+def decode_monitor_state(data: bytes) -> MonitorSnapshot:
+    """Inverse of :func:`encode_monitor_state`."""
+    reader = _expect(data, MSG_MONITOR_STATE)
+    host = reader.str_()
+    period = reader.double()
+    threshold = reader.varint()
+    alerts = reader.varint()
+    flows = tuple(reader.flow_stats() for _ in range(reader.uvarint()))
+    return MonitorSnapshot(host=host, period=period, poor_threshold=threshold,
+                           alerts_raised=alerts, flows=flows)
+
+
+def encode_monitor_pull() -> bytes:
+    """Encode a monitor-state pull request (reply: a state snapshot)."""
+    return _frame(MSG_MONITOR_PULL)

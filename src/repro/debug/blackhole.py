@@ -162,7 +162,8 @@ class BlackholeExperimentResult:
 
 def run_blackhole_experiment(*, scenario: str = "agg-core", k: int = 4,
                              flow_size: int = 100_000, seed: int = 0,
-                             background_flows: int = 200
+                             background_flows: int = 200,
+                             mode: str = "serial"
                              ) -> BlackholeExperimentResult:
     """Reproduce the Section 4.4 blackhole scenarios.
 
@@ -175,12 +176,28 @@ def run_blackhole_experiment(*, scenario: str = "agg-core", k: int = 4,
         seed: RNG seed.
         background_flows: number of background web-search flows creating
             noise in the TIBs.
+        mode: cluster execution mode; with ``"process"`` the sender's
+            POOR_PERF alarm is raised by the agent-server worker's monitor
+            and travels over the wire protocol before the diagnoser sees
+            it.
     """
     if scenario not in ("agg-core", "tor-agg"):
         raise ValueError("scenario must be 'agg-core' or 'tor-agg'")
     topo = FatTreeTopology(k)
     routing = RoutingFabric(topo, policy=POLICY_SPRAY)
-    cluster = QueryCluster(topo)
+    cluster = QueryCluster(topo, mode=mode)
+    try:
+        return _run_blackhole(cluster, topo, routing, scenario=scenario,
+                              flow_size=flow_size, seed=seed,
+                              background_flows=background_flows)
+    finally:
+        cluster.close()
+
+
+def _run_blackhole(cluster: QueryCluster, topo: FatTreeTopology,
+                   routing: RoutingFabric, *, scenario: str, flow_size: int,
+                   seed: int, background_flows: int
+                   ) -> BlackholeExperimentResult:
     injector = FaultInjector(topo, routing, seed=seed)
     simulator = FlowLevelSimulator(topo, routing, seed=seed + 1)
 

@@ -120,7 +120,8 @@ class ConformanceExperimentResult:
 
 
 def run_path_conformance_experiment(*, k: int = 4, seed: int = 0,
-                                    max_switch_hops: int = 6
+                                    max_switch_hops: int = 6,
+                                    mode: str = "serial"
                                     ) -> ConformanceExperimentResult:
     """Reproduce the Figure 4 scenario on a k-ary fat-tree.
 
@@ -128,18 +129,31 @@ def run_path_conformance_experiment(*, k: int = 4, seed: int = 0,
     then the aggregate-to-ToR link on the destination side fails, the fabric
     fails over onto a longer path, and the destination agent's installed
     conformance query raises a PC_FAIL alarm carrying the offending
-    trajectory.
+    trajectory.  The experiment runs in any cluster ``mode``: the
+    event-driven installed query always executes at the end host on packet
+    arrival, and the alarm bus carries the PC_FAIL alert identically in
+    serial, concurrent and process mode.
     """
-    from repro.transport.flows import FlowLevelSimulator
-
     topo = FatTreeTopology(k)
     routing = RoutingFabric(topo)
     fabric = Fabric(topo, routing, seed=seed)
-    cluster = QueryCluster(topo, fabric=fabric)
+    cluster = QueryCluster(topo, fabric=fabric, mode=mode)
+    try:
+        return _run_conformance(cluster, topo, routing, fabric, seed=seed,
+                                max_switch_hops=max_switch_hops)
+    finally:
+        cluster.close()
+
+
+def _run_conformance(cluster: QueryCluster, topo: FatTreeTopology,
+                     routing: RoutingFabric, fabric: Fabric, *, seed: int,
+                     max_switch_hops: int) -> ConformanceExperimentResult:
+    from repro.transport.flows import FlowLevelSimulator
+
     controller = PathDumpController(cluster, fabric)
 
     src = topo.host_name(0, 0, 0)
-    dst = topo.host_name(k - 1, 0, 0)
+    dst = topo.host_name(topo.k - 1, 0, 0)
 
     policy = ConformancePolicy(max_switch_hops=max_switch_hops)
     app = PathConformanceApp(controller, policy)

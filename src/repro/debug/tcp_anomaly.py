@@ -174,7 +174,7 @@ class OutcastExperimentResult:
 
 def run_outcast_experiment(*, k: int = 4, senders: int = 15,
                            duration_s: float = 10.0, seed: int = 0,
-                           capacity_bps: float = 1e9
+                           capacity_bps: float = 1e9, mode: str = "serial"
                            ) -> OutcastExperimentResult:
     """Reproduce the TCP outcast scenario of Figure 10.
 
@@ -183,10 +183,23 @@ def run_outcast_experiment(*, k: int = 4, senders: int = 15,
     uplinks.  The port-blackout contention model produces per-flow
     throughputs and retransmission streaks; TIB records and monitor alerts
     are derived from them, and the diagnosis application runs exactly as it
-    would in production.
+    would in production - over the alarm bus in every cluster ``mode``
+    (in process mode the monitors run host-side in the agent-server
+    workers and the alerts arrive over the wire).
     """
     topo = FatTreeTopology(k)
-    cluster = QueryCluster(topo)
+    cluster = QueryCluster(topo, mode=mode)
+    try:
+        return _run_outcast(cluster, topo, senders=senders,
+                            duration_s=duration_s, seed=seed,
+                            capacity_bps=capacity_bps)
+    finally:
+        cluster.close()
+
+
+def _run_outcast(cluster: QueryCluster, topo: FatTreeTopology, *,
+                 senders: int, duration_s: float, seed: int,
+                 capacity_bps: float) -> OutcastExperimentResult:
     receiver = topo.host_name(2, 0, 0)
     local_sender = topo.host_name(2, 0, 1)
     remote_candidates = [h for h in topo.hosts
@@ -225,9 +238,9 @@ def run_outcast_experiment(*, k: int = 4, senders: int = 15,
     cluster.alarm_bus.subscribe(diagnoser.on_alarm, reason=POOR_PERF)
     # Every sender whose flow keeps retransmitting raises an alert during the
     # periodic check (threshold 1 retransmission streak, as in the paper's
-    # "repeatedly retransmit" query).
-    for agent in cluster.agents.values():
-        agent.monitor.run_check(now=duration_s, threshold=1)
+    # "repeatedly retransmit" query).  In process mode this is a scatter of
+    # monitor-tick frames; the alerts come back over the wire.
+    cluster.run_monitors(duration_s, threshold=1)
 
     if diagnoser.diagnoses:
         diagnosis = diagnoser.diagnoses[-1]
@@ -245,30 +258,36 @@ def run_outcast_experiment(*, k: int = 4, senders: int = 15,
 
 def run_incast_experiment(*, k: int = 4, senders: int = 20,
                           duration_s: float = 5.0, seed: int = 0,
-                          capacity_bps: float = 1e9) -> AnomalyDiagnosis:
+                          capacity_bps: float = 1e9,
+                          mode: str = "serial") -> AnomalyDiagnosis:
     """A many-to-one incast scenario classified by the same diagnoser."""
     topo = FatTreeTopology(k)
-    cluster = QueryCluster(topo)
-    receiver = topo.host_name(0, 0, 0)
-    sender_hosts = [h for h in topo.hosts if h != receiver][:senders]
-    generator = FlowGenerator(topo.hosts, seed=seed)
-    specs = generator.many_to_one(sender_hosts, receiver, size=1_000_000)
+    cluster = QueryCluster(topo, mode=mode)
+    try:
+        receiver = topo.host_name(0, 0, 0)
+        sender_hosts = [h for h in topo.hosts if h != receiver][:senders]
+        generator = FlowGenerator(topo.hosts, seed=seed)
+        specs = generator.many_to_one(sender_hosts, receiver, size=1_000_000)
 
-    contending = [ContendingFlow(flow_id=s.flow_id, input_port_group="uplink",
-                                 path=tuple(topo.shortest_path(s.src,
-                                                               receiver)))
-                  for s in specs]
-    results = simulate_incast(contending, capacity_bps, duration_s, seed=seed)
-    receiver_agent = cluster.agent(receiver)
-    for flow, result in zip(contending, results):
-        receiver_agent.ingest_path_record(PathFlowRecord(
-            flow_id=flow.flow_id, path=flow.path, stime=0.0,
-            etime=duration_s, bytes=result.bytes_delivered,
-            pkts=max(1, result.bytes_delivered // 1460)))
-        cluster.agent(flow.flow_id.src_ip).monitor.observe_flow(
-            flow.flow_id, retransmissions=result.retransmissions,
-            consecutive=result.max_consecutive_retransmissions,
-            bytes_sent=result.bytes_delivered, when=duration_s)
+        contending = [ContendingFlow(flow_id=s.flow_id,
+                                     input_port_group="uplink",
+                                     path=tuple(topo.shortest_path(s.src,
+                                                                   receiver)))
+                      for s in specs]
+        results = simulate_incast(contending, capacity_bps, duration_s,
+                                  seed=seed)
+        receiver_agent = cluster.agent(receiver)
+        for flow, result in zip(contending, results):
+            receiver_agent.ingest_path_record(PathFlowRecord(
+                flow_id=flow.flow_id, path=flow.path, stime=0.0,
+                etime=duration_s, bytes=result.bytes_delivered,
+                pkts=max(1, result.bytes_delivered // 1460)))
+            cluster.agent(flow.flow_id.src_ip).monitor.observe_flow(
+                flow.flow_id, retransmissions=result.retransmissions,
+                consecutive=result.max_consecutive_retransmissions,
+                bytes_sent=result.bytes_delivered, when=duration_s)
 
-    diagnoser = TcpAnomalyDiagnoser(cluster)
-    return diagnoser.diagnose(receiver, duration_s=duration_s)
+        diagnoser = TcpAnomalyDiagnoser(cluster)
+        return diagnoser.diagnose(receiver, duration_s=duration_s)
+    finally:
+        cluster.close()

@@ -1,0 +1,464 @@
+"""Tests for the host-side event plane: monitors and alarms over the wire.
+
+Covers: alarm-bus semantics (dispatch order, per-reason subscription and
+the incrementally maintained per-reason index), at-most-once alerting,
+monitor reset/reset_stats accounting, the observation mirror keeping the
+worker monitors identical to the local ones, identical alarm streams and
+byte-identical monitor-backed query payloads across serial / thread /
+process modes, measured alarm wire-byte accounting, a worker killed
+mid-tick surfacing like a dead agent, and the event-driven debug apps
+running unchanged on top of the bus in all three modes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (AlarmBus, MECHANISM_DIRECT, MECHANISM_MULTILEVEL,
+                        MODE_CONCURRENT, MODE_PROCESS, MODE_SERIAL,
+                        Q_PATH_CONFORMANCE, Q_POOR_TCP_FLOWS, Query,
+                        QueryCluster, wire)
+from repro.core.alarms import Alarm, PC_FAIL, POOR_PERF
+from repro.core.cluster import MonitorSweep
+from repro.core.executor import W_HOST_FAILED
+from repro.core.monitor import ActiveMonitor
+from repro.network.packet import FlowId, PROTO_TCP
+from repro.storage import PathFlowRecord
+from repro.topology.graph import ROLE_AGGREGATE, ROLE_EDGE, Topology
+
+NUM_HOSTS = 4
+ALL_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS)
+
+
+def small_topology(num_hosts=NUM_HOSTS):
+    topo = Topology(name=f"mini-{num_hosts}")
+    topo.add_switch("spine-0", ROLE_AGGREGATE, index=0)
+    tors = (num_hosts + 1) // 2
+    for t in range(tors):
+        topo.add_switch(f"leaf-{t}", ROLE_EDGE, pod=t, index=t)
+        topo.add_link(f"leaf-{t}", "spine-0")
+    for h in range(num_hosts):
+        host = f"server-{h}"
+        topo.add_host(host, pod=h // 2, index=h)
+        topo.add_link(host, f"leaf-{h // 2}")
+    return topo
+
+
+def _flow(src, dst, port):
+    return FlowId(src, dst, port, 80, PROTO_TCP)
+
+
+def feed_workload(cluster, poor_per_host=3, healthy_per_host=2):
+    """Records into the TIBs and TCP observations into the monitors.
+
+    Every ingest goes through the agent APIs, so in process mode both
+    mirrors (record sink, observation sink) carry it to the workers.
+    """
+    hosts = cluster.hosts
+    for index, host in enumerate(hosts):
+        agent = cluster.agent(host)
+        dst = hosts[(index + 1) % len(hosts)]
+        for n in range(poor_per_host):
+            flow = _flow(host, dst, 40_000 + n)
+            agent.ingest_path_record(PathFlowRecord(
+                flow, (host, f"leaf-{index // 2}", dst), float(n), n + 0.5,
+                5000 * (n + 1), n + 1))
+            agent.monitor.observe_flow(flow, retransmissions=6,
+                                       consecutive=4, when=float(n))
+        for n in range(healthy_per_host):
+            flow = _flow(host, dst, 50_000 + n)
+            agent.monitor.observe_flow(flow, retransmissions=1,
+                                       consecutive=1, when=float(n))
+
+
+def make_cluster(mode):
+    cluster = QueryCluster(small_topology(), mode=mode)
+    feed_workload(cluster)
+    return cluster
+
+
+def alarm_stream_bytes(alarms):
+    return wire.encode_alarm_batch(list(alarms))
+
+
+class TestAlarmBusSemantics:
+    def test_dispatch_order(self):
+        """Any-reason subscribers fire before reason-specific ones, each
+        group in subscription order."""
+        bus = AlarmBus()
+        calls = []
+        bus.subscribe(lambda a: calls.append("any-1"))
+        bus.subscribe(lambda a: calls.append("poor-1"), reason=POOR_PERF)
+        bus.subscribe(lambda a: calls.append("any-2"))
+        bus.subscribe(lambda a: calls.append("poor-2"), reason=POOR_PERF)
+        bus.raise_alarm(Alarm(flow_id=_flow("a", "b", 1), reason=POOR_PERF))
+        assert calls == ["any-1", "any-2", "poor-1", "poor-2"]
+
+    def test_per_reason_subscription(self):
+        bus = AlarmBus()
+        seen = []
+        bus.subscribe(seen.append, reason=PC_FAIL)
+        bus.raise_alarm(Alarm(flow_id=_flow("a", "b", 1), reason=POOR_PERF))
+        pc = Alarm(flow_id=_flow("a", "b", 2), reason=PC_FAIL)
+        bus.raise_alarm(pc)
+        assert seen == [pc]
+
+    def test_by_reason_index_matches_recompute(self):
+        """The incrementally maintained per-reason index always equals a
+        from-scratch recomputation (the Collection.estimated_bytes pattern)."""
+        bus = AlarmBus()
+        reasons = [POOR_PERF, PC_FAIL, POOR_PERF, "custom", PC_FAIL]
+        for port, reason in enumerate(reasons):
+            bus.raise_alarm(Alarm(flow_id=_flow("a", "b", port),
+                                  reason=reason))
+        rebuilt = bus.recompute_by_reason()
+        for reason in set(reasons):
+            assert bus.by_reason(reason) == rebuilt[reason]
+            assert bus.count(reason) == len(rebuilt[reason])
+        assert bus.count("never-raised") == 0
+        assert bus.by_reason("never-raised") == []
+        assert bus.count() == len(reasons)
+        bus.clear()
+        assert bus.count(POOR_PERF) == 0
+        assert bus.recompute_by_reason() == {}
+
+    def test_by_reason_returns_a_copy(self):
+        bus = AlarmBus()
+        bus.raise_alarm(Alarm(flow_id=_flow("a", "b", 1), reason=POOR_PERF))
+        bus.by_reason(POOR_PERF).clear()
+        assert bus.count(POOR_PERF) == 1
+
+
+class TestAtMostOnceAlerting:
+    def test_repeated_run_check_alerts_once(self):
+        monitor = ActiveMonitor("h0")
+        flow = _flow("h0", "h1", 1)
+        monitor.observe_flow(flow, retransmissions=9, consecutive=5)
+        first = monitor.run_check(now=1.0)
+        assert [a.flow_id for a in first] == [flow]
+        assert monitor.run_check(now=2.0) == []
+        assert monitor.run_check(now=3.0) == []
+        assert monitor.alerts_raised == 1
+
+    def test_reset_stats_reopens_alerting(self):
+        monitor = ActiveMonitor("h0")
+        flow = _flow("h0", "h1", 1)
+        monitor.observe_flow(flow, retransmissions=9, consecutive=5)
+        monitor.run_check(now=1.0)
+        monitor.reset_stats()
+        assert monitor.alerts_raised == 0
+        again = monitor.run_check(now=2.0)  # new measurement interval
+        assert [a.flow_id for a in again] == [flow]
+
+    def test_reset_no_longer_leaks_alert_counter(self):
+        monitor = ActiveMonitor("h0")
+        monitor.observe_flow(_flow("h0", "h1", 1), retransmissions=9,
+                             consecutive=5)
+        monitor.run_check(now=1.0)
+        monitor.reset()
+        assert monitor.flows == {}
+        assert monitor.alerts_raised == 0  # used to survive the reset
+
+    def test_cluster_reset_stats_resets_monitors(self):
+        cluster = make_cluster(MODE_SERIAL)
+        cluster.run_monitors(1.0)
+        raised = cluster.alarm_bus.count(POOR_PERF)
+        assert raised > 0
+        assert cluster.run_monitors(2.0) == []  # all latched
+        cluster.reset_stats()
+        assert all(a.monitor.alerts_raised == 0
+                   for a in cluster.agents.values())
+        assert len(cluster.run_monitors(3.0)) == raised  # re-alerts
+
+
+@pytest.fixture()
+def process_cluster():
+    cluster = make_cluster(MODE_PROCESS)
+    yield cluster
+    cluster.close()
+
+
+class TestObservationMirror:
+    def test_worker_monitor_state_equals_local(self, process_cluster):
+        pool = process_cluster.agent_servers
+        for host in process_cluster.hosts:
+            local = process_cluster.agent(host).monitor.snapshot()
+            assert pool.monitor_state(host) == local
+
+    def test_observation_after_start_reaches_worker(self, process_cluster):
+        host = process_cluster.hosts[0]
+        agent = process_cluster.agent(host)
+        flow = _flow(host, "elsewhere", 60_000)
+        agent.monitor.observe_flow(flow, retransmissions=7, consecutive=5,
+                                   when=9.0)
+        state = process_cluster.agent_servers.monitor_state(host)
+        assert state == agent.monitor.snapshot()
+        assert any(stats.flow_id == flow for stats in state.flows)
+
+    def test_monitor_seeded_from_pre_start_state(self):
+        """State accumulated before process mode starts (including alerted
+        latches) is carried over by the snapshot seed."""
+        cluster = QueryCluster(small_topology())
+        feed_workload(cluster)
+        pre = cluster.run_monitors(0.5)
+        assert pre and not pre.partial
+        cluster.configure_executor(mode=MODE_PROCESS)
+        try:
+            # The workers inherited the latches: nothing re-alerts.
+            assert cluster.run_monitors(1.0) == []
+        finally:
+            cluster.close()
+
+    def test_dead_worker_detaches_observation_mirror(self, process_cluster):
+        host = process_cluster.hosts[0]
+        agent = process_cluster.agent(host)
+        pool = process_cluster.agent_servers
+        pool.kill(host)
+        deadline = time.monotonic() + 2.0
+        while pool.alive(host) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        for _ in range(3):  # first sends may still land in the OS buffer
+            agent.monitor.observe_flow(_flow(host, "x", 1),
+                                       retransmissions=9, consecutive=9)
+        assert agent.monitor.observation_sink is None
+        assert agent.monitor.stats_for(_flow(host, "x", 1)) is not None
+
+
+class TestAlarmStreamIdentity:
+    def test_monitor_sweep_identical_across_modes(self):
+        """One monitor sweep over the same workload produces byte-identical
+        alarm streams (order included) in serial, thread and process mode."""
+        streams = {}
+        buses = {}
+        for mode in ALL_MODES:
+            cluster = make_cluster(mode)
+            try:
+                sweep = cluster.run_monitors(7.5)
+                assert not sweep.partial
+                streams[mode] = alarm_stream_bytes(sweep)
+                buses[mode] = alarm_stream_bytes(cluster.alarm_bus.alarms)
+            finally:
+                cluster.close()
+        assert streams[MODE_SERIAL] == streams[MODE_CONCURRENT]
+        assert streams[MODE_SERIAL] == streams[MODE_PROCESS]
+        assert buses[MODE_SERIAL] == buses[MODE_PROCESS]
+        assert buses[MODE_SERIAL] == buses[MODE_CONCURRENT]
+        assert streams[MODE_SERIAL] != wire.encode_alarm_batch([])
+
+    @pytest.mark.parametrize("mechanism", [MECHANISM_DIRECT,
+                                           MECHANISM_MULTILEVEL])
+    def test_poor_tcp_flows_payload_identical_across_modes(self, mechanism):
+        """The monitor-backed built-in executes host-side in process mode
+        and still returns byte-identical payloads."""
+        payloads = {}
+        for mode in ALL_MODES:
+            cluster = make_cluster(mode)
+            try:
+                result = cluster.execute(Query(Q_POOR_TCP_FLOWS, {}),
+                                         mechanism=mechanism)
+                assert not result.partial
+                payloads[mode] = wire.encode_value(result.payload)
+            finally:
+                cluster.close()
+        assert payloads[MODE_SERIAL] == payloads[MODE_CONCURRENT]
+        assert payloads[MODE_SERIAL] == payloads[MODE_PROCESS]
+        assert payloads[MODE_SERIAL] != wire.encode_value([])
+
+    def test_query_raised_alarms_identical_serial_vs_process(self):
+        """path_conformance's PC_FAIL alarms ride the reply frames in
+        process mode and land on the bus in the same canonical order the
+        serial in-process run produces."""
+        streams = {}
+        for mode in (MODE_SERIAL, MODE_PROCESS):
+            cluster = make_cluster(mode)
+            try:
+                result = cluster.execute(Query(Q_PATH_CONFORMANCE,
+                                               {"max_hops": 0}),
+                                         mechanism=MECHANISM_MULTILEVEL)
+                assert result.payload and not result.partial
+                streams[mode] = alarm_stream_bytes(
+                    cluster.alarm_bus.by_reason(PC_FAIL))
+            finally:
+                cluster.close()
+        assert streams[MODE_SERIAL] == streams[MODE_PROCESS]
+        assert streams[MODE_SERIAL] != wire.encode_alarm_batch([])
+
+    def test_at_most_once_across_wire_ticks(self, process_cluster):
+        first = process_cluster.run_monitors(1.0)
+        assert first
+        assert process_cluster.run_monitors(2.0) == []
+        # The local mirror latched too: flipping back to serial mode does
+        # not replay the alarms the controller already received.
+        process_cluster.configure_executor(mode=MODE_SERIAL)
+        assert process_cluster.run_monitors(3.0) == []
+
+    def test_at_most_once_across_mode_flips(self, process_cluster):
+        """A local sweep while the workers are alive pushes its latches to
+        them, so flipping back to process mode cannot double-alert."""
+        process_cluster.configure_executor(mode=MODE_SERIAL)
+        first = process_cluster.run_monitors(1.0)
+        assert first and first.mode == MODE_SERIAL
+        process_cluster.configure_executor(mode=MODE_PROCESS)
+        again = process_cluster.run_monitors(2.0)
+        assert again == [] and again.mode == MODE_PROCESS
+
+
+class TestMeasuredAlarmTraffic:
+    def test_sweep_traffic_is_sum_of_encoded_frames(self, process_cluster):
+        """A monitor sweep's traffic is exactly: one encoded tick frame per
+        host out, plus each host's measured alarm-batch reply."""
+        sweep = process_cluster.run_monitors(4.0)
+        assert not sweep.partial
+        tick = len(wire.encode_monitor_tick(4.0, None))
+        expected = 0
+        for host in process_cluster.hosts:
+            host_alarms = [a for a in sweep if a.host == host]
+            expected += tick + len(wire.encode_alarm_batch(host_alarms))
+        assert sweep.traffic_bytes == expected
+        assert sweep.mode == MODE_PROCESS
+
+    def test_sweep_traffic_lands_in_rpc_counters(self, process_cluster):
+        process_cluster.reset_stats()
+        before = process_cluster.rpc.stats.messages
+        sweep = process_cluster.run_monitors(5.0)
+        # One request and one response leg per host went through the
+        # priced channel model.
+        assert process_cluster.rpc.stats.messages == \
+            before + 2 * len(process_cluster.hosts)
+        assert sweep.wall_clock_s > 0.0
+
+    def test_serial_sweep_moves_no_wire_bytes(self):
+        cluster = make_cluster(MODE_SERIAL)
+        sweep = cluster.run_monitors(4.0)
+        assert sweep.traffic_bytes == 0 and sweep.mode == MODE_SERIAL
+
+    def test_piggybacked_alarms_are_in_measured_result_frame(
+            self, process_cluster):
+        """A worker reply carrying alarms reports the *measured* frame
+        length - alarm bytes included - as the result's wire_bytes."""
+        pool = process_cluster.agent_servers
+        host = process_cluster.hosts[0]
+        result = pool.query(host, Query(Q_PATH_CONFORMANCE, {"max_hops": 0}))
+        assert result.alarms
+        clone = Query(Q_PATH_CONFORMANCE, {"max_hops": 0})
+        local = process_cluster.agent(host).execute_query(clone)
+        alarm_bytes = sum(wire.alarm_wire_bytes(a) for a in result.alarms)
+        assert result.wire_bytes == local.wire_bytes + alarm_bytes
+
+
+class TestWorkerFailureMidTick:
+    def test_kill_mid_tick_matches_dead_agent_surface(self, process_cluster):
+        victim = process_cluster.hosts[2]
+        pool = process_cluster.agent_servers
+        pool.stall(victim, 5.0)
+        killer = threading.Timer(0.15, pool.kill, args=(victim,))
+        killer.start()
+        try:
+            started = time.perf_counter()
+            sweep = process_cluster.run_monitors(1.0)
+            elapsed = time.perf_counter() - started
+        finally:
+            killer.cancel()
+        assert elapsed < 4.0  # the kill, not the stall, ended the wait
+        assert sweep.partial
+        assert sweep.hosts_failed == [victim]
+        warning = next(w for w in sweep.warnings if w.code == W_HOST_FAILED)
+        assert warning.host == victim
+        assert "AgentServerError" in warning.detail
+        # Survivors' alarms all arrived; the victim contributed none.
+        hosts_alerting = {a.host for a in sweep}
+        assert hosts_alerting == set(process_cluster.hosts) - {victim}
+
+    def test_timed_out_tick_alarms_still_reach_the_bus(self):
+        """A tick reply the executor discards (per-host timeout) must not
+        lose its alarms: the worker already latched the flows, so the late
+        reply's alarms are delivered to the bus out of band."""
+        cluster = make_cluster(MODE_PROCESS)
+        try:
+            cluster.configure_executor(timeout_s=0.15)
+            victim = cluster.hosts[1]
+            cluster.agent_servers.stall(victim, 0.5)
+            sweep = cluster.run_monitors(1.0)
+            assert sweep.partial and victim in sweep.hosts_failed
+            assert not any(a.host == victim for a in sweep)
+            # 3 poor flows per host (feed_workload): the victim's 3 arrive
+            # late but are never lost.
+            total = 3 * len(cluster.hosts)
+            deadline = time.monotonic() + 3.0
+            while cluster.alarm_bus.count(POOR_PERF) < total and \
+                    time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert cluster.alarm_bus.count(POOR_PERF) == total
+            assert any(a.host == victim
+                       for a in cluster.alarm_bus.by_reason(POOR_PERF))
+            # The late delivery latched the local mirror too: nothing
+            # re-alerts on the next sweep.
+            assert cluster.run_monitors(2.0) == []
+        finally:
+            cluster.close()
+
+    def test_dead_worker_tick_then_recovery_not_required(self,
+                                                         process_cluster):
+        victim = process_cluster.hosts[0]
+        pool = process_cluster.agent_servers
+        pool.kill(victim)
+        deadline = time.monotonic() + 2.0
+        while pool.alive(victim) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sweep = process_cluster.run_monitors(1.0)
+        assert sweep.partial and victim in sweep.hosts_failed
+        assert sweep  # everyone else still alerted
+
+
+class TestDebugAppsAcrossModes:
+    """The paper's event-driven apps run unchanged on top of the bus."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_blackhole_app(self, mode):
+        from repro.debug.blackhole import run_blackhole_experiment
+        result = run_blackhole_experiment(mode=mode, background_flows=20)
+        assert result.alarm_raised
+        assert result.culprit_covered
+        assert result.diagnosis.impacted_subflows >= 1
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_tcp_anomaly_app(self, mode):
+        from repro.debug.tcp_anomaly import run_outcast_experiment
+        result = run_outcast_experiment(mode=mode)
+        assert result.detection_correct
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_path_conformance_app(self, mode):
+        from repro.debug.path_conformance import (
+            run_path_conformance_experiment)
+        result = run_path_conformance_experiment(mode=mode)
+        assert result.violation_detected
+        assert result.detour_hops >= 2
+
+    def test_blackhole_diagnosis_identical_serial_vs_process(self):
+        from repro.debug.blackhole import run_blackhole_experiment
+        outcomes = {mode: run_blackhole_experiment(mode=mode,
+                                                   background_flows=20)
+                    for mode in (MODE_SERIAL, MODE_PROCESS)}
+        serial = outcomes[MODE_SERIAL].diagnosis
+        process = outcomes[MODE_PROCESS].diagnosis
+        assert serial.missing_paths == process.missing_paths
+        assert serial.candidate_switches == process.candidate_switches
+        assert serial.prioritized_switches == process.prioritized_switches
+
+
+class TestMonitorSweepType:
+    def test_sweep_is_a_list_of_alarms(self):
+        sweep = MonitorSweep([Alarm(flow_id=_flow("a", "b", 1),
+                                    reason=POOR_PERF)])
+        assert isinstance(sweep, list) and len(sweep) == 1
+        assert sweep.partial is False and sweep.hosts_failed == []
+
+    def test_controller_tick_returns_sweep(self):
+        from repro.core import PathDumpController
+        cluster = make_cluster(MODE_SERIAL)
+        controller = PathDumpController(cluster)
+        alarms = controller.tick(1.0)
+        assert isinstance(alarms, MonitorSweep)
+        assert controller.stats.alarms_received == len(alarms) > 0

@@ -194,18 +194,36 @@ class TestIngestMirror:
 
 
 class TestLocalFallback:
-    def test_monitor_backed_query_runs_locally(self, process_cluster):
+    def test_monitor_backed_query_runs_in_workers(self, process_cluster):
+        """poor_tcp_flows is served host-side now: a dead worker makes the
+        query partial instead of silently falling back to the local
+        agent."""
         result = process_cluster.execute(Query(Q_POOR_TCP_FLOWS, {}))
-        assert not result.partial  # served by the in-process agents
+        assert not result.partial
+        victim = process_cluster.hosts[0]
+        pool = process_cluster.agent_servers
+        pool.kill(victim)
+        deadline = time.monotonic() + 2.0
+        while pool.alive(victim) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        result = process_cluster.execute(Query(Q_POOR_TCP_FLOWS, {}))
+        assert result.partial and victim in result.hosts_failed
 
     def test_alarm_raising_query_reaches_alarm_bus(self, process_cluster):
-        # Path conformance raises PC_FAIL alarms via the agent; running it
-        # in a worker would strand them, so it falls back to local agents.
+        # Path conformance raises PC_FAIL alarms via the worker's agent;
+        # they ride the encoded reply frames and are dispatched into the
+        # controller's alarm bus on receipt.
         query = Query(Q_PATH_CONFORMANCE, {"max_hops": 0})
         result = process_cluster.execute(query)
         assert not result.partial
         assert result.payload  # every flow violates max_hops=0
         assert process_cluster.alarm_bus.alarms
+        # And they really did travel: every PC_FAIL alarm names a worker
+        # host, and none were raised by the in-process agents.
+        assert all(a.host in process_cluster.hosts
+                   for a in process_cluster.alarm_bus.alarms)
+        assert all(not agent.alarms_raised
+                   for agent in process_cluster.agents.values())
 
     def test_custom_handler_with_unencodable_payload(self, process_cluster):
         """A custom handler may return a payload outside the codec's value
@@ -356,13 +374,15 @@ class TestPoolLifecycle:
         cluster = QueryCluster(small_topology())
         populate(cluster, records_per_host=3)
         monkeypatch.setattr(
-            AgentServerPool, "ping",
+            AgentServerPool, "ping_state",
             lambda self, host: (_ for _ in ()).throw(
                 AgentServerError("sync probe failed")))
         with pytest.raises(AgentServerError):
             cluster.start_agent_servers()
         assert cluster.agent_servers is None
         assert all(a.record_sink is None for a in cluster.agents.values())
+        assert all(a.monitor.observation_sink is None
+                   for a in cluster.agents.values())
         cluster.close()  # no-op; nothing left behind
 
     def test_constructor_process_mode_wires_executor_transport(self):

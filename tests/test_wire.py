@@ -15,6 +15,9 @@ import pytest
 
 from repro.core import Query, QueryEngine, QueryResult, wire
 from repro.core.aggregation import AggregationTree
+from repro.core.alarms import Alarm, POOR_PERF, REASON_CODES
+from repro.core.monitor import (ActiveMonitor, MonitorSnapshot, TcpFlowStats,
+                                TransferObservation)
 from repro.network.packet import PROTO_TCP, PROTO_UDP, FlowId
 from repro.storage import PathFlowRecord
 from repro.storage.docstore import _estimate_value_bytes
@@ -236,6 +239,142 @@ class TestResultFrames:
         result = QueryEngine().execute(AgentStub(), Query("get_flows", {}))
         assert result.wire_bytes == len(wire.encode_result(result))
         assert result.estimated_wire_bytes > 0
+
+
+def _random_flow_id(rng):
+    return FlowId(f"h{rng.randrange(99)}", UNICODE_HOST,
+                  rng.randrange(1 << 16), rng.randrange(1 << 16),
+                  rng.choice([6, 17, 1]))
+
+
+def _random_alarm(rng):
+    paths = [tuple(f"sw-{rng.randrange(9)}" for _ in range(rng.randrange(6)))
+             for _ in range(rng.randrange(4))]
+    return Alarm(flow_id=_random_flow_id(rng),
+                 reason=rng.choice(REASON_CODES + ("opérator-défined",)),
+                 paths=paths, host=f"h{rng.randrange(32)}",
+                 time=rng.uniform(0, 1e6),
+                 detail="".join(rng.choice("abé中 :=,") for _ in
+                                range(rng.randrange(24))))
+
+
+def _random_observation(rng):
+    return TransferObservation(
+        flow_id=_random_flow_id(rng),
+        retransmissions=rng.randrange(1 << rng.randrange(1, 40)),
+        consecutive=rng.randrange(1 << 10),
+        timeouts=rng.randrange(8),
+        bytes_sent=rng.randrange(1 << rng.randrange(1, 60)),
+        when=rng.uniform(0, 1e6))
+
+
+def _random_flow_stats(rng):
+    return TcpFlowStats(
+        flow_id=_random_flow_id(rng),
+        retransmissions=rng.randrange(1 << 20),
+        consecutive_retransmissions=rng.randrange(1 << 10),
+        max_consecutive_retransmissions=rng.randrange(1 << 10),
+        timeouts=rng.randrange(8),
+        bytes_sent=rng.randrange(1 << 50),
+        last_update=rng.uniform(0, 1e6),
+        alerted=rng.random() < 0.5)
+
+
+class TestEventPlaneFrames:
+    """Round-trip + fuzz coverage for the event-plane frame kinds."""
+
+    def test_alarm_batch_round_trip(self):
+        alarm = Alarm(flow_id=FlowId("a", "b", 1, 2, PROTO_TCP),
+                      reason=POOR_PERF, paths=[("a", "sw", "b"), ()],
+                      host=UNICODE_HOST, time=1.25, detail="retx=3, 中")
+        decoded = wire.decode_alarm_batch(wire.encode_alarm_batch([alarm]))
+        assert decoded == [alarm]
+        assert wire.decode_alarm_batch(wire.encode_alarm_batch([])) == []
+
+    def test_alarm_wire_bytes_matches_batch_layout(self):
+        rng = random.Random(3)
+        alarms = [_random_alarm(rng) for _ in range(5)]
+        frame = wire.encode_alarm_batch(alarms)
+        assert len(frame) == wire.HEADER_BYTES + 1 + \
+            sum(wire.alarm_wire_bytes(a) for a in alarms)
+
+    def test_fuzz_alarm_batch(self):
+        rng = random.Random(20260726)
+        alarms = [_random_alarm(rng) for _ in range(150)]
+        assert wire.decode_alarm_batch(
+            wire.encode_alarm_batch(alarms)) == alarms
+
+    def test_fuzz_observation_batch(self):
+        rng = random.Random(11)
+        observations = [_random_observation(rng) for _ in range(150)]
+        assert wire.decode_observation_batch(
+            wire.encode_observation_batch(observations)) == observations
+
+    def test_monitor_tick_round_trip(self):
+        assert wire.decode_monitor_tick(
+            wire.encode_monitor_tick(12.5)) == (12.5, None)
+        assert wire.decode_monitor_tick(
+            wire.encode_monitor_tick(0.0, 1)) == (0.0, 1)
+        assert wire.frame_type(wire.encode_monitor_tick(1.0)) == \
+            wire.MSG_MONITOR_TICK
+
+    def test_fuzz_monitor_state(self):
+        rng = random.Random(99)
+        for _ in range(40):
+            snapshot = MonitorSnapshot(
+                host=f"hôst-{rng.randrange(16)}",
+                period=rng.uniform(0.01, 5.0),
+                poor_threshold=rng.randrange(1, 10),
+                alerts_raised=rng.randrange(1 << 20),
+                flows=tuple(_random_flow_stats(rng)
+                            for _ in range(rng.randrange(12))))
+            assert wire.decode_monitor_state(
+                wire.encode_monitor_state(snapshot)) == snapshot
+
+    def test_monitor_snapshot_restore_round_trips_over_the_wire(self):
+        """A monitor restored from the decoded snapshot answers
+        getPoorTCPFlows byte-identically (flow order preserved)."""
+        monitor = ActiveMonitor("h0", poor_threshold=2)
+        rng = random.Random(5)
+        for index in range(20):
+            monitor.observe_flow(FlowId(f"s{index}", "h0", index, 80,
+                                        PROTO_TCP),
+                                 retransmissions=rng.randrange(6),
+                                 consecutive=rng.randrange(5),
+                                 timeouts=rng.randrange(2),
+                                 when=float(index))
+        monitor.run_check(now=21.0)
+        twin = ActiveMonitor("h0")
+        twin.restore(wire.decode_monitor_state(
+            wire.encode_monitor_state(monitor.snapshot())))
+        assert wire.encode_value(twin.get_poor_tcp_flows()) == \
+            wire.encode_value(monitor.get_poor_tcp_flows())
+        assert twin.alerts_raised == monitor.alerts_raised
+        assert twin.run_check(now=22.0) == []  # latches survived the trip
+
+    def test_monitor_pull_frame(self):
+        assert wire.frame_type(wire.encode_monitor_pull()) == \
+            wire.MSG_MONITOR_PULL
+
+    def test_result_alarm_piggyback_round_trip(self):
+        rng = random.Random(42)
+        alarms = tuple(_random_alarm(rng) for _ in range(3))
+        query = Query("path_conformance", {"max_hops": 4})
+        result = QueryResult(query=query, payload=[], wire_bytes=0,
+                             host="h1", alarms=alarms)
+        frame = wire.encode_result(result)
+        decoded = wire.decode_result(frame, query)
+        assert decoded.alarms == alarms
+        assert decoded.wire_bytes == len(frame)
+        # An alarm-free result costs exactly one count byte for the ride.
+        bare = QueryResult(query=query, payload=[], wire_bytes=0, host="h1")
+        assert len(frame) == len(wire.encode_result(bare)) + \
+            sum(wire.alarm_wire_bytes(a) for a in alarms)
+
+    def test_pong_state_round_trip(self):
+        frame = wire.encode_pong(123456, 789)
+        assert wire.decode_pong(frame) == 123456
+        assert wire.decode_pong_state(frame) == (123456, 789)
 
 
 class TestControlFrames:
