@@ -30,6 +30,7 @@ from repro.core.trajectory import (TrajectoryCache, TrajectoryConstructor,
                                    TrajectoryMemory)
 from repro.core.vswitch import EdgeVSwitch
 from repro.network.packet import FlowId, Packet
+from repro.storage.archive import RetentionPolicy
 from repro.storage.records import PathFlowRecord
 from repro.tracing.reconstruct import PathReconstructor
 from repro.topology.graph import Topology
@@ -59,6 +60,9 @@ class PathDumpAgent:
             avoids recomputing shortest paths per agent).
         cache: optional shared trajectory cache.
         idle_timeout: trajectory-memory idle eviction timeout (seconds).
+        retention: optional hot-tier bounds for the TIB; when set the TIB
+            runs two-tiered (bounded hot memory, cold archive - see
+            :mod:`repro.storage.archive`).
     """
 
     def __init__(self, host: str, topo: Topology,
@@ -66,11 +70,12 @@ class PathDumpAgent:
                  alarm_sink: Optional[Callable[[Alarm], None]] = None,
                  reconstructor: Optional[PathReconstructor] = None,
                  cache: Optional[TrajectoryCache] = None,
-                 idle_timeout: float = 5.0) -> None:
+                 idle_timeout: float = 5.0,
+                 retention: Optional["RetentionPolicy"] = None) -> None:
         self.host = host
         self.topo = topo
         self.alarm_sink = alarm_sink
-        self.tib = Tib(host)
+        self.tib = Tib(host, retention=retention)
         self.trajectory_memory = TrajectoryMemory(idle_timeout=idle_timeout)
         self.constructor = TrajectoryConstructor(
             reconstructor or PathReconstructor(topo, assignment),
@@ -218,16 +223,24 @@ class PathDumpAgent:
     def get_duration(self, flow: Union[Flow, FlowId],
                      time_range: Optional[TimeRange] = None,
                      include_live: bool = False) -> float:
-        """``getDuration(Flow, timeRange)``."""
+        """``getDuration(Flow, timeRange)``.
+
+        Record extents are clamped to the requested window (see
+        :meth:`repro.core.tib.Tib.get_duration`): overlap qualifies a
+        record, but only its in-window portion counts.
+        """
         flow_id, path = self._split_flow(flow)
+        start, end = normalise_time_range(time_range)
         stimes: List[float] = []
         etimes: List[float] = []
         for record in self.records(flow_id=flow_id, time_range=time_range,
                                    include_live=include_live):
             if path is not None and record.path != path:
                 continue
-            stimes.append(record.stime)
-            etimes.append(record.etime)
+            stime = record.stime if start is None else max(record.stime, start)
+            etime = record.etime if end is None else min(record.etime, end)
+            stimes.append(stime)
+            etimes.append(etime)
         if not stimes:
             return 0.0
         return max(etimes) - min(stimes)
@@ -304,12 +317,24 @@ class PathDumpAgent:
         self.tib.reset_stats()
         self.monitor.reset_stats()
 
+    def configure_retention(self, max_records: Optional[int] = None,
+                            max_bytes: Optional[int] = None) -> None:
+        """(Re)configure the TIB's hot-tier bounds (see
+        :meth:`repro.core.tib.Tib.configure_retention`)."""
+        self.tib.configure_retention(max_records=max_records,
+                                     max_bytes=max_bytes)
+
     def memory_footprint_bytes(self) -> Dict[str, int]:
-        """Approximate RAM/disk usage of the agent's components."""
+        """Approximate RAM/disk usage of the agent's components.
+
+        ``tib`` is the hot (in-memory) tier; ``tib_archive`` is the cold
+        archive's measured log size (the "disk" tier - 0 when unbounded).
+        """
         return {
             "trajectory_memory": self.trajectory_memory.estimated_bytes(),
             "trajectory_cache": self.constructor.cache.estimated_bytes(),
             "tib": self.tib.estimated_bytes(),
+            "tib_archive": self.tib.archive_bytes(),
         }
 
     @staticmethod

@@ -174,6 +174,18 @@ def agent_server_main(conn, host: str) -> None:
                 except Exception as error:
                     pending_error = (f"monitor state failed: "
                                      f"{type(error).__name__}: {error}")
+            elif kind == wire.MSG_RETENTION:
+                # Fire-and-forget, like ingest: the pipe's FIFO ordering
+                # guarantees the cap is in force before any later record
+                # batch, so the worker ages records host-side exactly as
+                # the controller's local TIB does.
+                try:
+                    max_records, max_bytes = wire.decode_retention(frame)
+                    agent.tib.configure_retention(max_records=max_records,
+                                                  max_bytes=max_bytes)
+                except Exception as error:
+                    pending_error = (f"retention config failed: "
+                                     f"{type(error).__name__}: {error}")
             elif kind == wire.MSG_QUERY_REQUEST:
                 if pending_error is not None:
                     conn.send_bytes(wire.encode_error(pending_error))
@@ -221,8 +233,14 @@ def agent_server_main(conn, host: str) -> None:
                 conn.send_bytes(
                     wire.encode_monitor_state(agent.monitor.snapshot()))
             elif kind == wire.MSG_PING:
-                conn.send_bytes(wire.encode_pong(agent.tib.record_count(),
-                                                 len(agent.monitor.flows)))
+                tiers = agent.tib.tier_stats()
+                conn.send_bytes(wire.encode_pong(
+                    agent.tib.total_record_count(),
+                    len(agent.monitor.flows),
+                    hot_records=tiers["hot_records"],
+                    hot_bytes=tiers["hot_bytes"],
+                    cold_records=tiers["cold_records"],
+                    cold_bytes=tiers["cold_bytes"]))
             elif kind == wire.MSG_RESET:
                 agent.tib.clear()
                 agent.monitor.reset()
@@ -337,6 +355,30 @@ class AgentServerPool:
                 self._send(host, frame)
                 total += len(frame)
         return total
+
+    def set_retention(self, host: str, max_records: Optional[int],
+                      max_bytes: Optional[int]) -> int:
+        """Configure ``host``'s worker hot-tier bounds (two-tier TIB).
+
+        Fire-and-forget: pipe FIFO ordering puts the cap in force before
+        any later ingest on the same connection.  Returns the frame bytes
+        sent.
+        """
+        frame = wire.encode_retention(max_records, max_bytes)
+        with self._lock_for(host):
+            self._send(host, frame)
+        return len(frame)
+
+    def tier_stats(self, host: str) -> Dict[str, int]:
+        """Pull ``host``'s worker two-tier stats off a liveness probe."""
+        with self._lock_for(host):
+            self._send(host, wire.encode_ping())
+            reply = self._recv(host)
+        (total, monitor_flows, hot_records, hot_bytes, cold_records,
+         cold_bytes) = wire.decode_pong_tiers(reply)
+        return {"total_records": total, "monitor_flows": monitor_flows,
+                "hot_records": hot_records, "hot_bytes": hot_bytes,
+                "cold_records": cold_records, "cold_bytes": cold_bytes}
 
     def seed_monitor(self, host: str, snapshot: MonitorSnapshot) -> int:
         """Replace ``host``'s worker monitor state with ``snapshot``.

@@ -66,6 +66,7 @@ from repro.core.query import (Query, QueryEngine, QueryResult,
 from repro.core.rpc import RpcChannel
 from repro.core.trajectory import TrajectoryCache
 from repro.network.simulator import Fabric
+from repro.storage.archive import RetentionPolicy
 from repro.storage.records import PathFlowRecord
 from repro.tracing.reconstruct import PathReconstructor
 from repro.topology.graph import Topology
@@ -251,6 +252,10 @@ class QueryCluster:
         timeout_s: per-host query deadline (see the executor docs).
         hedge_after_s: straggler-hedging threshold (concurrent mode).
         retries: bounded per-host retry budget for transport errors.
+        retention: optional hot-tier bounds applied to every agent's TIB
+            (two-tier mode: bounded hot memory, cold archive); in process
+            mode the same cap is shipped to the agent-server workers over
+            the wire so they age records host-side identically.
     """
 
     def __init__(self, topo: Topology,
@@ -264,7 +269,8 @@ class QueryCluster:
                  max_workers: Optional[int] = None,
                  timeout_s: Optional[float] = None,
                  hedge_after_s: Optional[float] = None,
-                 retries: int = 0) -> None:
+                 retries: int = 0,
+                 retention: Optional[RetentionPolicy] = None) -> None:
         if mode not in CLUSTER_MODES:
             raise ValueError(f"unknown cluster mode {mode!r}")
         self.topo = topo
@@ -282,6 +288,7 @@ class QueryCluster:
             hedge_after_s=hedge_after_s, retries=retries)
         self.engine = QueryEngine()
         self._reconstructor = PathReconstructor(topo, self.assignment)
+        self.retention = retention or RetentionPolicy()
         cache = TrajectoryCache() if shared_cache else None
         self.agents: Dict[str, PathDumpAgent] = {}
         for host in self.hosts:
@@ -289,7 +296,8 @@ class QueryCluster:
                 host, topo, self.assignment,
                 alarm_sink=self.alarm_bus.raise_alarm,
                 reconstructor=self._reconstructor,
-                cache=cache if shared_cache else None)
+                cache=cache if shared_cache else None,
+                retention=self.retention if self.retention.bounded else None)
             self.agents[host] = agent
         if fabric is not None:
             self.attach_fabric(fabric)
@@ -390,6 +398,20 @@ class QueryCluster:
                 agent = self.agents.get(host)
                 if agent is None:
                     continue
+                retention = agent.tib.retention
+                if retention.bounded:
+                    # Cap first (pipe FIFO): the worker ages records into
+                    # its own cold archive while the snapshot streams in,
+                    # so its hot tier never exceeds the bound either.
+                    pool.set_retention(host, retention.max_records,
+                                       retention.max_bytes)
+                if agent.tib.archive is not None and \
+                        agent.tib.archive.dead_ratio > 0:
+                    # The worker rebuilds its archive from the snapshot,
+                    # which never replays tombstoned log garbage; compact
+                    # the local log too so both sides' measured
+                    # archive_bytes stay directly comparable.
+                    agent.tib.archive.compact()
                 snapshot = agent.tib.records()
                 if snapshot:
                     pool.add_records(host, snapshot)
@@ -524,6 +546,46 @@ class QueryCluster:
     def flush_all(self, now: Optional[float] = None) -> int:
         """Flush every agent's trajectory memory into its TIB."""
         return sum(agent.flush(now) for agent in self.agents.values())
+
+    def configure_retention(self, max_records: Optional[int] = None,
+                            max_bytes: Optional[int] = None) -> None:
+        """(Re)configure the hot-tier bounds on every agent's TIB.
+
+        In process mode the same cap travels to each agent-server worker
+        as an encoded retention frame, so both sides of the ingest mirror
+        age records identically.
+        """
+        self.retention = RetentionPolicy(max_records=max_records,
+                                         max_bytes=max_bytes)
+        for agent in self.agents.values():
+            agent.configure_retention(max_records=max_records,
+                                      max_bytes=max_bytes)
+        if self._process_pool is not None:
+            for host in self.hosts:
+                try:
+                    self._process_pool.set_retention(host, max_records,
+                                                     max_bytes)
+                except AgentServerError:
+                    pass  # dead worker: the query path reports it already
+
+    def tier_report(self, from_workers: bool = False) -> Dict[str, int]:
+        """Aggregate two-tier stats across the cluster.
+
+        ``from_workers=True`` (process mode) reads each worker's tier
+        stats off a liveness probe instead of the local mirrors - the
+        measured worker-side counterpart for cap-verification.
+        """
+        totals: Dict[str, int] = {}
+        if from_workers and self._process_pool is not None:
+            for host in self.hosts:
+                stats = self._process_pool.tier_stats(host)
+                for key, value in stats.items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+        for agent in self.agents.values():
+            for key, value in agent.tib.tier_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def run_monitors(self, now: float,
                      threshold: Optional[int] = None) -> MonitorSweep:
@@ -788,12 +850,13 @@ class QueryCluster:
 
     # ------------------------------------------------------------ accounting
     def total_tib_records(self) -> int:
-        """Total records across every agent's TIB."""
-        return sum(a.tib.record_count() for a in self.agents.values())
+        """Total records across every agent's TIB (both tiers)."""
+        return sum(a.tib.total_record_count() for a in self.agents.values())
 
     def storage_report(self) -> Dict[str, int]:
         """Aggregate storage footprint across the cluster."""
-        report = {"tib": 0, "trajectory_memory": 0, "trajectory_cache": 0}
+        report = {"tib": 0, "tib_archive": 0, "trajectory_memory": 0,
+                  "trajectory_cache": 0}
         for agent in self.agents.values():
             footprint = agent.memory_footprint_bytes()
             for key in report:

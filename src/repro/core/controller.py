@@ -174,9 +174,21 @@ class PathDumpController:
         self.fabric.punt_handler = self.handle_trapped_packet
 
     # ------------------------------------------------------------ accounting
+    def configure_retention(self, max_records: Optional[int] = None,
+                            max_bytes: Optional[int] = None) -> None:
+        """Operator knob: bound every host TIB's hot tier (see
+        :meth:`repro.core.cluster.QueryCluster.configure_retention`)."""
+        self.cluster.configure_retention(max_records=max_records,
+                                         max_bytes=max_bytes)
+
+    def tier_report(self, from_workers: bool = False) -> Dict[str, int]:
+        """Aggregate two-tier TIB stats across the deployment."""
+        return self.cluster.tier_report(from_workers=from_workers)
+
     def reset_stats(self) -> None:
         """Zero per-experiment counters: controller activity, the RPC
-        channel, and every agent's storage-engine instrumentation."""
+        channel, and every agent's storage-engine instrumentation
+        (including the two-tier eviction/promotion and archive counters)."""
         self.stats = ControllerStats()
         self.cluster.reset_stats()
 

@@ -228,7 +228,10 @@ class QueryEngine:
         time_range: Optional[TimeRange] = params.get("time_range")
         flows = agent.get_flows(link, time_range)
         wire = sum(13 + _PATH_ELEMENT_BYTES * len(path) for _, path in flows)
-        return flows, wire, agent.tib.record_count()
+        # Both tiers are scanned candidates (and the total is invariant
+        # under the hot/cold split, keeping result frames byte-identical
+        # between capped local agents and their workers).
+        return flows, wire, agent.tib.total_record_count()
 
     @staticmethod
     def _run_get_paths(agent, params):
@@ -298,9 +301,10 @@ class QueryEngine:
         if is_unconstrained_link(link) and \
                 normalise_time_range(time_range) == (None, None):
             # Unconstrained: rank the incrementally maintained per-flow
-            # aggregates - no record is touched at all.
+            # aggregates (they span both tiers) - no record is touched at
+            # all, hot or cold.
             totals = agent.tib.flow_byte_totals()
-            scanned = agent.tib.record_count()
+            scanned = agent.tib.total_record_count()
         else:
             totals = {}
             scanned = 0

@@ -51,16 +51,45 @@ treat records returned by queries as read-only; all mutation goes through
 :meth:`Tib.add_record`, which copies on insert by default (``adopt=True``
 transfers ownership instead) so a caller's record object is never mutated
 behind its back.
+
+Two tiers: bounded hot memory + cold archive
+--------------------------------------------
+
+PathDump keeps only recent flow entries in the in-memory TIB and ages
+older entries out to persistent storage.  A
+:class:`~repro.storage.archive.RetentionPolicy` (record-count and/or
+``estimated_bytes`` caps on the hot tier) turns that on: whenever a write
+pushes the hot tier over a bound, the records with the **oldest
+``etime``** are evicted - indexes and documents dropped from the hot
+engine - into a :class:`~repro.storage.archive.ColdArchive` of append-only
+log segments, under their original record ids.
+
+Reads span both tiers transparently: :meth:`Tib.records` (and everything
+built on it) merges the hot tier's id-ordered results with the archive's
+id-ordered matches, so a capped TIB returns **byte-identical payloads** to
+an uncapped one, in the same deterministic order.  Writes stay
+upsert-correct across tiers: a record arriving for an archived
+``(flow, path)`` key *promotes* the archived entry back into the hot tier
+(same id) and merges into it, tombstoning the log entry.  The per-flow
+byte/packet aggregates deliberately span both tiers, so the unconstrained
+``getCount`` / top-k fast paths never touch the archive.
+
+``record_count()`` / ``estimated_bytes()`` report the **hot tier only**
+(they are the quantities the retention bound is enforced on);
+``total_record_count()`` / ``archive_bytes()`` / ``tier_stats()`` cover
+both tiers.
 """
 
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
+from heapq import heapify, heappop, heappush
 from typing import (Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
                     Union)
 
 from repro.network.packet import FlowId
+from repro.storage.archive import ColdArchive, RetentionPolicy
 from repro.storage.docstore import Collection, DocumentStore
 from repro.storage.records import PathFlowRecord, flow_key
 
@@ -145,11 +174,19 @@ class Tib:
         host: the owning end host's name.
         store: optional shared :class:`DocumentStore`; a private one is
             created when omitted.
+        retention: optional hot-tier bounds; when any bound is set the TIB
+            runs two-tiered (see the module docstring) and ages
+            oldest-``etime`` records into ``archive``.
+        archive: optional cold archive instance (a default
+            :class:`~repro.storage.archive.ColdArchive` is created when a
+            bounded retention policy needs one).
     """
 
     COLLECTION = "tib_records"
 
-    def __init__(self, host: str, store: Optional[DocumentStore] = None) -> None:
+    def __init__(self, host: str, store: Optional[DocumentStore] = None,
+                 retention: Optional[RetentionPolicy] = None,
+                 archive: Optional[ColdArchive] = None) -> None:
         self.host = host
         self.store = store or DocumentStore()
         self._collection: Collection = self.store.collection(self.COLLECTION)
@@ -175,6 +212,25 @@ class Tib:
         # hedged duplicate attempts), and the fold is the one place a read
         # mutates index state.  Writes must still not race with queries.
         self._time_index_lock = threading.Lock()
+        # Two-tier state (engaged only when a bounded retention policy is
+        # configured - the unbounded single-tier fast paths pay nothing).
+        self.retention = retention or RetentionPolicy()
+        self.archive: Optional[ColdArchive] = archive
+        if self.archive is None and self.retention.bounded:
+            self.archive = ColdArchive()
+        # Min-heap of (etime, record id) driving oldest-first eviction;
+        # entries go stale when a merge raises a record's etime (lazily
+        # validated on pop).  Maintained only while retention is bounded.
+        self._evict_heap: List[Tuple[float, int]] = []
+        if self.retention.bounded:
+            self._rebuild_evict_heap()
+        # Promotions reinsert old ids: the cache's insertion order stops
+        # being id order, and the time index may briefly hold duplicate
+        # live entries for one id (cleared by the next full rebuild).
+        self._cache_order_dirty = False
+        self._time_dup_possible = False
+        self.evictions = 0
+        self.promotions = 0
 
     # ----------------------------------------------------------------- writes
     def add_record(self, record: PathFlowRecord, adopt: bool = False) -> None:
@@ -196,6 +252,12 @@ class Tib:
             path = tuple(path)
         key = (flow_key(record.flow_id), path)
         record_id = self._primary.get(key)
+        if record_id is None and self.archive is not None and \
+                self.archive.lookup(key) is not None:
+            # The key was aged out: promote the archived record back into
+            # the hot tier (same id) so the merge lands exactly where an
+            # uncapped TIB would put it.
+            record_id = self._restore_from_archive(key)
         if record_id is None:
             if adopt:
                 if record.path is not path:
@@ -208,6 +270,8 @@ class Tib:
             self._insert_new(key, stored)
         else:
             self._merge_into(record_id, key[0], record)
+        if self.retention.bounded:
+            self._enforce_retention()
 
     def add_records(self, records: Iterable[PathFlowRecord],
                     adopt: bool = False) -> int:
@@ -237,6 +301,11 @@ class Tib:
         self._pending_stime = []
         self._pending_etime = []
         self._stale_time_entries = 0
+        if self.archive is not None:
+            self.archive.clear()
+        self._evict_heap = []
+        self._cache_order_dirty = False
+        self._time_dup_possible = False
 
     def _insert_new(self, key: Tuple[str, Tuple[str, ...]],
                     record: PathFlowRecord) -> None:
@@ -258,6 +327,8 @@ class Tib:
                 self._endpoint_ids.setdefault(node, set()).add(record_id)
         self._pending_stime.append((record.stime, record_id))
         self._pending_etime.append((record.etime, record_id))
+        if self.retention.bounded:
+            heappush(self._evict_heap, (record.etime, record_id))
 
     def _merge_into(self, record_id: int, fkey: str,
                     record: PathFlowRecord) -> None:
@@ -282,7 +353,114 @@ class Tib:
             changes["etime"] = cached.etime
             self._pending_etime.append((cached.etime, record_id))
             self._stale_time_entries += 1
+            if self.retention.bounded:
+                heappush(self._evict_heap, (cached.etime, record_id))
         self._collection.update(record_id, changes)
+
+    # -------------------------------------------------------------- retention
+    def configure_retention(self, max_records: Optional[int] = None,
+                            max_bytes: Optional[int] = None) -> None:
+        """(Re)configure the hot-tier bounds and enforce them immediately.
+
+        ``None`` bounds are unbounded; configuring both to ``None`` stops
+        future aging (already-archived records stay cold and queries keep
+        spanning both tiers).
+        """
+        self.retention = RetentionPolicy(max_records=max_records,
+                                         max_bytes=max_bytes)
+        if self.retention.bounded:
+            if self.archive is None:
+                self.archive = ColdArchive()
+            self._rebuild_evict_heap()
+            self._enforce_retention()
+
+    def _rebuild_evict_heap(self) -> None:
+        """Seed the eviction heap from the live hot tier (policy (re)set)."""
+        heap = [(record.etime, record_id)
+                for record_id, record in self._cache.items()]
+        heapify(heap)
+        self._evict_heap = heap
+
+    def _enforce_retention(self) -> None:
+        """Age oldest-``etime`` records into the archive until the hot tier
+        is back under every configured bound."""
+        policy = self.retention
+        cache = self._cache
+        heap = self._evict_heap
+        while heap and policy.exceeded_by(len(cache),
+                                          self._collection.estimated_bytes()):
+            etime, record_id = heappop(heap)
+            record = cache.get(record_id)
+            if record is None or record.etime != etime:
+                continue  # evicted already, or a merge raised its etime
+            self._evict_record(record_id, record)
+
+    def _evict_record(self, record_id: int, record: PathFlowRecord) -> None:
+        """Move one hot record into the cold archive (indexes dropped)."""
+        key = (flow_key(record.flow_id), record.path)
+        del self._primary[key]
+        del self._cache[record_id]
+        posting = self._flow_ids.get(key[0])
+        if posting is not None:
+            posting.remove(record_id)
+            if not posting:
+                del self._flow_ids[key[0]]
+        # NOTE: _flow_totals deliberately spans both tiers (unconstrained
+        # getCount / top-k stay exact and archive-free) - not decremented.
+        path = record.path
+        if len(path) >= 2:
+            for pair in zip(path, path[1:]):
+                ids = self._link_ids.get(pair)
+                if ids is not None:
+                    ids.discard(record_id)
+                    if not ids:
+                        del self._link_ids[pair]
+            for node in set(path):
+                ids = self._endpoint_ids.get(node)
+                if ids is not None:
+                    ids.discard(record_id)
+                    if not ids:
+                        del self._endpoint_ids[node]
+        self._collection.delete_by_id(record_id)
+        # Its sorted-time entries are stranded; reads already validate
+        # against the cache when stale entries exist, and the next rebuild
+        # drops them.
+        self._stale_time_entries += 2
+        self.archive.append(record_id, record, key)
+        self.evictions += 1
+
+    def _restore_from_archive(self, key: Tuple[str, Tuple[str, ...]]) -> int:
+        """Promote the archived record for ``key`` back into the hot tier.
+
+        The record keeps its original id, so merged results stay in the
+        exact order an uncapped TIB would produce.  The caller merges the
+        incoming record afterwards (and retention enforcement may age
+        something - possibly this very record - right back out).
+        """
+        record_id, record = self.archive.take(key)
+        document = record.to_document()
+        document["_id"] = record_id
+        self._collection.insert(document)
+        self._primary[key] = record_id
+        self._cache[record_id] = record
+        self._cache_order_dirty = True
+        insort(self._flow_ids.setdefault(key[0], []), record_id)
+        # _flow_totals already covers this record (it spans both tiers).
+        path = record.path
+        if len(path) >= 2:
+            for pair in zip(path, path[1:]):
+                self._link_ids.setdefault(pair, set()).add(record_id)
+            for node in set(path):
+                self._endpoint_ids.setdefault(node, set()).add(record_id)
+        self._pending_stime.append((record.stime, record_id))
+        self._pending_etime.append((record.etime, record_id))
+        # The pre-eviction index entries may still be around with the very
+        # same (time, id) values - flag possible duplicates for reads.
+        self._time_dup_possible = True
+        if self.retention.bounded:
+            heappush(self._evict_heap, (record.etime, record_id))
+        self.promotions += 1
+        return record_id
 
     # ------------------------------------------------------------------ reads
     def records(self, flow_id: Optional[FlowId] = None,
@@ -291,16 +469,66 @@ class Tib:
                 ) -> List[PathFlowRecord]:
         """All records matching the given constraints.
 
-        The returned :class:`PathFlowRecord` objects are the TIB's own
-        memoized instances - treat them as read-only.
+        Queries span both tiers: hot results and cold-archive matches are
+        merged in record-id order, so a capped TIB answers identically to
+        an uncapped one.  The returned hot-tier :class:`PathFlowRecord`
+        objects are the TIB's own memoized instances - treat them as
+        read-only (archived matches are freshly decoded copies).
         """
         start, end = normalise_time_range(time_range)
+        archive = self.archive
+        if archive is None or not archive.live_count:
+            return self._hot_records(flow_id, link, start, end)
+        pairs = self._hot_pairs(flow_id, link, start, end)
+        fkey = flow_key(flow_id) if flow_id is not None else None
+        cold = archive.search(fkey, start, end)
+        if link is not None:
+            cold = [(record_id, record) for record_id, record in cold
+                    if link_matches(record, link)]
+        if cold:
+            pairs.extend(cold)
+            pairs.sort(key=lambda pair: pair[0])
+        return [record for _, record in pairs]
+
+    def _hot_records(self, flow_id: Optional[FlowId],
+                     link: Optional[LinkId], start: Optional[float],
+                     end: Optional[float]) -> List[PathFlowRecord]:
+        """The single-tier read path (no live archive entries).
+
+        The unconstrained and time-only branches skip the ``(id, record)``
+        pair allocation entirely; everything else delegates to
+        :meth:`_hot_pairs` - one copy of the index routing and filters, so
+        capped and uncapped reads can never diverge.
+        """
+        cache = self._cache
+        if flow_id is None and link is None:
+            if start is None and end is None:
+                if self._cache_order_dirty:
+                    # Promotions reinserted old ids at the dict's tail;
+                    # the deterministic result order is id order.
+                    return [record for _, record in sorted(cache.items())]
+                return list(cache.values())
+            return [cache[record_id]
+                    for record_id in self._ids_in_window(start, end)]
+        return [record
+                for _, record in self._hot_pairs(flow_id, link, start, end)]
+
+    def _hot_pairs(self, flow_id: Optional[FlowId], link: Optional[LinkId],
+                   start: Optional[float], end: Optional[float]
+                   ) -> List[Tuple[int, PathFlowRecord]]:
+        """The hot tier's matches as ``(id, record)`` pairs, id-ordered.
+
+        The shared index-routing/filter core of every read: per-flow
+        postings, the inverted link/endpoint indexes, or the sorted time
+        index.  :meth:`records` merges cold-archive matches into the pairs
+        by id for the deterministic whole-TIB order.
+        """
         cache = self._cache
 
         if flow_id is not None:
             # Per-flow index; posting lists are already in id (insertion)
             # order.
-            results = []
+            pairs = []
             for record_id in self._flow_ids.get(flow_key(flow_id), ()):
                 record = cache[record_id]
                 if start is not None and record.etime < start:
@@ -309,8 +537,8 @@ class Tib:
                     continue
                 if link is not None and not link_matches(record, link):
                     continue
-                results.append(record)
-            return results
+                pairs.append((record_id, record))
+            return pairs
 
         if link is not None:
             a, b = link
@@ -324,20 +552,20 @@ class Tib:
                     forward = self._link_ids.get((a, b), _EMPTY_IDS)
                     backward = self._link_ids.get((b, a), _EMPTY_IDS)
                     candidates = forward | backward if backward else forward
-                results = []
+                pairs = []
                 for record_id in sorted(candidates):
                     record = cache[record_id]
                     if start is not None and record.etime < start:
                         continue
                     if end is not None and record.stime > end:
                         continue
-                    results.append(record)
-                return results
+                    pairs.append((record_id, record))
+                return pairs
             # A fully wild link constrains nothing; fall through.
 
         if start is None and end is None:
-            return list(cache.values())
-        return [cache[record_id]
+            return sorted(cache.items())
+        return [(record_id, cache[record_id])
                 for record_id in self._ids_in_window(start, end)]
 
     def _ids_in_window(self, start: Optional[float],
@@ -355,27 +583,48 @@ class Tib:
         """
         self._refresh_time_index()
         cache = self._cache
+        # Stale entries exist after merges moved a bound *or* after records
+        # were aged into the archive (their ids are no longer in the cache
+        # at all); cache.get covers both.
         stale = self._stale_time_entries > 0
         if start is None:
             cut = bisect_right(self._by_stime, (end, _POS_INF))
-            ids = [record_id for stime, record_id in self._by_stime[:cut]
-                   if not stale or cache[record_id].stime == stime]
+            if stale:
+                ids = [record_id for stime, record_id in self._by_stime[:cut]
+                       if (record := cache.get(record_id)) is not None
+                       and record.stime == stime]
+            else:
+                ids = [record_id for _, record_id in self._by_stime[:cut]]
         elif end is None:
             lo = bisect_left(self._by_etime, (start,))
-            ids = [record_id for etime, record_id in self._by_etime[lo:]
-                   if not stale or cache[record_id].etime == etime]
+            if stale:
+                ids = [record_id for etime, record_id in self._by_etime[lo:]
+                       if (record := cache.get(record_id)) is not None
+                       and record.etime == etime]
+            else:
+                ids = [record_id for _, record_id in self._by_etime[lo:]]
         else:
             lo = bisect_left(self._by_etime, (start,))
             cut = bisect_right(self._by_stime, (end, _POS_INF))
             if len(self._by_etime) - lo <= cut:
                 ids = [record_id for etime, record_id in self._by_etime[lo:]
-                       if cache[record_id].stime <= end
-                       and (not stale or cache[record_id].etime == etime)]
+                       if (record := cache.get(record_id)) is not None
+                       and record.stime <= end
+                       and (not stale or record.etime == etime)]
             else:
                 ids = [record_id for stime, record_id in self._by_stime[:cut]
-                       if cache[record_id].etime >= start
-                       and (not stale or cache[record_id].stime == stime)]
+                       if (record := cache.get(record_id)) is not None
+                       and record.etime >= start
+                       and (not stale or record.stime == stime)]
         ids.sort()
+        if self._time_dup_possible and ids:
+            # A promoted record's fresh index entry can coexist with its
+            # identical pre-eviction entry until the next rebuild.
+            deduped = [ids[0]]
+            for record_id in ids[1:]:
+                if record_id != deduped[-1]:
+                    deduped.append(record_id)
+            ids = deduped
         return ids
 
     #: Rebuild the time index outright once stale entries exceed this
@@ -428,7 +677,9 @@ class Tib:
                 self._pending_etime = []
 
     def _rebuild_time_index(self) -> None:
-        """Full rebuild from the record cache (drops stale entries)."""
+        """Full rebuild from the record cache (drops stale entries - both
+        merge-stranded ones and those of records aged into the archive -
+        and collapses any promotion duplicates)."""
         by_stime = []
         by_etime = []
         for record_id, record in self._cache.items():
@@ -441,28 +692,63 @@ class Tib:
         self._pending_stime = []
         self._pending_etime = []
         self._stale_time_entries = 0
+        self._time_dup_possible = False
 
     def record_count(self) -> int:
-        """Number of stored records."""
+        """Number of records in the **hot tier** (the bounded quantity)."""
         return len(self._cache)
 
+    def total_record_count(self) -> int:
+        """Number of records across both tiers."""
+        total = len(self._cache)
+        if self.archive is not None:
+            total += self.archive.live_count
+        return total
+
     def flow_byte_totals(self) -> Dict[str, int]:
-        """Total bytes per flow key over the whole TIB.
+        """Total bytes per flow key over the whole TIB (both tiers).
 
         Served from the incrementally maintained per-flow aggregates (no
         record scan); flows appear in first-record order.  This is the fast
-        path behind unconstrained top-k / heavy-hitter style queries.
+        path behind unconstrained top-k / heavy-hitter style queries, and
+        it deliberately spans the archive - aging a record out never
+        changes a flow's totals.
         """
         return {key: totals[0]
                 for key, totals in self._flow_totals.items()}
 
     def estimated_bytes(self) -> int:
-        """Approximate storage footprint (Section 5.3 accounting)."""
+        """Approximate **hot-tier** storage footprint (Section 5.3
+        accounting; the quantity ``RetentionPolicy.max_bytes`` bounds)."""
         return self._collection.estimated_bytes()
 
+    def archive_bytes(self) -> int:
+        """Measured size of the cold archive's log (0 when single-tier)."""
+        return self.archive.archive_bytes() if self.archive is not None else 0
+
+    def tier_stats(self) -> Dict[str, int]:
+        """Both tiers at a glance: sizes, movement counters, log shape."""
+        archive = self.archive
+        return {
+            "hot_records": len(self._cache),
+            "hot_bytes": self._collection.estimated_bytes(),
+            "cold_records": archive.live_count if archive else 0,
+            "cold_bytes": archive.archive_bytes() if archive else 0,
+            "evictions": self.evictions,
+            "promotions": self.promotions,
+            "segments": archive.segment_count if archive else 0,
+            "archive_compactions":
+                archive.stats["compactions"] if archive else 0,
+        }
+
     def reset_stats(self) -> None:
-        """Zero the backing collection's instrumentation counters."""
+        """Zero the instrumentation counters: the backing collection's, the
+        archive's, and the tier-movement (eviction/promotion) counts."""
         self._collection.reset_stats()
+        self.evictions = 0
+        self.promotions = 0
+        if self.archive is not None:
+            self.archive.reset_stats()
 
     # ----------------------------------------------------------- Table 1 API
     def get_flows(self, link: Optional[LinkId] = None,
@@ -514,15 +800,25 @@ class Tib:
 
     def get_duration(self, flow: Union[Flow, FlowId],
                      time_range: Optional[TimeRange] = None) -> float:
-        """``getDuration(Flow, timeRange)``: observed duration of a flow."""
+        """``getDuration(Flow, timeRange)``: observed duration of a flow.
+
+        With a ``time_range``, each record's ``[stime, etime]`` extent is
+        clamped to the requested window before the spread is taken - a
+        record merely *overlapping* the window must not leak observation
+        time from outside it (the reported duration can never exceed the
+        window's length).  Without matching records the duration is 0.
+        """
         flow_id, path = self._split_flow(flow)
+        start, end = normalise_time_range(time_range)
         stimes: List[float] = []
         etimes: List[float] = []
         for record in self.records(flow_id=flow_id, time_range=time_range):
             if path is not None and record.path != path:
                 continue
-            stimes.append(record.stime)
-            etimes.append(record.etime)
+            stime = record.stime if start is None else max(record.stime, start)
+            etime = record.etime if end is None else min(record.etime, end)
+            stimes.append(stime)
+            etimes.append(etime)
         if not stimes:
             return 0.0
         return max(etimes) - min(stimes)

@@ -92,15 +92,27 @@ class TrajectoryCache:
 class TrajectoryMemory:
     """Per-path flow records awaiting eviction to the TIB.
 
+    Records are kept in **recency order** (a touched record moves to the
+    end), so the periodic idle-eviction scan walks only the idle prefix and
+    stops at the first record still fresh - O(evicted) per flush instead of
+    a full O(n) scan.  The early stop is exact as long as packet
+    timestamps arrive non-decreasing (the fabric delivers in time order);
+    should an out-of-order timestamp ever be observed, the memory notices
+    and falls back to the exhaustive scan, so the eviction *set* is always
+    identical to the full scan's.
+
     Args:
         idle_timeout: seconds of inactivity after which a record is evicted.
     """
 
     def __init__(self, idle_timeout: float = DEFAULT_IDLE_TIMEOUT_S) -> None:
         self.idle_timeout = idle_timeout
-        self._records: Dict[Tuple[FlowId, Tuple[int, ...]],
-                            TrajectoryMemoryRecord] = {}
+        self._records: "OrderedDict[Tuple[FlowId, Tuple[int, ...]], TrajectoryMemoryRecord]" = OrderedDict()
         self.lookups = 0
+        # Recency order equals etime order only while touch timestamps
+        # never go backwards; flipped (permanently) on the first regression.
+        self._monotonic = True
+        self._last_when = float("-inf")
 
     # ----------------------------------------------------------------- writes
     def update(self, flow_id: FlowId, link_ids: Sequence[int], nbytes: int,
@@ -126,13 +138,19 @@ class TrajectoryMemory:
         samples = link_ids if type(link_ids) is tuple else tuple(link_ids)
         key = (flow_id, samples)
         self.lookups += 1
+        if when < self._last_when:
+            self._monotonic = False
+        else:
+            self._last_when = when
         records = self._records
         record = records.get(key)
         if record is None:
             record = TrajectoryMemoryRecord(
                 flow_id=flow_id, link_ids=samples, stime=when,
                 etime=when, bytes=0, pkts=0, src_host=flow_id.src_ip)
-            records[key] = record
+            records[key] = record  # new keys land at the end already
+        else:
+            records.move_to_end(key)  # touched: most recent again
         record.bytes += nbytes
         record.pkts += 1
         if when < record.stime:
@@ -145,12 +163,31 @@ class TrajectoryMemory:
         return None
 
     def evict_idle(self, now: float) -> List[TrajectoryMemoryRecord]:
-        """Evict records idle for longer than the timeout."""
+        """Evict records idle for longer than the timeout.
+
+        Walks the recency order from the oldest end and stops at the first
+        record still fresh - records behind it were touched even later, so
+        with monotone timestamps none of them can be idle.  The one-time
+        fallback (timestamps observed going backwards) scans exhaustively;
+        either way the eviction set equals the full scan's.
+        """
+        records = self._records
+        timeout = self.idle_timeout
+        if not self._monotonic:
+            evicted = []
+            for key, record in list(records.items()):
+                if now - record.etime >= timeout:
+                    evicted.append(record)
+                    del records[key]
+            return evicted
         evicted = []
-        for key, record in list(self._records.items()):
-            if now - record.etime >= self.idle_timeout:
-                evicted.append(record)
-                del self._records[key]
+        while records:
+            key = next(iter(records))
+            record = records[key]
+            if now - record.etime < timeout:
+                break
+            del records[key]
+            evicted.append(record)
         return evicted
 
     def evict_all(self) -> List[TrajectoryMemoryRecord]:

@@ -59,8 +59,10 @@ from repro.storage.records import PathFlowRecord
 #: Frame magic + codec version (bump on any incompatible layout change).
 #: Version 2: result frames carry a piggybacked alarm batch, pongs carry
 #: the worker's monitor flow count, and the event-plane frame kinds exist.
+#: Version 3: pongs carry the worker TIB's two-tier stats (hot/cold record
+#: counts and bytes) and the retention-config frame kind exists.
 MAGIC = b"PD"
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 _HEADER = struct.Struct("<2sBB")
 #: Bytes of the fixed frame header.
@@ -82,6 +84,7 @@ MSG_MONITOR_TICK = 12
 MSG_ALARM_BATCH = 13
 MSG_MONITOR_STATE = 14
 MSG_MONITOR_PULL = 15
+MSG_RETENTION = 16
 
 #: Tagged-value type codes.
 _V_NONE = 0
@@ -546,6 +549,40 @@ def decode_record_batch(data: bytes) -> List[PathFlowRecord]:
     return [reader.record() for _ in range(reader.uvarint())]
 
 
+def append_record_entry(buf: bytearray, record_id: int,
+                        record: PathFlowRecord) -> None:
+    """Append one ``varint(record id) + record body`` log entry to ``buf``.
+
+    This is the entry format of the cold archive's append-only segments
+    (:mod:`repro.storage.archive`): the same record encoding as a record
+    batch, prefixed with the record's hot-tier id so the two tiers share
+    one deterministic result order.  Archive sizes are therefore *measured*
+    codec bytes, directly comparable with the record-batch accounting.
+    """
+    _w_uvarint(buf, record_id)
+    _w_record(buf, record)
+
+
+def iter_record_entries(data: bytes
+                        ) -> Iterable[Tuple[int, PathFlowRecord]]:
+    """Decode a blob of :func:`append_record_entry` log entries in order."""
+    reader = _Reader(data)
+    length = len(data)
+    while reader.pos < length:
+        yield reader.uvarint(), reader.record()
+
+
+def read_record_entry(data: bytes, offset: int
+                      ) -> Tuple[int, PathFlowRecord]:
+    """Decode the single log entry starting at ``offset`` in ``data``.
+
+    This is the point-lookup half of the archive's per-segment offset
+    index: one entry is decoded, not the whole segment.
+    """
+    reader = _Reader(data, offset)
+    return reader.uvarint(), reader.record()
+
+
 # ------------------------------------------------------------------ results
 def encode_result(result) -> bytes:
     """Encode a (partial) query result.
@@ -624,25 +661,71 @@ def encode_ping() -> bytes:
     return _frame(MSG_PING)
 
 
-def encode_pong(record_count: int, monitor_flows: int = 0) -> bytes:
-    """Encode a liveness reply carrying the worker's TIB record count and
-    its monitor's flow-ledger size (the ingest/observation sync barrier
-    checks both)."""
+def encode_pong(record_count: int, monitor_flows: int = 0,
+                hot_records: int = 0, hot_bytes: int = 0,
+                cold_records: int = 0, cold_bytes: int = 0) -> bytes:
+    """Encode a liveness reply.
+
+    Carries the worker TIB's *total* record count (hot + cold - the
+    ingest sync barrier checks it) and the monitor's flow-ledger size,
+    plus the two-tier stats: hot/cold record counts and measured bytes,
+    so the controller reads a capped worker's tier split straight off the
+    liveness probe instead of needing a separate exchange.
+    """
     body = bytearray()
     _w_uvarint(body, record_count)
     _w_uvarint(body, monitor_flows)
+    _w_uvarint(body, hot_records)
+    _w_uvarint(body, hot_bytes)
+    _w_uvarint(body, cold_records)
+    _w_uvarint(body, cold_bytes)
     return _frame(MSG_PONG, bytes(body))
 
 
 def decode_pong(data: bytes) -> int:
-    """The TIB record count of a pong frame."""
+    """The (total) TIB record count of a pong frame."""
     return _expect(data, MSG_PONG).uvarint()
 
 
 def decode_pong_state(data: bytes) -> Tuple[int, int]:
-    """Inverse of :func:`encode_pong`: ``(record_count, monitor_flows)``."""
+    """The ``(record_count, monitor_flows)`` prefix of a pong frame."""
     reader = _expect(data, MSG_PONG)
     return reader.uvarint(), reader.uvarint()
+
+
+def decode_pong_tiers(data: bytes) -> Tuple[int, int, int, int, int, int]:
+    """Inverse of :func:`encode_pong`: ``(record_count, monitor_flows,
+    hot_records, hot_bytes, cold_records, cold_bytes)``."""
+    reader = _expect(data, MSG_PONG)
+    return (reader.uvarint(), reader.uvarint(), reader.uvarint(),
+            reader.uvarint(), reader.uvarint(), reader.uvarint())
+
+
+def encode_retention(max_records: Optional[int],
+                     max_bytes: Optional[int]) -> bytes:
+    """Encode a hot-tier retention config (``None`` = unbounded bound).
+
+    Sent to an agent-server worker so it applies the same record-count /
+    byte cap host-side that the controller's local agents apply - the
+    capped worker ages records into its own cold archive exactly like the
+    in-process TIB does.
+    """
+    body = bytearray()
+    for bound in (max_records, max_bytes):
+        if bound is None:
+            body.append(0)
+        else:
+            body.append(1)
+            _w_uvarint(body, bound)
+    return _frame(MSG_RETENTION, bytes(body))
+
+
+def decode_retention(data: bytes) -> Tuple[Optional[int], Optional[int]]:
+    """Inverse of :func:`encode_retention`: ``(max_records, max_bytes)``."""
+    reader = _expect(data, MSG_RETENTION)
+    max_records = reader.uvarint() if reader.u8() else None
+    max_bytes = reader.uvarint() if reader.u8() else None
+    return max_records, max_bytes
 
 
 def encode_reset() -> bytes:

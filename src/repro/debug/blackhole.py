@@ -163,7 +163,8 @@ class BlackholeExperimentResult:
 def run_blackhole_experiment(*, scenario: str = "agg-core", k: int = 4,
                              flow_size: int = 100_000, seed: int = 0,
                              background_flows: int = 200,
-                             mode: str = "serial"
+                             mode: str = "serial",
+                             retention=None
                              ) -> BlackholeExperimentResult:
     """Reproduce the Section 4.4 blackhole scenarios.
 
@@ -180,12 +181,15 @@ def run_blackhole_experiment(*, scenario: str = "agg-core", k: int = 4,
             POOR_PERF alarm is raised by the agent-server worker's monitor
             and travels over the wire protocol before the diagnoser sees
             it.
+        retention: optional hot-tier bounds for every TIB (two-tier mode);
+            the diagnosis is tier-transparent - queries span the archive,
+            so a capped deployment reaches the same verdict.
     """
     if scenario not in ("agg-core", "tor-agg"):
         raise ValueError("scenario must be 'agg-core' or 'tor-agg'")
     topo = FatTreeTopology(k)
     routing = RoutingFabric(topo, policy=POLICY_SPRAY)
-    cluster = QueryCluster(topo, mode=mode)
+    cluster = QueryCluster(topo, mode=mode, retention=retention)
     try:
         return _run_blackhole(cluster, topo, routing, scenario=scenario,
                               flow_size=flow_size, seed=seed,

@@ -121,7 +121,8 @@ class ConformanceExperimentResult:
 
 def run_path_conformance_experiment(*, k: int = 4, seed: int = 0,
                                     max_switch_hops: int = 6,
-                                    mode: str = "serial"
+                                    mode: str = "serial",
+                                    retention=None
                                     ) -> ConformanceExperimentResult:
     """Reproduce the Figure 4 scenario on a k-ary fat-tree.
 
@@ -137,7 +138,8 @@ def run_path_conformance_experiment(*, k: int = 4, seed: int = 0,
     topo = FatTreeTopology(k)
     routing = RoutingFabric(topo)
     fabric = Fabric(topo, routing, seed=seed)
-    cluster = QueryCluster(topo, fabric=fabric, mode=mode)
+    cluster = QueryCluster(topo, fabric=fabric, mode=mode,
+                           retention=retention)
     try:
         return _run_conformance(cluster, topo, routing, fabric, seed=seed,
                                 max_switch_hops=max_switch_hops)

@@ -174,7 +174,8 @@ class OutcastExperimentResult:
 
 def run_outcast_experiment(*, k: int = 4, senders: int = 15,
                            duration_s: float = 10.0, seed: int = 0,
-                           capacity_bps: float = 1e9, mode: str = "serial"
+                           capacity_bps: float = 1e9, mode: str = "serial",
+                           retention=None
                            ) -> OutcastExperimentResult:
     """Reproduce the TCP outcast scenario of Figure 10.
 
@@ -188,7 +189,7 @@ def run_outcast_experiment(*, k: int = 4, senders: int = 15,
     workers and the alerts arrive over the wire).
     """
     topo = FatTreeTopology(k)
-    cluster = QueryCluster(topo, mode=mode)
+    cluster = QueryCluster(topo, mode=mode, retention=retention)
     try:
         return _run_outcast(cluster, topo, senders=senders,
                             duration_s=duration_s, seed=seed,

@@ -1,11 +1,14 @@
-"""Storage substrate: in-memory document store and flow-record schema."""
+"""Storage substrate: in-memory document store, flow-record schema and the
+log-structured cold archive of the two-tier TIB."""
 
+from repro.storage.archive import ColdArchive, RetentionPolicy
 from repro.storage.docstore import Collection, DocumentStore, QueryError
 from repro.storage.records import (PathFlowRecord, TrajectoryMemoryRecord,
                                    flow_key, parse_flow_key,
                                    records_wire_bytes)
 
 __all__ = [
+    "ColdArchive", "RetentionPolicy",
     "Collection", "DocumentStore", "QueryError",
     "PathFlowRecord", "TrajectoryMemoryRecord", "flow_key", "parse_flow_key",
     "records_wire_bytes",

@@ -1,0 +1,437 @@
+"""Log-structured cold archive for aged-out TIB records.
+
+PathDump keeps only *recent* flow entries in each end host's in-memory TIB
+and ages older entries out to persistent storage; queries span both tiers.
+This module is the cold tier of that design: an append-only, log-structured
+store of encoded :class:`~repro.storage.records.PathFlowRecord` entries,
+modelling the on-disk half of the paper's MongoDB-backed TIB.
+
+Layout
+------
+
+Records arrive in *eviction order* (oldest ``etime`` first, the hot tier's
+retention order) and are appended to an **active log buffer**.  Once the
+buffer holds :attr:`ColdArchive.segment_records` entries it is **sealed**
+into an immutable segment: a single ``bytes`` blob of
+``varint(record id) + record body`` entries (the same record encoding the
+wire codec ships, so archive bytes are *measured* serialized bytes, not
+estimates), plus a **sparse index** - the segment's ``[min stime, max
+etime]`` envelope, its ``[min id, max id]`` range and the set of flow keys
+it contains.  Queries prune whole segments on that metadata and decode only
+the candidates.
+
+Two mutations exist besides append:
+
+* :meth:`ColdArchive.take` removes one entry (the hot tier *promotes* a
+  record back when a new write merges into an archived key).  The entry's
+  bytes stay in place; its id joins a tombstone set that reads skip.
+* :meth:`ColdArchive.compact` rewrites every segment without the
+  tombstoned entries (triggered automatically once the dead fraction
+  crosses :attr:`ColdArchive.compact_dead_ratio`), reclaiming their bytes.
+
+The archive also keeps a **key index** ``(flow key, path) -> record id``
+over its live entries - the structure a real log-structured store carries
+as bloom filters / sparse key indexes - so the hot tier's upsert path can
+detect in O(1) that an incoming record must merge into an archived one.
+
+Nothing in this module imports the wire codec at import time (the codec
+lives in :mod:`repro.core`, which imports this package); the record
+encoder is bound lazily on first use, mirroring
+:meth:`repro.storage.records.PathFlowRecord.wire_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
+
+from repro.storage.records import PathFlowRecord, flow_key
+
+#: A hot/cold tier key: ``(flow key, path)`` - the TIB's primary key.
+ArchiveKey = Tuple[str, Tuple[str, ...]]
+
+_INF = float("inf")
+
+_wire = None
+
+
+def _codec():
+    """The wire codec, bound lazily (see the module docstring)."""
+    global _wire
+    if _wire is None:
+        from repro.core import wire
+        _wire = wire
+    return _wire
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Bounds on the hot tier of a two-tier TIB.
+
+    Attributes:
+        max_records: hot-tier record-count cap (``None`` = unbounded).
+        max_bytes: hot-tier ``estimated_bytes`` cap (``None`` = unbounded).
+
+    When either bound is exceeded the TIB ages its oldest-``etime`` records
+    out into the cold archive until it is back under both.
+    """
+
+    max_records: Optional[int] = None
+    max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_records is not None and self.max_records < 0:
+            raise ValueError("max_records must be non-negative")
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any bound is set at all."""
+        return self.max_records is not None or self.max_bytes is not None
+
+    def exceeded_by(self, records: int, nbytes: int) -> bool:
+        """Whether a hot tier of ``records`` rows / ``nbytes`` bytes is
+        over either bound."""
+        if self.max_records is not None and records > self.max_records:
+            return True
+        return self.max_bytes is not None and nbytes > self.max_bytes
+
+
+class _Segment:
+    """One sealed, immutable log segment plus its sparse index.
+
+    ``offsets`` maps record id -> byte offset of the id's *latest* entry
+    in ``data`` (the point-lookup index a real log-structured store keeps
+    per SSTable); promotion reads decode exactly one entry through it.
+    """
+
+    __slots__ = ("data", "count", "min_stime", "max_etime", "min_id",
+                 "max_id", "flow_keys", "offsets")
+
+    def __init__(self, data: bytes, count: int, min_stime: float,
+                 max_etime: float, min_id: int, max_id: int,
+                 flow_keys: FrozenSet[str],
+                 offsets: Dict[int, int]) -> None:
+        self.data = data
+        self.count = count
+        self.min_stime = min_stime
+        self.max_etime = max_etime
+        self.min_id = min_id
+        self.max_id = max_id
+        self.flow_keys = flow_keys
+        self.offsets = offsets
+
+    def may_contain(self, fkey: Optional[str], start: Optional[float],
+                    end: Optional[float]) -> bool:
+        """Sparse-index pruning: can this segment hold a matching entry?"""
+        if fkey is not None and fkey not in self.flow_keys:
+            return False
+        if start is not None and self.max_etime < start:
+            return False
+        if end is not None and self.min_stime > end:
+            return False
+        return True
+
+
+class ColdArchive:
+    """The log-structured cold tier of one host's TIB.
+
+    Args:
+        segment_records: entries per sealed segment (the log granularity).
+        compact_dead_ratio: dead-entry fraction above which a
+            :meth:`take` triggers an automatic :meth:`compact`; ``None``
+            disables auto-compaction.
+    """
+
+    #: Default entries per sealed segment.
+    SEGMENT_RECORDS = 256
+    #: Default dead fraction that triggers compaction.
+    COMPACT_DEAD_RATIO = 0.3
+    #: Minimum total entries before auto-compaction is considered.
+    COMPACT_MIN_RECORDS = 64
+
+    def __init__(self, segment_records: int = SEGMENT_RECORDS,
+                 compact_dead_ratio: Optional[float] = COMPACT_DEAD_RATIO
+                 ) -> None:
+        if segment_records < 1:
+            raise ValueError("segment_records must be positive")
+        self.segment_records = segment_records
+        self.compact_dead_ratio = compact_dead_ratio
+        self._segments: List[_Segment] = []
+        # Active (unsealed) log buffer plus its index-in-progress.
+        self._active = bytearray()
+        self._active_count = 0
+        self._active_min_stime = _INF
+        self._active_max_etime = -_INF
+        self._active_min_id = 0
+        self._active_max_id = 0
+        self._active_flow_keys: Set[str] = set()
+        self._active_offsets: Dict[int, int] = {}
+        # Live-entry key index + tombstones (see the module docstring).
+        self._key_index: Dict[ArchiveKey, int] = {}
+        self._dead: Set[int] = set()
+        # Entries superseded by a re-archival of the same id: their bytes
+        # are garbage like tombstones, but the id itself is live again, so
+        # they are counted instead of kept in the dead set.
+        self._superseded = 0
+        self._total_records = 0
+        #: Instrumentation: how often the expensive operations happen.
+        self.stats = {"appends": 0, "takes": 0, "segments_sealed": 0,
+                      "compactions": 0, "segment_decodes": 0}
+
+    # ------------------------------------------------------------------ writes
+    def append(self, record_id: int, record: PathFlowRecord,
+               key: Optional[ArchiveKey] = None) -> None:
+        """Append one aged-out record under its hot-tier id.
+
+        ``key`` is the TIB's primary key for the record (derived when
+        omitted).  The caller must not hold two live entries for the same
+        key - the hot tier promotes before re-archiving.  Re-archiving an
+        id that was promoted earlier is fine: the tombstone is lifted and
+        the *latest* log entry for an id is authoritative everywhere.
+        """
+        if key is None:
+            key = (flow_key(record.flow_id), record.path)
+        if key in self._key_index:
+            raise ValueError(f"archive already holds a live entry for {key}")
+        if record_id in self._dead:
+            # Re-archival of a promoted id: the tombstoned entry becomes a
+            # *superseded* duplicate - still garbage bytes, but the id is
+            # live again, so track it by count for the compaction trigger.
+            self._dead.discard(record_id)
+            self._superseded += 1
+        wire = _codec()
+        if not self._active_count:
+            self._active_min_id = record_id
+        self._active_offsets[record_id] = len(self._active)
+        wire.append_record_entry(self._active, record_id, record)
+        self._active_count += 1
+        self._active_max_id = max(self._active_max_id, record_id)
+        self._active_min_id = min(self._active_min_id, record_id)
+        if record.stime < self._active_min_stime:
+            self._active_min_stime = record.stime
+        if record.etime > self._active_max_etime:
+            self._active_max_etime = record.etime
+        self._active_flow_keys.add(key[0])
+        self._key_index[key] = record_id
+        self._total_records += 1
+        self.stats["appends"] += 1
+        if self._active_count >= self.segment_records:
+            self._seal_active()
+        self._maybe_compact()
+
+    def _seal_active(self) -> None:
+        """Freeze the active buffer into an immutable segment."""
+        if not self._active_count:
+            return
+        self._segments.append(_Segment(
+            bytes(self._active), self._active_count,
+            self._active_min_stime, self._active_max_etime,
+            self._active_min_id, self._active_max_id,
+            frozenset(self._active_flow_keys), self._active_offsets))
+        self.stats["segments_sealed"] += 1
+        self._reset_active()
+
+    def _reset_active(self) -> None:
+        self._active = bytearray()
+        self._active_count = 0
+        self._active_min_stime = _INF
+        self._active_max_etime = -_INF
+        self._active_min_id = 0
+        self._active_max_id = 0
+        self._active_flow_keys = set()
+        self._active_offsets = {}
+
+    def take(self, key: ArchiveKey) -> Tuple[int, PathFlowRecord]:
+        """Remove and return the live entry for ``key`` (promotion path).
+
+        Returns ``(record id, record)``.  The entry's bytes are tombstoned
+        in place; compaction reclaims them once enough pile up.  Raises
+        :class:`KeyError` when the archive holds no live entry for ``key``.
+        """
+        record_id = self._key_index.pop(key)  # KeyError propagates
+        record = self._find_entry(record_id, key[0])
+        if record is None:  # pragma: no cover - index/log desync guard
+            raise KeyError(f"archive log lost entry {record_id} for {key}")
+        self._dead.add(record_id)
+        self.stats["takes"] += 1
+        self._maybe_compact()
+        return record_id, record
+
+    def lookup(self, key: ArchiveKey) -> Optional[int]:
+        """The live entry id archived under ``key``, or ``None``."""
+        return self._key_index.get(key)
+
+    def _find_entry(self, record_id: int,
+                    fkey: str) -> Optional[PathFlowRecord]:
+        """Decode the entry ``record_id`` via the per-segment offset index.
+
+        The log may hold several entries for one id (a promoted record
+        re-archived later); the *latest* one is authoritative, so the
+        active buffer is consulted first, then the sealed segments newest
+        to oldest.  Exactly one entry is decoded - no segment scan.
+        """
+        wire = _codec()
+        offset = self._active_offsets.get(record_id)
+        if offset is not None:
+            # The reader indexes/slices the bytearray directly - no copy
+            # of the whole active buffer for a point lookup.
+            entry_id, record = wire.read_record_entry(self._active, offset)
+            return record
+        for segment in reversed(self._segments):
+            offset = segment.offsets.get(record_id)
+            if offset is not None:
+                entry_id, record = wire.read_record_entry(segment.data,
+                                                          offset)
+                return record
+        return None
+
+    @staticmethod
+    def _iter_entries(data: bytes
+                      ) -> Iterator[Tuple[int, PathFlowRecord]]:
+        return _codec().iter_record_entries(data)
+
+    # --------------------------------------------------------------- compaction
+    def _maybe_compact(self) -> None:
+        ratio = self.compact_dead_ratio
+        if ratio is None:
+            return
+        if self._total_records >= self.COMPACT_MIN_RECORDS and \
+                self.dead_ratio >= ratio:
+            self.compact()
+
+    @property
+    def dead_ratio(self) -> float:
+        """Fraction of log entries holding garbage bytes: tombstoned ids
+        plus entries superseded by a re-archival of their id."""
+        total = self._total_records
+        return (len(self._dead) + self._superseded) / total if total else 0.0
+
+    def compact(self) -> None:
+        """Rewrite the log without tombstoned entries.
+
+        Live entries are re-laid in id order and re-sealed into full
+        segments; the sparse indexes are rebuilt; the dead set empties.
+        """
+        self.stats["compactions"] += 1
+        # Last entry per id wins (see append()); tombstoned ids drop out.
+        latest: Dict[int, PathFlowRecord] = {}
+        for record_id, record in self._entries():
+            if record_id not in self._dead:
+                latest[record_id] = record
+        live = sorted(latest.items())
+        self._segments = []
+        self._reset_active()
+        self._dead = set()
+        self._superseded = 0
+        self._total_records = 0
+        appends = self.stats["appends"]  # compaction is not ingest
+        sealed = self.stats["segments_sealed"]
+        for record_id, record in live:
+            key = (flow_key(record.flow_id), record.path)
+            del self._key_index[key]  # append() re-adds it
+            self.append(record_id, record, key)
+        self._seal_active()
+        self.stats["appends"] = appends
+        self.stats["segments_sealed"] = sealed
+
+    def _entries(self) -> List[Tuple[int, PathFlowRecord]]:
+        """Every log entry (live and dead), segments first then active."""
+        out: List[Tuple[int, PathFlowRecord]] = []
+        for segment in self._segments:
+            self.stats["segment_decodes"] += 1
+            out.extend(self._iter_entries(segment.data))
+        out.extend(self._iter_entries(self._active))
+        return out
+
+    # ------------------------------------------------------------------- reads
+    def search(self, fkey: Optional[str] = None,
+               start: Optional[float] = None,
+               end: Optional[float] = None
+               ) -> List[Tuple[int, PathFlowRecord]]:
+        """Live entries matching a flow key and/or overlapping a window.
+
+        Returns ``(record id, record)`` pairs in ascending id order - the
+        hot tier merges them with its own id-ordered results so queries
+        spanning both tiers keep the deterministic single-tier order.
+        Whole segments are pruned on the sparse index; only candidates are
+        decoded.
+
+        When the log holds several entries for one id (promotion then
+        re-archival), the latest is authoritative; time filters run on it
+        *after* the dedup.  Pruning stays safe across duplicates because a
+        record's ``stime`` only ever decreases and its ``etime`` only ever
+        increases: any segment holding the newest entry of an id whose
+        stale twin overlaps the window must overlap it too.
+        """
+        latest: Dict[int, PathFlowRecord] = {}
+        dead = self._dead
+        for segment in self._segments:
+            if not segment.may_contain(fkey, start, end):
+                continue
+            self.stats["segment_decodes"] += 1
+            self._collect_blob(segment.data, fkey, dead, latest)
+        if self._active_count:
+            self._collect_blob(self._active, fkey, dead, latest)
+        results = [(record_id, record)
+                   for record_id, record in latest.items()
+                   if (start is None or record.etime >= start)
+                   and (end is None or record.stime <= end)]
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+    @staticmethod
+    def _collect_blob(data: bytes, fkey: Optional[str], dead: Set[int],
+                      latest: Dict[int, PathFlowRecord]) -> None:
+        for record_id, record in ColdArchive._iter_entries(data):
+            if record_id in dead:
+                continue
+            if fkey is not None and flow_key(record.flow_id) != fkey:
+                continue
+            latest[record_id] = record
+
+    # -------------------------------------------------------------- accounting
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-tombstoned) archived records."""
+        return len(self._key_index)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of sealed segments."""
+        return len(self._segments)
+
+    def archive_bytes(self) -> int:
+        """*Measured* size of the log: the encoded bytes actually held
+        (sealed segments plus the active buffer, tombstones included until
+        compaction reclaims them)."""
+        return sum(len(s.data) for s in self._segments) + len(self._active)
+
+    def index_bytes(self) -> int:
+        """Rough footprint of the archive-side index structures (the key
+        index, tombstone set and per-segment sparse metadata)."""
+        total = 0
+        for (fkey, path), _ in self._key_index.items():
+            total += len(fkey) + sum(len(node) + 2 for node in path) + 8
+        total += 8 * len(self._dead)
+        for segment in self._segments:
+            total += 48 + sum(len(k) for k in segment.flow_keys)
+            total += 16 * len(segment.offsets)
+        total += 16 * len(self._active_offsets)
+        return total
+
+    def clear(self) -> None:
+        """Drop every segment, the active buffer and all indexes."""
+        self._segments = []
+        self._reset_active()
+        self._key_index = {}
+        self._dead = set()
+        self._superseded = 0
+        self._total_records = 0
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters (data stays intact)."""
+        for key in self.stats:
+            self.stats[key] = 0

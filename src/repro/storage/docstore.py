@@ -363,10 +363,26 @@ class Collection:
         return found[0] if found else None
 
     def count(self, query: Optional[Dict[str, Any]] = None) -> int:
-        """Count matching documents."""
+        """Count matching documents.
+
+        Counts directly over the candidate positions - no result list is
+        built (``len(self.find(query))`` used to materialize every match
+        just to throw it away).  Uses the same index routing as
+        :meth:`find`, so the two can never disagree.
+        """
         if query is None:
             return len(self._documents) - self._tombstones
-        return len(self.find(query))
+        positions = self._candidate_positions(query)
+        if positions is None:
+            self.stats["full_scans"] += 1
+            positions = range(len(self._documents))
+        matched = 0
+        documents = self._documents
+        for position in positions:
+            document = documents[position]
+            if document is not None and _matches(document, query):
+                matched += 1
+        return matched
 
     def distinct(self, field: str,
                  query: Optional[Dict[str, Any]] = None) -> List[Any]:

@@ -68,7 +68,8 @@ class TestHostApi:
     def test_memory_footprint_keys(self, agent):
         footprint = agent.memory_footprint_bytes()
         assert set(footprint) == {"trajectory_memory", "trajectory_cache",
-                                  "tib"}
+                                  "tib", "tib_archive"}
+        assert footprint["tib_archive"] == 0  # unbounded: single tier
 
 
 class TestQueryEngine:

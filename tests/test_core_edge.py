@@ -210,3 +210,58 @@ class TestAlarmBus:
         assert len(bus.involving_destination("h-2-0-0")) == 2
         bus.clear()
         assert bus.count() == 0
+
+
+class TestIdleEvictionRecencyOrder:
+    """The idle scan walks the recency-ordered prefix and stops early; its
+    eviction *set* must equal the old exhaustive scan's."""
+
+    @staticmethod
+    def _reference_idle_set(memory, now):
+        return {(r.flow_id, r.link_ids) for r in memory.live_records()
+                if now - r.etime >= memory.idle_timeout}
+
+    def test_eviction_set_matches_full_scan(self):
+        import random
+        rng = random.Random(42)
+        memory = TrajectoryMemory(idle_timeout=5.0)
+        when = 0.0
+        for step in range(400):
+            when += rng.uniform(0.0, 0.4)  # non-decreasing timestamps
+            memory.update(_flow(rng.randint(1, 40)),
+                          [rng.randint(1, 6)], 100, when=when)
+            if step % 50 == 49:
+                expected = self._reference_idle_set(memory, when)
+                evicted = memory.evict_idle(when)
+                assert {(r.flow_id, r.link_ids) for r in evicted} == expected
+                assert not self._reference_idle_set(memory, when)
+
+    def test_touch_refreshes_recency(self):
+        memory = TrajectoryMemory(idle_timeout=5.0)
+        memory.update(_flow(1), [3], 100, when=0.0)
+        memory.update(_flow(2), [3], 100, when=1.0)
+        memory.update(_flow(1), [3], 100, when=4.0)  # flow 1 touched again
+        evicted = memory.evict_idle(now=6.5)  # only flow 2 is idle
+        assert [r.flow_id for r in evicted] == [_flow(2)]
+        assert len(memory) == 1
+
+    def test_out_of_order_timestamps_fall_back_to_full_scan(self):
+        memory = TrajectoryMemory(idle_timeout=5.0)
+        memory.update(_flow(1), [3], 100, when=10.0)
+        memory.update(_flow(2), [3], 100, when=2.0)  # time went backwards
+        assert not memory._monotonic
+        # recency order is (1, 2) but flow 2 has the older etime; the
+        # fallback scan must still find it
+        expected = self._reference_idle_set(memory, 8.0)
+        evicted = memory.evict_idle(now=8.0)
+        assert {(r.flow_id, r.link_ids) for r in evicted} == expected
+        assert [r.flow_id for r in evicted] == [_flow(2)]
+        assert len(memory) == 1
+
+    def test_early_stop_leaves_fresh_suffix_untouched(self):
+        memory = TrajectoryMemory(idle_timeout=5.0)
+        for i in range(10):
+            memory.update(_flow(i), [3], 100, when=float(i))
+        evicted = memory.evict_idle(now=9.0)  # idle: etimes 0..4
+        assert sorted(r.etime for r in evicted) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert len(memory) == 5

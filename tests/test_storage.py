@@ -305,3 +305,47 @@ class TestEstimatedBytesAccounting:
             ascii_coll.estimated_bytes() + 4
         assert unicode_coll.estimated_bytes() == \
             unicode_coll.recompute_estimated_bytes()
+
+
+class TestCountWithoutMaterializing:
+    """``count(query)`` must agree with ``len(find(query))`` while building
+    no result list (it counts straight over the candidate positions)."""
+
+    QUERIES = [
+        {"city": "london"},
+        {"city": "nowhere"},
+        {"age": {"$gte": 26}},
+        {"age": {"$gte": 26, "$lt": 36}},
+        {"tags": {"$contains": "math"}},
+        {"city": "london", "age": {"$gt": 30}},
+        {"_id": 0},
+        {},
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_count_matches_find(self, people, query):
+        assert people.count(query or None) == len(people.find(query or None))
+
+    def test_count_uses_index_not_full_scan(self, people):
+        people.reset_stats()
+        assert people.count({"city": "london"}) == 2
+        assert people.stats["full_scans"] == 0
+        # un-indexed field: the full scan is counted, like find's
+        assert people.count({"age": 25}) == 1
+        assert people.stats["full_scans"] == 1
+
+    def test_count_skips_tombstones(self, people):
+        people.delete({"name": "ada"})
+        assert people.count({"city": "london"}) == \
+            len(people.find({"city": "london"})) == 1
+        assert people.count() == 2
+
+    def test_count_with_sorted_index(self):
+        collection = Collection("events")
+        collection.create_sorted_index("when")
+        for i in range(50):
+            collection.insert({"when": float(i % 10), "seq": i})
+        query = {"when": {"$gte": 3.0, "$lt": 6.0}}
+        collection.reset_stats()
+        assert collection.count(query) == len(collection.find(query)) == 15
+        assert collection.stats["full_scans"] == 0

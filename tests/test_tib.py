@@ -423,3 +423,106 @@ class TestNoMutateContract:
         listy = PathFlowRecord(_flow(sport=9), list(PATH_B), 0.0, 1.0, 1, 1)
         tib.add_record(listy, adopt=True)
         assert type(listy.path) is tuple  # adopted records are normalised
+
+
+class TestGetDurationClamp:
+    """Regression: with a ``time_range``, a record's extent must be clamped
+    to the window - full extents used to leak outside it, so the reported
+    duration could exceed the window's own length."""
+
+    @pytest.fixture()
+    def long_flow(self):
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 0.0, 100.0))
+        return tib, flow
+
+    def test_duration_never_exceeds_window_length(self, long_flow):
+        tib, flow = long_flow
+        assert tib.get_duration(flow, (10.0, 20.0)) == 10.0
+
+    def test_one_sided_windows_clamp_one_bound(self, long_flow):
+        tib, flow = long_flow
+        assert tib.get_duration(flow, (40.0, None)) == 60.0
+        assert tib.get_duration(flow, (None, 30.0)) == 30.0
+        assert tib.get_duration(flow, ("*", "*")) == 100.0
+
+    def test_unconstrained_duration_unchanged(self, long_flow):
+        tib, flow = long_flow
+        assert tib.get_duration(flow) == 100.0
+
+    def test_empty_result_is_zero(self, long_flow):
+        tib, flow = long_flow
+        assert tib.get_duration(flow, (200.0, 300.0)) == 0.0
+        assert tib.get_duration(_flow(sport=9999), (10.0, 20.0)) == 0.0
+
+    def test_multi_record_spread_is_clamped_per_record(self):
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 0.0, 12.0))
+        tib.add_record(_record(flow, PATH_B, 18.0, 50.0))
+        # window [10, 20]: extents clamp to [10, 12] and [18, 20]
+        assert tib.get_duration(flow, (10.0, 20.0)) == 10.0
+
+    def test_point_window(self, long_flow):
+        tib, flow = long_flow
+        assert tib.get_duration(flow, (50.0, 50.0)) == 0.0
+
+
+class TestTimeRangeBoundaryFuzz:
+    """Fuzz the indexed ``_ids_in_window`` bisect path against the
+    brute-force ``record_in_range`` scan: exact ``stime == end`` /
+    ``etime == start`` boundaries, entries still in the pending insertion
+    buffer, wildcard bounds, merges that move bounds - and the two-tier
+    variant where part of the data lives in the cold archive."""
+
+    GRID = [float(x) for x in range(0, 12)]
+
+    def _fuzz(self, seed, retention=None):
+        from repro.storage import RetentionPolicy
+        rng = random.Random(seed)
+        tib = Tib("h", retention=retention)
+        n = rng.randint(1, 60)
+        for i in range(n):
+            flow = _flow(src=f"h-{rng.randint(0, 4)}-0-0",
+                         sport=1000 + rng.randint(0, 9))
+            stime = rng.choice(self.GRID)
+            etime = stime + rng.choice([0.0, 1.0, 3.0])
+            path = PATH_A if rng.random() < 0.5 else PATH_B
+            tib.add_record(_record(flow, path, stime, etime, 10, 1))
+            if rng.random() < 0.25:
+                # interleaved read: folds the pending insertion buffer so
+                # later writes land in a fresh buffer
+                tib.records(time_range=(rng.choice(self.GRID), None))
+        for _ in range(30):
+            bounds = [rng.choice([None, "*"] + self.GRID) for _ in range(2)]
+            start = None if bounds[0] in (None, "*") else bounds[0]
+            end = None if bounds[1] in (None, "*") else bounds[1]
+            if start is not None and end is not None and end < start:
+                start, end = end, start
+            window = (start, end)
+            got = [(r.flow_id, r.path, r.stime, r.etime)
+                   for r in tib.records(time_range=window)]
+            want = [(r.flow_id, r.path, r.stime, r.etime)
+                    for r in tib.records()
+                    if record_in_range(r, (start, end))]
+            assert got == want, f"seed={seed} window={window}"
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_indexed_window_matches_brute_force(self, seed):
+        self._fuzz(seed)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_two_tier_window_matches_brute_force(self, seed):
+        from repro.storage import RetentionPolicy
+        self._fuzz(seed, retention=RetentionPolicy(max_records=7))
+
+    def test_exact_boundaries_inclusive(self):
+        tib = Tib("h")
+        flow = _flow()
+        tib.add_record(_record(flow, PATH_A, 2.0, 5.0))
+        # etime == start and stime == end both qualify (closed interval)
+        assert tib.records(time_range=(5.0, 9.0))
+        assert tib.records(time_range=(0.0, 2.0))
+        assert not tib.records(time_range=(5.0 + 1e-9, 9.0))
+        assert not tib.records(time_range=(0.0, 2.0 - 1e-9))

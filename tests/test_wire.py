@@ -229,6 +229,9 @@ class TestResultFrames:
             def record_count(self):
                 return 4
 
+            def total_record_count(self):
+                return 4
+
         class AgentStub:
             host = "h0"
             tib = TibStub()
@@ -375,6 +378,44 @@ class TestEventPlaneFrames:
         frame = wire.encode_pong(123456, 789)
         assert wire.decode_pong(frame) == 123456
         assert wire.decode_pong_state(frame) == (123456, 789)
+
+    def test_pong_tier_stats_round_trip(self):
+        frame = wire.encode_pong(500, 7, hot_records=50, hot_bytes=9000,
+                                 cold_records=450, cold_bytes=123456)
+        assert wire.decode_pong_tiers(frame) == (500, 7, 50, 9000, 450,
+                                                 123456)
+        # the legacy prefix decoders keep working on a tiered pong
+        assert wire.decode_pong(frame) == 500
+        assert wire.decode_pong_state(frame) == (500, 7)
+
+
+class TestTwoTierFrames:
+    @pytest.mark.parametrize("bounds", [(None, None), (100, None),
+                                        (None, 1 << 40), (0, 0),
+                                        (12345, 67890)])
+    def test_retention_round_trip(self, bounds):
+        frame = wire.encode_retention(*bounds)
+        assert wire.frame_type(frame) == wire.MSG_RETENTION
+        assert wire.decode_retention(frame) == bounds
+
+    def test_record_entry_log_round_trip(self):
+        records = [sample_record(nbytes=100 * i, pkts=i + 1)
+                   for i in range(17)]
+        blob = bytearray()
+        for i, record in enumerate(records):
+            wire.append_record_entry(blob, 1000 + i, record)
+        decoded = list(wire.iter_record_entries(bytes(blob)))
+        assert [record_id for record_id, _ in decoded] == \
+            [1000 + i for i in range(17)]
+        for (_, got), want in zip(decoded, records):
+            assert got == want
+
+    def test_record_entry_bytes_are_measured_codec_bytes(self):
+        record = sample_record()
+        blob = bytearray()
+        wire.append_record_entry(blob, 7, record)
+        # entry = id varint + the record-batch body encoding of the record
+        assert len(blob) == 1 + wire.record_wire_bytes(record)
 
 
 class TestControlFrames:
