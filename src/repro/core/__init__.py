@@ -24,7 +24,9 @@ from repro.core.executor import (ExecWarning, GatherResult, LoopbackTransport,
                                  TransportError)
 from repro.core import wire
 from repro.core.agentserver import (AgentServerError, AgentServerPool,
-                                    ProcessTransport)
+                                    PoolStats, ProcessTransport)
+from repro.core.supervisor import (ChaosPolicy, RestartEvent, RestartPolicy,
+                                   Supervisor, WorkerSeed)
 from repro.core.aggregation import AggregationTree
 from repro.core.cluster import (DistributedQueryResult, MECHANISM_DIRECT,
                                 MECHANISM_MULTILEVEL, MODE_PROCESS,
@@ -44,7 +46,8 @@ __all__ = [
     "GatherResult", "LoopbackTransport", "MODE_CONCURRENT", "MODE_SERIAL",
     "MODE_PROCESS", "ModelTransport", "PlanNode", "ScatterGatherExecutor",
     "Transport", "TransportError", "AgentServerError", "AgentServerPool",
-    "ProcessTransport", "wire", "AggregationTree",
+    "PoolStats", "ProcessTransport", "ChaosPolicy", "RestartEvent",
+    "RestartPolicy", "Supervisor", "WorkerSeed", "wire", "AggregationTree",
     "DistributedQueryResult", "MECHANISM_DIRECT", "MECHANISM_MULTILEVEL",
     "QueryCluster", "PathDumpController",
 ]

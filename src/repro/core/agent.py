@@ -138,13 +138,22 @@ class PathDumpAgent:
                        if record is not None]
         if not constructed:
             return 0
-        if self.record_sink is not None:
-            # Mirror before handing ownership over: adopted records may be
-            # merged into (mutated) by later TIB writes.
-            self.record_sink(constructed)
-        # The constructor built these records solely for this TIB: transfer
-        # ownership instead of copy-on-insert (the eviction fast path).
-        return self.tib.add_records(constructed, adopt=True)
+        sink = self.record_sink
+        if sink is None:
+            # The constructor built these records solely for this TIB:
+            # transfer ownership instead of copy-on-insert (the eviction
+            # fast path).
+            return self.tib.add_records(constructed, adopt=True)
+        # With a mirror attached, the local TIB must be written FIRST and
+        # by copy: first, so a supervised worker restart triggered by the
+        # mirror delivery re-seeds from local state that already includes
+        # this batch (the sink then skips it instead of double-counting);
+        # by copy, because adopted records can be merged in place during
+        # the add (same-key records within one batch) and the mirror must
+        # ship the pre-merge records the worker will re-play identically.
+        count = self.tib.add_records(constructed)
+        sink(constructed)
+        return count
 
     def _on_invalid_trajectory(self, memory_record, error) -> None:
         """An extracted trajectory is inconsistent with the topology."""

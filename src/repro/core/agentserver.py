@@ -26,7 +26,15 @@ out of the controller process entirely:
   killed worker surfaces as :class:`AgentServerError` on the next
   exchange, which the scatter-gather executor turns into the same
   ``partial=True`` / ``hosts_failed`` / ``W_HOST_FAILED`` outcome as a
-  dead in-thread agent.
+  dead in-thread agent.  With a
+  :class:`~repro.core.supervisor.Supervisor` attached the pool becomes
+  self-healing: every failure path (send error, EOF, reply timeout,
+  undecodable reply) hands the host to the supervisor, which respawns the
+  worker and re-seeds it from the local mirrors before the error
+  surfaces - so the next exchange (or an executor retry) lands on a
+  healthy, state-identical worker.  A
+  :class:`~repro.core.supervisor.ChaosPolicy` hooks the same paths for
+  deterministic gray-failure injection.
 * :class:`ProcessTransport` - a :class:`~repro.core.executor.ModelTransport`
   bound to a pool.  Request/response *sizes* are the real encoded frame
   lengths (the cluster builds plans from ``len(encoded)``), the channel
@@ -257,12 +265,33 @@ def agent_server_main(conn, host: str) -> None:
 
 @dataclass
 class PoolStats:
-    """Frame/byte counters of one :class:`AgentServerPool`."""
+    """Frame/byte counters and self-healing telemetry of one pool.
+
+    The supervision counters let callers tell "healthy" from "degraded"
+    at a glance: ``restarts``/``reseed_ms`` say how often (and how
+    expensively) workers were recovered, ``circuit_open`` how many hosts
+    exhausted their restart budget and fell back to dead-agent
+    semantics, ``mirror_detaches`` how many ingest mirrors gave up on an
+    unrecoverable worker, and ``decode_errors`` how many reply frames
+    were corrupt (each one also counts as a worker failure).
+    """
 
     frames_sent: int = 0
     bytes_sent: int = 0
     frames_received: int = 0
     bytes_received: int = 0
+    #: Supervised restarts that completed (respawn + re-seed + barrier).
+    restarts: int = 0
+    #: Total milliseconds spent respawning and re-seeding workers.
+    reseed_ms: float = 0.0
+    #: Hosts whose restart budget was exhausted (circuit opened).
+    circuit_open: int = 0
+    #: Record/observation mirrors that detached after delivery failed
+    #: with no (further) recovery possible.
+    mirror_detaches: int = 0
+    #: Reply frames that failed to decode (protocol desync; the worker
+    #: is killed and, when supervised, restarted).
+    decode_errors: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -270,6 +299,15 @@ class PoolStats:
         self.bytes_sent = 0
         self.frames_received = 0
         self.bytes_received = 0
+        self.restarts = 0
+        self.reseed_ms = 0.0
+        self.circuit_open = 0
+        self.mirror_detaches = 0
+        self.decode_errors = 0
+
+
+#: Distinguishes "use the pool's reply timeout" from an explicit ``None``.
+_UNSET = object()
 
 
 class AgentServerPool:
@@ -283,28 +321,43 @@ class AgentServerPool:
         reply_timeout_s: optional deadline for a worker's reply; ``None``
             blocks until the worker answers or dies (a killed worker's pipe
             raises immediately, so failure tests never hang).
+        supervisor: optional :class:`~repro.core.supervisor.Supervisor`;
+            when attached, worker failures trigger restart-with-recovery
+            instead of being permanent (see the module docstring).
+        chaos: optional :class:`~repro.core.supervisor.ChaosPolicy` for
+            deterministic gray-failure injection on the send/receive
+            paths (fault frames it injects are not counted in ``stats``).
     """
 
     def __init__(self, hosts: Sequence[str], context=None,
-                 reply_timeout_s: Optional[float] = None) -> None:
+                 reply_timeout_s: Optional[float] = None,
+                 supervisor=None, chaos=None) -> None:
         if isinstance(context, str) or context is None:
             context = multiprocessing.get_context(context)
+        self._context = context
         self.reply_timeout_s = reply_timeout_s
+        self.supervisor = supervisor
+        self.chaos = chaos
         self.stats = PoolStats()
         self._stats_lock = threading.Lock()
+        self._closed = False
         self._conns = {}
         self._procs = {}
         self._locks: Dict[str, threading.Lock] = {}
         for host in hosts:
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=agent_server_main, args=(child_conn, host),
-                name=f"pathdump-agent-{host}", daemon=True)
-            process.start()
-            child_conn.close()
-            self._conns[host] = parent_conn
-            self._procs[host] = process
             self._locks[host] = threading.Lock()
+            self._spawn(host)
+
+    def _spawn(self, host: str) -> None:
+        """(Re)create ``host``'s worker process and pipe."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=agent_server_main, args=(child_conn, host),
+            name=f"pathdump-agent-{host}", daemon=True)
+        process.start()
+        child_conn.close()
+        self._conns[host] = parent_conn
+        self._procs[host] = process
 
     # ------------------------------------------------------------------- API
     @property
@@ -374,8 +427,9 @@ class AgentServerPool:
         with self._lock_for(host):
             self._send(host, wire.encode_ping())
             reply = self._recv(host)
-        (total, monitor_flows, hot_records, hot_bytes, cold_records,
-         cold_bytes) = wire.decode_pong_tiers(reply)
+            (total, monitor_flows, hot_records, hot_bytes, cold_records,
+             cold_bytes) = self._checked_decode(host, reply,
+                                                wire.decode_pong_tiers)
         return {"total_records": total, "monitor_flows": monitor_flows,
                 "hot_records": hot_records, "hot_bytes": hot_bytes,
                 "cold_records": cold_records, "cold_bytes": cold_bytes}
@@ -404,11 +458,12 @@ class AgentServerPool:
         with self._lock_for(host):
             self._send(host, frame)
             reply = self._recv(host)
-        kind = wire.frame_type(reply)
-        if kind == wire.MSG_ERROR:
-            raise AgentServerError(
-                f"agent server on {host}: {wire.decode_error(reply)}")
-        return wire.decode_result(reply, query)
+            kind = self._checked_decode(host, reply, wire.frame_type)
+            if kind == wire.MSG_ERROR:
+                detail = self._checked_decode(host, reply, wire.decode_error)
+                raise AgentServerError(f"agent server on {host}: {detail}")
+            return self._checked_decode(host, reply, wire.decode_result,
+                                        query)
 
     def monitor_tick(self, host: str, now: float,
                      threshold: Optional[int] = None
@@ -423,20 +478,25 @@ class AgentServerPool:
         with self._lock_for(host):
             self._send(host, frame)
             reply = self._recv(host)
-        if wire.frame_type(reply) == wire.MSG_ERROR:
-            raise AgentServerError(
-                f"agent server on {host}: {wire.decode_error(reply)}")
-        return wire.decode_alarm_batch(reply), len(reply)
+            kind = self._checked_decode(host, reply, wire.frame_type)
+            if kind == wire.MSG_ERROR:
+                detail = self._checked_decode(host, reply, wire.decode_error)
+                raise AgentServerError(f"agent server on {host}: {detail}")
+            return (self._checked_decode(host, reply,
+                                         wire.decode_alarm_batch),
+                    len(reply))
 
     def monitor_state(self, host: str) -> MonitorSnapshot:
         """Pull ``host``'s worker monitor-state snapshot."""
         with self._lock_for(host):
             self._send(host, wire.encode_monitor_pull())
             reply = self._recv(host)
-        if wire.frame_type(reply) == wire.MSG_ERROR:
-            raise AgentServerError(
-                f"agent server on {host}: {wire.decode_error(reply)}")
-        return wire.decode_monitor_state(reply)
+            kind = self._checked_decode(host, reply, wire.frame_type)
+            if kind == wire.MSG_ERROR:
+                detail = self._checked_decode(host, reply, wire.decode_error)
+                raise AgentServerError(f"agent server on {host}: {detail}")
+            return self._checked_decode(host, reply,
+                                        wire.decode_monitor_state)
 
     def ping(self, host: str) -> int:
         """Probe ``host``'s worker; returns its TIB record count."""
@@ -447,7 +507,7 @@ class AgentServerPool:
         with self._lock_for(host):
             self._send(host, wire.encode_ping())
             reply = self._recv(host)
-        return wire.decode_pong_state(reply)
+            return self._checked_decode(host, reply, wire.decode_pong_state)
 
     def reset(self, host: str) -> None:
         """Clear ``host``'s worker state (TIB, monitor, pending alarms)."""
@@ -469,6 +529,30 @@ class AgentServerPool:
         self._lock_for(host)
         return self._procs[host].is_alive()
 
+    def healthy(self, host: str) -> bool:
+        """Whether ``host``'s worker is serving: process alive and (when
+        supervised) its restart circuit still closed."""
+        if self.supervisor is not None and self.supervisor.circuit_open(host):
+            return False
+        process = self._procs.get(host)
+        return process is not None and process.is_alive()
+
+    def note_restart(self, reseed_ms: float) -> None:
+        """Supervisor hook: one worker restart completed."""
+        with self._stats_lock:
+            self.stats.restarts += 1
+            self.stats.reseed_ms += reseed_ms
+
+    def note_circuit_open(self) -> None:
+        """Supervisor hook: one host's restart budget was exhausted."""
+        with self._stats_lock:
+            self.stats.circuit_open += 1
+
+    def note_mirror_detach(self, host: str) -> None:
+        """Cluster hook: an ingest mirror for ``host`` detached."""
+        with self._stats_lock:
+            self.stats.mirror_detaches += 1
+
     def _lock_for(self, host: str) -> threading.Lock:
         lock = self._locks.get(host)
         if lock is None:
@@ -481,7 +565,14 @@ class AgentServerPool:
             self.stats.reset()
 
     def shutdown(self, join_timeout_s: float = 2.0) -> None:
-        """Stop every worker (politely, then by force) and close the pipes."""
+        """Stop every worker (politely, then by force) and close the pipes.
+
+        Idempotent: calling it again is a no-op (closed pipes swallow the
+        polite shutdown, dead processes join immediately).  Marks the
+        pool closed *first* so a concurrent failure cannot trigger a
+        supervised restart of a worker that is being torn down.
+        """
+        self._closed = True
         for host, conn in self._conns.items():
             try:
                 conn.send_bytes(wire.encode_shutdown())
@@ -505,25 +596,36 @@ class AgentServerPool:
         self.shutdown()
 
     # ------------------------------------------------------------- internals
-    def _send(self, host: str, frame: bytes) -> None:
+    def _send(self, host: str, frame: bytes, supervise: bool = True,
+              reseed: bool = False) -> None:
         conn = self._conns.get(host)
         if conn is None:
             raise AgentServerError(f"no agent server for {host}")
+        if self.chaos is not None:
+            for extra in self.chaos.before_send(self, host, frame,
+                                                reseed=reseed):
+                try:
+                    conn.send_bytes(extra)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass  # injected fault frames are best-effort
         try:
             conn.send_bytes(frame)
         except (OSError, ValueError, BrokenPipeError) as error:
-            raise AgentServerError(
+            raise self._worker_failed(
+                host,
                 f"agent server on {host} unreachable: "
-                f"{type(error).__name__}: {error}") from error
+                f"{type(error).__name__}: {error}",
+                supervise=supervise) from error
         with self._stats_lock:
             self.stats.frames_sent += 1
             self.stats.bytes_sent += len(frame)
 
-    def _recv(self, host: str) -> bytes:
+    def _recv(self, host: str, supervise: bool = True,
+              timeout_s=_UNSET) -> bytes:
         conn = self._conns[host]
+        timeout = self.reply_timeout_s if timeout_s is _UNSET else timeout_s
         try:
-            if self.reply_timeout_s is not None and \
-                    not conn.poll(self.reply_timeout_s):
+            if timeout is not None and not conn.poll(timeout):
                 # The reply will still arrive *eventually* and would sit in
                 # the pipe, answering the wrong request forever after (the
                 # protocol is strict request/reply).  A timed-out worker is
@@ -534,18 +636,133 @@ class AgentServerPool:
                     conn.close()
                 except OSError:
                     pass
-                raise AgentServerError(
+                raise self._worker_failed(
+                    host,
                     f"agent server on {host} did not reply within "
-                    f"{self.reply_timeout_s}s; worker killed")
+                    f"{timeout}s; worker killed", supervise=supervise)
             reply = conn.recv_bytes()
+        except AgentServerError:
+            raise
         except (EOFError, OSError) as error:
-            raise AgentServerError(
+            raise self._worker_failed(
+                host,
                 f"agent server on {host} died mid-exchange: "
-                f"{type(error).__name__}: {error}") from error
+                f"{type(error).__name__}: {error}",
+                supervise=supervise) from error
         with self._stats_lock:
             self.stats.frames_received += 1
             self.stats.bytes_received += len(reply)
+        if self.chaos is not None:
+            reply = self.chaos.on_reply(host, reply)
         return reply
+
+    def _worker_failed(self, host: str, detail: str,
+                       supervise: bool = True) -> AgentServerError:
+        """Handle a failed exchange: hand the host to the supervisor (if
+        any) and return the error for the caller to raise.
+
+        The in-flight exchange is lost either way - its request died with
+        the worker and a fresh worker must never answer it - but with a
+        supervisor the restart-with-recovery completes *before* the error
+        surfaces, so the next exchange (or an executor retry) lands on a
+        healthy worker.  Without one, the error text and side effects are
+        exactly the pre-supervision dead-agent behaviour.
+        """
+        if supervise and self.supervisor is not None and not self._closed:
+            self.supervisor.handle_failure(self, host, detail)
+        return AgentServerError(detail)
+
+    def _checked_decode(self, host: str, reply: bytes, decoder, *args):
+        """Decode a reply frame, treating corruption as worker failure.
+
+        An undecodable reply means the strict request/reply protocol is
+        desynchronised - nothing later on this pipe can be trusted - so
+        the worker is killed like a timed-out one (and, when supervised,
+        restarted and re-seeded).  Called with the host's exchange lock
+        held.
+        """
+        try:
+            return decoder(reply, *args)
+        except wire.WireError as error:
+            with self._stats_lock:
+                self.stats.decode_errors += 1
+            process = self._procs.get(host)
+            if process is not None and process.is_alive():
+                process.kill()
+            conn = self._conns.get(host)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            raise self._worker_failed(
+                host,
+                f"agent server on {host} sent an undecodable reply; "
+                f"worker killed: {error}") from error
+
+    def _respawn(self, host: str) -> None:
+        """Supervisor hook: replace ``host``'s worker with a fresh process
+        and pipe (the old ones, dead or wedged, are discarded)."""
+        self._discard(host)
+        self._spawn(host)
+
+    def _discard(self, host: str) -> None:
+        """Kill ``host``'s worker and close its pipe (no replacement).
+
+        Also the supervisor's cleanup for a *failed* restart attempt: a
+        respawned worker whose re-seed failed must not stay up serving
+        empty state - a half-seeded worker answering queries would break
+        payload identity silently, where a dead one degrades loudly."""
+        conn = self._conns.get(host)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        process = self._procs.get(host)
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join(5.0)
+
+    def _reseed(self, host: str, seed, timeout_s: float = 30.0) -> None:
+        """Supervisor hook: replay ``seed`` into ``host``'s fresh worker
+        and barrier on it before the worker serves anything.
+
+        The replay order matches the startup sync exactly: retention cap
+        first (pipe FIFO puts it in force before the snapshot streams
+        in, so the worker ages records into its own cold archive), then
+        the TIB snapshot as record batches, then the monitor state with
+        its alerted latches, then a ping whose reply must confirm the
+        worker holds the state - a short count is a **ping-barrier
+        miss** and fails the restart attempt.  Failures here do not
+        recurse into supervision (``supervise=False``); the supervisor
+        counts them against the restart budget.
+        """
+        if self.chaos is not None:
+            self.chaos.begin_reseed(host)
+        records = seed.records or ()
+        if seed.retention is not None:
+            self._send(host, wire.encode_retention(*seed.retention),
+                       supervise=False, reseed=True)
+        chunk = self.INGEST_CHUNK_RECORDS
+        for start in range(0, len(records), chunk):
+            self._send(host,
+                       wire.encode_record_batch(records[start:start + chunk]),
+                       supervise=False, reseed=True)
+        expected_flows = 0
+        if seed.monitor is not None:
+            self._send(host, wire.encode_monitor_state(seed.monitor),
+                       supervise=False, reseed=True)
+            expected_flows = len(seed.monitor.flows)
+        self._send(host, wire.encode_ping(), supervise=False, reseed=True)
+        reply = self._recv(host, supervise=False, timeout_s=timeout_s)
+        applied, monitor_flows = wire.decode_pong_state(reply)
+        if applied < len(records) or monitor_flows < expected_flows:
+            raise AgentServerError(
+                f"agent server on {host} re-seed barrier miss: holds "
+                f"{applied}/{len(records)} records and "
+                f"{monitor_flows}/{expected_flows} monitor flows")
 
 
 class ProcessTransport(ModelTransport):

@@ -56,11 +56,16 @@ from repro.core import wire
 from repro.core.agent import PathDumpAgent
 from repro.core.aggregation import PAPER_TREE_FANOUT, AggregationTree, TreeNode
 from repro.core.agentserver import (AgentServerError, AgentServerPool,
-                                    ProcessTransport, SERVED_QUERIES)
+                                    PoolStats, ProcessTransport,
+                                    SERVED_QUERIES)
 from repro.core.alarms import Alarm, AlarmBus, POOR_PERF
 from repro.core.executor import (ExecWarning, GatherResult, MODE_CONCURRENT,
                                  MODE_SERIAL, ModelTransport, PlanNode,
-                                 ScatterGatherExecutor, Transport)
+                                 ScatterGatherExecutor, Transport,
+                                 W_CIRCUIT_OPEN, W_MIRROR_DETACHED,
+                                 W_WORKER_RESTARTED)
+from repro.core.supervisor import (ChaosPolicy, EVENT_CIRCUIT_OPEN,
+                                   EVENT_RESTARTED, Supervisor, WorkerSeed)
 from repro.core.query import (Query, QueryEngine, QueryResult,
                               measured_result_wire_bytes)
 from repro.core.rpc import RpcChannel
@@ -256,6 +261,15 @@ class QueryCluster:
             (two-tier mode: bounded hot memory, cold archive); in process
             mode the same cap is shipped to the agent-server workers over
             the wire so they age records host-side identically.
+        supervisor: optional :class:`~repro.core.supervisor.Supervisor`
+            attached to the worker pool when process mode starts; the
+            cluster wires its ``seed_source`` to the local dual-write
+            mirrors (so restarted workers answer byte-identically) and
+            re-attaches the ingest mirrors after every restart.
+        chaos: optional :class:`~repro.core.supervisor.ChaosPolicy`
+            injected into the worker pool (gray-failure testing).
+        reply_timeout_s: default worker reply deadline for the pool
+            (see :class:`AgentServerPool`).
     """
 
     def __init__(self, topo: Topology,
@@ -270,7 +284,10 @@ class QueryCluster:
                  timeout_s: Optional[float] = None,
                  hedge_after_s: Optional[float] = None,
                  retries: int = 0,
-                 retention: Optional[RetentionPolicy] = None) -> None:
+                 retention: Optional[RetentionPolicy] = None,
+                 supervisor: Optional[Supervisor] = None,
+                 chaos: Optional[ChaosPolicy] = None,
+                 reply_timeout_s: Optional[float] = None) -> None:
         if mode not in CLUSTER_MODES:
             raise ValueError(f"unknown cluster mode {mode!r}")
         self.topo = topo
@@ -279,6 +296,11 @@ class QueryCluster:
         self.alarm_bus = AlarmBus()
         self.rpc = rpc or RpcChannel()
         self.mode = mode
+        self.supervisor = supervisor
+        self.chaos = chaos
+        self.reply_timeout_s = reply_timeout_s
+        self._pending_warnings: List[ExecWarning] = []
+        self._warning_lock = threading.Lock()
         self._process_pool: Optional[AgentServerPool] = None
         self.transport: Transport = transport or ModelTransport(self.rpc)
         self._adopt_transport(self.transport)
@@ -372,7 +394,9 @@ class QueryCluster:
         return self._process_pool
 
     def start_agent_servers(self, context=None,
-                            reply_timeout_s: Optional[float] = None
+                            reply_timeout_s: Optional[float] = None,
+                            supervisor: Optional[Supervisor] = None,
+                            chaos: Optional[ChaosPolicy] = None
                             ) -> AgentServerPool:
         """Spawn one agent-server worker per host and bring it in sync.
 
@@ -387,11 +411,28 @@ class QueryCluster:
         (e.g. changing ``poor_threshold``) - bypass the mirror; do that
         only before starting the workers.  Idempotent: an already-running
         pool is returned as is.
+
+        ``supervisor``/``chaos``/``reply_timeout_s`` fall back to the
+        values given at construction.  An attached supervisor makes the
+        pool self-healing: its ``seed_source`` (wired here to the local
+        mirrors unless already set) rebuilds a restarted worker's state,
+        and the cluster re-attaches that worker's ingest mirrors and
+        surfaces a ``W_WORKER_RESTARTED`` warning on the next result.
         """
         if self._process_pool is not None:
             return self._process_pool
+        supervisor = supervisor if supervisor is not None else self.supervisor
+        chaos = chaos if chaos is not None else self.chaos
+        if reply_timeout_s is None:
+            reply_timeout_s = self.reply_timeout_s
+        if supervisor is not None:
+            self.supervisor = supervisor
+            if supervisor.seed_source is None:
+                supervisor.seed_source = self._worker_seed
+            supervisor.subscribe(self._on_supervisor_event)
         pool = AgentServerPool(self.hosts, context=context,
-                               reply_timeout_s=reply_timeout_s)
+                               reply_timeout_s=reply_timeout_s,
+                               supervisor=supervisor, chaos=chaos)
         try:
             synced = []
             for host in self.hosts:
@@ -450,32 +491,110 @@ class QueryCluster:
         """An ingest mirror for ``host`` that degrades instead of raising.
 
         A dead worker must not break the *local* ingest path (the query
-        path already reports it as ``partial`` + ``W_HOST_FAILED``): on the
-        first delivery failure the mirror detaches itself, so the simulator
-        keeps running against the local TIB.
+        path already reports it as ``partial`` + ``W_HOST_FAILED``).  On a
+        delivery failure there are two cases:
+
+        * the pool's supervisor recovered the worker (``healthy`` again):
+          the restart re-seeded it from local state, which - every ingest
+          path writes locally before it mirrors - already includes this
+          very batch, so nothing is lost and the mirror stays attached
+          (re-sending would double-count the upsert);
+        * no recovery (unsupervised, restart budget exhausted, restart
+          failed): the mirror detaches itself so the simulator keeps
+          running against the local TIB, counts the detach in
+          ``PoolStats`` and leaves a ``W_MIRROR_DETACHED`` warning for
+          the next result - callers can tell "degraded" from "healthy".
         """
         def sink(records) -> None:
             try:
                 pool.add_records(host, records)
-            except AgentServerError:
+            except AgentServerError as error:
+                if pool.healthy(host):
+                    return  # recovered; the re-seed covered this batch
                 agent = self.agents.get(host)
                 if agent is not None and agent.record_sink is sink:
                     agent.record_sink = None
+                    pool.note_mirror_detach(host)
+                    self._note_warning(
+                        W_MIRROR_DETACHED, host,
+                        f"record mirror detached after delivery failure "
+                        f"({error}); worker state is stale")
         return sink
 
     def _make_observation_sink(self, pool: AgentServerPool, host: str):
         """The observation mirror for ``host``; degrades like the record
         sink (a dead worker detaches the mirror instead of breaking the
-        local monitor)."""
+        local monitor, a supervised recovery keeps it attached)."""
         def sink(observations) -> None:
             try:
                 pool.add_observations(host, observations)
-            except AgentServerError:
+            except AgentServerError as error:
+                if pool.healthy(host):
+                    return  # recovered; the re-seed covered this batch
                 agent = self.agents.get(host)
                 if agent is not None and \
                         agent.monitor.observation_sink is sink:
                     agent.monitor.observation_sink = None
+                    pool.note_mirror_detach(host)
+                    self._note_warning(
+                        W_MIRROR_DETACHED, host,
+                        f"observation mirror detached after delivery "
+                        f"failure ({error}); worker state is stale")
         return sink
+
+    def _worker_seed(self, host: str) -> WorkerSeed:
+        """Build a restart seed for ``host`` from the local dual-write
+        mirrors - the same snapshot (and the same order of parts) the
+        startup sync ships, so a re-seeded worker answers later queries
+        byte-identically to one that never died."""
+        agent = self.agents.get(host)
+        if agent is None:
+            return WorkerSeed()
+        retention = agent.tib.retention
+        bounds = ((retention.max_records, retention.max_bytes)
+                  if retention.bounded else None)
+        if agent.tib.archive is not None and agent.tib.archive.dead_ratio > 0:
+            # The fresh worker rebuilds its archive from the snapshot with
+            # no tombstoned garbage; compact the local log too so both
+            # sides' measured archive_bytes stay comparable.
+            agent.tib.archive.compact()
+        return WorkerSeed(retention=bounds, records=agent.tib.records(),
+                          monitor=agent.monitor.snapshot())
+
+    def _on_supervisor_event(self, pool, host: str, event) -> None:
+        """Supervisor callback: re-attach the ingest mirrors of a restarted
+        worker (they may have detached while it was dead, and their
+        closures bind the pool) and surface restart / circuit-open events
+        as warnings on the next query result or monitor sweep."""
+        if event.kind == EVENT_RESTARTED:
+            agent = self.agents.get(host)
+            if agent is not None:
+                agent.record_sink = self._make_record_sink(pool, host)
+                agent.monitor.observation_sink = \
+                    self._make_observation_sink(pool, host)
+            self._note_warning(
+                W_WORKER_RESTARTED, host,
+                f"worker restarted (attempt {event.attempt}) and re-seeded "
+                f"{event.records} records / {event.monitor_flows} monitor "
+                f"flows in {event.reseed_ms:.1f}ms after: {event.reason}")
+        elif event.kind == EVENT_CIRCUIT_OPEN:
+            self._note_warning(W_CIRCUIT_OPEN, host,
+                               event.detail or "restart budget exhausted")
+
+    def _note_warning(self, code: str, host: str, detail: str) -> None:
+        with self._warning_lock:
+            self._pending_warnings.append(
+                ExecWarning(code=code, host=host, detail=detail))
+
+    def _drain_warnings(self) -> Tuple[ExecWarning, ...]:
+        """Take the pending infrastructure warnings (mirror detaches,
+        restarts, circuit opens); they ride the next result returned."""
+        with self._warning_lock:
+            if not self._pending_warnings:
+                return ()
+            drained = tuple(self._pending_warnings)
+            self._pending_warnings.clear()
+        return drained
 
     def _detach_mirrors(self) -> None:
         for agent in self.agents.values():
@@ -611,7 +730,8 @@ class QueryCluster:
             # process): push the freshly latched state to the workers so a
             # later wire tick cannot re-raise alarms the bus already has.
             self._seed_worker_monitors()
-        return MonitorSweep(alarms, mode=self.mode)
+        return MonitorSweep(alarms, mode=self.mode,
+                            warnings=self._drain_warnings())
 
     def _seed_worker_monitors(self) -> None:
         """Push every agent's current monitor state to its worker."""
@@ -650,7 +770,8 @@ class QueryCluster:
         alarms = sink.dispatch(self.hosts)
         return MonitorSweep(alarms, mode=self.mode, partial=gather.partial,
                             hosts_failed=gather.hosts_failed,
-                            warnings=gather.warnings,
+                            warnings=(tuple(gather.warnings)
+                                      + self._drain_warnings()),
                             traffic_bytes=gather.traffic_bytes,
                             wall_clock_s=gather.wall_s)
 
@@ -838,13 +959,17 @@ class QueryCluster:
                             host_count: int,
                             breakdown: Dict[str, float]
                             ) -> DistributedQueryResult:
+        # Pending infrastructure warnings (mirror detaches, worker
+        # restarts, circuit opens) ride the next result so callers see
+        # degradation without polling the pool's counters.
         return DistributedQueryResult(
             query=query, mechanism=mechanism, payload=merged.payload,
             response_time_s=gather.model_time_s,
             traffic_bytes=gather.traffic_bytes, host_count=host_count,
             breakdown=breakdown, partial=gather.partial,
             hosts_failed=list(gather.hosts_failed),
-            warnings=tuple(gather.warnings), wall_clock_s=gather.wall_s,
+            warnings=tuple(gather.warnings) + self._drain_warnings(),
+            wall_clock_s=gather.wall_s,
             mode=self.mode,
             duplicate_traffic_bytes=gather.duplicate_traffic_bytes)
 
@@ -854,7 +979,11 @@ class QueryCluster:
         return sum(a.tib.total_record_count() for a in self.agents.values())
 
     def storage_report(self) -> Dict[str, int]:
-        """Aggregate storage footprint across the cluster."""
+        """Aggregate storage footprint across the cluster.
+
+        (Worker-plane health - restarts, re-seed cost, open circuits,
+        mirror detaches - is reported by :meth:`recovery_report`.)
+        """
         report = {"tib": 0, "tib_archive": 0, "trajectory_memory": 0,
                   "trajectory_cache": 0}
         for agent in self.agents.values():
@@ -862,6 +991,32 @@ class QueryCluster:
             for key in report:
                 report[key] += footprint[key]
         return report
+
+    def recovery_report(self) -> Dict[str, object]:
+        """Self-healing counters of the worker plane.
+
+        Mirrors :class:`~repro.core.agentserver.PoolStats`: completed
+        restarts and their total re-seed cost, circuits opened (restart
+        budget exhausted -> dead-agent semantics), ingest mirrors that
+        detached, and undecodable replies - plus which hosts are
+        currently degraded.  All zeros for a healthy (or serial-mode)
+        cluster.
+        """
+        pool = self._process_pool
+        stats = pool.stats if pool is not None else PoolStats()
+        supervisor = pool.supervisor if pool is not None else self.supervisor
+        return {
+            "supervised": supervisor is not None,
+            "restarts": stats.restarts,
+            "reseed_ms": round(stats.reseed_ms, 3),
+            "circuit_open": stats.circuit_open,
+            "open_circuits": (supervisor.open_circuits()
+                              if supervisor is not None else []),
+            "mirror_detaches": stats.mirror_detaches,
+            "decode_errors": stats.decode_errors,
+            "restart_events": (len(supervisor.events)
+                               if supervisor is not None else 0),
+        }
 
     def reset_stats(self) -> None:
         """Zero every per-experiment counter in one place.

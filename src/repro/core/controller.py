@@ -182,8 +182,21 @@ class PathDumpController:
                                          max_bytes=max_bytes)
 
     def tier_report(self, from_workers: bool = False) -> Dict[str, int]:
-        """Aggregate two-tier TIB stats across the deployment."""
+        """Aggregate two-tier TIB stats across the deployment.
+
+        (``from_workers=True`` reads the agent-server workers; a worker
+        the supervisor restarted answers with its re-seeded - identical -
+        state.  Worker-plane health itself is in
+        :meth:`recovery_report`.)
+        """
         return self.cluster.tier_report(from_workers=from_workers)
+
+    def recovery_report(self):
+        """Operator view of the self-healing agent plane (see
+        :meth:`repro.core.cluster.QueryCluster.recovery_report`): worker
+        restarts, re-seed cost, open circuits, mirror detaches and
+        decode errors."""
+        return self.cluster.recovery_report()
 
     def reset_stats(self) -> None:
         """Zero per-experiment counters: controller activity, the RPC

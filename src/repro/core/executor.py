@@ -64,6 +64,14 @@ W_HOST_TIMEOUT = "host_timeout"
 W_RESPONSE_LOST = "response_lost"
 W_HEDGED = "straggler_hedged"
 W_RETRIED = "retried"
+#: Worker-plane health codes (raised by the cluster, not the executor,
+#: but part of the same structured-warning namespace): a supervised
+#: agent-server worker was restarted and re-seeded, a host's restart
+#: budget ran out (degraded to dead-agent semantics), an ingest mirror
+#: detached after an unrecoverable delivery failure.
+W_WORKER_RESTARTED = "worker_restarted"
+W_CIRCUIT_OPEN = "circuit_open"
+W_MIRROR_DETACHED = "mirror_detached"
 
 #: Default worker-pool size cap for concurrent runs.
 DEFAULT_MAX_WORKERS = 32

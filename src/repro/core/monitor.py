@@ -85,6 +85,13 @@ class MonitorSnapshot(NamedTuple):
     flows in insertion order (``getPoorTCPFlows`` payload identity depends
     on it) and ``alerted`` latches intact (at-most-once alerting must not
     restart when the monitor moves host-side).
+
+    The same frame re-seeds a worker the supervisor restarts, and the
+    latch semantics compose: the local mirror only latches a flow when
+    the controller actually dispatches its alarm, so a worker that died
+    with undelivered alarms is re-seeded *unlatched* for exactly those
+    flows - it re-raises them on the next sweep and the controller's bus
+    still sees every alert at most once.
     """
 
     host: str

@@ -46,6 +46,7 @@ shutdown).
 
 from __future__ import annotations
 
+import functools
 import struct
 from typing import (Any, Iterable, List, NamedTuple, Optional, Sequence,
                     Tuple)
@@ -106,6 +107,36 @@ _DOUBLE = struct.Struct("<d")
 
 class WireError(ValueError):
     """A message could not be encoded or decoded."""
+
+
+class WireDecodeError(WireError):
+    """A frame was corrupt in a way a decoder did not anticipate.
+
+    The reader's explicit validations raise :class:`WireError` directly;
+    anything else a truncated or bit-flipped frame provokes deep inside a
+    decoder (``struct.error``, ``IndexError``, ``UnicodeDecodeError``,
+    ``OverflowError``, ...) is wrapped into this subclass by the decode
+    entry points - callers handle every corruption uniformly with
+    ``except WireError`` and never see a raw internal exception.  The
+    agent-server pool treats it as a worker failure: an undecodable reply
+    means the strict request/reply protocol is desynchronised, so the
+    worker is killed (and, when supervised, restarted and re-seeded).
+    """
+
+
+def _guarded(decoder):
+    """Wrap a decode entry point so unexpected corruption surfaces as
+    :class:`WireDecodeError` instead of a raw internal exception."""
+    @functools.wraps(decoder)
+    def decode(*args, **kwargs):
+        try:
+            return decoder(*args, **kwargs)
+        except WireError:
+            raise
+        except Exception as error:
+            raise WireDecodeError(
+                f"corrupt frame: {type(error).__name__}: {error}") from error
+    return decode
 
 
 class SubtreeSpec(NamedTuple):
@@ -421,6 +452,7 @@ def _frame(msg_type: int, body: bytes = b"") -> bytes:
     return _HEADER.pack(MAGIC, WIRE_VERSION, msg_type) + body
 
 
+@_guarded
 def open_frame(data: bytes) -> Tuple[int, _Reader]:
     """Validate a frame header; return ``(msg_type, body reader)``."""
     if len(data) < HEADER_BYTES:
@@ -454,6 +486,7 @@ def encode_value(value: Any) -> bytes:
     return bytes(buf)
 
 
+@_guarded
 def decode_value(data: bytes) -> Any:
     """Inverse of :func:`encode_value`."""
     reader = _Reader(data)
@@ -499,6 +532,7 @@ def encode_query_request(query, spec: Optional[SubtreeSpec]) -> bytes:
     return _frame(MSG_QUERY_REQUEST, bytes(body))
 
 
+@_guarded
 def decode_query_request(data: bytes):
     """Decode a query request; returns ``(Query, Optional[SubtreeSpec])``."""
     from repro.core.query import Query
@@ -521,6 +555,7 @@ def encode_subtree_spec(spec: SubtreeSpec) -> bytes:
     return _frame(MSG_SUBTREE_SPEC, bytes(body))
 
 
+@_guarded
 def decode_subtree_spec(data: bytes) -> SubtreeSpec:
     """Inverse of :func:`encode_subtree_spec`."""
     return _expect(data, MSG_SUBTREE_SPEC).spec()
@@ -543,6 +578,7 @@ def encode_record_batch(records: Sequence[PathFlowRecord]) -> bytes:
     return _frame(MSG_RECORD_BATCH, bytes(body))
 
 
+@_guarded
 def decode_record_batch(data: bytes) -> List[PathFlowRecord]:
     """Inverse of :func:`encode_record_batch`."""
     reader = _expect(data, MSG_RECORD_BATCH)
@@ -572,6 +608,7 @@ def iter_record_entries(data: bytes
         yield reader.uvarint(), reader.record()
 
 
+@_guarded
 def read_record_entry(data: bytes, offset: int
                       ) -> Tuple[int, PathFlowRecord]:
     """Decode the single log entry starting at ``offset`` in ``data``.
@@ -619,6 +656,7 @@ def result_wire_bytes(result) -> int:
     return len(encode_result(result))
 
 
+@_guarded
 def decode_result(data: bytes, query=None):
     """Decode a result frame into a :class:`~repro.core.query.QueryResult`.
 
@@ -651,6 +689,7 @@ def encode_error(detail: str) -> bytes:
     return _frame(MSG_ERROR, bytes(body))
 
 
+@_guarded
 def decode_error(data: bytes) -> str:
     """Inverse of :func:`encode_error`."""
     return _expect(data, MSG_ERROR).str_()
@@ -682,17 +721,20 @@ def encode_pong(record_count: int, monitor_flows: int = 0,
     return _frame(MSG_PONG, bytes(body))
 
 
+@_guarded
 def decode_pong(data: bytes) -> int:
     """The (total) TIB record count of a pong frame."""
     return _expect(data, MSG_PONG).uvarint()
 
 
+@_guarded
 def decode_pong_state(data: bytes) -> Tuple[int, int]:
     """The ``(record_count, monitor_flows)`` prefix of a pong frame."""
     reader = _expect(data, MSG_PONG)
     return reader.uvarint(), reader.uvarint()
 
 
+@_guarded
 def decode_pong_tiers(data: bytes) -> Tuple[int, int, int, int, int, int]:
     """Inverse of :func:`encode_pong`: ``(record_count, monitor_flows,
     hot_records, hot_bytes, cold_records, cold_bytes)``."""
@@ -720,6 +762,7 @@ def encode_retention(max_records: Optional[int],
     return _frame(MSG_RETENTION, bytes(body))
 
 
+@_guarded
 def decode_retention(data: bytes) -> Tuple[Optional[int], Optional[int]]:
     """Inverse of :func:`encode_retention`: ``(max_records, max_bytes)``."""
     reader = _expect(data, MSG_RETENTION)
@@ -747,6 +790,7 @@ def encode_sleep(seconds: float) -> bytes:
     return _frame(MSG_SLEEP, _DOUBLE.pack(seconds))
 
 
+@_guarded
 def decode_sleep(data: bytes) -> float:
     """Inverse of :func:`encode_sleep`."""
     return _expect(data, MSG_SLEEP).double()
@@ -769,6 +813,7 @@ def encode_alarm_batch(alarms: Sequence[Alarm]) -> bytes:
     return _frame(MSG_ALARM_BATCH, bytes(body))
 
 
+@_guarded
 def decode_alarm_batch(data: bytes) -> List[Alarm]:
     """Inverse of :func:`encode_alarm_batch`."""
     reader = _expect(data, MSG_ALARM_BATCH)
@@ -786,6 +831,7 @@ def encode_observation_batch(observations: Sequence[TransferObservation]
     return _frame(MSG_OBSERVATION_BATCH, bytes(body))
 
 
+@_guarded
 def decode_observation_batch(data: bytes) -> List[TransferObservation]:
     """Inverse of :func:`encode_observation_batch`."""
     reader = _expect(data, MSG_OBSERVATION_BATCH)
@@ -809,6 +855,7 @@ def encode_monitor_tick(now: float,
     return _frame(MSG_MONITOR_TICK, bytes(body))
 
 
+@_guarded
 def decode_monitor_tick(data: bytes) -> Tuple[float, Optional[int]]:
     """Inverse of :func:`encode_monitor_tick`: ``(now, threshold)``."""
     reader = _expect(data, MSG_MONITOR_TICK)
@@ -830,6 +877,7 @@ def encode_monitor_state(snapshot: MonitorSnapshot) -> bytes:
     return _frame(MSG_MONITOR_STATE, bytes(body))
 
 
+@_guarded
 def decode_monitor_state(data: bytes) -> MonitorSnapshot:
     """Inverse of :func:`encode_monitor_state`."""
     reader = _expect(data, MSG_MONITOR_STATE)

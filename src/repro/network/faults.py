@@ -17,7 +17,14 @@ Supported faults:
   destination to the wrong neighbor, creating forwarding loops when combined
   with the core switches' bounce-back behaviour (Section 4.5);
 * **header corruption** - a switch writes an incorrect link identifier into
-  the trajectory header (Section 2.4).
+  the trajectory header (Section 2.4);
+* **gray failures** - faults that are neither up nor down and defeat
+  binary health checks: *flapping links* (periodically up/down, driven by
+  :meth:`FaultInjector.advance`), *probabilistic per-port drops* (every
+  egress interface of one switch lossy at once, the signature of a failing
+  linecard) and *slow-but-alive switches* (latency inflated, nothing
+  dropped).  These are the network-side counterparts of the agent plane's
+  :class:`~repro.core.supervisor.ChaosPolicy`.
 """
 
 from __future__ import annotations
@@ -62,6 +69,11 @@ class FaultInjector:
         self.routing = routing
         self.rng = random.Random(seed)
         self.records: List[FaultRecord] = []
+        #: Flap schedules: (interface, period_s, up_fraction, start).
+        self._flaps: List[Tuple[Interface, float, float, float]] = []
+        #: Original latencies of links slowed by :meth:`slow_switch`,
+        #: restored by :meth:`clear`.
+        self._original_latency: Dict[Interface, float] = {}
 
     # ------------------------------------------------------------- low level
     def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
@@ -94,6 +106,92 @@ class FaultInjector:
         self.records.append(FaultRecord(
             "misconfiguration", switch=switch,
             detail=f"{dst_host} -> {wrong_next_hop}"))
+
+    # --------------------------------------------------------- gray failures
+    def flap_link(self, a: str, b: str, period_s: float,
+                  up_fraction: float = 0.5, start: float = 0.0,
+                  bidirectional: bool = True) -> None:
+        """Make the ``a <-> b`` link *flap*: up for ``up_fraction`` of every
+        ``period_s`` window, down for the rest.
+
+        The schedule is deterministic in simulated time: the link is up at
+        time ``t`` iff ``((t - start) % period_s) / period_s < up_fraction``.
+        Nothing happens until :meth:`advance` is called with the current
+        clock - flapping is a *time-driven* fault, unlike the static ones
+        above, which is exactly what makes it gray: any health check that
+        samples the link while it happens to be up reports it healthy.
+        """
+        if period_s <= 0.0:
+            raise ValueError("flap period must be positive")
+        if not 0.0 < up_fraction < 1.0:
+            raise ValueError("up fraction must be in (0, 1)")
+        interfaces = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for iface in interfaces:
+            self.topo.links.get(*iface)  # validate the interface exists
+            self._flaps.append((iface, period_s, up_fraction, start))
+            self.records.append(FaultRecord(
+                "flapping_link", interface=iface,
+                detail=f"period={period_s}s up={up_fraction}"))
+        self.advance(start)
+
+    def advance(self, now: float) -> None:
+        """Apply every flap schedule at simulated time ``now``.
+
+        Call this before each transmission round (or simulator step); it
+        sets ``failed`` on every flapping link according to its schedule.
+        Links without a flap schedule are untouched.
+        """
+        for (a, b), period, up_fraction, start in self._flaps:
+            phase = ((now - start) % period) / period
+            self.topo.links.get(a, b).failed = phase >= up_fraction
+
+    def port_drops(self, switch: str, probability: float) -> List[Interface]:
+        """Make *every* egress interface of ``switch`` drop silently.
+
+        A failing linecard degrades all of a switch's ports at once; this
+        is the aggregate version of :meth:`silent_drop`.  Returns the
+        affected interfaces (the ground truth).
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("drop probability must be in (0, 1]")
+        affected: List[Interface] = []
+        for link in self.topo.links:
+            if link.src != switch:
+                continue
+            link.drop_probability = probability
+            affected.append((link.src, link.dst))
+            self.records.append(FaultRecord(
+                "port_drop", interface=(link.src, link.dst), switch=switch,
+                detail=f"p={probability}"))
+        if not affected:
+            raise ValueError(f"switch {switch!r} has no egress interfaces")
+        return affected
+
+    def slow_switch(self, switch: str, latency_factor: float
+                    ) -> List[Interface]:
+        """Make ``switch`` slow-but-alive: scale its links' latency.
+
+        Every interface touching the switch (both directions) has its
+        ``latency_s`` multiplied by ``latency_factor``.  No packet is
+        dropped - the switch passes binary health checks while degrading
+        every flow through it.  :meth:`clear` restores the original
+        latencies.  Returns the affected interfaces.
+        """
+        if latency_factor <= 0.0:
+            raise ValueError("latency factor must be positive")
+        affected: List[Interface] = []
+        for link in self.topo.links:
+            if switch not in (link.src, link.dst):
+                continue
+            iface = (link.src, link.dst)
+            self._original_latency.setdefault(iface, link.latency_s)
+            link.latency_s = link.latency_s * latency_factor
+            affected.append(iface)
+        if not affected:
+            raise ValueError(f"switch {switch!r} has no interfaces")
+        self.records.append(FaultRecord(
+            "slow_switch", switch=switch, detail=f"x{latency_factor}"))
+        return affected
 
     # ----------------------------------------------------------- scenarios
     def random_silent_drop_interfaces(
@@ -145,6 +243,10 @@ class FaultInjector:
     def clear(self) -> None:
         """Remove every injected fault and forget the ground truth."""
         self.topo.links.clear_faults()
+        for (a, b), latency in self._original_latency.items():
+            self.topo.links.get(a, b).latency_s = latency
+        self._original_latency.clear()
+        self._flaps.clear()
         if self.routing is not None:
             self.routing.clear_misconfigurations()
         self.records.clear()

@@ -82,3 +82,108 @@ class TestHeaderCorruptor:
         packet.push_vlan(5)
         assert not corrupt("s1", packet)
         assert packet.vlan_ids() == [5]
+
+
+class TestGrayFailures:
+    def test_flap_link_follows_its_schedule(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        injector.flap_link("tor-0-0", "agg-0-0", period_s=10.0,
+                           up_fraction=0.5)
+        link = fattree4_fresh.links.get("tor-0-0", "agg-0-0")
+        back = fattree4_fresh.links.get("agg-0-0", "tor-0-0")
+        injector.advance(0.0)
+        assert not link.failed and not back.failed  # first half: up
+        injector.advance(6.0)
+        assert link.failed and back.failed          # second half: down
+        injector.advance(12.0)                      # next period wraps
+        assert not link.failed
+        injector.advance(19.0)
+        assert link.failed
+
+    def test_flap_start_offsets_the_phase(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        injector.flap_link("tor-0-0", "agg-0-0", period_s=4.0,
+                           up_fraction=0.25, start=100.0,
+                           bidirectional=False)
+        link = fattree4_fresh.links.get("tor-0-0", "agg-0-0")
+        assert not fattree4_fresh.links.get("agg-0-0", "tor-0-0").failed
+        injector.advance(100.5)
+        assert not link.failed
+        injector.advance(101.5)
+        assert link.failed
+        # Before the schedule's start the phase wraps negative; the modulo
+        # keeps it well-defined.
+        injector.advance(99.0)
+        assert link.failed
+
+    def test_flap_validation(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        with pytest.raises(ValueError):
+            injector.flap_link("tor-0-0", "agg-0-0", period_s=0.0)
+        with pytest.raises(ValueError):
+            injector.flap_link("tor-0-0", "agg-0-0", period_s=1.0,
+                               up_fraction=1.0)
+        with pytest.raises(KeyError):
+            injector.flap_link("tor-0-0", "nope", period_s=1.0)
+
+    def test_port_drops_hit_every_egress_interface(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        affected = injector.port_drops("agg-0-0", 0.05)
+        egress = [(l.src, l.dst) for l in fattree4_fresh.links
+                  if l.src == "agg-0-0"]
+        assert sorted(affected) == sorted(egress)
+        for a, b in affected:
+            assert fattree4_fresh.links.get(a, b).drop_probability == 0.05
+        assert injector.faulty_interfaces({"port_drop"}) == set(affected)
+        with pytest.raises(ValueError):
+            injector.port_drops("agg-0-0", 0.0)
+
+    def test_slow_switch_scales_and_clear_restores(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        originals = {(l.src, l.dst): l.latency_s
+                     for l in fattree4_fresh.links
+                     if "agg-0-1" in (l.src, l.dst)}
+        affected = injector.slow_switch("agg-0-1", 10.0)
+        assert sorted(affected) == sorted(originals)
+        for iface, latency in originals.items():
+            slowed = fattree4_fresh.links.get(*iface)
+            assert slowed.latency_s == pytest.approx(10.0 * latency)
+            assert not slowed.failed  # alive, just slow
+            assert slowed.drop_probability == 0.0
+        assert any(r.kind == "slow_switch" and r.switch == "agg-0-1"
+                   for r in injector.records)
+        injector.clear()
+        for iface, latency in originals.items():
+            assert fattree4_fresh.links.get(*iface).latency_s == latency
+        assert not injector.records
+
+    def test_double_slow_restores_the_true_original(self, fattree4_fresh):
+        """Slowing twice compounds, but clear() goes back to the pristine
+        latency, not the once-slowed one."""
+        injector = FaultInjector(fattree4_fresh)
+        link = fattree4_fresh.links.get("agg-0-0", "core-0-0")
+        original = link.latency_s
+        injector.slow_switch("agg-0-0", 2.0)
+        injector.slow_switch("agg-0-0", 3.0)
+        assert link.latency_s == pytest.approx(6.0 * original)
+        injector.clear()
+        assert link.latency_s == original
+
+    def test_clear_forgets_flap_schedules(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        injector.flap_link("tor-0-0", "agg-0-0", period_s=2.0)
+        injector.advance(1.5)
+        assert fattree4_fresh.links.get("tor-0-0", "agg-0-0").failed
+        injector.clear()
+        assert fattree4_fresh.links.get("tor-0-0", "agg-0-0").healthy
+        injector.advance(1.5)  # no schedules left: nothing fails again
+        assert not fattree4_fresh.links.get("tor-0-0", "agg-0-0").failed
+
+    def test_slow_switch_validation(self, fattree4_fresh):
+        injector = FaultInjector(fattree4_fresh)
+        with pytest.raises(ValueError):
+            injector.slow_switch("agg-0-0", 0.0)
+        with pytest.raises(ValueError):
+            injector.slow_switch("not-a-switch", 2.0)
+        with pytest.raises(ValueError):
+            injector.port_drops("not-a-switch", 0.5)

@@ -482,3 +482,84 @@ class TestEstimatorReconciliation:
             measured = wire.record_wire_bytes(record)
             estimated = record.estimated_wire_bytes()
             assert abs(measured - estimated) <= 16 + 4 * max(1, hops)
+
+
+class TestCorruptionFuzz:
+    """Corrupt frames must surface as WireError, never as a raw
+    struct.error / IndexError / UnicodeDecodeError leaking out of the
+    decoder internals (the pool treats WireError as worker failure; an
+    unexpected exception type would crash the caller instead)."""
+
+    @staticmethod
+    def _sample_frames():
+        rng = random.Random(123)
+        query = Query("top_k_flows", {"k": 5, "flow_id":
+                                      FlowId("a", "b", 1, 2, 6)})
+        result = QueryResult(query=query, payload={"x": [1, (2, 3)]},
+                             wire_bytes=0, host=UNICODE_HOST,
+                             alarms=(_random_alarm(rng),))
+        snapshot = MonitorSnapshot(
+            host=UNICODE_HOST, period=0.2, poor_threshold=3,
+            alerts_raised=7,
+            flows=tuple(_random_flow_stats(rng) for _ in range(3)))
+        spec = wire.SubtreeSpec("h0", ("h0", "h1"))
+        return [
+            (wire.encode_value({"k": (1, "two", None)}), wire.decode_value),
+            (wire.encode_query_request(query, spec),
+             wire.decode_query_request),
+            (wire.encode_subtree_spec(spec), wire.decode_subtree_spec),
+            (wire.encode_record_batch([sample_record(),
+                                       sample_record(path=())]),
+             wire.decode_record_batch),
+            (wire.encode_result(result),
+             lambda data: wire.decode_result(data, query)),
+            (wire.encode_error("boom: 中"), wire.decode_error),
+            (wire.encode_pong(123, 45, hot_records=1, hot_bytes=2,
+                              cold_records=3, cold_bytes=4),
+             wire.decode_pong_tiers),
+            (wire.encode_retention(100, 1 << 40), wire.decode_retention),
+            (wire.encode_sleep(0.5), wire.decode_sleep),
+            (wire.encode_alarm_batch([_random_alarm(rng)]),
+             wire.decode_alarm_batch),
+            (wire.encode_observation_batch([_random_observation(rng)]),
+             wire.decode_observation_batch),
+            (wire.encode_monitor_tick(1.5, 3), wire.decode_monitor_tick),
+            (wire.encode_monitor_state(snapshot),
+             wire.decode_monitor_state),
+        ]
+
+    def _assert_decodes_or_wire_error(self, decoder, data):
+        try:
+            decoder(data)
+        except wire.WireError:
+            pass  # the contract: corruption surfaces as WireError
+
+    def test_every_truncation_point(self):
+        for frame, decoder in self._sample_frames():
+            for cut in range(len(frame)):
+                self._assert_decodes_or_wire_error(decoder, frame[:cut])
+
+    def test_bit_flips(self):
+        rng = random.Random(20260808)
+        for frame, decoder in self._sample_frames():
+            for _ in range(120):
+                data = bytearray(frame)
+                position = rng.randrange(len(data))
+                data[position] ^= 1 << rng.randrange(8)
+                self._assert_decodes_or_wire_error(decoder, bytes(data))
+
+    def test_garbage_frames(self):
+        rng = random.Random(7)
+        for _, decoder in self._sample_frames():
+            for size in (0, 1, 4, 17, 200):
+                blob = bytes(rng.getrandbits(8) for _ in range(size))
+                self._assert_decodes_or_wire_error(decoder, blob)
+                # Same garbage behind a valid-looking header.
+                framed = wire.encode_ping()[:wire.HEADER_BYTES] + blob
+                self._assert_decodes_or_wire_error(decoder, framed)
+
+    def test_decode_error_is_a_wire_error(self):
+        assert issubclass(wire.WireDecodeError, wire.WireError)
+        frame = wire.encode_record_batch([sample_record()])
+        with pytest.raises(wire.WireError):
+            wire.decode_record_batch(frame[:-3])
