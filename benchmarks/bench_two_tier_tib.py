@@ -133,6 +133,22 @@ def test_two_tier_tib(benchmark, report_writer):
     plain_window_s, plain_link_s, plain_full_s = _time_queries(
         plain, windows, link)
 
+    # The cold-tier query engine's bounds.  Zone-map/bloom pruning plus the
+    # decoded-entry cache keep spanning link queries within an order of
+    # magnitude of hot-only (measured ~5x), and admission control plus the
+    # write-behind buffer keep aging's ingest cost well under the old ~5x
+    # (measured ~1.6-2x; the bound leaves room for shared-runner noise).
+    assert capped_link_s <= 10.0 * plain_link_s, \
+        f"spanning link query {capped_link_s / plain_link_s:.1f}x hot-only"
+    assert capped_ingest_s <= 2.5 * plain_ingest_s, \
+        f"capped ingest {capped_ingest_s / plain_ingest_s:.2f}x uncapped"
+
+    # Pruning did the work: the repeated scans must have skipped segments
+    # and served repeats from the decoded-entry cache, not brute-decoded.
+    scan_stats = capped.tier_stats()
+    assert scan_stats["segments_skipped"] > 0
+    assert scan_stats["decode_cache_hits"] > 0
+
     hot_bytes = capped.estimated_bytes()
     cold_bytes = capped.archive_bytes()
     rows = [
@@ -162,6 +178,16 @@ def test_two_tier_tib(benchmark, report_writer):
         ["full scan (hot only)", f"{plain_full_s * 1e3:.3f} ms", ""],
         ["full scan (hot+cold)", f"{capped_full_s * 1e3:.3f} ms",
          f"{capped_full_s / max(plain_full_s, 1e-9):.1f}x"],
+        ["cold segments pruned / decoded",
+         f"{scan_stats['segments_skipped']} / "
+         f"{scan_stats['segment_decodes']}", "zone maps + blooms"],
+        ["cold entries skipped / decoded",
+         f"{scan_stats['entries_skipped']} / "
+         f"{scan_stats['entries_decoded']}",
+         f"{scan_stats['decode_cache_hits']} cache hits"],
+        ["write-behind flushes",
+         f"{scan_stats['write_behind_flushes']} "
+         f"({scan_stats['write_behind_records']} records)", ""],
     ]
     report_writer("two_tier_tib", format_table(
         ["quantity", "value", "note"], rows,
@@ -191,5 +217,17 @@ def test_two_tier_tib(benchmark, report_writer):
             "link_spanning": round(capped_link_s * 1e3, 4),
             "full_hot": round(plain_full_s * 1e3, 4),
             "full_spanning": round(capped_full_s * 1e3, 4),
+        },
+        "ingest_slowdown": round(capped_ingest_s / plain_ingest_s, 2),
+        "link_spanning_ratio": round(
+            capped_link_s / max(plain_link_s, 1e-9), 2),
+        "scan": {
+            "segments_skipped": scan_stats["segments_skipped"],
+            "segment_decodes": scan_stats["segment_decodes"],
+            "entries_skipped": scan_stats["entries_skipped"],
+            "entries_decoded": scan_stats["entries_decoded"],
+            "decode_cache_hits": scan_stats["decode_cache_hits"],
+            "write_behind_flushes": scan_stats["write_behind_flushes"],
+            "write_behind_records": scan_stats["write_behind_records"],
         },
     })

@@ -241,6 +241,11 @@ def agent_server_main(conn, host: str) -> None:
                 conn.send_bytes(
                     wire.encode_monitor_state(agent.monitor.snapshot()))
             elif kind == wire.MSG_PING:
+                # A pong doubles as the worker-side flush barrier: any
+                # write-behind records staged by earlier ingest frames are
+                # forced into the archive log before the tier counters are
+                # read, so the reply never describes a torn cold tier.
+                agent.tib.flush_archive()
                 tiers = agent.tib.tier_stats()
                 conn.send_bytes(wire.encode_pong(
                     agent.tib.total_record_count(),

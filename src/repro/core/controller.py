@@ -174,6 +174,9 @@ class PathDumpController:
         self.fabric.punt_handler = self.handle_trapped_packet
 
     # ------------------------------------------------------------ accounting
+    #: Sections of the consolidated :meth:`report`, in canonical order.
+    REPORT_SECTIONS = ("storage", "tier", "recovery")
+
     def configure_retention(self, max_records: Optional[int] = None,
                             max_bytes: Optional[int] = None) -> None:
         """Operator knob: bound every host TIB's hot tier (see
@@ -181,22 +184,74 @@ class PathDumpController:
         self.cluster.configure_retention(max_records=max_records,
                                          max_bytes=max_bytes)
 
+    def configure_cold_scan(self, mode: str = "serial",
+                            max_workers: Optional[int] = None) -> None:
+        """Operator knob: the cold tier's spanning-scan strategy (see
+        :meth:`repro.core.cluster.QueryCluster.configure_cold_scan`)."""
+        self.cluster.configure_cold_scan(mode, max_workers)
+
+    def report(self, sections: Optional[Sequence[str]] = None,
+               from_workers: bool = False) -> Dict[str, Dict]:
+        """The operator's one consolidated deployment report.
+
+        Returns a nested dict with one entry per requested section (every
+        section when ``sections`` is omitted, in :attr:`REPORT_SECTIONS`
+        order):
+
+        * ``"storage"`` - aggregate memory footprint per subsystem
+          (:meth:`repro.core.cluster.QueryCluster.storage_report`);
+        * ``"tier"`` - two-tier TIB stats, including the cold scan's
+          pruning and write-behind counters (``from_workers=True`` reads
+          the agent-server workers instead of the local mirrors);
+        * ``"recovery"`` - self-healing worker-plane health
+          (:meth:`repro.core.cluster.QueryCluster.recovery_report`).
+
+        The single-section accessors (:meth:`storage_report`,
+        :meth:`tier_report`, :meth:`recovery_report`) delegate here, so
+        new counters land in one place instead of a fourth ad-hoc method.
+        """
+        if sections is None:
+            sections = self.REPORT_SECTIONS
+        unknown = [s for s in sections if s not in self.REPORT_SECTIONS]
+        if unknown:
+            raise ValueError(
+                f"unknown report section(s) {unknown!r}; "
+                f"expected a subset of {list(self.REPORT_SECTIONS)!r}")
+        report: Dict[str, Dict] = {}
+        for section in self.REPORT_SECTIONS:
+            if section not in sections:
+                continue
+            if section == "storage":
+                report[section] = self.cluster.storage_report()
+            elif section == "tier":
+                report[section] = self.cluster.tier_report(
+                    from_workers=from_workers)
+            else:
+                report[section] = self.cluster.recovery_report()
+        return report
+
+    def storage_report(self) -> Dict[str, int]:
+        """Aggregate storage footprint across the deployment (the
+        ``"storage"`` section of :meth:`report`)."""
+        return self.report(sections=("storage",))["storage"]
+
     def tier_report(self, from_workers: bool = False) -> Dict[str, int]:
-        """Aggregate two-tier TIB stats across the deployment.
+        """Aggregate two-tier TIB stats across the deployment (the
+        ``"tier"`` section of :meth:`report`).
 
         (``from_workers=True`` reads the agent-server workers; a worker
         the supervisor restarted answers with its re-seeded - identical -
         state.  Worker-plane health itself is in
         :meth:`recovery_report`.)
         """
-        return self.cluster.tier_report(from_workers=from_workers)
+        return self.report(sections=("tier",),
+                           from_workers=from_workers)["tier"]
 
     def recovery_report(self):
-        """Operator view of the self-healing agent plane (see
-        :meth:`repro.core.cluster.QueryCluster.recovery_report`): worker
-        restarts, re-seed cost, open circuits, mirror detaches and
-        decode errors."""
-        return self.cluster.recovery_report()
+        """Operator view of the self-healing agent plane (the
+        ``"recovery"`` section of :meth:`report`): worker restarts,
+        re-seed cost, open circuits, mirror detaches and decode errors."""
+        return self.report(sections=("recovery",))["recovery"]
 
     def reset_stats(self) -> None:
         """Zero per-experiment counters: controller activity, the RPC

@@ -84,6 +84,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left, bisect_right, insort
+from functools import lru_cache
 from heapq import heapify, heappop, heappush
 from typing import (Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
                     Union)
@@ -91,7 +92,8 @@ from typing import (Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
 from repro.network.packet import FlowId
 from repro.storage.archive import ColdArchive, RetentionPolicy
 from repro.storage.docstore import Collection, DocumentStore
-from repro.storage.records import PathFlowRecord, flow_key
+from repro.storage.records import (PathFlowRecord, ScanSpec, flow_key,
+                                   is_wild)
 
 #: Wildcard marker accepted in link IDs and time ranges.
 WILDCARD = "*"
@@ -112,9 +114,23 @@ _POS_INF = float("inf")
 _EMPTY_IDS: FrozenSet[int] = frozenset()
 
 
-def _is_wild(value) -> bool:
-    """Whether a link/time component is a wildcard."""
-    return value is None or value in (WILDCARD, "?")
+# Canonical wildcard test, shared with ScanSpec (see records.is_wild).
+_is_wild = is_wild
+
+
+@lru_cache(maxsize=1 << 14)
+def _path_topology(path: Tuple[str, ...]
+                   ) -> Tuple[Tuple[Tuple[str, str], ...], Tuple[str, ...]]:
+    """``(links, distinct nodes)`` of one path, memoized.
+
+    The fabric yields a small closed set of paths, so the per-record
+    link/endpoint index maintenance (insert, evict, promote) does one
+    dict hit instead of rebuilding the pair list and node set each time.
+    Degenerate (< 2 hop) paths traverse no link and index nothing.
+    """
+    if len(path) < 2:
+        return (), ()
+    return tuple(zip(path, path[1:])), tuple(set(path))
 
 
 def is_unconstrained_link(link: Optional[LinkId]) -> bool:
@@ -254,10 +270,13 @@ class Tib:
         record_id = self._primary.get(key)
         if record_id is None and self.archive is not None and \
                 self.archive.lookup(key) is not None:
-            # The key was aged out: promote the archived record back into
-            # the hot tier (same id) so the merge lands exactly where an
-            # uncapped TIB would put it.
-            record_id = self._restore_from_archive(key)
+            # The key was aged out: the merge lands on the archived record
+            # (promoted back hot, or folded off-tier - see _merge_archived)
+            # exactly where an uncapped TIB would put it.
+            self._merge_archived(key, record)
+            if self.retention.bounded:
+                self._enforce_retention()
+            return
         if record_id is None:
             if adopt:
                 if record.path is not path:
@@ -267,7 +286,8 @@ class Tib:
                 stored = PathFlowRecord(
                     flow_id=record.flow_id, path=path, stime=record.stime,
                     etime=record.etime, bytes=record.bytes, pkts=record.pkts)
-            self._insert_new(key, stored)
+            if not self._admit_cold(key, stored):
+                self._insert_new(key, stored)
         else:
             self._merge_into(record_id, key[0], record)
         if self.retention.bounded:
@@ -307,6 +327,43 @@ class Tib:
         self._cache_order_dirty = False
         self._time_dup_possible = False
 
+    def _admit_cold(self, key: Tuple[str, Tuple[str, ...]],
+                    record: PathFlowRecord) -> bool:
+        """Cold-admission control: archive a record that would age out
+        immediately, skipping the hot insert + self-eviction round-trip.
+
+        With a record-count bound at capacity, a new record strictly older
+        (by ``etime``) than the eviction heap's minimum would become the
+        heap's very next victim: the normal path would insert it, index
+        it, then evict that same record before ``add_record`` returns.
+        Routing it straight to the write-behind buffer produces the
+        *identical* observable state - same hot contents, same cold
+        contents, same eviction count, and the same record id (reserved
+        from the collection's sequence, so spanning reads stay byte-
+        identical to an uncapped TIB's id order) - without the round-trip.
+        Stale heap entries only ever *understate* the hot minimum, so the
+        strict comparison can never misroute a record the hot tier would
+        have kept.
+        """
+        policy = self.retention
+        if policy.max_records is None or self.archive is None or \
+                len(self._cache) < policy.max_records:
+            return False
+        heap = self._evict_heap
+        if not heap or record.etime >= heap[0][0]:
+            return False
+        record_id = self._collection.reserve_id()
+        # _flow_totals spans both tiers (see _evict_record).
+        totals = self._flow_totals.get(key[0])
+        if totals is None:
+            self._flow_totals[key[0]] = [record.bytes, record.pkts]
+        else:
+            totals[0] += record.bytes
+            totals[1] += record.pkts
+        self.archive.stage(record_id, record, key)
+        self.evictions += 1
+        return True
+
     def _insert_new(self, key: Tuple[str, Tuple[str, ...]],
                     record: PathFlowRecord) -> None:
         record_id = self._collection.insert(record.to_document())
@@ -319,12 +376,11 @@ class Tib:
         else:
             totals[0] += record.bytes
             totals[1] += record.pkts
-        path = record.path
-        if len(path) >= 2:
-            for pair in zip(path, path[1:]):
-                self._link_ids.setdefault(pair, set()).add(record_id)
-            for node in set(path):
-                self._endpoint_ids.setdefault(node, set()).add(record_id)
+        links, nodes = _path_topology(record.path)
+        for pair in links:
+            self._link_ids.setdefault(pair, set()).add(record_id)
+        for node in nodes:
+            self._endpoint_ids.setdefault(node, set()).add(record_id)
         self._pending_stime.append((record.stime, record_id))
         self._pending_etime.append((record.etime, record_id))
         if self.retention.bounded:
@@ -407,27 +463,75 @@ class Tib:
                 del self._flow_ids[key[0]]
         # NOTE: _flow_totals deliberately spans both tiers (unconstrained
         # getCount / top-k stay exact and archive-free) - not decremented.
-        path = record.path
-        if len(path) >= 2:
-            for pair in zip(path, path[1:]):
-                ids = self._link_ids.get(pair)
-                if ids is not None:
-                    ids.discard(record_id)
-                    if not ids:
-                        del self._link_ids[pair]
-            for node in set(path):
-                ids = self._endpoint_ids.get(node)
-                if ids is not None:
-                    ids.discard(record_id)
-                    if not ids:
-                        del self._endpoint_ids[node]
+        links, nodes = _path_topology(record.path)
+        for pair in links:
+            ids = self._link_ids.get(pair)
+            if ids is not None:
+                ids.discard(record_id)
+                if not ids:
+                    del self._link_ids[pair]
+        for node in nodes:
+            ids = self._endpoint_ids.get(node)
+            if ids is not None:
+                ids.discard(record_id)
+                if not ids:
+                    del self._endpoint_ids[node]
         self._collection.delete_by_id(record_id)
         # Its sorted-time entries are stranded; reads already validate
         # against the cache when stale entries exist, and the next rebuild
         # drops them.
         self._stale_time_entries += 2
-        self.archive.append(record_id, record, key)
+        # Write-behind: the eviction fast path pays a dict insert, not an
+        # encode - the archive batches the appends and every read path
+        # flushes first (see ColdArchive.stage).
+        self.archive.stage(record_id, record, key)
         self.evictions += 1
+
+    def _merge_archived(self, key: Tuple[str, Tuple[str, ...]],
+                        record: PathFlowRecord) -> None:
+        """Merge ``record`` into the key's archived record.
+
+        The default path promotes the archived record back into the hot
+        tier and merges there (:meth:`_restore_from_archive` +
+        :meth:`_merge_into`).  Admission control short-circuits the
+        round-trip: when the hot tier is at its record cap and both the
+        incoming and the archived ``etime`` sit strictly below the
+        eviction heap's minimum, the merged record would be the very next
+        eviction victim - so the merge folds *off-tier* (take, fold,
+        re-stage), producing the identical observable state (same tiers,
+        same id, same eviction/promotion counts, same spanning payloads)
+        without touching the hot engine.  Stale heap entries only ever
+        understate the hot minimum, so the short-circuit can never keep a
+        record cold that the hot tier would have retained.
+        """
+        policy = self.retention
+        heap = self._evict_heap
+        if policy.max_records is not None and heap and \
+                len(self._cache) >= policy.max_records and \
+                record.etime < heap[0][0]:
+            record_id, archived = self.archive.take(key)
+            if archived.etime < heap[0][0]:
+                # Fold off-tier (the _merge_into arithmetic, on the
+                # archive's exclusively-owned record object).
+                archived.bytes += record.bytes
+                archived.pkts += record.pkts
+                if record.stime < archived.stime:
+                    archived.stime = record.stime
+                if record.etime > archived.etime:
+                    archived.etime = record.etime
+                totals = self._flow_totals[key[0]]
+                totals[0] += record.bytes
+                totals[1] += record.pkts
+                self.archive.stage(record_id, archived, key)
+                self.promotions += 1
+                self.evictions += 1
+                return
+            # It would stay hot after all: promote it normally (the take
+            # already happened, so install the object directly).
+            self._install_promoted(record_id, archived, key)
+            self._merge_into(record_id, key[0], record)
+            return
+        self._merge_into(self._restore_from_archive(key), key[0], record)
 
     def _restore_from_archive(self, key: Tuple[str, Tuple[str, ...]]) -> int:
         """Promote the archived record for ``key`` back into the hot tier.
@@ -438,6 +542,12 @@ class Tib:
         something - possibly this very record - right back out).
         """
         record_id, record = self.archive.take(key)
+        self._install_promoted(record_id, record, key)
+        return record_id
+
+    def _install_promoted(self, record_id: int, record: PathFlowRecord,
+                          key: Tuple[str, Tuple[str, ...]]) -> None:
+        """Install an already-taken archived record into the hot tier."""
         document = record.to_document()
         document["_id"] = record_id
         self._collection.insert(document)
@@ -446,12 +556,11 @@ class Tib:
         self._cache_order_dirty = True
         insort(self._flow_ids.setdefault(key[0], []), record_id)
         # _flow_totals already covers this record (it spans both tiers).
-        path = record.path
-        if len(path) >= 2:
-            for pair in zip(path, path[1:]):
-                self._link_ids.setdefault(pair, set()).add(record_id)
-            for node in set(path):
-                self._endpoint_ids.setdefault(node, set()).add(record_id)
+        links, nodes = _path_topology(record.path)
+        for pair in links:
+            self._link_ids.setdefault(pair, set()).add(record_id)
+        for node in nodes:
+            self._endpoint_ids.setdefault(node, set()).add(record_id)
         self._pending_stime.append((record.stime, record_id))
         self._pending_etime.append((record.etime, record_id))
         # The pre-eviction index entries may still be around with the very
@@ -460,113 +569,139 @@ class Tib:
         if self.retention.bounded:
             heappush(self._evict_heap, (record.etime, record_id))
         self.promotions += 1
-        return record_id
 
     # ------------------------------------------------------------------ reads
+    @staticmethod
+    def _as_spec(flow_id: Optional[FlowId], link: Optional[LinkId],
+                 start: Optional[float], end: Optional[float]) -> ScanSpec:
+        """Compile the legacy keyword constraints into a :class:`ScanSpec`."""
+        return ScanSpec(
+            start=start, end=end,
+            links=() if is_unconstrained_link(link) else (tuple(link),),
+            flow_keys=(None if flow_id is None
+                       else frozenset((flow_key(flow_id),))))
+
     def records(self, flow_id: Optional[FlowId] = None,
                 link: Optional[LinkId] = None,
                 time_range: Optional[TimeRange] = None
                 ) -> List[PathFlowRecord]:
         """All records matching the given constraints.
 
-        Queries span both tiers: hot results and cold-archive matches are
-        merged in record-id order, so a capped TIB answers identically to
-        an uncapped one.  The returned hot-tier :class:`PathFlowRecord`
-        objects are the TIB's own memoized instances - treat them as
-        read-only (archived matches are freshly decoded copies).
+        The constraints compile into one :class:`ScanSpec` served by both
+        tiers' ``scan``: hot results and cold-archive matches are merged in
+        record-id order, so a capped TIB answers identically to an uncapped
+        one.  The returned hot-tier :class:`PathFlowRecord` objects are the
+        TIB's own memoized instances - treat them as read-only (archived
+        matches are freshly decoded copies).
         """
         start, end = normalise_time_range(time_range)
+        spec = self._as_spec(flow_id, link, start, end)
         archive = self.archive
         if archive is None or not archive.live_count:
-            return self._hot_records(flow_id, link, start, end)
-        pairs = self._hot_pairs(flow_id, link, start, end)
-        fkey = flow_key(flow_id) if flow_id is not None else None
-        cold = archive.search(fkey, start, end)
-        if link is not None:
-            cold = [(record_id, record) for record_id, record in cold
-                    if link_matches(record, link)]
+            return self._hot_records(spec)
+        pairs = self.scan(spec)
+        cold = archive.scan(spec)
         if cold:
             pairs.extend(cold)
             pairs.sort(key=lambda pair: pair[0])
         return [record for _, record in pairs]
 
-    def _hot_records(self, flow_id: Optional[FlowId],
-                     link: Optional[LinkId], start: Optional[float],
-                     end: Optional[float]) -> List[PathFlowRecord]:
+    def _hot_records(self, spec: ScanSpec) -> List[PathFlowRecord]:
         """The single-tier read path (no live archive entries).
 
         The unconstrained and time-only branches skip the ``(id, record)``
         pair allocation entirely; everything else delegates to
-        :meth:`_hot_pairs` - one copy of the index routing and filters, so
+        :meth:`scan` - one copy of the index routing and filters, so
         capped and uncapped reads can never diverge.
         """
         cache = self._cache
-        if flow_id is None and link is None:
-            if start is None and end is None:
+        if spec.flow_keys is None and not spec.links:
+            if spec.start is None and spec.end is None:
                 if self._cache_order_dirty:
                     # Promotions reinserted old ids at the dict's tail;
                     # the deterministic result order is id order.
                     return [record for _, record in sorted(cache.items())]
                 return list(cache.values())
             return [cache[record_id]
-                    for record_id in self._ids_in_window(start, end)]
-        return [record
-                for _, record in self._hot_pairs(flow_id, link, start, end)]
+                    for record_id in self._ids_in_window(spec.start,
+                                                         spec.end)]
+        return [record for _, record in self.scan(spec)]
 
-    def _hot_pairs(self, flow_id: Optional[FlowId], link: Optional[LinkId],
-                   start: Optional[float], end: Optional[float]
-                   ) -> List[Tuple[int, PathFlowRecord]]:
-        """The hot tier's matches as ``(id, record)`` pairs, id-ordered.
+    @staticmethod
+    def _links_match(record: PathFlowRecord,
+                     links: Tuple[LinkId, ...]) -> bool:
+        """Whether the record satisfies every link constraint of a spec."""
+        return all(link_matches(record, link) for link in links)
 
-        The shared index-routing/filter core of every read: per-flow
-        postings, the inverted link/endpoint indexes, or the sorted time
-        index.  :meth:`records` merges cold-archive matches into the pairs
-        by id for the deterministic whole-TIB order.
+    def scan(self, spec: ScanSpec) -> List[Tuple[int, PathFlowRecord]]:
+        """The hot tier's matches for ``spec``: ``(id, record)`` pairs in
+        id order - the hot half of the tiers' shared read surface
+        (:meth:`ColdArchive.scan <repro.storage.archive.ColdArchive.scan>`
+        is the cold half).
+
+        The index-routing core of every read: per-flow postings, the
+        inverted link/endpoint indexes, or the sorted time index pick the
+        candidate ids; the remaining constraints filter them.
+        :meth:`records` merges cold matches into the pairs by id for the
+        deterministic whole-TIB order.
         """
         cache = self._cache
+        start = spec.start
+        end = spec.end
+        links = spec.links
+        pairs: List[Tuple[int, PathFlowRecord]] = []
 
-        if flow_id is not None:
+        if spec.flow_keys is not None:
             # Per-flow index; posting lists are already in id (insertion)
-            # order.
-            pairs = []
-            for record_id in self._flow_ids.get(flow_key(flow_id), ()):
+            # order.  Multiple keys union their postings, then re-sort.
+            if len(spec.flow_keys) == 1:
+                candidate_ids: Iterable[int] = self._flow_ids.get(
+                    next(iter(spec.flow_keys)), ())
+            else:
+                merged: List[int] = []
+                for fkey in spec.flow_keys:
+                    merged.extend(self._flow_ids.get(fkey, ()))
+                merged.sort()
+                candidate_ids = merged
+            for record_id in candidate_ids:
                 record = cache[record_id]
                 if start is not None and record.etime < start:
                     continue
                 if end is not None and record.stime > end:
                     continue
-                if link is not None and not link_matches(record, link):
+                if links and not self._links_match(record, links):
                     continue
                 pairs.append((record_id, record))
-            return pairs
-
-        if link is not None:
-            a, b = link
-            wild_a = _is_wild(a)
-            wild_b = _is_wild(b)
-            if not (wild_a and wild_b):
-                if wild_a or wild_b:
-                    candidates: Iterable[int] = self._endpoint_ids.get(
-                        a if wild_b else b, _EMPTY_IDS)
-                else:
-                    forward = self._link_ids.get((a, b), _EMPTY_IDS)
-                    backward = self._link_ids.get((b, a), _EMPTY_IDS)
-                    candidates = forward | backward if backward else forward
-                pairs = []
-                for record_id in sorted(candidates):
-                    record = cache[record_id]
-                    if start is not None and record.etime < start:
-                        continue
-                    if end is not None and record.stime > end:
-                        continue
-                    pairs.append((record_id, record))
-                return pairs
-            # A fully wild link constrains nothing; fall through.
-
-        if start is None and end is None:
-            return sorted(cache.items())
-        return [(record_id, cache[record_id])
-                for record_id in self._ids_in_window(start, end)]
+        elif links:
+            # Route on the first link constraint (the endpoint index for a
+            # wildcard endpoint, the inverted link index otherwise); any
+            # further constraints filter the candidates.
+            a, b = links[0]
+            if a is None or b is None:
+                candidates: Iterable[int] = self._endpoint_ids.get(
+                    a if b is None else b, _EMPTY_IDS)
+            else:
+                forward = self._link_ids.get((a, b), _EMPTY_IDS)
+                backward = self._link_ids.get((b, a), _EMPTY_IDS)
+                candidates = forward | backward if backward else forward
+            rest = links[1:]
+            for record_id in sorted(candidates):
+                record = cache[record_id]
+                if start is not None and record.etime < start:
+                    continue
+                if end is not None and record.stime > end:
+                    continue
+                if rest and not self._links_match(record, rest):
+                    continue
+                pairs.append((record_id, record))
+        elif start is None and end is None:
+            pairs = sorted(cache.items())
+        else:
+            pairs = [(record_id, cache[record_id])
+                     for record_id in self._ids_in_window(start, end)]
+        if spec.limit is not None:
+            del pairs[spec.limit:]
+        return pairs
 
     def _ids_in_window(self, start: Optional[float],
                        end: Optional[float]) -> List[int]:
@@ -722,13 +857,43 @@ class Tib:
         accounting; the quantity ``RetentionPolicy.max_bytes`` bounds)."""
         return self._collection.estimated_bytes()
 
+    def flush_archive(self) -> None:
+        """Force the archive's write-behind buffer into its log.
+
+        Reads and scans flush implicitly (the archive's flush barrier);
+        snapshot, accounting and stats paths that look at the log directly
+        call this first so they never observe a torn tier.  A no-op when
+        single-tier or when nothing is staged.
+        """
+        if self.archive is not None:
+            self.archive.flush()
+
+    def configure_cold_scan(self, mode: str = "serial",
+                            max_workers: Optional[int] = None) -> None:
+        """Select the cold tier's spanning-scan strategy (see
+        :meth:`ColdArchive.configure_scan
+        <repro.storage.archive.ColdArchive.configure_scan>`); a no-op when
+        no archive exists yet."""
+        if self.archive is not None:
+            self.archive.configure_scan(mode, max_workers)
+
     def archive_bytes(self) -> int:
-        """Measured size of the cold archive's log (0 when single-tier)."""
-        return self.archive.archive_bytes() if self.archive is not None else 0
+        """Measured size of the cold archive's log (0 when single-tier);
+        flushes the write-behind buffer so staged evictions are counted."""
+        if self.archive is None:
+            return 0
+        self.archive.flush()
+        return self.archive.archive_bytes()
 
     def tier_stats(self) -> Dict[str, int]:
-        """Both tiers at a glance: sizes, movement counters, log shape."""
+        """Both tiers at a glance: sizes, movement counters, log shape and
+        the cold scan's pruning/write-behind counters.  Flushes the
+        write-behind buffer first so the byte accounting covers the whole
+        tier."""
         archive = self.archive
+        if archive is not None:
+            archive.flush()
+        stats = archive.stats if archive else {}
         return {
             "hot_records": len(self._cache),
             "hot_bytes": self._collection.estimated_bytes(),
@@ -737,17 +902,29 @@ class Tib:
             "evictions": self.evictions,
             "promotions": self.promotions,
             "segments": archive.segment_count if archive else 0,
-            "archive_compactions":
-                archive.stats["compactions"] if archive else 0,
+            "archive_compactions": stats.get("compactions", 0),
+            "segments_skipped": stats.get("segments_skipped", 0),
+            "segment_decodes": stats.get("segment_decodes", 0),
+            "entries_decoded": stats.get("entries_decoded", 0),
+            "entries_skipped": stats.get("entries_skipped", 0),
+            "decode_cache_hits": stats.get("decode_cache_hits", 0),
+            "write_behind_flushes": stats.get("flushes", 0),
+            "write_behind_records": stats.get("flushed_records", 0),
         }
 
     def reset_stats(self) -> None:
         """Zero the instrumentation counters: the backing collection's, the
-        archive's, and the tier-movement (eviction/promotion) counts."""
+        archive's, and the tier-movement (eviction/promotion) counts.
+
+        The archive flushes first, so the new measurement interval starts
+        from a settled tier instead of counting a predecessor's staged
+        evictions as its own flush work.
+        """
         self._collection.reset_stats()
         self.evictions = 0
         self.promotions = 0
         if self.archive is not None:
+            self.archive.flush()
             self.archive.reset_stats()
 
     # ----------------------------------------------------------- Table 1 API

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import functools
 import struct
+import zlib
 from typing import (Any, Iterable, List, NamedTuple, Optional, Sequence,
                     Tuple)
 
@@ -55,15 +56,19 @@ from repro.core.alarms import Alarm
 from repro.core.monitor import (MonitorSnapshot, TcpFlowStats,
                                 TransferObservation)
 from repro.network.packet import FlowId
-from repro.storage.records import PathFlowRecord
+from repro.storage.records import PathFlowRecord, parse_flow_key
 
 #: Frame magic + codec version (bump on any incompatible layout change).
 #: Version 2: result frames carry a piggybacked alarm batch, pongs carry
 #: the worker's monitor flow count, and the event-plane frame kinds exist.
 #: Version 3: pongs carry the worker TIB's two-tier stats (hot/cold record
 #: counts and bytes) and the retention-config frame kind exists.
+#: Version 4: archive log entries use the field-offset layout (fixed
+#: ``stime/etime/link-bloom`` header at known offsets + a body-length
+#: prefix) so cold-tier predicates evaluate on encoded bytes and full
+#: records decode lazily.
 MAGIC = b"PD"
-WIRE_VERSION = 3
+WIRE_VERSION = 4
 
 _HEADER = struct.Struct("<2sBB")
 #: Bytes of the fixed frame header.
@@ -585,27 +590,197 @@ def decode_record_batch(data: bytes) -> List[PathFlowRecord]:
     return [reader.record() for _ in range(reader.uvarint())]
 
 
-def append_record_entry(buf: bytearray, record_id: int,
-                        record: PathFlowRecord) -> None:
-    """Append one ``varint(record id) + record body`` log entry to ``buf``.
+# The cold archive's log-entry layout (:mod:`repro.storage.archive`)::
+#
+#     uvarint(record id) + uvarint(body length) + body
+#     body = stime f64 | etime f64 | link bloom u64 | flow id | path |
+#            varint(bytes) | varint(pkts)
+#
+# The body leads with a fixed-offset header (two IEEE doubles and a 64-bit
+# per-entry link bloom) so a cold scan evaluates time and link predicates
+# with one ``unpack_from`` per entry, and the body-length prefix lets it
+# step over rejected entries without decoding them; only survivors pay the
+# full record decode.  The flow id sits at a fixed body offset too: varints
+# and length-prefixed strings are prefix-free, so a flow-key predicate is an
+# exact byte comparison of the encoded flow id (no bloom, no false
+# positives).  Archive sizes stay *measured* codec bytes, directly
+# comparable with the record-batch accounting.
 
-    This is the entry format of the cold archive's append-only segments
-    (:mod:`repro.storage.archive`): the same record encoding as a record
-    batch, prefixed with the record's hot-tier id so the two tiers share
-    one deterministic result order.  Archive sizes are therefore *measured*
-    codec bytes, directly comparable with the record-batch accounting.
+#: The fixed body header: ``stime, etime`` doubles + ``u64`` link bloom.
+ENTRY_FIXED = struct.Struct("<ddQ")
+#: Body offset of the encoded flow id (the flow-key probe target).
+ENTRY_FLOWID_OFFSET = ENTRY_FIXED.size
+
+#: crc32 salts of the per-entry 64-bit link bloom (k=2 bits per key).
+#: Python's ``hash()`` is per-process randomized and therefore unusable:
+#: blooms baked into encoded entries must mean the same thing in every
+#: worker process.
+_ENTRY_BLOOM_SALTS = (0x00000000, 0x9E3779B9)
+
+
+@functools.lru_cache(maxsize=1 << 12)
+def link_bloom_mask(a: str, b: str) -> int:
+    """Bloom mask of one concrete (undirected) link ``a``-``b``."""
+    if b < a:
+        a, b = b, a
+    key = (a + "\x00" + b).encode("utf-8")
+    mask = 0
+    for salt in _ENTRY_BLOOM_SALTS:
+        mask |= 1 << (zlib.crc32(key, salt) & 63)
+    return mask
+
+
+@functools.lru_cache(maxsize=1 << 12)
+def node_bloom_mask(node: str) -> int:
+    """Bloom mask of one path node (wildcard-endpoint link queries).
+
+    Node keys live in their own namespace (``\\x01`` prefix, which cannot
+    start a link key's ``name\\x00name`` form) so a node never aliases a
+    link.
     """
+    key = ("\x01" + node).encode("utf-8")
+    mask = 0
+    for salt in _ENTRY_BLOOM_SALTS:
+        mask |= 1 << (zlib.crc32(key, salt) & 63)
+    return mask
+
+
+@functools.lru_cache(maxsize=1 << 14)
+def entry_link_bloom(path: Tuple[str, ...]) -> int:
+    """The 64-bit per-entry bloom over a path's links and nodes.
+
+    Zero for degenerate (< 2 hop) paths, which traverse no link - matching
+    the TIB's link semantics, where such records never match any link
+    constraint.  Memoized per path tuple: the datacenter topology yields a
+    small closed set of paths, so eviction-time bloom computation is a dict
+    hit, not |path| crc32 calls.
+    """
+    if len(path) < 2:
+        return 0
+    bloom = 0
+    for a, b in zip(path, path[1:]):
+        bloom |= link_bloom_mask(a, b)
+    for node in set(path):
+        bloom |= node_bloom_mask(node)
+    return bloom
+
+
+@functools.lru_cache(maxsize=1 << 12)
+def flow_key_probe(fkey: str) -> bytes:
+    """The exact encoded-byte probe for one canonical flow key.
+
+    Returns the codec encoding of the parsed flow id; an entry matches the
+    flow key iff its body bytes at :data:`ENTRY_FLOWID_OFFSET` equal this
+    probe (prefix-freeness of the flow-id encoding makes the slice
+    comparison equivalent to flow-id equality).
+    """
+    buf = bytearray()
+    _w_flow_id(buf, parse_flow_key(fkey))
+    return bytes(buf)
+
+
+@functools.lru_cache(maxsize=1 << 14)
+def _entry_key_bytes(flow_id: FlowId, path: Tuple[str, ...]) -> bytes:
+    """Encoded flow-id + path section of an entry body, memoized per
+    (flow, path) - the tier key.  Records for one key are re-encoded every
+    time they age out again after a promotion, and this whole section is
+    immutable per key, so churn pays two tail varints instead of a field-
+    by-field re-encode."""
+    buf = bytearray()
+    _w_flow_id(buf, flow_id)
+    _w_uvarint(buf, len(path))
+    for node in path:
+        _w_str(buf, node)
+    return bytes(buf)
+
+
+def append_record_entry(buf: bytearray, record_id: int,
+                        record: PathFlowRecord) -> int:
+    """Append one archive log entry to ``buf``; returns the body's offset
+    within ``buf`` (the lazy-decode / predicate-probe anchor the archive
+    indexes per entry)."""
+    body = bytearray(ENTRY_FIXED.pack(record.stime, record.etime,
+                                      entry_link_bloom(record.path)))
+    body += _entry_key_bytes(record.flow_id, record.path)
+    _w_varint(body, record.bytes)
+    _w_varint(body, record.pkts)
     _w_uvarint(buf, record_id)
-    _w_record(buf, record)
+    _w_uvarint(buf, len(body))
+    body_offset = len(buf)
+    buf += body
+    return body_offset
+
+
+def record_entry_bytes(record_id: int, record: PathFlowRecord) -> int:
+    """Measured size of one archive log entry (id + length prefix + body)."""
+    buf = bytearray()
+    append_record_entry(buf, record_id, record)
+    return len(buf)
+
+
+@_guarded
+def read_entry_record(data: bytes, body_offset: int) -> PathFlowRecord:
+    """Decode the full record of the entry whose body starts at
+    ``body_offset`` - the lazy half of the scan path, paid only by entries
+    that survived the encoded-byte predicates."""
+    stime, etime, _bloom = ENTRY_FIXED.unpack_from(data, body_offset)
+    reader = _Reader(data, body_offset + ENTRY_FIXED.size)
+    flow_id = reader.flow_id()
+    count = reader.uvarint()
+    path = tuple(reader.str_() for _ in range(count))
+    nbytes = reader.varint()
+    pkts = reader.varint()
+    return PathFlowRecord(flow_id=flow_id, path=path, stime=stime,
+                          etime=etime, bytes=nbytes, pkts=pkts)
+
+
+@_guarded
+def read_entry_tail(data: bytes, entry_start: int, flow_id: FlowId,
+                    path: Tuple[str, ...]) -> PathFlowRecord:
+    """Decode the entry at ``entry_start`` whose flow id and path the
+    caller already knows.
+
+    The archive's promotion path resolves entries through its key index -
+    ``(flow key, path) -> record id`` - so by the time the entry bytes are
+    read, the very fields that dominate decode cost (the flow id and the
+    path strings) are in hand.  The entry was encoded from that exact key,
+    so the key section is skipped wholesale (its memoized encoded length)
+    and only the fixed header and the two tail varints are read.
+    """
+    reader = _Reader(data, entry_start)
+    reader.uvarint()  # record id
+    reader.uvarint()  # body length; the tail below self-delimits
+    body_offset = reader.pos
+    stime, etime, _bloom = ENTRY_FIXED.unpack_from(data, body_offset)
+    reader.pos = body_offset + ENTRY_FIXED.size + \
+        len(_entry_key_bytes(flow_id, path))
+    nbytes = reader.varint()
+    pkts = reader.varint()
+    return PathFlowRecord(flow_id=flow_id, path=path, stime=stime,
+                          etime=etime, bytes=nbytes, pkts=pkts)
+
+
+def iter_entry_headers(data: bytes) -> Iterable[Tuple[int, int, int]]:
+    """Walk a log blob without decoding records.
+
+    Yields ``(record id, body offset, body length)`` per entry - the
+    archive builds its per-segment entry arrays from this shape, and the
+    pruning-soundness tests use it for brute-force comparison scans.
+    """
+    reader = _Reader(data)
+    length = len(data)
+    while reader.pos < length:
+        record_id = reader.uvarint()
+        body_len = reader.uvarint()
+        yield record_id, reader.pos, body_len
+        reader.pos += body_len
 
 
 def iter_record_entries(data: bytes
                         ) -> Iterable[Tuple[int, PathFlowRecord]]:
     """Decode a blob of :func:`append_record_entry` log entries in order."""
-    reader = _Reader(data)
-    length = len(data)
-    while reader.pos < length:
-        yield reader.uvarint(), reader.record()
+    for record_id, body_offset, _body_len in iter_entry_headers(data):
+        yield record_id, read_entry_record(data, body_offset)
 
 
 @_guarded
@@ -617,7 +792,9 @@ def read_record_entry(data: bytes, offset: int
     index: one entry is decoded, not the whole segment.
     """
     reader = _Reader(data, offset)
-    return reader.uvarint(), reader.record()
+    record_id = reader.uvarint()
+    reader.uvarint()  # body length; the record decode below self-delimits
+    return record_id, read_entry_record(data, reader.pos)
 
 
 # ------------------------------------------------------------------ results

@@ -3,13 +3,13 @@ log-structured cold archive of the two-tier TIB."""
 
 from repro.storage.archive import ColdArchive, RetentionPolicy
 from repro.storage.docstore import Collection, DocumentStore, QueryError
-from repro.storage.records import (PathFlowRecord, TrajectoryMemoryRecord,
-                                   flow_key, parse_flow_key,
-                                   records_wire_bytes)
+from repro.storage.records import (PathFlowRecord, ScanSpec,
+                                   TrajectoryMemoryRecord, flow_key,
+                                   parse_flow_key, records_wire_bytes)
 
 __all__ = [
     "ColdArchive", "RetentionPolicy",
     "Collection", "DocumentStore", "QueryError",
-    "PathFlowRecord", "TrajectoryMemoryRecord", "flow_key", "parse_flow_key",
-    "records_wire_bytes",
+    "PathFlowRecord", "ScanSpec", "TrajectoryMemoryRecord", "flow_key",
+    "parse_flow_key", "records_wire_bytes",
 ]

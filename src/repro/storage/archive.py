@@ -9,30 +9,51 @@ modelling the on-disk half of the paper's MongoDB-backed TIB.
 Layout
 ------
 
-Records arrive in *eviction order* (oldest ``etime`` first, the hot tier's
-retention order) and are appended to an **active log buffer**.  Once the
-buffer holds :attr:`ColdArchive.segment_records` entries it is **sealed**
-into an immutable segment: a single ``bytes`` blob of
-``varint(record id) + record body`` entries (the same record encoding the
-wire codec ships, so archive bytes are *measured* serialized bytes, not
-estimates), plus a **sparse index** - the segment's ``[min stime, max
-etime]`` envelope, its ``[min id, max id]`` range and the set of flow keys
-it contains.  Queries prune whole segments on that metadata and decode only
-the candidates.
+Evicted records land in a **write-behind buffer** first (:meth:`stage` - an
+O(1) dict insert, keeping the hot tier's eviction path off the encoder),
+then a batched :meth:`flush` appends them to an **active log buffer**.  Once
+the buffer holds :attr:`ColdArchive.segment_records` entries it is
+**sealed** into an immutable segment: a single ``bytes`` blob of
+field-offset log entries (``uvarint(id) + uvarint(body len) + body``, the
+body leading with a fixed ``stime/etime/link-bloom`` header - see the entry
+layout notes in :mod:`repro.core.wire`), plus the segment's pruning
+metadata:
+
+* a **zone map** - the ``[min stime, max etime]`` time envelope, the
+  ``[min id, max id]`` range and the exact set of path nodes it holds;
+* a **link bloom** and a **flow-key bloom** (crc32-salted, so they mean the
+  same thing in every worker process).
+
+:meth:`scan` - the cold half of the tiers' shared
+:class:`~repro.storage.records.ScanSpec` read surface - prunes whole
+segments on that metadata, evaluates time/link/flow-key predicates on the
+encoded bytes of the surviving segments' entries (one ``unpack_from`` and a
+bloom AND per entry), and decodes full records *lazily*, only for entries
+that pass every encoded-byte predicate.  Blooms can produce false
+positives, never false negatives; every decoded candidate is re-verified
+against the spec's exact predicate.  Surviving segments are independent,
+so scans optionally scatter across them through the scatter-gather
+executor (:meth:`configure_scan`).
+
+Every read path flushes the write-behind buffer first (the **flush
+barrier**), so a scan, snapshot or byte count never observes a torn tier.
 
 Two mutations exist besides append:
 
 * :meth:`ColdArchive.take` removes one entry (the hot tier *promotes* a
-  record back when a new write merges into an archived key).  The entry's
-  bytes stay in place; its id joins a tombstone set that reads skip.
+  record back when a new write merges into an archived key).  A still-
+  staged entry is simply popped from the write-behind buffer; a logged
+  entry's bytes stay in place and its id joins a tombstone set that reads
+  skip.
 * :meth:`ColdArchive.compact` rewrites every segment without the
   tombstoned entries (triggered automatically once the dead fraction
   crosses :attr:`ColdArchive.compact_dead_ratio`), reclaiming their bytes.
 
 The archive also keeps a **key index** ``(flow key, path) -> record id``
-over its live entries - the structure a real log-structured store carries
-as bloom filters / sparse key indexes - so the hot tier's upsert path can
-detect in O(1) that an incoming record must merge into an archived one.
+over its live entries (staged ones included) - the structure a real
+log-structured store carries as bloom filters / sparse key indexes - so the
+hot tier's upsert path can detect in O(1) that an incoming record must
+merge into an archived one.
 
 Nothing in this module imports the wire codec at import time (the codec
 lives in :mod:`repro.core`, which imports this package); the record
@@ -42,11 +63,16 @@ encoder is bound lazily on first use, mirroring
 
 from __future__ import annotations
 
+import threading
+import warnings
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence, Set,
-                    Tuple)
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.storage.records import PathFlowRecord, flow_key
+from repro.storage.records import (PathFlowRecord, ScanSpec, flow_key,
+                                   parse_flow_key)
 
 #: A hot/cold tier key: ``(flow key, path)`` - the TIB's primary key.
 ArchiveKey = Tuple[str, Tuple[str, ...]]
@@ -63,6 +89,54 @@ def _codec():
         from repro.core import wire
         _wire = wire
     return _wire
+
+
+#: Segment-bloom geometry.  Sized for the segment granularity (256 entries
+#: by default): 512 link bits with k=2 stay well under ~20% full for a
+#: datacenter topology's link diversity per segment, and 2048 flow-key bits
+#: with k=3 keep the per-segment false-positive rate in the low percent
+#: even when every entry carries a distinct flow.  Segment blooms are plain
+#: Python ints (subset test = two bitwise ops), rebuilt at seal time.
+SEG_LINK_BLOOM_BITS = 512
+SEG_FKEY_BLOOM_BITS = 2048
+#: crc32 salts (k hash functions); crc32 instead of ``hash()`` because the
+#: latter is per-process randomized and segment metadata must agree across
+#: worker processes.
+_SEG_LINK_SALTS = (0x51ED2701, 0x9E3779B9)
+_SEG_FKEY_SALTS = (0x1B873593, 0xCC9E2D51, 0x85EBCA6B)
+
+
+@lru_cache(maxsize=1 << 12)
+def _seg_link_mask(a: str, b: str) -> int:
+    """Segment-bloom mask of one concrete (undirected) link."""
+    if b < a:
+        a, b = b, a
+    key = (a + "\x00" + b).encode("utf-8")
+    mask = 0
+    for salt in _SEG_LINK_SALTS:
+        mask |= 1 << (zlib.crc32(key, salt) % SEG_LINK_BLOOM_BITS)
+    return mask
+
+
+@lru_cache(maxsize=1 << 14)
+def _seg_path_link_bloom(path: Tuple[str, ...]) -> int:
+    """Segment-bloom contribution of one path (all its undirected links)."""
+    if len(path) < 2:
+        return 0
+    bloom = 0
+    for a, b in zip(path, path[1:]):
+        bloom |= _seg_link_mask(a, b)
+    return bloom
+
+
+@lru_cache(maxsize=1 << 14)
+def _seg_fkey_mask(fkey: str) -> int:
+    """Segment-bloom mask of one canonical flow key."""
+    key = fkey.encode("utf-8")
+    mask = 0
+    for salt in _SEG_FKEY_SALTS:
+        mask |= 1 << (zlib.crc32(key, salt) % SEG_FKEY_BLOOM_BITS)
+    return mask
 
 
 @dataclass(frozen=True)
@@ -100,19 +174,27 @@ class RetentionPolicy:
 
 
 class _Segment:
-    """One sealed, immutable log segment plus its sparse index.
+    """One sealed, immutable log segment plus its pruning metadata.
 
     ``offsets`` maps record id -> byte offset of the id's *latest* entry
     in ``data`` (the point-lookup index a real log-structured store keeps
     per SSTable); promotion reads decode exactly one entry through it.
+    ``entry_ids``/``entry_starts``/``body_offsets`` are the scan-side
+    parallel arrays: one slot per log entry in append order, so a header
+    scan walks encoded bytes without re-parsing the entry framing, and
+    compaction can splice whole entries (``data[start:next start]``)
+    without decoding them.
     """
 
     __slots__ = ("data", "count", "min_stime", "max_etime", "min_id",
-                 "max_id", "flow_keys", "offsets")
+                 "max_id", "nodes", "link_bloom", "fkey_bloom", "entry_ids",
+                 "entry_starts", "body_offsets", "offsets")
 
     def __init__(self, data: bytes, count: int, min_stime: float,
                  max_etime: float, min_id: int, max_id: int,
-                 flow_keys: FrozenSet[str],
+                 nodes: FrozenSet[str], link_bloom: int, fkey_bloom: int,
+                 entry_ids: Tuple[int, ...], entry_starts: Tuple[int, ...],
+                 body_offsets: Tuple[int, ...],
                  offsets: Dict[int, int]) -> None:
         self.data = data
         self.count = count
@@ -120,18 +202,42 @@ class _Segment:
         self.max_etime = max_etime
         self.min_id = min_id
         self.max_id = max_id
-        self.flow_keys = flow_keys
+        self.nodes = nodes
+        self.link_bloom = link_bloom
+        self.fkey_bloom = fkey_bloom
+        self.entry_ids = entry_ids
+        self.entry_starts = entry_starts
+        self.body_offsets = body_offsets
         self.offsets = offsets
 
-    def may_contain(self, fkey: Optional[str], start: Optional[float],
-                    end: Optional[float]) -> bool:
-        """Sparse-index pruning: can this segment hold a matching entry?"""
-        if fkey is not None and fkey not in self.flow_keys:
-            return False
+    def may_match(self, start: Optional[float], end: Optional[float],
+                  link_tests: List[Tuple[Optional[str], int]],
+                  fkey_masks: Optional[List[int]]) -> bool:
+        """Zone-map + bloom pruning: can this segment hold a match?
+
+        ``link_tests`` is the compiled link conjunction - ``(node, mask)``
+        pairs where a non-``None`` node means "the segment must hold this
+        path node" (exact set test, for wildcard-endpoint constraints) and
+        otherwise ``mask`` must be a subset of the segment's link bloom.
+        ``fkey_masks`` is the flow-key disjunction against the flow-key
+        bloom.  False negatives are impossible: a pruned segment provably
+        holds no matching entry (the pruning-soundness fuzz test asserts
+        exactly this against brute-force decode).
+        """
         if start is not None and self.max_etime < start:
             return False
         if end is not None and self.min_stime > end:
             return False
+        for node, mask in link_tests:
+            if node is not None:
+                if node not in self.nodes:
+                    return False
+            elif self.link_bloom & mask != mask:
+                return False
+        if fkey_masks is not None:
+            fkey_bloom = self.fkey_bloom
+            if not any(fkey_bloom & mask == mask for mask in fkey_masks):
+                return False
         return True
 
 
@@ -143,6 +249,8 @@ class ColdArchive:
         compact_dead_ratio: dead-entry fraction above which a
             :meth:`take` triggers an automatic :meth:`compact`; ``None``
             disables auto-compaction.
+        write_behind_records: staged evictions that force an inline
+            :meth:`flush` (the write-behind buffer's bound).
     """
 
     #: Default entries per sealed segment.
@@ -151,14 +259,24 @@ class ColdArchive:
     COMPACT_DEAD_RATIO = 0.3
     #: Minimum total entries before auto-compaction is considered.
     COMPACT_MIN_RECORDS = 64
+    #: Default bound on the write-behind buffer.  Sized well above the
+    #: segment granularity: evictions that merge again while still staged
+    #: are folded as live objects (no decode, no dead entry), so a deeper
+    #: buffer directly cheapens churn-heavy ingest.
+    WRITE_BEHIND_RECORDS = 1024
+    #: Bound on the decoded-entry cache serving repeated scans.
+    DECODE_CACHE_ENTRIES = 4096
 
     def __init__(self, segment_records: int = SEGMENT_RECORDS,
-                 compact_dead_ratio: Optional[float] = COMPACT_DEAD_RATIO
-                 ) -> None:
+                 compact_dead_ratio: Optional[float] = COMPACT_DEAD_RATIO,
+                 write_behind_records: int = WRITE_BEHIND_RECORDS) -> None:
         if segment_records < 1:
             raise ValueError("segment_records must be positive")
+        if write_behind_records < 1:
+            raise ValueError("write_behind_records must be positive")
         self.segment_records = segment_records
         self.compact_dead_ratio = compact_dead_ratio
+        self.write_behind_records = write_behind_records
         self._segments: List[_Segment] = []
         # Active (unsealed) log buffer plus its index-in-progress.
         self._active = bytearray()
@@ -167,8 +285,17 @@ class ColdArchive:
         self._active_max_etime = -_INF
         self._active_min_id = 0
         self._active_max_id = 0
-        self._active_flow_keys: Set[str] = set()
+        self._active_nodes: Set[str] = set()
+        self._active_link_bloom = 0
+        self._active_fkey_bloom = 0
+        self._active_entry_ids: List[int] = []
+        self._active_entry_starts: List[int] = []
+        self._active_body_offsets: List[int] = []
         self._active_offsets: Dict[int, int] = {}
+        # Write-behind buffer: evictions staged here (insertion order =
+        # eviction order) until a batched flush encodes them.
+        self._staged: Dict[int, Tuple[PathFlowRecord, ArchiveKey]] = {}
+        self._flush_lock = threading.Lock()
         # Live-entry key index + tombstones (see the module docstring).
         self._key_index: Dict[ArchiveKey, int] = {}
         self._dead: Set[int] = set()
@@ -177,36 +304,105 @@ class ColdArchive:
         # they are counted instead of kept in the dead set.
         self._superseded = 0
         self._total_records = 0
-        #: Instrumentation: how often the expensive operations happen.
+        # Optional segment-parallel scan executor (see configure_scan).
+        self._scan_executor = None
+        # Bounded LRU of decoded entries serving the scan path, keyed by
+        # (blob identity, body offset).  The value pins the blob, so the
+        # id() half of the key can never be reused while the entry lives.
+        # Promotion decodes bypass it entirely: promoted records are
+        # merged *in place* by the hot tier, and a mutated object must
+        # never be what a later scan returns.
+        self._decode_cache: "OrderedDict[Tuple[int, int], Tuple[bytes, PathFlowRecord]]" = OrderedDict()
+        #: Instrumentation: how often the expensive operations happen and
+        #: how much work pruning avoided.
         self.stats = {"appends": 0, "takes": 0, "segments_sealed": 0,
-                      "compactions": 0, "segment_decodes": 0}
+                      "compactions": 0, "segment_decodes": 0,
+                      "segments_skipped": 0, "entries_decoded": 0,
+                      "entries_skipped": 0, "decode_cache_hits": 0,
+                      "flushes": 0, "flushed_records": 0}
 
     # ------------------------------------------------------------------ writes
     def append(self, record_id: int, record: PathFlowRecord,
                key: Optional[ArchiveKey] = None) -> None:
-        """Append one aged-out record under its hot-tier id.
+        """Append one aged-out record under its hot-tier id, synchronously.
 
         ``key`` is the TIB's primary key for the record (derived when
         omitted).  The caller must not hold two live entries for the same
         key - the hot tier promotes before re-archiving.  Re-archiving an
         id that was promoted earlier is fine: the tombstone is lifted and
         the *latest* log entry for an id is authoritative everywhere.
+        (The eviction fast path uses :meth:`stage` instead, deferring the
+        encode to a batched flush.)
         """
         if key is None:
             key = (flow_key(record.flow_id), record.path)
         if key in self._key_index:
             raise ValueError(f"archive already holds a live entry for {key}")
+        self._append_entry(record_id, record, key)
+        self._maybe_compact()
+
+    def stage(self, record_id: int, record: PathFlowRecord,
+              key: Optional[ArchiveKey] = None) -> None:
+        """Write-behind append - the eviction fast path.
+
+        The entry becomes *live* immediately (``lookup``, ``take`` and
+        ``live_count`` all see it) but the encode is deferred to a batched
+        :meth:`flush` off the hot tier's eviction path.  Every read path
+        flushes first - the flush barrier - so scans and snapshots never
+        observe a torn tier.  Promoting a still-staged entry back is a
+        dict pop: no log bytes, no tombstone, no compaction pressure.
+        """
+        if key is None:
+            key = (flow_key(record.flow_id), record.path)
+        if key in self._key_index:
+            raise ValueError(f"archive already holds a live entry for {key}")
+        self._key_index[key] = record_id
+        self._staged[record_id] = (record, key)
+        if len(self._staged) >= self.write_behind_records:
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain the write-behind buffer into the log (the flush barrier).
+
+        Idempotent and cheap when nothing is staged; every read entry
+        point calls it before touching the log.
+        """
+        if not self._staged:
+            return
+        with self._flush_lock:
+            self._drain_staged()
+        self._maybe_compact()
+
+    def _drain_staged(self) -> None:
+        staged = self._staged
+        if not staged:
+            return
+        self._staged = {}
+        for record_id, (record, key) in staged.items():
+            self._append_entry(record_id, record, key)
+        self.stats["flushes"] += 1
+        self.stats["flushed_records"] += len(staged)
+
+    def _append_entry(self, record_id: int, record: PathFlowRecord,
+                      key: ArchiveKey) -> None:
+        """Encode one entry into the active buffer and index it (shared by
+        direct appends, write-behind flushes and compaction rewrites)."""
+        wire = _codec()
         if record_id in self._dead:
             # Re-archival of a promoted id: the tombstoned entry becomes a
             # *superseded* duplicate - still garbage bytes, but the id is
             # live again, so track it by count for the compaction trigger.
             self._dead.discard(record_id)
             self._superseded += 1
-        wire = _codec()
         if not self._active_count:
             self._active_min_id = record_id
-        self._active_offsets[record_id] = len(self._active)
-        wire.append_record_entry(self._active, record_id, record)
+        start = len(self._active)
+        self._active_offsets[record_id] = start
+        body_offset = wire.append_record_entry(self._active, record_id,
+                                               record)
+        self._active_entry_ids.append(record_id)
+        self._active_entry_starts.append(start)
+        self._active_body_offsets.append(body_offset)
         self._active_count += 1
         self._active_max_id = max(self._active_max_id, record_id)
         self._active_min_id = min(self._active_min_id, record_id)
@@ -214,13 +410,15 @@ class ColdArchive:
             self._active_min_stime = record.stime
         if record.etime > self._active_max_etime:
             self._active_max_etime = record.etime
-        self._active_flow_keys.add(key[0])
+        if len(record.path) >= 2:
+            self._active_nodes.update(record.path)
+        self._active_link_bloom |= _seg_path_link_bloom(record.path)
+        self._active_fkey_bloom |= _seg_fkey_mask(key[0])
         self._key_index[key] = record_id
         self._total_records += 1
         self.stats["appends"] += 1
         if self._active_count >= self.segment_records:
             self._seal_active()
-        self._maybe_compact()
 
     def _seal_active(self) -> None:
         """Freeze the active buffer into an immutable segment."""
@@ -230,7 +428,10 @@ class ColdArchive:
             bytes(self._active), self._active_count,
             self._active_min_stime, self._active_max_etime,
             self._active_min_id, self._active_max_id,
-            frozenset(self._active_flow_keys), self._active_offsets))
+            frozenset(self._active_nodes), self._active_link_bloom,
+            self._active_fkey_bloom, tuple(self._active_entry_ids),
+            tuple(self._active_entry_starts),
+            tuple(self._active_body_offsets), self._active_offsets))
         self.stats["segments_sealed"] += 1
         self._reset_active()
 
@@ -241,18 +442,29 @@ class ColdArchive:
         self._active_max_etime = -_INF
         self._active_min_id = 0
         self._active_max_id = 0
-        self._active_flow_keys = set()
+        self._active_nodes = set()
+        self._active_link_bloom = 0
+        self._active_fkey_bloom = 0
+        self._active_entry_ids = []
+        self._active_entry_starts = []
+        self._active_body_offsets = []
         self._active_offsets = {}
 
     def take(self, key: ArchiveKey) -> Tuple[int, PathFlowRecord]:
         """Remove and return the live entry for ``key`` (promotion path).
 
-        Returns ``(record id, record)``.  The entry's bytes are tombstoned
-        in place; compaction reclaims them once enough pile up.  Raises
-        :class:`KeyError` when the archive holds no live entry for ``key``.
+        Returns ``(record id, record)``.  A still-staged entry is popped
+        straight out of the write-behind buffer; a logged entry's bytes
+        are tombstoned in place and compaction reclaims them once enough
+        pile up.  Raises :class:`KeyError` when the archive holds no live
+        entry for ``key``.
         """
         record_id = self._key_index.pop(key)  # KeyError propagates
-        record = self._find_entry(record_id, key[0])
+        staged = self._staged.pop(record_id, None)
+        if staged is not None:
+            self.stats["takes"] += 1
+            return record_id, staged[0]
+        record = self._find_entry(record_id, key)
         if record is None:  # pragma: no cover - index/log desync guard
             raise KeyError(f"archive log lost entry {record_id} for {key}")
         self._dead.add(record_id)
@@ -265,33 +477,34 @@ class ColdArchive:
         return self._key_index.get(key)
 
     def _find_entry(self, record_id: int,
-                    fkey: str) -> Optional[PathFlowRecord]:
+                    key: ArchiveKey) -> Optional[PathFlowRecord]:
         """Decode the entry ``record_id`` via the per-segment offset index.
 
         The log may hold several entries for one id (a promoted record
         re-archived later); the *latest* one is authoritative, so the
         active buffer is consulted first, then the sealed segments newest
-        to oldest.  Exactly one entry is decoded - no segment scan.
+        to oldest.  Exactly one entry is read - no segment scan - and the
+        caller's key supplies the flow id and path outright, so the read
+        skips the entry's key bytes and decodes only the time header and
+        tail counters (see :func:`repro.core.wire.read_entry_tail`).  The
+        decoded record is a fresh mutable object, never shared with the
+        scan path's cache: the hot tier merges into promoted records in
+        place.
         """
         wire = _codec()
-        offset = self._active_offsets.get(record_id)
-        if offset is not None:
+        flow_id = parse_flow_key(key[0])
+        entry_start = self._active_offsets.get(record_id)
+        if entry_start is not None:
             # The reader indexes/slices the bytearray directly - no copy
             # of the whole active buffer for a point lookup.
-            entry_id, record = wire.read_record_entry(self._active, offset)
-            return record
+            return wire.read_entry_tail(self._active, entry_start,
+                                        flow_id, key[1])
         for segment in reversed(self._segments):
-            offset = segment.offsets.get(record_id)
-            if offset is not None:
-                entry_id, record = wire.read_record_entry(segment.data,
-                                                          offset)
-                return record
+            entry_start = segment.offsets.get(record_id)
+            if entry_start is not None:
+                return wire.read_entry_tail(segment.data, entry_start,
+                                            flow_id, key[1])
         return None
-
-    @staticmethod
-    def _iter_entries(data: bytes
-                      ) -> Iterator[Tuple[int, PathFlowRecord]]:
-        return _codec().iter_record_entries(data)
 
     # --------------------------------------------------------------- compaction
     def _maybe_compact(self) -> None:
@@ -310,93 +523,315 @@ class ColdArchive:
         return (len(self._dead) + self._superseded) / total if total else 0.0
 
     def compact(self) -> None:
-        """Rewrite the log without tombstoned entries.
+        """Splice-rewrite the log without its garbage entries - no decode.
 
-        Live entries are re-laid in id order and re-sealed into full
-        segments; the sparse indexes are rebuilt; the dead set empties.
+        Each kept entry's bytes are copied verbatim (``data[entry start :
+        next entry start]``) using the per-blob parallel arrays; an entry
+        is kept iff its id is not tombstoned *and* it is the id's globally
+        latest entry (resolved from the per-blob offset indexes alone, so
+        superseded duplicates drop too).  Each rewritten blob inherits its
+        source blob's pruning metadata - a conservative superset of what
+        remains, so pruning stays false-negative-free - and neighbouring
+        rewritten blobs merge (metadata union) while they fit the segment
+        granularity, keeping the segment count from fragmenting under
+        repeated compactions.  Write-behind entries are untouched - they
+        hold no log bytes yet, so there is nothing to reclaim for them.
         """
         self.stats["compactions"] += 1
-        # Last entry per id wins (see append()); tombstoned ids drop out.
-        latest: Dict[int, PathFlowRecord] = {}
-        for record_id, record in self._entries():
-            if record_id not in self._dead:
-                latest[record_id] = record
-        live = sorted(latest.items())
+        blobs: List[Tuple] = [
+            (s.data, s.entry_ids, s.entry_starts, s.body_offsets,
+             s.offsets, s.min_stime, s.max_etime, s.nodes, s.link_bloom,
+             s.fkey_bloom)
+            for s in self._segments]
+        if self._active_count:
+            blobs.append((
+                self._active, tuple(self._active_entry_ids),
+                tuple(self._active_entry_starts),
+                tuple(self._active_body_offsets), self._active_offsets,
+                self._active_min_stime, self._active_max_etime,
+                frozenset(self._active_nodes), self._active_link_bloom,
+                self._active_fkey_bloom))
+        # Globally latest entry per id: each blob's offset index already
+        # holds the id's latest entry *within* the blob, and blob order is
+        # log order, so a forward fold resolves duplicates with no decode.
+        latest: Dict[int, Tuple[int, int]] = {}
+        for blob_no, blob in enumerate(blobs):
+            for record_id, entry_start in blob[4].items():
+                latest[record_id] = (blob_no, entry_start)
+        dead = self._dead
+        pieces: List[List] = []
+        for blob_no, (data, entry_ids, entry_starts, body_offsets, _off,
+                      min_stime, max_etime, nodes, link_bloom,
+                      fkey_bloom) in enumerate(blobs):
+            out = bytearray()
+            new_ids: List[int] = []
+            new_starts: List[int] = []
+            new_bodies: List[int] = []
+            new_offsets: Dict[int, int] = {}
+            blob_len = len(data)
+            entries = len(entry_ids)
+            for index, record_id in enumerate(entry_ids):
+                start = entry_starts[index]
+                if record_id in dead or \
+                        latest[record_id] != (blob_no, start):
+                    continue
+                end = entry_starts[index + 1] if index + 1 < entries \
+                    else blob_len
+                new_start = len(out)
+                new_offsets[record_id] = new_start
+                new_ids.append(record_id)
+                new_starts.append(new_start)
+                new_bodies.append(body_offsets[index] - start + new_start)
+                out += data[start:end]
+            if new_ids:
+                pieces.append([out, new_ids, new_starts, new_bodies,
+                               new_offsets, min_stime, max_etime,
+                               set(nodes), link_bloom, fkey_bloom])
+        merged: List[List] = []
+        for piece in pieces:
+            if merged and len(merged[-1][1]) + len(piece[1]) <= \
+                    self.segment_records:
+                dst = merged[-1]
+                base = len(dst[0])
+                dst[0] += piece[0]
+                dst[1].extend(piece[1])
+                dst[2].extend(s + base for s in piece[2])
+                dst[3].extend(b + base for b in piece[3])
+                for record_id, entry_start in piece[4].items():
+                    dst[4][record_id] = entry_start + base
+                dst[5] = min(dst[5], piece[5])
+                dst[6] = max(dst[6], piece[6])
+                dst[7] |= piece[7]
+                dst[8] |= piece[8]
+                dst[9] |= piece[9]
+            else:
+                merged.append(piece)
         self._segments = []
         self._reset_active()
+        total = 0
+        for (out, ids, starts, bodies, offsets, min_stime, max_etime,
+             nodes, link_bloom, fkey_bloom) in merged:
+            total += len(ids)
+            self._segments.append(_Segment(
+                bytes(out), len(ids), min_stime, max_etime, min(ids),
+                max(ids), frozenset(nodes), link_bloom, fkey_bloom,
+                tuple(ids), tuple(starts), tuple(bodies), offsets))
         self._dead = set()
         self._superseded = 0
-        self._total_records = 0
-        appends = self.stats["appends"]  # compaction is not ingest
-        sealed = self.stats["segments_sealed"]
-        for record_id, record in live:
-            key = (flow_key(record.flow_id), record.path)
-            del self._key_index[key]  # append() re-adds it
-            self.append(record_id, record, key)
-        self._seal_active()
-        self.stats["appends"] = appends
-        self.stats["segments_sealed"] = sealed
-
-    def _entries(self) -> List[Tuple[int, PathFlowRecord]]:
-        """Every log entry (live and dead), segments first then active."""
-        out: List[Tuple[int, PathFlowRecord]] = []
-        for segment in self._segments:
-            self.stats["segment_decodes"] += 1
-            out.extend(self._iter_entries(segment.data))
-        out.extend(self._iter_entries(self._active))
-        return out
+        self._total_records = total
+        # Every blob was replaced; the cached decodes can never be served
+        # again (new object identities), so release the pinned blobs.
+        self._decode_cache.clear()
 
     # ------------------------------------------------------------------- reads
+    def configure_scan(self, mode: str = "serial",
+                       max_workers: Optional[int] = None) -> None:
+        """Select the spanning-scan strategy.
+
+        ``mode="serial"`` (the default) scans surviving segments inline;
+        any executor mode (e.g. ``"concurrent"``) scatters them across the
+        scatter-gather executor - segments are independent, so per-segment
+        header scans run in parallel and the executor's canonical slot
+        order makes the merged result identical to the serial scan by
+        construction.  The lazy import mirrors :func:`_codec` (the
+        executor lives above this package).
+        """
+        if mode == "serial":
+            self._scan_executor = None
+            return
+        from repro.core.executor import (LoopbackTransport,
+                                         ScatterGatherExecutor)
+        self._scan_executor = ScatterGatherExecutor(
+            LoopbackTransport(), mode=mode, max_workers=max_workers)
+
+    def scan(self, spec: ScanSpec) -> List[Tuple[int, PathFlowRecord]]:
+        """Live entries matching ``spec``, as id-ordered ``(id, record)``
+        pairs - the cold half of the tiers' shared read surface.
+
+        The pruned read path: the write-behind buffer flushes first (the
+        flush barrier), whole segments are skipped on zone maps + blooms,
+        surviving segments are header-scanned on encoded bytes, and only
+        entries passing every encoded-byte predicate pay a full record
+        decode (once per surviving id).  Each decoded record is re-checked
+        against the spec's exact predicate, so bloom false positives never
+        surface.
+
+        When the log holds several entries for one id (promotion then
+        re-archival), the latest is authoritative.  Pruning stays safe
+        across duplicates because an id is permanently bound to one
+        ``(flow key, path)`` and a record's ``stime`` only ever decreases
+        / ``etime`` only ever increases: whenever a stale duplicate
+        matches, the authoritative entry matches too and its segment
+        survives pruning, so the log-order fold always lands on it.
+        """
+        self.flush()
+        wire = _codec()
+        stats = self.stats
+        # Compile the spec once into segment-level and entry-level filters.
+        link_tests: List[Tuple[Optional[str], int]] = []
+        entry_masks: List[int] = []
+        for a, b in spec.links:
+            if a is None or b is None:
+                node = a if b is None else b
+                link_tests.append((node, 0))
+                entry_masks.append(wire.node_bloom_mask(node))
+            else:
+                link_tests.append((None, _seg_link_mask(a, b)))
+                entry_masks.append(wire.link_bloom_mask(a, b))
+        probes: Optional[List[bytes]] = None
+        fkey_masks: Optional[List[int]] = None
+        if spec.flow_keys is not None:
+            flow_keys = sorted(spec.flow_keys)
+            probes = [wire.flow_key_probe(fkey) for fkey in flow_keys]
+            fkey_masks = [_seg_fkey_mask(fkey) for fkey in flow_keys]
+        candidates: List[_Segment] = []
+        for segment in self._segments:
+            if segment.may_match(spec.start, spec.end, link_tests,
+                                 fkey_masks):
+                candidates.append(segment)
+            else:
+                stats["segments_skipped"] += 1
+        executor = self._scan_executor
+        if executor is not None and len(candidates) > 1:
+            def scan_segment(label: str):
+                segment = candidates[int(label.rsplit("-", 1)[1])]
+                return self._scan_blob(segment.data, segment.entry_ids,
+                                       segment.body_offsets, spec,
+                                       entry_masks, probes)
+            labels = [f"segment-{i}" for i in range(len(candidates))]
+            streams = executor.map_local(labels, scan_segment)
+        else:
+            streams = [self._scan_blob(segment.data, segment.entry_ids,
+                                       segment.body_offsets, spec,
+                                       entry_masks, probes)
+                       for segment in candidates]
+        stats["segment_decodes"] += len(candidates)
+        # Fold the per-segment survivor streams in log order (latest entry
+        # per id wins), then the active buffer on top.
+        hits: Dict[int, Tuple[bytes, int]] = {}
+        skipped = 0
+        for segment, (survivors, blob_skipped) in zip(candidates, streams):
+            skipped += blob_skipped
+            data = segment.data
+            for record_id, body_offset in survivors:
+                hits[record_id] = (data, body_offset)
+        if self._active_count:
+            survivors, blob_skipped = self._scan_blob(
+                self._active, self._active_entry_ids,
+                self._active_body_offsets, spec, entry_masks, probes)
+            skipped += blob_skipped
+            for record_id, body_offset in survivors:
+                hits[record_id] = (self._active, body_offset)
+        stats["entries_skipped"] += skipped
+        # Lazy decode of the survivors only, plus the exact re-check.
+        # Repeated scans over a stable tier hit the bounded decoded-entry
+        # cache instead of re-decoding (callers treat the returned records
+        # as read-only, so sharing the decoded objects is safe; the hot
+        # tier's promotion path decodes its own mutable copies).
+        read = wire.read_entry_record
+        cache = self._decode_cache
+        cache_bound = self.DECODE_CACHE_ENTRIES
+        decoded = 0
+        cache_hits = 0
+        results = []
+        for record_id, (data, body_offset) in hits.items():
+            cache_key = (id(data), body_offset)
+            entry = cache.get(cache_key)
+            if entry is not None:
+                record = entry[1]
+                cache.move_to_end(cache_key)
+                cache_hits += 1
+            else:
+                record = read(data, body_offset)
+                decoded += 1
+                cache[cache_key] = (data, record)
+                if len(cache) > cache_bound:
+                    cache.popitem(last=False)
+            if spec.matches(record):
+                results.append((record_id, record))
+        stats["entries_decoded"] += decoded
+        stats["decode_cache_hits"] += cache_hits
+        results.sort(key=lambda pair: pair[0])
+        if spec.limit is not None:
+            del results[spec.limit:]
+        return results
+
+    def _scan_blob(self, data: bytes, entry_ids, body_offsets,
+                   spec: ScanSpec, entry_masks: List[int],
+                   probes: Optional[List[bytes]]
+                   ) -> Tuple[List[Tuple[int, int]], int]:
+        """Header-scan one blob on encoded bytes only.
+
+        Returns ``(survivors, skipped)`` where survivors are ``(record id,
+        body offset)`` pairs in log order; nothing is decoded.  Pure with
+        respect to the archive (stats fold in the caller's thread), so
+        segment-parallel scans can run it concurrently.
+        """
+        wire = _codec()
+        unpack = wire.ENTRY_FIXED.unpack_from
+        flowid_offset = wire.ENTRY_FLOWID_OFFSET
+        dead = self._dead
+        start = spec.start
+        end = spec.end
+        survivors: List[Tuple[int, int]] = []
+        skipped = 0
+        for index, record_id in enumerate(entry_ids):
+            if record_id in dead:
+                continue
+            body_offset = body_offsets[index]
+            stime, etime, bloom = unpack(data, body_offset)
+            if start is not None and etime < start:
+                skipped += 1
+                continue
+            if end is not None and stime > end:
+                skipped += 1
+                continue
+            rejected = False
+            for mask in entry_masks:
+                if bloom & mask != mask:
+                    rejected = True
+                    break
+            if not rejected and probes is not None:
+                base = body_offset + flowid_offset
+                for probe in probes:
+                    if data[base:base + len(probe)] == probe:
+                        break
+                else:
+                    rejected = True
+            if rejected:
+                skipped += 1
+                continue
+            survivors.append((record_id, body_offset))
+        return survivors, skipped
+
     def search(self, fkey: Optional[str] = None,
                start: Optional[float] = None,
                end: Optional[float] = None
                ) -> List[Tuple[int, PathFlowRecord]]:
-        """Live entries matching a flow key and/or overlapping a window.
+        """Deprecated pre-:class:`ScanSpec` read surface (thin wrapper).
 
-        Returns ``(record id, record)`` pairs in ascending id order - the
-        hot tier merges them with its own id-ordered results so queries
-        spanning both tiers keep the deterministic single-tier order.
-        Whole segments are pruned on the sparse index; only candidates are
-        decoded.
-
-        When the log holds several entries for one id (promotion then
-        re-archival), the latest is authoritative; time filters run on it
-        *after* the dedup.  Pruning stays safe across duplicates because a
-        record's ``stime`` only ever decreases and its ``etime`` only ever
-        increases: any segment holding the newest entry of an id whose
-        stale twin overlaps the window must overlap it too.
+        Kept for callers of the original cold-tier API; equivalent to
+        ``scan(ScanSpec(start=start, end=end, flow_keys={fkey}))`` and
+        returns exactly what :meth:`scan` returns.
         """
-        latest: Dict[int, PathFlowRecord] = {}
-        dead = self._dead
-        for segment in self._segments:
-            if not segment.may_contain(fkey, start, end):
-                continue
-            self.stats["segment_decodes"] += 1
-            self._collect_blob(segment.data, fkey, dead, latest)
-        if self._active_count:
-            self._collect_blob(self._active, fkey, dead, latest)
-        results = [(record_id, record)
-                   for record_id, record in latest.items()
-                   if (start is None or record.etime >= start)
-                   and (end is None or record.stime <= end)]
-        results.sort(key=lambda pair: pair[0])
-        return results
-
-    @staticmethod
-    def _collect_blob(data: bytes, fkey: Optional[str], dead: Set[int],
-                      latest: Dict[int, PathFlowRecord]) -> None:
-        for record_id, record in ColdArchive._iter_entries(data):
-            if record_id in dead:
-                continue
-            if fkey is not None and flow_key(record.flow_id) != fkey:
-                continue
-            latest[record_id] = record
+        warnings.warn(
+            "ColdArchive.search() is deprecated; build a ScanSpec and call "
+            "scan(spec) instead", DeprecationWarning, stacklevel=2)
+        flow_keys = None if fkey is None else frozenset((fkey,))
+        return self.scan(ScanSpec(start=start, end=end,
+                                  flow_keys=flow_keys))
 
     # -------------------------------------------------------------- accounting
     @property
     def live_count(self) -> int:
-        """Number of live (non-tombstoned) archived records."""
+        """Number of live (non-tombstoned) archived records, staged
+        write-behind entries included."""
         return len(self._key_index)
+
+    @property
+    def staged_count(self) -> int:
+        """Entries waiting in the write-behind buffer."""
+        return len(self._staged)
 
     @property
     def segment_count(self) -> int:
@@ -406,30 +841,36 @@ class ColdArchive:
     def archive_bytes(self) -> int:
         """*Measured* size of the log: the encoded bytes actually held
         (sealed segments plus the active buffer, tombstones included until
-        compaction reclaims them)."""
+        compaction reclaims them).  Callers that must account staged
+        entries too flush first (the TIB's tier accounting does)."""
         return sum(len(s.data) for s in self._segments) + len(self._active)
 
     def index_bytes(self) -> int:
         """Rough footprint of the archive-side index structures (the key
-        index, tombstone set and per-segment sparse metadata)."""
+        index, tombstone set and per-segment pruning metadata)."""
         total = 0
         for (fkey, path), _ in self._key_index.items():
             total += len(fkey) + sum(len(node) + 2 for node in path) + 8
         total += 8 * len(self._dead)
         for segment in self._segments:
-            total += 48 + sum(len(k) for k in segment.flow_keys)
+            total += 48 + sum(len(node) for node in segment.nodes)
+            total += (SEG_LINK_BLOOM_BITS + SEG_FKEY_BLOOM_BITS) // 8
             total += 16 * len(segment.offsets)
+            total += 20 * len(segment.entry_ids)
         total += 16 * len(self._active_offsets)
+        total += 20 * len(self._active_entry_ids)
         return total
 
     def clear(self) -> None:
-        """Drop every segment, the active buffer and all indexes."""
+        """Drop every segment, the buffers and all indexes."""
         self._segments = []
         self._reset_active()
+        self._staged = {}
         self._key_index = {}
         self._dead = set()
         self._superseded = 0
         self._total_records = 0
+        self._decode_cache.clear()
 
     def reset_stats(self) -> None:
         """Zero the instrumentation counters (data stays intact)."""

@@ -96,8 +96,16 @@ class Collection:
         self.name = name
         self.auto_compact_ratio = auto_compact_ratio
         self._documents: List[Optional[Dict[str, Any]]] = []
+        # Serialized-size of each slot, parallel to _documents: deletes and
+        # footprint accounting read the cached size instead of re-walking
+        # the document (which made heavy eviction churn quadratic-ish).
+        self._doc_bytes: List[int] = []
         self._id_to_pos: Dict[Any, int] = {}
-        self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+        # Hash-index postings are insertion-ordered dicts (position -> None)
+        # rather than lists: removal is O(1) instead of O(len(posting)),
+        # which matters when one hot key (e.g. a single busy dst host)
+        # accumulates most of the collection.
+        self._indexes: Dict[str, Dict[Any, Dict[int, None]]] = {}
         self._sorted_indexes: Dict[str, List[Tuple[Any, int]]] = {}
         self._next_id = 0
         self._tombstones = 0
@@ -135,11 +143,11 @@ class Collection:
         self._build_sorted_index(field)
 
     def _build_hash_index(self, field: str) -> None:
-        index: Dict[Any, List[int]] = defaultdict(list)
+        index: Dict[Any, Dict[int, None]] = defaultdict(dict)
         for position, document in enumerate(self._documents):
             if document is None:
                 continue
-            index[self._index_key(document.get(field))].append(position)
+            index[self._index_key(document.get(field))][position] = None
         self._indexes[field] = dict(index)
 
     def _build_sorted_index(self, field: str) -> None:
@@ -162,16 +170,30 @@ class Collection:
             self._next_id = doc["_id"] + 1
         position = len(self._documents)
         self._documents.append(doc)
+        doc_bytes = _estimate_document_bytes(doc)
+        self._doc_bytes.append(doc_bytes)
         self._id_to_pos[doc["_id"]] = position
-        self._estimated_bytes += _estimate_document_bytes(doc)
+        self._estimated_bytes += doc_bytes
         for field, index in self._indexes.items():
             index.setdefault(self._index_key(doc.get(field)),
-                             []).append(position)
+                             {})[position] = None
         for field, entries in self._sorted_indexes.items():
             value = doc.get(field)
             if value is not None:
                 insort(entries, (value, position))
         return doc["_id"]
+
+    def reserve_id(self) -> int:
+        """Allocate and return the next auto ``_id`` without inserting.
+
+        For callers that route a logical row somewhere other than this
+        collection (the two-tier TIB's cold-admission path) but must keep
+        the id sequence identical to what :meth:`insert` would have
+        assigned.  The reserved id is consumed permanently.
+        """
+        doc_id = self._next_id
+        self._next_id += 1
+        return doc_id
 
     def insert_many(self, documents: Iterable[Dict[str, Any]]) -> int:
         """Insert many documents; returns the number inserted."""
@@ -199,17 +221,19 @@ class Collection:
             old_value = document.get(field)
             if old_value == new_value:
                 continue
+            delta = _estimate_value_bytes(new_value)
             if field in document:
-                self._estimated_bytes -= _estimate_value_bytes(old_value)
+                delta -= _estimate_value_bytes(old_value)
             else:
-                self._estimated_bytes += len(field)
-            self._estimated_bytes += _estimate_value_bytes(new_value)
+                delta += len(field)
+            self._estimated_bytes += delta
+            self._doc_bytes[position] += delta
             index = self._indexes.get(field)
             if index is not None:
                 self._posting_remove(index, self._index_key(old_value),
                                      position)
                 index.setdefault(self._index_key(new_value),
-                                 []).append(position)
+                                 {})[position] = None
             entries = self._sorted_indexes.get(field)
             if entries is not None:
                 if old_value is not None:
@@ -258,7 +282,8 @@ class Collection:
         """Tombstone one slot and strip its postings from every index."""
         self._documents[position] = None
         self._tombstones += 1
-        self._estimated_bytes -= _estimate_document_bytes(document)
+        self._estimated_bytes -= self._doc_bytes[position]
+        self._doc_bytes[position] = 0
         self._id_to_pos.pop(document["_id"], None)
         for field, index in self._indexes.items():
             self._posting_remove(index, self._index_key(document.get(field)),
@@ -269,15 +294,12 @@ class Collection:
                 self._sorted_remove(entries, value, position)
 
     @staticmethod
-    def _posting_remove(index: Dict[Any, List[int]], key: Any,
+    def _posting_remove(index: Dict[Any, Dict[int, None]], key: Any,
                         position: int) -> None:
         posting = index.get(key)
         if posting is None:
             return
-        try:
-            posting.remove(position)
-        except ValueError:
-            return
+        posting.pop(position, None)
         if not posting:
             del index[key]
 
@@ -306,6 +328,8 @@ class Collection:
     def compact(self) -> None:
         """Drop tombstones and rebuild indexes over the compacted slots."""
         self.stats["compactions"] += 1
+        self._doc_bytes = [b for d, b in zip(self._documents, self._doc_bytes)
+                           if d is not None]
         self._documents = [d for d in self._documents if d is not None]
         self._tombstones = 0
         self._id_to_pos = {d["_id"]: i for i, d in enumerate(self._documents)}
@@ -317,6 +341,7 @@ class Collection:
     def clear(self) -> None:
         """Remove every document."""
         self._documents.clear()
+        self._doc_bytes.clear()
         self._id_to_pos.clear()
         self._tombstones = 0
         self._estimated_bytes = 0

@@ -21,6 +21,16 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.network.packet import FlowId
 
+
+def is_wild(value) -> bool:
+    """Whether a link-endpoint / time-bound value is a wildcard.
+
+    The canonical wildcard test of the query API (``None``, ``"*"`` or
+    ``"?"``), shared by :class:`ScanSpec` and the TIB's constraint helpers
+    so the two can never diverge.
+    """
+    return value is None or value in ("*", "?")
+
 #: *Estimated* wire size (bytes) of one serialized TIB record; derived from
 #: the field sizes (5-tuple ~ 13 B, timestamps 2 x 8 B, counters 2 x 8 B,
 #: path as a list of 2-byte switch indices).  Reported record sizes are
@@ -178,12 +188,98 @@ def flow_key(flow_id: FlowId) -> str:
             f"{flow_id.dst_port}|{flow_id.protocol}")
 
 
+@lru_cache(maxsize=1 << 16)
 def parse_flow_key(key: str) -> FlowId:
-    """Inverse of :func:`flow_key`."""
+    """Inverse of :func:`flow_key` (memoized like its counterpart: the
+    archive's promotion path re-parses the same live keys repeatedly)."""
     left, right, proto = key.split("|")
     src_ip, src_port = left.rsplit(":", 1)
     dst_ip, dst_port = right.rsplit(":", 1)
     return FlowId(src_ip, dst_ip, int(src_port), int(dst_port), int(proto))
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """One declarative read request, implemented by both storage tiers.
+
+    ``Tib.scan`` (hot) and ``ColdArchive.scan`` (cold) both take a spec and
+    return id-ordered ``(record id, record)`` pairs, so the tier-spanning
+    merge and the built-in query handlers are written once against a single
+    surface instead of the old divergent ``_hot_pairs`` /
+    ``search(fkey=, start=, end=)`` pair.
+
+    Attributes:
+        start: inclusive window start, or ``None`` for open-ended.  A record
+            matches when its *observed interval* overlaps the window
+            (``etime >= start and stime <= end``), same as the TIB's
+            ``record_in_range``.
+        end: inclusive window end, or ``None``.
+        links: conjunction of link constraints ``(a, b)``.  An endpoint may
+            be a wildcard (``None``/``"*"``/``"?"``, normalised to ``None``),
+            meaning "path traverses this node"; a fully-wild pair constrains
+            nothing and is dropped.  Concrete pairs are undirected.
+        flow_keys: disjunction of canonical flow keys (see
+            :func:`flow_key`), or ``None`` for unconstrained.
+        limit: keep only the first ``limit`` pairs in id order, or ``None``.
+    """
+
+    start: Optional[float] = None
+    end: Optional[float] = None
+    links: Tuple[Tuple[Optional[str], Optional[str]], ...] = ()
+    flow_keys: Optional[FrozenSet[str]] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        start = None if is_wild(self.start) else float(self.start)
+        end = None if is_wild(self.end) else float(self.end)
+        if start is not None and end is not None and end < start:
+            raise ValueError(
+                f"scan window end ({end}) precedes start ({start})")
+        links = []
+        for a, b in self.links:
+            a = None if is_wild(a) else a
+            b = None if is_wild(b) else b
+            if a is None and b is None:
+                continue
+            links.append((a, b))
+        flow_keys = self.flow_keys
+        if flow_keys is not None and not isinstance(flow_keys, frozenset):
+            flow_keys = frozenset(flow_keys)
+        if self.limit is not None and self.limit < 0:
+            raise ValueError(f"scan limit must be >= 0, got {self.limit}")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        object.__setattr__(self, "links", tuple(links))
+        object.__setattr__(self, "flow_keys", flow_keys)
+
+    @property
+    def unconstrained(self) -> bool:
+        """True when every record matches (limit aside)."""
+        return (self.start is None and self.end is None
+                and not self.links and self.flow_keys is None)
+
+    def matches(self, record: PathFlowRecord) -> bool:
+        """Exact predicate — the reference semantics for the pruned scan.
+
+        Pruned/bloomed scan paths may only ever *skip* work this predicate
+        would reject; every candidate they surface is re-verified against it
+        (the pruning-soundness fuzz test checks exactly this equivalence).
+        """
+        if self.start is not None and record.etime < self.start:
+            return False
+        if self.end is not None and record.stime > self.end:
+            return False
+        if (self.flow_keys is not None
+                and flow_key(record.flow_id) not in self.flow_keys):
+            return False
+        for a, b in self.links:
+            if a is None or b is None:
+                node = a if b is None else b
+                if len(record.path) < 2 or node not in record.path:
+                    return False
+            elif not record.traverses_link(a, b):
+                return False
+        return True
 
 
 def records_wire_bytes(records: Sequence[PathFlowRecord]) -> int:

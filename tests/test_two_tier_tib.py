@@ -20,7 +20,7 @@ from repro.core import (MECHANISM_DIRECT, MECHANISM_MULTILEVEL,
 from repro.network.packet import FlowId, PROTO_TCP
 from repro.storage import ColdArchive, PathFlowRecord, RetentionPolicy
 from repro.storage.archive import ArchiveKey  # noqa: F401  (public name)
-from repro.storage.records import flow_key
+from repro.storage.records import ScanSpec, flow_key
 from repro.topology.graph import ROLE_AGGREGATE, ROLE_EDGE, Topology
 
 SWITCHES = ("s0", "s1", "s2")
@@ -73,7 +73,7 @@ class TestRetentionBounds:
         for i in range(12):
             tib.add_record(make_record(i, stime=float(i), etime=float(i)))
         hot_etimes = [r.etime for r in tib._cache.values()]
-        cold_etimes = [r.etime for _, r in tib.archive.search()]
+        cold_etimes = [r.etime for _, r in tib.archive.scan(ScanSpec())]
         assert min(hot_etimes) > max(cold_etimes)
 
     def test_configure_retention_later_enforces_immediately(self):
@@ -234,7 +234,7 @@ class TestColdArchiveUnit:
         archive.reset_stats()
         # A window covering only the first segment decodes only it (the
         # active buffer holds entries 40..; segments are [0..9], [10..19]...)
-        hits = archive.search(start=0.0, end=5.0)
+        hits = archive.scan(ScanSpec(start=0.0, end=5.0))
         assert [record_id for record_id, _ in hits] == list(range(6))
         assert archive.stats["segment_decodes"] == 1
 
@@ -244,7 +244,7 @@ class TestColdArchiveUnit:
         archive.reset_stats()
         target = make_record(3)
         fkey = flow_key(target.flow_id)
-        hits = archive.search(fkey=fkey)
+        hits = archive.scan(ScanSpec(flow_keys=frozenset((fkey,))))
         assert hits and all(flow_key(r.flow_id) == fkey for _, r in hits)
         assert archive.stats["segment_decodes"] <= archive.segment_count
 
@@ -274,14 +274,18 @@ class TestColdArchiveUnit:
                 for i in range(70)]
         for record in base:
             capped.add_record(record)
-        settled = capped.archive.archive_bytes()
-        # cyclically touch aged-out keys: each touch promotes + re-evicts
+        settled = capped.archive_bytes()  # flush barrier included
+        # cyclically touch aged-out keys: each touch promotes + re-evicts.
+        # Flush between rounds: churn the write-behind buffer absorbs never
+        # creates log garbage at all, and this regression is about *logged*
+        # churn growing the segments.
         for round_ in range(12):
             for record in base:
                 update = PathFlowRecord(record.flow_id, record.path,
                                         record.stime,
                                         record.etime + round_ + 1, 1, 1)
                 capped.add_record(update)
+            capped.flush_archive()
         assert capped.archive.stats["compactions"] > 0
         live = capped.archive.live_count
         # the log may carry garbage up to the compaction threshold plus an
@@ -299,7 +303,7 @@ class TestColdArchiveUnit:
         assert taken_id == 7 and taken.bytes == 10
         newer = PathFlowRecord(old.flow_id, old.path, 0.5, 9.0, 99, 3)
         archive.append(7, newer)
-        hits = archive.search()
+        hits = archive.scan(ScanSpec())
         assert [(record_id, r.bytes) for record_id, r in hits
                 if record_id == 7] == [(7, 99)]
         _, got = archive.take(key)

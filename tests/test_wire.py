@@ -19,7 +19,7 @@ from repro.core.alarms import Alarm, POOR_PERF, REASON_CODES
 from repro.core.monitor import (ActiveMonitor, MonitorSnapshot, TcpFlowStats,
                                 TransferObservation)
 from repro.network.packet import PROTO_TCP, PROTO_UDP, FlowId
-from repro.storage import PathFlowRecord
+from repro.storage import PathFlowRecord, flow_key
 from repro.storage.docstore import _estimate_value_bytes
 
 
@@ -413,9 +413,24 @@ class TestTwoTierFrames:
     def test_record_entry_bytes_are_measured_codec_bytes(self):
         record = sample_record()
         blob = bytearray()
-        wire.append_record_entry(blob, 7, record)
-        # entry = id varint + the record-batch body encoding of the record
-        assert len(blob) == 1 + wire.record_wire_bytes(record)
+        body_offset = wire.append_record_entry(blob, 7, record)
+        # entry = id varint + body-length varint + body; the body re-packs
+        # the record-batch encoding behind a fixed [stime, etime, link
+        # bloom] header, so it carries the record's codec bytes plus the 8
+        # bloom bytes (the two doubles just moved into the fixed header).
+        body_len = len(blob) - body_offset
+        assert body_len == wire.record_wire_bytes(record) + 8
+        assert len(blob) == 1 + 1 + body_len  # one-byte varints here
+        assert len(blob) == wire.record_entry_bytes(7, record)
+        # the fixed header sits at known offsets: predicates on encoded
+        # bytes must see the record's times and its path's link bloom
+        stime, etime, bloom = wire.ENTRY_FIXED.unpack_from(blob, body_offset)
+        assert (stime, etime) == (record.stime, record.etime)
+        assert bloom == wire.entry_link_bloom(record.path)
+        # ... and the flow id's encoded bytes at the probe offset
+        probe = wire.flow_key_probe(flow_key(record.flow_id))
+        base = body_offset + wire.ENTRY_FLOWID_OFFSET
+        assert bytes(blob[base:base + len(probe)]) == probe
 
 
 class TestControlFrames:
