@@ -1,0 +1,19 @@
+"""repro-lint: the repo's AST-based invariant analyzer.
+
+Run it with ``python -m repro.analysis.lint`` (see ``--help``); the rule
+suite lives in the ``rules_*`` modules and the machinery in
+:mod:`~repro.analysis.lint.framework`.
+"""
+
+from repro.analysis.lint.framework import (EXIT_CLEAN, EXIT_ERROR,
+                                           EXIT_FINDINGS, Finding,
+                                           LintReport, LintUsageError,
+                                           Project, Rule, SourceFile,
+                                           load_rules, register,
+                                           rule_catalog, run_lint)
+
+__all__ = [
+    "EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS", "Finding", "LintReport",
+    "LintUsageError", "Project", "Rule", "SourceFile", "load_rules",
+    "register", "rule_catalog", "run_lint",
+]

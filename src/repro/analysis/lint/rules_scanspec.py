@@ -1,0 +1,128 @@
+"""R7 - scan-spec soundness: both tier scans consume every ScanSpec field.
+
+PR 7's central contract is one frozen ``ScanSpec`` served identically by
+the hot tier (``Tib.scan``) and the cold tier (``ColdArchive.scan``);
+pruning soundness is fuzz-locked against ``ScanSpec.matches``.  The
+contract breaks structurally the day someone adds a predicate field to
+``ScanSpec`` and wires it into only one tier: the other tier silently
+over-returns (or under-prunes) and the byte-identity tests only catch it
+if a fixture happens to exercise the new field across the tier boundary.
+
+The rule cross-references field names: every dataclass field of
+``ScanSpec`` (in ``records.py``) must be read off a ScanSpec-typed (or
+``spec``-named) parameter somewhere in ``tib.py`` AND in ``archive.py``;
+conversely, any ``spec.X`` access in those modules must name a real
+ScanSpec attribute (fields, properties or methods) - a typo'd predicate
+read would otherwise raise only on the first constrained scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+from repro.analysis.lint.framework import (Finding, Project, Rule,
+                                           SourceFile, register)
+
+
+def _scanspec_surface(records: SourceFile
+                      ) -> Tuple[Dict[str, int], Set[str]]:
+    """``({field: lineno}, all_attribute_names)`` of the ScanSpec class."""
+    fields: Dict[str, int] = {}
+    attrs: Set[str] = set()
+    if records.tree is None:
+        return fields, attrs
+    for node in ast.walk(records.tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "ScanSpec"):
+            continue
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and \
+                    isinstance(item.target, ast.Name):
+                if not item.target.id.startswith("_"):
+                    fields[item.target.id] = item.lineno
+                attrs.add(item.target.id)
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                attrs.add(item.name)
+    return fields, attrs
+
+
+def _spec_params(func: _AnyFunc) -> Set[str]:
+    """Parameter names of ``func`` that carry a ScanSpec (annotated
+    ``ScanSpec`` or conventionally named ``spec``)."""
+    names: Set[str] = set()
+    args = (func.args.posonlyargs + func.args.args +
+            func.args.kwonlyargs)
+    for arg in args:
+        annotation = arg.annotation
+        annotated = (isinstance(annotation, ast.Name) and
+                     annotation.id == "ScanSpec") or \
+                    (isinstance(annotation, ast.Constant) and
+                     annotation.value == "ScanSpec") or \
+                    (isinstance(annotation, ast.Attribute) and
+                     annotation.attr == "ScanSpec")
+        if annotated or arg.arg == "spec":
+            names.add(arg.arg)
+    return names
+
+
+def _spec_accesses(file: SourceFile) -> Dict[str, List[int]]:
+    """``{attr: [lines]}`` of every ``<spec-param>.attr`` read in the
+    module's functions."""
+    out: Dict[str, List[int]] = {}
+    if file.tree is None:
+        return out
+    for func in ast.walk(file.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = _spec_params(func)
+        if not params:
+            continue
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id in params:
+                out.setdefault(node.attr, []).append(node.lineno)
+    return out
+
+
+@register
+class ScanSpecSoundness(Rule):
+    id = "R7"
+    name = "scan-spec-soundness"
+    doc = ("Every ScanSpec predicate field must be consumed by both "
+           "Tib.scan (tib.py) and ColdArchive.scan (archive.py), and "
+           "every spec.X read there must name a real ScanSpec attribute "
+           "- a field wired into one tier breaks hot/cold payload "
+           "identity silently.")
+
+    #: Modules that must each consume every predicate field.
+    CONSUMERS = (("tib.py", "core", "Tib.scan"),
+                 ("archive.py", "storage", "ColdArchive.scan"))
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        records = project.file_named("records.py", prefer_segment="storage")
+        if records is None:
+            return
+        fields, attrs = _scanspec_surface(records)
+        if not fields:
+            return
+        for name, segment, label in self.CONSUMERS:
+            consumer = project.file_named(name, prefer_segment=segment)
+            if consumer is None:
+                continue
+            accesses = _spec_accesses(consumer)
+            for field_name, line in sorted(fields.items()):
+                if field_name not in accesses:
+                    yield self.finding(
+                        records, line,
+                        f"ScanSpec.{field_name} is never consumed by "
+                        f"{label} ({consumer.rel}); the tiers would "
+                        f"disagree on this predicate")
+            for attr, lines in sorted(accesses.items()):
+                if attr not in attrs and not attr.startswith("__"):
+                    yield self.finding(
+                        consumer, lines[0],
+                        f"spec.{attr} read in {consumer.rel} but ScanSpec "
+                        f"has no attribute {attr!r} (typo'd predicate?)")

@@ -1,0 +1,324 @@
+"""R2 + R8 - the stats-counter contracts.
+
+R2 (reset-completeness) generalizes the PR 4 alerted-latch leak: a class
+that exposes ``reset_stats()`` promises a fresh measurement interval, so
+every counter it initialises to zero must be re-zeroed there (directly,
+through a helper it calls, or by replacing/clearing the holding object).
+The write-behind, decode-cache and restart counters added in PRs 5-7 all
+grew this obligation by hand; the rule makes the next one automatic.
+
+R8 (stats-registry) pins the *names*: stats counters cross module
+boundaries as strings (``archive.stats["flushes"]`` feeding
+``tier_stats()["write_behind_flushes"]``) and as attribute accesses on
+stats dataclasses (``pool.stats.restarts`` feeding
+``recovery_report()``).  A misspelled key silently reads 0 via ``.get``
+or raises ``KeyError`` at reporting time; the rule cross-references every
+producer registry (``self.stats = {...}`` literals, ``self.stats =
+SomeStats()`` dataclasses, ``tier_stats()`` dict literals) against every
+consumer spelling in ``core/`` and ``storage/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+from repro.analysis.lint.framework import (Finding, Project, Rule,
+                                           SourceFile, class_defs,
+                                           const_str, dict_str_keys,
+                                           is_zero_literal, methods_of,
+                                           register, self_attr)
+
+#: Attribute names that are legal on *any* stats holder: dict methods
+#: (``self.stats`` is a plain dict in the archive and the docstore) plus
+#: the reset protocol.
+_DICT_METHODS = frozenset({
+    "get", "items", "keys", "values", "clear", "update", "pop",
+    "setdefault", "copy", "reset",
+})
+
+
+def _counters_of(cls: ast.ClassDef) -> Dict[str, int]:
+    """``{attr: lineno}`` of every counter the class initialises to zero.
+
+    A counter is ``self.X = 0`` / ``self.X = 0.0`` in ``__init__``, a
+    class-level ``X: int = 0`` dataclass field, or ``self.X = {...}``
+    where every value is a zero literal (a counter dict).  Underscored
+    scalars are *not* counters: private zero-initialised attributes are
+    implementation state (id allocators, byte estimates, zone-map
+    accumulators) owned by ``clear()``-style lifecycle methods, not by
+    the measurement interval - the class's instrumentation surface is
+    its public counters and its counter dicts."""
+    counters: Dict[str, int] = {}
+    init = methods_of(cls).get("__init__")
+    if init is not None:
+        for node in ast.walk(init):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                attr = self_attr(node.targets[0])
+                if attr is None:
+                    continue
+                entries = dict_str_keys(node.value)
+                counter_dict = (entries is not None and entries and
+                                all(is_zero_literal(value)
+                                    for _, value in entries))
+                scalar = (is_zero_literal(node.value) and
+                          not attr.startswith("_"))
+                if scalar or counter_dict:
+                    counters[attr] = node.lineno
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                attr = self_attr(node.target)
+                if attr is not None and is_zero_literal(node.value) and \
+                        not attr.startswith("_"):
+                    counters[attr] = node.lineno
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and \
+                not node.target.id.startswith("_") and \
+                node.value is not None and is_zero_literal(node.value):
+            counters[node.target.id] = node.lineno
+    return counters
+
+
+def _reset_stores(cls: ast.ClassDef, reset_name: str) -> Set[str]:
+    """Attributes the reset method re-initialises, following calls to
+    other methods of the same class (``reset_stats`` delegating to
+    ``reset``, a ``_zero_counters`` helper, ...)."""
+    methods = methods_of(cls)
+    stores: Set[str] = set()
+    visited: Set[str] = set()
+    queue: List[str] = [reset_name]
+    while queue:
+        name = queue.pop()
+        if name in visited or name not in methods:
+            continue
+        visited.add(name)
+        for node in ast.walk(methods[name]):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    attr = self_attr(target)
+                    if attr is not None:
+                        stores.add(attr)
+                    elif isinstance(target, ast.Subscript):
+                        attr = self_attr(target.value)
+                        if attr is not None:
+                            stores.add(attr)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                owner = self_attr(node.func.value)
+                if owner is not None and node.func.attr in (
+                        "clear", "update", "reset", "reset_stats"):
+                    stores.add(owner)
+                if isinstance(node.func.value, ast.Name) and \
+                        node.func.value.id == "self":
+                    queue.append(node.func.attr)
+    return stores
+
+
+@register
+class ResetCompleteness(Rule):
+    id = "R2"
+    name = "reset-completeness"
+    doc = ("Every zero-initialised counter in a class with reset_stats() "
+           "(or a *Stats class with reset()) must be re-zeroed by it - "
+           "counters that survive a reset poison the next measurement "
+           "interval.")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for file in project:
+            for cls in class_defs(file):
+                methods = methods_of(cls)
+                if "reset_stats" in methods:
+                    reset_name = "reset_stats"
+                elif cls.name.endswith("Stats") and "reset" in methods:
+                    reset_name = "reset"
+                else:
+                    continue
+                counters = _counters_of(cls)
+                if not counters:
+                    continue
+                stores = _reset_stores(cls, reset_name)
+                for attr, line in sorted(counters.items()):
+                    if attr not in stores:
+                        yield self.finding(
+                            file, line,
+                            f"{cls.name}.{attr} is a zero-initialised "
+                            f"counter but {cls.name}.{reset_name}() never "
+                            f"re-zeroes it")
+
+
+# ---------------------------------------------------------------------- R8
+class _Registries:
+    """Producer-side spellings collected over the whole project."""
+
+    def __init__(self) -> None:
+        #: Keys of every ``self.stats = {str: ...}`` dict literal.
+        self.dict_keys: Set[str] = set()
+        #: Class names assigned as ``self.stats = ClassName(...)``.
+        self.stats_classes: Set[str] = set()
+        #: Attributes of those classes (fields + methods).
+        self.class_attrs: Set[str] = set()
+        #: Keys of every dict literal returned by a ``tier_stats`` method.
+        self.tier_keys: Set[str] = set()
+        #: Where each registry member was declared (for messages).
+        self.declared_at: Dict[str, str] = {}
+
+
+def _collect_registries(project: Project) -> _Registries:
+    reg = _Registries()
+    class_fields: Dict[str, Set[str]] = {}
+    for file in project:
+        for cls in class_defs(file):
+            fields: Set[str] = set(methods_of(cls))
+            for node in cls.body:
+                if isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name):
+                    fields.add(node.target.id)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            fields.add(target.id)
+            class_fields[cls.name] = fields
+            for node in cls.body:
+                # ``stats: RpcStats = field(default_factory=RpcStats)``
+                # declares a stats holder just like ``self.stats = X()``.
+                if isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name) and \
+                        node.target.id == "stats":
+                    if isinstance(node.annotation, ast.Name):
+                        reg.stats_classes.add(node.annotation.id)
+                    elif isinstance(node.annotation, ast.Attribute):
+                        reg.stats_classes.add(node.annotation.attr)
+            for method_name, method in methods_of(cls).items():
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Assign) and \
+                            len(node.targets) == 1 and \
+                            self_attr(node.targets[0]) == "stats":
+                        entries = dict_str_keys(node.value)
+                        if entries is not None:
+                            for key, _ in entries:
+                                reg.dict_keys.add(key)
+                                reg.declared_at.setdefault(
+                                    key, f"{file.rel}:{node.lineno}")
+                        elif isinstance(node.value, ast.Call) and \
+                                isinstance(node.value.func, ast.Name):
+                            reg.stats_classes.add(node.value.func.id)
+                if method_name == "tier_stats":
+                    for node in ast.walk(method):
+                        if isinstance(node, ast.Return) and \
+                                node.value is not None:
+                            entries = dict_str_keys(node.value)
+                            if entries is not None:
+                                reg.tier_keys.update(
+                                    key for key, _ in entries)
+    for name in reg.stats_classes:
+        reg.class_attrs.update(class_fields.get(name, set()))
+    return reg
+
+
+def _stats_aliases(func: _AnyFunc) -> Tuple[Set[str], Set[str]]:
+    """Local names bound to a stats dict / a tier_stats() result."""
+    stats_names: Set[str] = set()
+    tier_names: Set[str] = set()
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1 and
+                isinstance(node.targets[0], ast.Name)):
+            continue
+        local = node.targets[0].id
+        for child in ast.walk(node.value):
+            if isinstance(child, ast.Call) and \
+                    isinstance(child.func, ast.Attribute) and \
+                    child.func.attr == "tier_stats":
+                tier_names.add(local)
+                break
+            if isinstance(child, ast.Attribute) and child.attr == "stats":
+                stats_names.add(local)
+                break
+    return stats_names, tier_names
+
+
+def _is_stats_expr(node: ast.AST, stats_names: Set[str]) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "stats":
+        return True
+    return isinstance(node, ast.Name) and node.id in stats_names
+
+
+def _is_tier_expr(node: ast.AST, tier_names: Set[str]) -> bool:
+    if isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Attribute) and \
+            node.func.attr == "tier_stats":
+        return True
+    return isinstance(node, ast.Name) and node.id in tier_names
+
+
+@register
+class StatsRegistry(Rule):
+    id = "R8"
+    name = "stats-registry"
+    doc = ("Stats counter names used in core/ and storage/ (dict keys on "
+           "*.stats, attributes on stats dataclasses, tier_stats() keys) "
+           "must exist in the producer's registry - a misspelling reads "
+           "0 forever or raises KeyError at reporting time.")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        reg = _collect_registries(project)
+        scope = project.in_package("core", "storage") or list(project)
+        allowed_attrs = reg.class_attrs | _DICT_METHODS
+        for file in scope:
+            if file.tree is None:
+                continue
+            for func in ast.walk(file.tree):
+                if not isinstance(func,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stats_names, tier_names = _stats_aliases(func)
+                for node in ast.walk(func):
+                    key: Optional[str] = None
+                    target: Optional[ast.AST] = None
+                    if isinstance(node, ast.Subscript):
+                        key = const_str(node.slice)
+                        target = node.value
+                    elif isinstance(node, ast.Call) and \
+                            isinstance(node.func, ast.Attribute) and \
+                            node.func.attr == "get" and node.args:
+                        key = const_str(node.args[0])
+                        target = node.func.value
+                    if key is not None and target is not None:
+                        if _is_stats_expr(target, stats_names) and \
+                                reg.dict_keys and \
+                                key not in reg.dict_keys:
+                            yield self.finding(
+                                file, node.lineno,
+                                f"stats key {key!r} is not declared by any "
+                                f"'self.stats = {{...}}' producer "
+                                f"(known: {_nearest(key, reg.dict_keys)})")
+                        elif _is_tier_expr(target, tier_names) and \
+                                reg.tier_keys and \
+                                key not in reg.tier_keys:
+                            yield self.finding(
+                                file, node.lineno,
+                                f"tier_stats key {key!r} is not produced "
+                                f"by any tier_stats() dict "
+                                f"(known: {_nearest(key, reg.tier_keys)})")
+                    if isinstance(node, ast.Attribute) and \
+                            isinstance(node.value, ast.Attribute) and \
+                            node.value.attr == "stats" and \
+                            reg.class_attrs and \
+                            node.attr not in allowed_attrs:
+                        yield self.finding(
+                            file, node.lineno,
+                            f"stats attribute {node.attr!r} does not exist "
+                            f"on any registered stats class "
+                            f"(known: {_nearest(node.attr, allowed_attrs)})")
+
+
+def _nearest(word: str, candidates: Set[str], limit: int = 4) -> str:
+    """A few closest candidate spellings, for actionable messages."""
+    def score(candidate: str) -> int:
+        shared = len(set(candidate) & set(word))
+        return -(shared * 2 - abs(len(candidate) - len(word)))
+    return ", ".join(sorted(candidates, key=lambda c: (score(c), c))[:limit])

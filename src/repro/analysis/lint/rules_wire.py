@@ -1,0 +1,112 @@
+"""R1 - wire-completeness: every frame type has a codec and fuzz coverage.
+
+The wire protocol (PR 3) grows a frame type roughly every other PR; the
+invariant that kept it sound is that every ``MSG_*`` constant is reachable
+from an ``encode_*`` function, decodable (by a ``decode_*`` function, or a
+payload-less body for pure control frames), and exercised by
+``tests/test_wire.py`` - the file whose fuzz section owns the
+"decodes or raises ``WireError``, never anything else" contract.  A frame
+type that misses any leg is exactly how a corrupt-frame crash regresses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.lint.framework import (Finding, Project, Rule,
+                                           SourceFile, register)
+
+_MSG_RE = re.compile(r"\bMSG_[A-Z0-9_]+\b")
+
+
+def _msg_names(node: ast.AST) -> Set[str]:
+    """Every ``MSG_*`` name referenced anywhere under ``node``."""
+    out: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id.startswith("MSG_"):
+            out.add(child.id)
+        elif isinstance(child, ast.Attribute) and \
+                child.attr.startswith("MSG_"):
+            out.add(child.attr)
+    return out
+
+
+def _is_payloadless_encoder(func: ast.FunctionDef) -> bool:
+    """Whether the encoder builds a body-less frame (``_frame(MSG_X)``):
+    such frames carry no payload, so no ``decode_*`` is required - the
+    generic header open *is* the decode."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "_frame" and \
+                len(node.args) == 1 and not node.keywords:
+            return True
+    return False
+
+
+@register
+class WireCompleteness(Rule):
+    id = "R1"
+    name = "wire-completeness"
+    doc = ("Every MSG_* frame type in wire.py needs an encode_* function, "
+           "a decode_* function (unless the frame is payload-less), and "
+           "coverage in tests/test_wire.py (by constant name or by its "
+           "encoder+decoder names).")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        wire = project.file_named("wire.py", prefer_segment="core")
+        if wire is None or wire.tree is None:
+            return
+        constants: Dict[str, int] = {}
+        encoders: Dict[str, ast.FunctionDef] = {}
+        decoders: Dict[str, ast.FunctionDef] = {}
+        for node in wire.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name) and \
+                    node.targets[0].id.startswith("MSG_"):
+                constants[node.targets[0].id] = node.lineno
+            elif isinstance(node, ast.FunctionDef):
+                if node.name.startswith("encode_"):
+                    encoders[node.name] = node
+                elif node.name.startswith("decode_"):
+                    decoders[node.name] = node
+        test = project.file_named("test_wire.py")
+        test_words: Set[str] = set()
+        if test is not None:
+            test_words = set(_MSG_RE.findall(test.text))
+            test_words |= set(
+                re.findall(r"\b(?:encode|decode)_[a-z0-9_]+\b", test.text))
+        for const, line in sorted(constants.items()):
+            encoding = {name: func for name, func in encoders.items()
+                        if const in _msg_names(func)}
+            decoding = {name for name, func in decoders.items()
+                        if const in _msg_names(func)}
+            if not encoding:
+                yield self.finding(
+                    wire, line,
+                    f"{const} is not reachable from any encode_* function")
+                continue
+            payloadless = any(_is_payloadless_encoder(func)
+                              for func in encoding.values())
+            if not decoding and not payloadless:
+                yield self.finding(
+                    wire, line,
+                    f"{const} has a payload-carrying encoder "
+                    f"({', '.join(sorted(encoding))}) but is not reachable "
+                    f"from any decode_* function")
+            if test is None:
+                yield self.finding(
+                    wire, line,
+                    f"{const}: no test_wire.py found to cover it")
+                continue
+            covered = const in test_words or (
+                any(name in test_words for name in encoding) and
+                (payloadless or
+                 any(name in test_words for name in decoding)))
+            if not covered:
+                yield self.finding(
+                    wire, line,
+                    f"{const} is not exercised by test_wire.py (reference "
+                    f"the constant or round-trip its encoder/decoder there)")

@@ -343,18 +343,23 @@ class AgentServerPool:
         self.reply_timeout_s = reply_timeout_s
         self.supervisor = supervisor
         self.chaos = chaos
-        self.stats = PoolStats()
+        self.stats = PoolStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._closed = False
-        self._conns = {}
-        self._procs = {}
+        # The per-host exchange lock (``_lock_for``) guards the pipe pair:
+        # the protocol is strict request/reply, so two threads exchanging
+        # on one worker unlocked would interleave frames and desynchronise
+        # the connection forever.
+        self._conns = {}  # guarded-by: _lock_for
+        self._procs = {}  # guarded-by: _lock_for
         self._locks: Dict[str, threading.Lock] = {}
         for host in hosts:
             self._locks[host] = threading.Lock()
             self._spawn(host)
 
-    def _spawn(self, host: str) -> None:
-        """(Re)create ``host``'s worker process and pipe."""
+    def _spawn(self, host: str) -> None:  # holds: _lock_for
+        """(Re)create ``host``'s worker process and pipe (called from
+        ``__init__`` before any concurrency, or under the host lock)."""
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=agent_server_main, args=(child_conn, host),
@@ -368,7 +373,9 @@ class AgentServerPool:
     @property
     def hosts(self) -> List[str]:
         """Hosts this pool runs workers for."""
-        return list(self._procs)
+        # Keys are fixed at construction (only values are respawned), so
+        # an unlocked snapshot of the key set is stable.
+        return list(self._procs)  # lint: disable=R3 -- key set is construction-time constant
 
     #: Records per ingest frame: large batches are split so no single frame
     #: monopolises the pipe (the worker interleaves consuming them with
@@ -526,20 +533,20 @@ class AgentServerPool:
 
     def kill(self, host: str) -> None:
         """Hard-kill ``host``'s worker (failure injection)."""
-        self._lock_for(host)
-        self._procs[host].kill()
+        self._lock_for(host)  # raises for unknown hosts
+        self._procs[host].kill()  # lint: disable=R3 -- failure injection must not queue behind an in-flight exchange
 
     def alive(self, host: str) -> bool:
         """Whether ``host``'s worker process is running."""
-        self._lock_for(host)
-        return self._procs[host].is_alive()
+        self._lock_for(host)  # raises for unknown hosts
+        return self._procs[host].is_alive()  # lint: disable=R3 -- liveness probe is racy by contract
 
     def healthy(self, host: str) -> bool:
         """Whether ``host``'s worker is serving: process alive and (when
         supervised) its restart circuit still closed."""
         if self.supervisor is not None and self.supervisor.circuit_open(host):
             return False
-        process = self._procs.get(host)
+        process = self._procs.get(host)  # lint: disable=R3 -- health probe is racy by contract
         return process is not None and process.is_alive()
 
     def note_restart(self, reseed_ms: float) -> None:
@@ -578,17 +585,19 @@ class AgentServerPool:
         supervised restart of a worker that is being torn down.
         """
         self._closed = True
-        for host, conn in self._conns.items():
+        # _closed (set above) keeps supervision from respawning workers
+        # underneath the teardown, so the unlocked iteration is safe.
+        for host, conn in self._conns.items():  # lint: disable=R3 -- teardown runs after _closed is latched
             try:
                 conn.send_bytes(wire.encode_shutdown())
             except (OSError, ValueError):
                 pass
-        for host, process in self._procs.items():
+        for host, process in self._procs.items():  # lint: disable=R3 -- teardown runs after _closed is latched
             process.join(join_timeout_s)
             if process.is_alive():
                 process.kill()
                 process.join(join_timeout_s)
-        for conn in self._conns.values():
+        for conn in self._conns.values():  # lint: disable=R3 -- teardown runs after _closed is latched
             try:
                 conn.close()
             except OSError:
@@ -602,7 +611,7 @@ class AgentServerPool:
 
     # ------------------------------------------------------------- internals
     def _send(self, host: str, frame: bytes, supervise: bool = True,
-              reseed: bool = False) -> None:
+              reseed: bool = False) -> None:  # holds: _lock_for
         conn = self._conns.get(host)
         if conn is None:
             raise AgentServerError(f"no agent server for {host}")
@@ -626,7 +635,7 @@ class AgentServerPool:
             self.stats.bytes_sent += len(frame)
 
     def _recv(self, host: str, supervise: bool = True,
-              timeout_s=_UNSET) -> bytes:
+              timeout_s=_UNSET) -> bytes:  # holds: _lock_for
         conn = self._conns[host]
         timeout = self.reply_timeout_s if timeout_s is _UNSET else timeout_s
         try:
@@ -677,7 +686,8 @@ class AgentServerPool:
             self.supervisor.handle_failure(self, host, detail)
         return AgentServerError(detail)
 
-    def _checked_decode(self, host: str, reply: bytes, decoder, *args):
+    def _checked_decode(self, host: str, reply: bytes,  # holds: _lock_for
+                        decoder, *args):
         """Decode a reply frame, treating corruption as worker failure.
 
         An undecodable reply means the strict request/reply protocol is
@@ -711,7 +721,7 @@ class AgentServerPool:
         self._discard(host)
         self._spawn(host)
 
-    def _discard(self, host: str) -> None:
+    def _discard(self, host: str) -> None:  # holds: _lock_for
         """Kill ``host``'s worker and close its pipe (no replacement).
 
         Also the supervisor's cleanup for a *failed* restart attempt: a

@@ -299,7 +299,7 @@ class QueryCluster:
         self.supervisor = supervisor
         self.chaos = chaos
         self.reply_timeout_s = reply_timeout_s
-        self._pending_warnings: List[ExecWarning] = []
+        self._pending_warnings: List[ExecWarning] = []  # guarded-by: _warning_lock
         self._warning_lock = threading.Lock()
         self._process_pool: Optional[AgentServerPool] = None
         self.transport: Transport = transport or ModelTransport(self.rpc)

@@ -175,10 +175,10 @@ class Supervisor:
                  ) -> None:
         self.policy = policy or RestartPolicy()
         self.seed_source = seed_source
-        self.events: List[RestartEvent] = []
-        self.restarts: Dict[str, int] = {}
-        self._open: Set[str] = set()
-        self._observers: List[Callable] = []
+        self.events: List[RestartEvent] = []  # guarded-by: _lock
+        self.restarts: Dict[str, int] = {}  # guarded-by: _lock
+        self._open: Set[str] = set()  # guarded-by: _lock
+        self._observers: List[Callable] = []  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # -------------------------------------------------------------- queries
@@ -344,19 +344,34 @@ class ChaosPolicy:
                  kill_at_reseed_frame: Optional[Dict[str, int]] = None,
                  seed: int = 0) -> None:
         self.rng = random.Random(seed)
-        self._kill_at = dict(kill_at_frame or {})
-        self._hang_at = dict(hang_at_frame or {})
+        self._kill_at = dict(kill_at_frame or {})  # guarded-by: _lock
+        self._hang_at = dict(hang_at_frame or {})  # guarded-by: _lock
         self.hang_s = hang_s
         self.slow_reply_s = slow_reply_s
         self.slow_hosts = (None if slow_hosts is None else set(slow_hosts))
-        self._corrupt_at = dict(corrupt_reply_at or {})
+        self._corrupt_at = dict(corrupt_reply_at or {})  # guarded-by: _lock
         self.corrupt_mode = corrupt_mode
-        self._kill_at_reseed = dict(kill_at_reseed_frame or {})
-        self.frames_sent: Dict[str, int] = {}
-        self.replies_seen: Dict[str, int] = {}
-        self._reseed_frames: Dict[str, int] = {}
-        self.injected: List[Tuple[str, str]] = []
+        self._kill_at_reseed = dict(kill_at_reseed_frame or {})  # guarded-by: _lock
+        self.frames_sent: Dict[str, int] = {}  # guarded-by: _lock
+        self.replies_seen: Dict[str, int] = {}  # guarded-by: _lock
+        self._reseed_frames: Dict[str, int] = {}  # guarded-by: _lock
+        self.injected: List[Tuple[str, str]] = []  # guarded-by: _lock
         self._lock = threading.Lock()
+
+    def reset_stats(self) -> None:
+        """Zero the per-host frame/reply counters and the injection log.
+
+        Per-phase stats resets for multi-phase chaos runs: zeroing the
+        frame counters also re-bases ``kill_at_frame``-style schedules,
+        so a script armed after the reset counts frames from the new
+        phase's start.  Pending fault schedules themselves are
+        configuration, not stats - they stay armed.
+        """
+        with self._lock:
+            self.frames_sent.clear()
+            self.replies_seen.clear()
+            self._reseed_frames.clear()
+            self.injected.clear()
 
     # ------------------------------------------------------------ pool hooks
     def begin_reseed(self, host: str) -> None:

@@ -10,6 +10,10 @@ from repro.topology import (FatTreeTopology, Vl2Topology, apply_assignment,
                             assign_link_ids)
 from repro.tracing import make_tagger
 
+#: Lint-rule fixture projects deliberately contain violations and
+#: test_*.py-named files; they are analyzer inputs, not tests.
+collect_ignore = ["lint_fixtures"]
+
 
 @pytest.fixture(scope="session")
 def fattree4():

@@ -1,0 +1,13 @@
+"""Fixture: an honest suppression - it names a real rule, matches a
+real finding, and carries a justification."""
+
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inflight = 0  # guarded-by: _lock
+
+    def probe(self):
+        return self.inflight  # lint: disable=R3 -- racy probe by design

@@ -1,0 +1,18 @@
+"""Fixture: every way a suppression can be dishonest - naming an
+unknown rule, suppressing nothing (stale), carrying no justification,
+and trying to suppress the meta-rule itself."""
+
+import threading
+
+TUNING = 1  # lint: disable=R42 -- fixture: no such rule exists
+KNOB = 2  # lint: disable=R5 -- fixture: suppresses nothing on this line
+GAUGE = 3  # lint: disable=R0 -- fixture: the meta-rule is not suppressible
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inflight = 0  # guarded-by: _lock
+
+    def probe(self):
+        return self.inflight  # lint: disable=R3

@@ -1,0 +1,11 @@
+"""Fixture test file: covers both frame types (by codec name)."""
+
+from wire import decode_good, encode_good, encode_ping
+
+
+def test_roundtrip_good():
+    assert decode_good(encode_good(7)) == 7
+
+
+def test_ping_is_payloadless():
+    assert len(encode_ping()) == 5

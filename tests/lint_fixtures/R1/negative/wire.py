@@ -1,0 +1,28 @@
+"""Fixture: complete wire module - every frame type has its legs.
+
+MSG_GOOD round-trips through encode/decode; MSG_PING is payload-less
+(single-arg ``_frame`` call), so no decoder is required.
+"""
+
+import struct
+
+MSG_GOOD = 1
+MSG_PING = 2
+
+
+def _frame(msg_type, payload=b""):
+    return struct.pack(">BI", msg_type, len(payload)) + payload
+
+
+def encode_good(value):
+    return _frame(MSG_GOOD, struct.pack(">I", value))
+
+
+def decode_good(frame):
+    if frame[0] != MSG_GOOD:
+        raise ValueError("not a MSG_GOOD frame")
+    return struct.unpack(">I", frame[5:9])[0]
+
+
+def encode_ping():
+    return _frame(MSG_PING)

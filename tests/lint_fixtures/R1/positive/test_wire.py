@@ -1,0 +1,7 @@
+"""Fixture test file: round-trips only the complete frame type."""
+
+from wire import decode_good, encode_good
+
+
+def test_roundtrip_good():
+    assert decode_good(encode_good(7)) == 7

@@ -1,0 +1,29 @@
+"""Fixture: wire module with two incomplete frame types.
+
+MSG_ORPHAN has no encoder at all; MSG_NAKED has a payload-carrying
+encoder but no decoder and no test coverage.  MSG_GOOD is complete.
+"""
+
+import struct
+
+MSG_GOOD = 1
+MSG_ORPHAN = 2
+MSG_NAKED = 3
+
+
+def _frame(msg_type, payload=b""):
+    return struct.pack(">BI", msg_type, len(payload)) + payload
+
+
+def encode_good(value):
+    return _frame(MSG_GOOD, struct.pack(">I", value))
+
+
+def decode_good(frame):
+    if frame[0] != MSG_GOOD:
+        raise ValueError("not a MSG_GOOD frame")
+    return struct.unpack(">I", frame[5:9])[0]
+
+
+def encode_naked(value):
+    return _frame(MSG_NAKED, struct.pack(">I", value))

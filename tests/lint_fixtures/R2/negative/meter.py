@@ -1,0 +1,28 @@
+"""Fixture: complete resets through every shape the rule understands -
+direct re-zeroing, a helper the reset delegates to, a counter dict
+cleared in place, and class-level zero-default dataclass fields.
+"""
+
+
+class Meter:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stats = {"loads": 0, "spills": 0}
+
+    def reset_stats(self):
+        self._zero_scalars()
+        self.stats.clear()
+
+    def _zero_scalars(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class LinkStats:
+    sent: int = 0
+    dropped: int = 0
+
+    def reset(self):
+        self.sent = 0
+        self.dropped = 0

@@ -1,0 +1,23 @@
+"""Fixture: two classes whose reset leaves a counter standing.
+
+``Meter.reset_stats()`` forgets ``misses``; ``CacheStats`` (a *Stats
+class, so its ``reset()`` counts) forgets ``evictions``.
+"""
+
+
+class Meter:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self):
+        self.hits = 0
+
+
+class CacheStats:
+    def __init__(self):
+        self.lookups = 0
+        self.evictions = 0
+
+    def reset(self):
+        self.lookups = 0

@@ -1,0 +1,27 @@
+"""Fixture: lock discipline held through every legal shape - a plain
+``with self._lock``, a ``# holds:`` caller-must-hold method, and a
+lock-returning method guard (``with self._lock_for(host)``).
+"""
+
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inflight = 0  # guarded-by: _lock
+        self.table = {}  # guarded-by: _lock_for
+
+    def _lock_for(self, host):
+        return self._lock
+
+    def bump(self):
+        with self._lock:
+            self.inflight += 1
+
+    def put(self, host, value):
+        with self._lock_for(host):
+            self.table[host] = value
+
+    def _drain(self):  # holds: _lock
+        self.inflight = 0

@@ -1,0 +1,17 @@
+"""Fixture: lock-discipline violations.
+
+``bump()`` touches a guarded attribute outside its lock, and ``weird``
+declares a guard that names no attribute or method of the class.
+"""
+
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inflight = 0  # guarded-by: _lock
+        self.weird = 0  # guarded-by: _missing
+
+    def bump(self):
+        self.inflight += 1

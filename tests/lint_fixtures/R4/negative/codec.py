@@ -1,0 +1,7 @@
+"""Fixture: reachable-from-core codec with a legal serializer."""
+
+import json
+
+
+def loads(blob):
+    return json.loads(blob)

@@ -1,0 +1,7 @@
+"""Fixture: clean query path - only the struct-packed codec."""
+
+import codec
+
+
+def run_query(payload):
+    return codec.loads(payload)

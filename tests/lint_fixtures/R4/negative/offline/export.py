@@ -1,0 +1,9 @@
+"""Fixture: pickle is fine here - this module is not reachable from
+core/ (nothing on the query path imports it)."""
+
+import pickle
+
+
+def dump(rows, path):
+    with open(path, "wb") as handle:
+        pickle.dump(rows, handle)

@@ -1,0 +1,7 @@
+"""Fixture: the banned serializer, one hop away from core/."""
+
+import pickle
+
+
+def loads(blob):
+    return pickle.loads(blob)

@@ -1,0 +1,8 @@
+"""Fixture: query-path module pulling a serializer in transitively -
+``codec`` is not under core/ but is reachable from it by import."""
+
+import codec
+
+
+def run_query(payload):
+    return codec.loads(payload)

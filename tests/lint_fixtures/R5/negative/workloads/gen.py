@@ -1,0 +1,8 @@
+"""Fixture: drivers are out of scope - wall clock is legal here
+(this module feeds inputs in, it does not shape payloads)."""
+
+import time
+
+
+def now_tag():
+    return time.time()

@@ -1,0 +1,19 @@
+"""Fixture: payload-affecting module reading the wall clock and the
+process-global random generator - four distinct violations."""
+
+import random
+import time
+from datetime import datetime
+
+
+def stamp_result(rows):
+    return {
+        "at": time.time(),
+        "when": datetime.now(),
+        "sample": random.random(),
+        "rows": rows,
+    }
+
+
+def make_rng():
+    return random.Random()

@@ -1,0 +1,7 @@
+"""Fixture: internal code migrated to the replacement API."""
+
+from archive import scan
+
+
+def run():
+    return scan(None)

@@ -1,0 +1,8 @@
+"""Fixture: tests are exempt - the deprecation contract itself must
+call the deprecated API on purpose."""
+
+from archive import search
+
+
+def test_search_still_answers():
+    assert search(None) == []

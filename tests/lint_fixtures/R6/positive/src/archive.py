@@ -1,0 +1,13 @@
+"""Fixture: a deprecated wrapper kept for the migration window."""
+
+import warnings
+
+
+def scan(spec):
+    return []
+
+
+def search(spec):
+    warnings.warn("search() is deprecated; use scan()",
+                  DeprecationWarning, stacklevel=2)
+    return scan(spec)

@@ -1,0 +1,7 @@
+"""Fixture: internal code still on the deprecated spelling."""
+
+from archive import search
+
+
+def run():
+    return search(None)

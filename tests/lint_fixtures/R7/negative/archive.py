@@ -1,0 +1,8 @@
+"""Fixture: the cold tier consumes every predicate field too."""
+
+SEGMENTS = []
+
+
+def scan(spec):
+    rows = [row for row in SEGMENTS if spec.matches(row)]
+    return (spec.start, spec.end, spec.links, rows)

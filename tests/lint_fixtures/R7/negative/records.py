@@ -1,0 +1,10 @@
+"""Fixture: ScanSpec whose every predicate field both tiers consume."""
+
+
+class ScanSpec:
+    start: float = 0.0
+    end: float = 0.0
+    links: tuple = ()
+
+    def matches(self, record):
+        return True

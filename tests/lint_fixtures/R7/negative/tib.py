@@ -1,0 +1,8 @@
+"""Fixture: the hot tier consumes every predicate field."""
+
+TABLE = []
+
+
+def scan(spec):
+    rows = [row for row in TABLE if spec.matches(row)]
+    return (spec.start, spec.end, spec.links, rows)

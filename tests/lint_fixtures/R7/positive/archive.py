@@ -1,0 +1,5 @@
+"""Fixture: the cold tier misses ``links`` and typos another read."""
+
+
+def scan(spec):
+    return [spec.start, spec.end, spec.lnks]

@@ -1,0 +1,10 @@
+"""Fixture: ScanSpec with a predicate field wired into only one tier."""
+
+
+class ScanSpec:
+    start: float = 0.0
+    end: float = 0.0
+    links: tuple = ()
+
+    def matches(self, record):
+        return True

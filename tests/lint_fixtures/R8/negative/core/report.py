@@ -1,0 +1,29 @@
+"""Fixture: every stats spelling exists in its producer registry -
+direct keys, ``.get`` defaults, aliases bound off ``*.stats``, and
+attributes of a registered stats class."""
+
+
+class Archive:
+    def __init__(self):
+        self.stats = {"appends": 0, "takes": 0}
+
+    def report(self):
+        stats = self.stats
+        return stats["appends"] + self.stats.get("takes", 0)
+
+
+class ChannelStats:
+    frames: int = 0
+    octets: int = 0
+
+    def reset(self):
+        self.frames = 0
+        self.octets = 0
+
+
+class Channel:
+    def __init__(self):
+        self.stats = ChannelStats()
+
+    def report(self):
+        return self.stats.frames + self.stats.octets

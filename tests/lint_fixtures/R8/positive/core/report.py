@@ -1,0 +1,28 @@
+"""Fixture: stats spellings that match no producer registry - a typo'd
+dict key on a ``self.stats`` dict and a typo'd attribute on a
+registered stats class."""
+
+
+class Archive:
+    def __init__(self):
+        self.stats = {"appends": 0, "takes": 0}
+
+    def report(self):
+        return self.stats["appends"] + self.stats["apends"]
+
+
+class ChannelStats:
+    frames: int = 0
+    octets: int = 0
+
+    def reset(self):
+        self.frames = 0
+        self.octets = 0
+
+
+class Channel:
+    def __init__(self):
+        self.stats = ChannelStats()
+
+    def report(self):
+        return self.stats.frames + self.stats.frmes
