@@ -15,9 +15,15 @@ three cluster modes:
   already latched (the steady-state periodic check the paper runs every
   200 ms).
 * **Tick traffic**: measured ``len(encoded)`` of the tick/alarm frames in
-  process mode (zero in the in-process modes, which need no wire).
+  the worker modes (zero in the in-process modes, which need no wire).
+* **Frame coalescing** (socket mode over the pipe transport): the same
+  per-host tick/alarm frames packed into one ``MSG_GROUP_BATCH`` envelope
+  per worker group - per-connection batching brought back to the
+  pipe-based worker plane.  Asserted: the amortized per-host idle-tick
+  cost drops below the same-run per-host-worker measurement *and* below
+  the committed process-mode baseline in ``BENCH_storage.json``.
 
-Alarm streams must be byte-identical across all three modes (asserted),
+Alarm streams must be byte-identical across all four modes (asserted),
 so the latency/overhead columns compare like with like.  The summary is
 folded into ``BENCH_storage.json`` under ``"event_plane"`` so the cross-PR
 perf trajectory captures it.
@@ -31,7 +37,7 @@ import time
 
 from repro.analysis import format_table
 from repro.core import (MODE_CONCURRENT, MODE_PROCESS, MODE_SERIAL,
-                        QueryCluster, wire)
+                        MODE_SOCKET, QueryCluster, wire)
 from repro.network.packet import FlowId, PROTO_TCP
 from repro.storage import PathFlowRecord
 
@@ -46,15 +52,25 @@ POOR_FRACTION = 0.25
 #: Measurement rounds per mode (each round re-opens alerting).
 ROUNDS = 2 if QUICK else 5
 
+#: Worker groups for the coalesced (socket-over-pipe) measurement: the
+#: same worker plane, NUM_HOSTS/GROUP_COUNT tick frames per envelope.
+GROUP_COUNT = 2
+
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / \
     "BENCH_storage.json"
 
-ALL_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS)
+ALL_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS, MODE_SOCKET)
 
 
 def build_event_cluster(mode):
     """A cluster whose monitors hold FLOWS_PER_HOST observed flows each."""
-    cluster = QueryCluster(build_query_topology(NUM_HOSTS), mode=mode)
+    kwargs = {}
+    if mode == MODE_SOCKET:
+        # Coalescing isolated from the transport change: same pipes as
+        # process mode, but grouped workers and batched envelopes.
+        kwargs = dict(group_count=GROUP_COUNT, socket_transport="pipe")
+    cluster = QueryCluster(build_query_topology(NUM_HOSTS), mode=mode,
+                           **kwargs)
     poor_every = max(1, int(1 / POOR_FRACTION))
     for index, host in enumerate(cluster.hosts):
         agent = cluster.agent(host)
@@ -117,6 +133,11 @@ def fold_into_bench_json(summary):
 
 
 def test_event_plane_latency(benchmark, report_writer):
+    # Committed cross-PR baseline, read before this run folds over it.
+    baseline = {}
+    if BENCH_JSON.exists():
+        baseline = json.loads(BENCH_JSON.read_text()).get("event_plane", {})
+
     clusters = {mode: build_event_cluster(mode) for mode in ALL_MODES}
     try:
         def sweep():
@@ -124,14 +145,21 @@ def test_event_plane_latency(benchmark, report_writer):
                     for mode in ALL_MODES}
 
         results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Coalescing, counted: the grouped sweep moved one envelope per
+        # group where the per-host pool moved one frame per host.
+        group_stats = clusters[MODE_SOCKET].agent_servers.stats
+        assert group_stats.envelopes_sent > 0
+        assert group_stats.frames_sent == \
+            group_stats.envelopes_sent * (NUM_HOSTS // GROUP_COUNT)
     finally:
         for cluster in clusters.values():
             cluster.close()
 
     # The alarm stream (order included) is byte-identical in every mode.
     serial_stream = results[MODE_SERIAL].pop("stream")
-    for mode in (MODE_CONCURRENT, MODE_PROCESS):
+    for mode in (MODE_CONCURRENT, MODE_PROCESS, MODE_SOCKET):
         assert results[mode].pop("stream") == serial_stream
+    results[MODE_SOCKET]["group_count"] = GROUP_COUNT
 
     table = [[mode, row["alarms_per_sweep"],
               f"{row['alarm_delivery_ms']:.3f}",
@@ -144,8 +172,9 @@ def test_event_plane_latency(benchmark, report_writer):
               f"{FLOWS_PER_HOST} monitored flows/host "
               f"({POOR_FRACTION:.0%} poor), median over {ROUNDS} rounds "
               "(measured wall clock; alarm streams byte-identical across "
-              "modes; process-mode traffic is len(encoded) of the "
-              "tick/alarm frames)"))
+              "modes; worker-mode traffic is len(encoded) of the "
+              "tick/alarm frames; socket = grouped workers over pipes, "
+              f"{GROUP_COUNT} coalesced envelopes per sweep)"))
 
     fold_into_bench_json({
         "hosts": NUM_HOSTS,
@@ -164,3 +193,19 @@ def test_event_plane_latency(benchmark, report_writer):
         assert row["alarms_per_sweep"] == expected
     assert results[MODE_SERIAL]["tick_traffic_bytes"] == 0
     assert results[MODE_PROCESS]["tick_traffic_bytes"] > 0
+    assert results[MODE_SOCKET]["tick_traffic_bytes"] > 0
+
+    # The coalescing claim, measured: batching the group's ticks into one
+    # envelope amortizes the per-frame transport cost, so the per-host
+    # idle-tick cost drops below the per-host-worker pool's - both against
+    # this run's process-mode measurement and against the committed
+    # process-mode baseline (when the committed scale matches this tier).
+    grouped_per_host = results[MODE_SOCKET]["idle_tick_ms"] / NUM_HOSTS
+    assert grouped_per_host < \
+        results[MODE_PROCESS]["idle_tick_ms"] / NUM_HOSTS
+    if baseline.get("hosts") == NUM_HOSTS and \
+            baseline.get("quick") == QUICK and \
+            "process" in baseline.get("per_mode", {}):
+        committed_per_host = \
+            baseline["per_mode"]["process"]["idle_tick_ms"] / NUM_HOSTS
+        assert grouped_per_host < committed_per_host

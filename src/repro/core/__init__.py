@@ -25,12 +25,16 @@ from repro.core.executor import (ExecWarning, GatherResult, LoopbackTransport,
 from repro.core import wire
 from repro.core.agentserver import (AgentServerError, AgentServerPool,
                                     PoolStats, ProcessTransport)
-from repro.core.supervisor import (ChaosPolicy, RestartEvent, RestartPolicy,
-                                   Supervisor, WorkerSeed)
+from repro.core.groupserver import (GroupAgentPool, GroupPoolStats,
+                                    SocketTransport, TRANSPORT_PIPE,
+                                    TRANSPORT_TCP, TRANSPORT_UNIX,
+                                    shard_hosts)
+from repro.core.supervisor import (ChaosPolicy, GroupSeed, RestartEvent,
+                                   RestartPolicy, Supervisor, WorkerSeed)
 from repro.core.aggregation import AggregationTree
 from repro.core.cluster import (DistributedQueryResult, MECHANISM_DIRECT,
                                 MECHANISM_MULTILEVEL, MODE_PROCESS,
-                                MonitorSweep, QueryCluster)
+                                MODE_SOCKET, MonitorSweep, QueryCluster)
 from repro.core.controller import PathDumpController
 
 __all__ = [
@@ -44,10 +48,12 @@ __all__ = [
     "Q_SUBFLOW_IMBALANCE", "Q_TOP_K_FLOWS", "Q_TRAFFIC_MATRIX", "Query",
     "QueryEngine", "QueryResult", "RpcChannel", "ExecWarning",
     "GatherResult", "LoopbackTransport", "MODE_CONCURRENT", "MODE_SERIAL",
-    "MODE_PROCESS", "ModelTransport", "PlanNode", "ScatterGatherExecutor",
-    "Transport", "TransportError", "AgentServerError", "AgentServerPool",
-    "PoolStats", "ProcessTransport", "ChaosPolicy", "RestartEvent",
-    "RestartPolicy", "Supervisor", "WorkerSeed", "wire", "AggregationTree",
-    "DistributedQueryResult", "MECHANISM_DIRECT", "MECHANISM_MULTILEVEL",
-    "QueryCluster", "PathDumpController",
+    "MODE_PROCESS", "MODE_SOCKET", "ModelTransport", "PlanNode",
+    "ScatterGatherExecutor", "Transport", "TransportError",
+    "AgentServerError", "AgentServerPool", "PoolStats", "ProcessTransport",
+    "GroupAgentPool", "GroupPoolStats", "SocketTransport", "TRANSPORT_PIPE",
+    "TRANSPORT_TCP", "TRANSPORT_UNIX", "shard_hosts", "ChaosPolicy",
+    "GroupSeed", "RestartEvent", "RestartPolicy", "Supervisor", "WorkerSeed",
+    "wire", "AggregationTree", "DistributedQueryResult", "MECHANISM_DIRECT",
+    "MECHANISM_MULTILEVEL", "QueryCluster", "PathDumpController",
 ]

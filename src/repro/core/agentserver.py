@@ -136,19 +136,152 @@ class _WorkerAgent:
         return drained
 
 
+class _HostServer:
+    """One host's worker-side frame switch: state + ``frame -> reply``.
+
+    The protocol logic shared by the single-host pipe worker
+    (:func:`agent_server_main`) and the group workers
+    (:func:`~repro.core.groupserver.group_server_main`, which owns one of
+    these per host and routes ``MSG_GROUP_BATCH`` entries to them).
+    Record/observation batches and monitor-state seeds are fire-and-forget
+    (the channel's FIFO ordering guarantees they are applied before any
+    later query or tick); an ingest failure is latched on
+    ``pending_error`` and reported as the reply to the next request
+    instead of being lost.  Alarms raised host-side are queued and leave
+    on the next reply that can carry them: a monitor tick's alarm batch,
+    or piggybacked on a query result.
+    """
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self.agent = _WorkerAgent(host)
+        self.engine = QueryEngine()
+        self.pending_error: Optional[str] = None
+
+    def note_error(self, detail: str) -> None:
+        """Latch an out-of-band failure (reported on the next request)."""
+        self.pending_error = detail
+
+    def serve(self, frame: bytes) -> Optional[bytes]:
+        """Serve one frame; returns the reply bytes, or ``None`` for
+        fire-and-forget frames (lifecycle frames - shutdown - are the
+        caller's business and produce ``None`` here too)."""
+        agent = self.agent
+        try:
+            kind, _reader = wire.open_frame(frame)
+        except wire.WireError as error:
+            self.pending_error = f"undecodable frame: {error}"
+            return None
+        if kind == wire.MSG_RECORD_BATCH:
+            try:
+                agent.tib.add_records(wire.decode_record_batch(frame),
+                                      adopt=True)
+            except Exception as error:
+                self.pending_error = (f"record batch failed: "
+                                      f"{type(error).__name__}: {error}")
+        elif kind == wire.MSG_OBSERVATION_BATCH:
+            try:
+                for obs in wire.decode_observation_batch(frame):
+                    agent.monitor.apply_observation(obs)
+            except Exception as error:
+                self.pending_error = (f"observation batch failed: "
+                                      f"{type(error).__name__}: {error}")
+        elif kind == wire.MSG_MONITOR_STATE:
+            try:
+                agent.monitor.restore(wire.decode_monitor_state(frame))
+            except Exception as error:
+                self.pending_error = (f"monitor state failed: "
+                                      f"{type(error).__name__}: {error}")
+        elif kind == wire.MSG_RETENTION:
+            # Fire-and-forget, like ingest: the channel's FIFO ordering
+            # guarantees the cap is in force before any later record
+            # batch, so the worker ages records host-side exactly as
+            # the controller's local TIB does.
+            try:
+                max_records, max_bytes = wire.decode_retention(frame)
+                agent.tib.configure_retention(max_records=max_records,
+                                              max_bytes=max_bytes)
+            except Exception as error:
+                self.pending_error = (f"retention config failed: "
+                                      f"{type(error).__name__}: {error}")
+        elif kind == wire.MSG_QUERY_REQUEST:
+            if self.pending_error is not None:
+                reply = wire.encode_error(self.pending_error)
+                self.pending_error = None
+                return reply
+            try:
+                query, _spec = wire.decode_query_request(frame)
+                # measure_wire=False: the frame we are about to send IS
+                # the measurement (encoding twice would double the
+                # serialization cost on the hot path); the client sets
+                # wire_bytes = len(frame) on decode.
+                result = self.engine.execute(agent, query,
+                                             measure_wire=False)
+                # Drain *after* executing: alarms the handler raised
+                # ride this reply to the controller's bus.
+                result.alarms = agent.drain_alarms()
+                return wire.encode_result(result)
+            except Exception as error:
+                return wire.encode_error(f"{type(error).__name__}: {error}")
+        elif kind == wire.MSG_MONITOR_TICK:
+            if self.pending_error is not None:
+                reply = wire.encode_error(self.pending_error)
+                self.pending_error = None
+                return reply
+            try:
+                now, threshold = wire.decode_monitor_tick(frame)
+                agent.monitor.run_check(now, threshold)
+                # The check's alarms landed on the pending queue via
+                # the monitor's sink; the reply drains everything
+                # pending (including alarms from earlier activity).
+                return wire.encode_alarm_batch(agent.drain_alarms())
+            except Exception as error:
+                return wire.encode_error(f"{type(error).__name__}: {error}")
+        elif kind == wire.MSG_MONITOR_PULL:
+            if self.pending_error is not None:
+                # The snapshot is the mirror's ground truth; serving it
+                # while an observation/seed batch silently failed would
+                # report state the worker never reached.
+                reply = wire.encode_error(self.pending_error)
+                self.pending_error = None
+                return reply
+            return wire.encode_monitor_state(agent.monitor.snapshot())
+        elif kind == wire.MSG_PING:
+            # A pong doubles as the worker-side flush barrier: any
+            # write-behind records staged by earlier ingest frames are
+            # forced into the archive log before the tier counters are
+            # read, so the reply never describes a torn cold tier.
+            agent.tib.flush_archive()
+            tiers = agent.tib.tier_stats()
+            return wire.encode_pong(
+                agent.tib.total_record_count(),
+                len(agent.monitor.flows),
+                hot_records=tiers["hot_records"],
+                hot_bytes=tiers["hot_bytes"],
+                cold_records=tiers["cold_records"],
+                cold_bytes=tiers["cold_bytes"])
+        elif kind == wire.MSG_RESET:
+            agent.tib.clear()
+            agent.monitor.reset()
+            agent.pending_alarms.clear()
+            agent.alarms_raised.clear()
+            self.pending_error = None  # a reset wipes latched ingest errors
+        elif kind == wire.MSG_SLEEP:
+            time.sleep(wire.decode_sleep(frame))
+        elif kind == wire.MSG_SHUTDOWN:
+            pass  # lifecycle frame; handled by the worker's main loop
+        else:
+            self.pending_error = f"unknown message type {kind}"
+        return None
+
+
 def agent_server_main(conn, host: str) -> None:
     """Worker process main loop: serve wire frames until shutdown/EOF.
 
-    Record/observation batches and monitor-state seeds are fire-and-forget
-    (the pipe's FIFO ordering guarantees they are applied before any later
-    query or tick); an ingest failure is latched and reported as the reply
-    to the next request instead of being lost.  Alarms raised host-side are
-    queued and leave on the next reply that can carry them: a monitor
-    tick's alarm batch, or piggybacked on a query result.
+    The frame switch itself lives in :class:`_HostServer` (shared with the
+    group workers); this loop only owns the pipe lifecycle.
     """
-    agent = _WorkerAgent(host)
-    engine = QueryEngine()
-    pending_error: Optional[str] = None
+    server = _HostServer(host)
     try:
         while True:
             try:
@@ -156,114 +289,15 @@ def agent_server_main(conn, host: str) -> None:
             except (EOFError, OSError):
                 break
             try:
-                kind, reader = wire.open_frame(frame)
+                kind = wire.frame_type(frame)
             except wire.WireError as error:
-                pending_error = f"undecodable frame: {error}"
+                server.note_error(f"undecodable frame: {error}")
                 continue
             if kind == wire.MSG_SHUTDOWN:
                 break
-            if kind == wire.MSG_RECORD_BATCH:
-                try:
-                    agent.tib.add_records(wire.decode_record_batch(frame),
-                                          adopt=True)
-                except Exception as error:
-                    pending_error = (f"record batch failed: "
-                                     f"{type(error).__name__}: {error}")
-            elif kind == wire.MSG_OBSERVATION_BATCH:
-                try:
-                    for obs in wire.decode_observation_batch(frame):
-                        agent.monitor.apply_observation(obs)
-                except Exception as error:
-                    pending_error = (f"observation batch failed: "
-                                     f"{type(error).__name__}: {error}")
-            elif kind == wire.MSG_MONITOR_STATE:
-                try:
-                    agent.monitor.restore(wire.decode_monitor_state(frame))
-                except Exception as error:
-                    pending_error = (f"monitor state failed: "
-                                     f"{type(error).__name__}: {error}")
-            elif kind == wire.MSG_RETENTION:
-                # Fire-and-forget, like ingest: the pipe's FIFO ordering
-                # guarantees the cap is in force before any later record
-                # batch, so the worker ages records host-side exactly as
-                # the controller's local TIB does.
-                try:
-                    max_records, max_bytes = wire.decode_retention(frame)
-                    agent.tib.configure_retention(max_records=max_records,
-                                                  max_bytes=max_bytes)
-                except Exception as error:
-                    pending_error = (f"retention config failed: "
-                                     f"{type(error).__name__}: {error}")
-            elif kind == wire.MSG_QUERY_REQUEST:
-                if pending_error is not None:
-                    conn.send_bytes(wire.encode_error(pending_error))
-                    pending_error = None
-                    continue
-                try:
-                    query, _spec = wire.decode_query_request(frame)
-                    # measure_wire=False: the frame we are about to send IS
-                    # the measurement (encoding twice would double the
-                    # serialization cost on the hot path); the client sets
-                    # wire_bytes = len(frame) on decode.
-                    result = engine.execute(agent, query,
-                                            measure_wire=False)
-                    # Drain *after* executing: alarms the handler raised
-                    # ride this reply to the controller's bus.
-                    result.alarms = agent.drain_alarms()
-                    conn.send_bytes(wire.encode_result(result))
-                except Exception as error:
-                    conn.send_bytes(wire.encode_error(
-                        f"{type(error).__name__}: {error}"))
-            elif kind == wire.MSG_MONITOR_TICK:
-                if pending_error is not None:
-                    conn.send_bytes(wire.encode_error(pending_error))
-                    pending_error = None
-                    continue
-                try:
-                    now, threshold = wire.decode_monitor_tick(frame)
-                    agent.monitor.run_check(now, threshold)
-                    # The check's alarms landed on the pending queue via
-                    # the monitor's sink; the reply drains everything
-                    # pending (including alarms from earlier activity).
-                    conn.send_bytes(
-                        wire.encode_alarm_batch(agent.drain_alarms()))
-                except Exception as error:
-                    conn.send_bytes(wire.encode_error(
-                        f"{type(error).__name__}: {error}"))
-            elif kind == wire.MSG_MONITOR_PULL:
-                if pending_error is not None:
-                    # The snapshot is the mirror's ground truth; serving it
-                    # while an observation/seed batch silently failed would
-                    # report state the worker never reached.
-                    conn.send_bytes(wire.encode_error(pending_error))
-                    pending_error = None
-                    continue
-                conn.send_bytes(
-                    wire.encode_monitor_state(agent.monitor.snapshot()))
-            elif kind == wire.MSG_PING:
-                # A pong doubles as the worker-side flush barrier: any
-                # write-behind records staged by earlier ingest frames are
-                # forced into the archive log before the tier counters are
-                # read, so the reply never describes a torn cold tier.
-                agent.tib.flush_archive()
-                tiers = agent.tib.tier_stats()
-                conn.send_bytes(wire.encode_pong(
-                    agent.tib.total_record_count(),
-                    len(agent.monitor.flows),
-                    hot_records=tiers["hot_records"],
-                    hot_bytes=tiers["hot_bytes"],
-                    cold_records=tiers["cold_records"],
-                    cold_bytes=tiers["cold_bytes"]))
-            elif kind == wire.MSG_RESET:
-                agent.tib.clear()
-                agent.monitor.reset()
-                agent.pending_alarms.clear()
-                agent.alarms_raised.clear()
-                pending_error = None  # a reset wipes latched ingest errors
-            elif kind == wire.MSG_SLEEP:
-                time.sleep(wire.decode_sleep(frame))
-            else:
-                pending_error = f"unknown message type {kind}"
+            reply = server.serve(frame)
+            if reply is not None:
+                conn.send_bytes(reply)
     finally:
         conn.close()
 

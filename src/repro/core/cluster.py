@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core import wire
 from repro.core.agent import PathDumpAgent
@@ -64,8 +64,11 @@ from repro.core.executor import (ExecWarning, GatherResult, MODE_CONCURRENT,
                                  ScatterGatherExecutor, Transport,
                                  W_CIRCUIT_OPEN, W_MIRROR_DETACHED,
                                  W_WORKER_RESTARTED)
+from repro.core.groupserver import (GroupAgentPool, SocketTransport,
+                                    TRANSPORT_UNIX)
 from repro.core.supervisor import (ChaosPolicy, EVENT_CIRCUIT_OPEN,
-                                   EVENT_RESTARTED, Supervisor, WorkerSeed)
+                                   EVENT_RESTARTED, GroupSeed, Supervisor,
+                                   WorkerSeed)
 from repro.core.query import (Query, QueryEngine, QueryResult,
                               measured_result_wire_bytes)
 from repro.core.rpc import RpcChannel
@@ -88,8 +91,19 @@ MECHANISM_MULTILEVEL = "multilevel"
 #: the workers' pipes).  See :mod:`repro.core.agentserver`.
 MODE_PROCESS = "process"
 
+#: Cluster execution mode: hosts are sharded into worker groups, each
+#: group's TIBs live in one worker process behind a single multiplexed
+#: stream connection (Unix/TCP socket, or a pipe carrying the same
+#: coalesced envelopes), and monitor sweeps / direct queries pack one
+#: ``MSG_GROUP_BATCH`` envelope per group instead of one frame per host.
+#: See :mod:`repro.core.groupserver`.
+MODE_SOCKET = "socket"
+
 #: Valid cluster execution modes.
-CLUSTER_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS)
+CLUSTER_MODES = (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS, MODE_SOCKET)
+
+#: Modes whose per-host state lives in worker processes.
+_WORKER_MODES = (MODE_PROCESS, MODE_SOCKET)
 
 
 @dataclass
@@ -249,11 +263,21 @@ class QueryCluster:
             :class:`ModelTransport` over ``rpc``.
         mode: execution mode - ``"serial"`` (deterministic, the default, so
             figures reproduce), ``"concurrent"`` (real thread-pool
-            fan-out) or ``"process"`` (per-host agent-server worker
+            fan-out), ``"process"`` (per-host agent-server worker
             processes speaking the binary wire protocol; CPU-bound
-            scatters run genuinely in parallel).  All modes produce
-            byte-identical query payloads.
-        max_workers: worker-pool cap for concurrent/process mode.
+            scatters run genuinely in parallel) or ``"socket"`` (hosts
+            sharded into worker groups, one multiplexed stream connection
+            per group, monitor ticks and direct-query scatters coalesced
+            into one ``MSG_GROUP_BATCH`` envelope per group).  All modes
+            produce byte-identical query payloads.
+        max_workers: worker-pool cap for concurrent/process/socket mode.
+        group_count: socket mode only - number of worker groups the hosts
+            are sharded into (deterministic contiguous shards; defaults to
+            :data:`~repro.core.groupserver.DEFAULT_GROUP_COUNT`, clamped
+            to the host count).
+        socket_transport: socket mode only - ``"unix"`` (default),
+            ``"tcp"``, or ``"pipe"`` (the same coalesced envelopes over a
+            multiprocessing pipe; no listener, useful for tests).
         timeout_s: per-host query deadline (see the executor docs).
         hedge_after_s: straggler-hedging threshold (concurrent mode).
         retries: bounded per-host retry budget for transport errors.
@@ -287,7 +311,9 @@ class QueryCluster:
                  retention: Optional[RetentionPolicy] = None,
                  supervisor: Optional[Supervisor] = None,
                  chaos: Optional[ChaosPolicy] = None,
-                 reply_timeout_s: Optional[float] = None) -> None:
+                 reply_timeout_s: Optional[float] = None,
+                 group_count: Optional[int] = None,
+                 socket_transport: str = TRANSPORT_UNIX) -> None:
         if mode not in CLUSTER_MODES:
             raise ValueError(f"unknown cluster mode {mode!r}")
         self.topo = topo
@@ -299,9 +325,12 @@ class QueryCluster:
         self.supervisor = supervisor
         self.chaos = chaos
         self.reply_timeout_s = reply_timeout_s
+        self.group_count = group_count
+        self.socket_transport = socket_transport
         self._pending_warnings: List[ExecWarning] = []  # guarded-by: _warning_lock
         self._warning_lock = threading.Lock()
-        self._process_pool: Optional[AgentServerPool] = None
+        self._process_pool: Optional[Union[AgentServerPool,
+                                           GroupAgentPool]] = None
         self.transport: Transport = transport or ModelTransport(self.rpc)
         self._adopt_transport(self.transport)
         self.executor = ScatterGatherExecutor(
@@ -323,11 +352,11 @@ class QueryCluster:
             self.agents[host] = agent
         if fabric is not None:
             self.attach_fabric(fabric)
-        if mode == MODE_PROCESS:
+        if mode in _WORKER_MODES:
             # Through configure_executor so the executor is rebuilt over
-            # the adopted ProcessTransport (it was constructed above with
+            # the adopted worker transport (it was constructed above with
             # the default transport).
-            self.configure_executor(mode=MODE_PROCESS)
+            self.configure_executor(mode=mode)
 
     # ---------------------------------------------------------------- wiring
     def attach_fabric(self, fabric: Fabric) -> None:
@@ -349,7 +378,10 @@ class QueryCluster:
         current value; ``transport`` replaces the delivery protocol).
 
         ``mode="process"`` starts the agent-server workers (if not already
-        running) and installs a :class:`ProcessTransport`; switching back to
+        running) and installs a :class:`ProcessTransport`; ``mode="socket"``
+        starts the group worker pool behind a :class:`SocketTransport`.
+        Switching between the two worker modes replaces the running pool
+        (the fresh one re-syncs from the local mirrors); switching back to
         ``"serial"``/``"concurrent"`` keeps the workers alive and in sync
         (ingest mirrors to them), so modes can be flipped per experiment.
         """
@@ -358,7 +390,17 @@ class QueryCluster:
             if mode not in CLUSTER_MODES:
                 raise ValueError(f"unknown cluster mode {mode!r}")
             self.mode = mode
-            if mode == MODE_PROCESS:
+            if mode in _WORKER_MODES:
+                pool = self._process_pool
+                wants_groups = mode == MODE_SOCKET
+                if pool is not None and \
+                        isinstance(pool, GroupAgentPool) != wants_groups:
+                    # The running pool speaks the wrong plane; replace it
+                    # (the restart re-syncs the fresh pool from the local
+                    # mirrors, so answers stay byte-identical).
+                    self._detach_mirrors()
+                    pool.shutdown()
+                    self._process_pool = None
                 self.start_agent_servers()
         if transport is not None:
             self._adopt_transport(transport)
@@ -388,8 +430,9 @@ class QueryCluster:
 
     # ----------------------------------------------------------- process mode
     @property
-    def agent_servers(self) -> Optional[AgentServerPool]:
-        """The agent-server worker pool (``None`` until process mode is
+    def agent_servers(self) -> Optional[Union[AgentServerPool,
+                                              GroupAgentPool]]:
+        """The agent-server worker pool (``None`` until a worker mode is
         enabled)."""
         return self._process_pool
 
@@ -397,7 +440,7 @@ class QueryCluster:
                             reply_timeout_s: Optional[float] = None,
                             supervisor: Optional[Supervisor] = None,
                             chaos: Optional[ChaosPolicy] = None
-                            ) -> AgentServerPool:
+                            ) -> Union[AgentServerPool, GroupAgentPool]:
         """Spawn one agent-server worker per host and bring it in sync.
 
         Each worker receives a snapshot of its host's current TIB as
@@ -425,14 +468,27 @@ class QueryCluster:
         chaos = chaos if chaos is not None else self.chaos
         if reply_timeout_s is None:
             reply_timeout_s = self.reply_timeout_s
+        group_mode = self.mode == MODE_SOCKET
         if supervisor is not None:
             self.supervisor = supervisor
-            if supervisor.seed_source is None:
-                supervisor.seed_source = self._worker_seed
+            wanted_seed = self._group_seed if group_mode else self._worker_seed
+            if supervisor.seed_source is None or supervisor.seed_source in \
+                    (self._worker_seed, self._group_seed):
+                # Unset, or wired by us for the other worker mode (a mode
+                # flip reuses the supervisor): point it at the seed builder
+                # matching the pool's keying (host vs group).
+                supervisor.seed_source = wanted_seed
             supervisor.subscribe(self._on_supervisor_event)
-        pool = AgentServerPool(self.hosts, context=context,
-                               reply_timeout_s=reply_timeout_s,
-                               supervisor=supervisor, chaos=chaos)
+        if group_mode:
+            pool: Union[AgentServerPool, GroupAgentPool] = GroupAgentPool(
+                self.hosts, group_count=self.group_count,
+                transport=self.socket_transport, context=context,
+                reply_timeout_s=reply_timeout_s,
+                supervisor=supervisor, chaos=chaos)
+        else:
+            pool = AgentServerPool(self.hosts, context=context,
+                                   reply_timeout_s=reply_timeout_s,
+                                   supervisor=supervisor, chaos=chaos)
         try:
             synced = []
             for host in self.hosts:
@@ -463,11 +519,20 @@ class QueryCluster:
                 synced.append((host, len(snapshot),
                                len(agent.monitor.flows)))
             # Barrier: a ping round-trip drains each worker's ingest queue
-            # (pipe FIFO), so callers - and benchmarks - start from workers
-            # that are actually in sync instead of racing their background
-            # ingest.
+            # (FIFO ordering), so callers - and benchmarks - start from
+            # workers that are actually in sync instead of racing their
+            # background ingest.  Group pools answer one coalesced
+            # ping envelope per group (one round-trip per worker process
+            # instead of one per host - at 1024 hosts that matters).
+            if isinstance(pool, GroupAgentPool):
+                states: Dict[str, Tuple[int, int]] = {}
+                for key in pool.group_keys():
+                    states.update(pool.group_ping_state(key))
+            else:
+                states = {host: pool.ping_state(host)
+                          for host, _count, _flows in synced}
             for host, count, flows in synced:
-                applied, monitor_flows = pool.ping_state(host)
+                applied, monitor_flows = states.get(host, (0, 0))
                 if applied < count:
                     raise AgentServerError(
                         f"agent server on {host} applied {applied} of "
@@ -483,7 +548,11 @@ class QueryCluster:
             pool.shutdown()
             raise
         self._process_pool = pool
-        self.process_transport = ProcessTransport(pool, self.rpc)
+        if isinstance(pool, GroupAgentPool):
+            self.process_transport: ModelTransport = \
+                SocketTransport(pool, self.rpc)
+        else:
+            self.process_transport = ProcessTransport(pool, self.rpc)
         self._adopt_transport(self.process_transport)
         return pool
 
@@ -561,17 +630,33 @@ class QueryCluster:
         return WorkerSeed(retention=bounds, records=agent.tib.records(),
                           monitor=agent.monitor.snapshot())
 
+    def _group_seed(self, key: str) -> GroupSeed:
+        """Build a restart seed for a whole worker group (socket mode):
+        one :class:`WorkerSeed` per member host, from the same local
+        mirrors :meth:`_worker_seed` reads, so a re-seeded group answers
+        byte-identically to one that never died."""
+        pool = self._process_pool
+        members = (pool.group_hosts(key)
+                   if isinstance(pool, GroupAgentPool) else (key,))
+        return GroupSeed(seeds={host: self._worker_seed(host)
+                                for host in members})
+
     def _on_supervisor_event(self, pool, host: str, event) -> None:
         """Supervisor callback: re-attach the ingest mirrors of a restarted
         worker (they may have detached while it was dead, and their
         closures bind the pool) and surface restart / circuit-open events
-        as warnings on the next query result or monitor sweep."""
+        as warnings on the next query result or monitor sweep.  On a group
+        pool ``host`` is a group key; the mirrors of every member host are
+        re-attached."""
         if event.kind == EVENT_RESTARTED:
-            agent = self.agents.get(host)
-            if agent is not None:
-                agent.record_sink = self._make_record_sink(pool, host)
-                agent.monitor.observation_sink = \
-                    self._make_observation_sink(pool, host)
+            expand = getattr(pool, "expand_key", None)
+            members = expand(host) if expand is not None else (host,)
+            for member in members:
+                agent = self.agents.get(member)
+                if agent is not None:
+                    agent.record_sink = self._make_record_sink(pool, member)
+                    agent.monitor.observation_sink = \
+                        self._make_observation_sink(pool, member)
             self._note_warning(
                 W_WORKER_RESTARTED, host,
                 f"worker restarted (attempt {event.attempt}) and re-seeded "
@@ -608,7 +693,7 @@ class QueryCluster:
         self._detach_mirrors()
         self._process_pool.shutdown()
         self._process_pool = None
-        if self.mode == MODE_PROCESS:
+        if self.mode in _WORKER_MODES:
             self.mode = MODE_CONCURRENT
             self.configure_executor(transport=ModelTransport(self.rpc))
 
@@ -734,8 +819,13 @@ class QueryCluster:
         across modes.  A worker that dies mid-tick surfaces on the returned
         :class:`MonitorSweep` exactly like a dead agent does on a query
         (``partial`` / ``hosts_failed`` / a ``W_HOST_FAILED`` warning).
+        In socket mode the scatter is coalesced: one ``MSG_GROUP_BATCH``
+        envelope per worker group carries every member host's tick, and a
+        dead group surfaces as *all* of its hosts failed.
         """
-        if self.mode == MODE_PROCESS and self._process_pool is not None:
+        if self.mode in _WORKER_MODES and self._process_pool is not None:
+            if isinstance(self._process_pool, GroupAgentPool):
+                return self._run_monitors_group(now, threshold)
             return self._run_monitors_process(now, threshold)
         alarms: List[Alarm] = []
         for agent in self.agents.values():
@@ -790,17 +880,156 @@ class QueryCluster:
                             traffic_bytes=gather.traffic_bytes,
                             wall_clock_s=gather.wall_s)
 
+    def _run_monitors_group(self, now: float,
+                            threshold: Optional[int]) -> MonitorSweep:
+        """Scatter one coalesced tick envelope per worker group.
+
+        The frame-coalescing twin of :meth:`_run_monitors_process`: each
+        leaf of the plan is a *group*, its request is one
+        ``MSG_GROUP_BATCH`` envelope carrying every member host's tick
+        frame, and its reply envelope carries every member's alarm batch.
+        Alarms still dispatch in canonical host order, so the alarm
+        stream is byte-identical to the serial sweep; a dead group
+        expands to all of its member hosts in ``hosts_failed``.
+        """
+        pool = self._process_pool
+        tick = wire.encode_monitor_tick(now, threshold)
+        keys = pool.group_keys()
+        plan = PlanNode(host=None, children=[
+            PlanNode(host=key, request_parts=(len(wire.encode_group_batch(
+                1, [(host, tick) for host in pool.group_hosts(key)])),))
+            for key in keys])
+        sink = _AlarmCollector(self, latch=True)
+
+        def work(key: str):
+            per_host, reply_bytes, _sent = pool.group_monitor_tick(
+                key, now, threshold)
+            count = 0
+            for host, alarms in per_host:
+                # Same hand-over-on-landing rule as the per-host path: the
+                # workers already latched, so a discarded reply must still
+                # surrender its alarms.
+                sink.park(host, alarms)
+                count += len(alarms)
+            return count, reply_bytes
+
+        def merge(acc, value):
+            return acc[0] + value[0], acc[1] + value[1]
+
+        gather = self.executor.run(plan, work, merge,
+                                   response_bytes=lambda value: value[1])
+        alarms = sink.dispatch(self.hosts)
+        hosts_failed = [host for key in gather.hosts_failed
+                        for host in pool.expand_key(key)]
+        return MonitorSweep(alarms, mode=self.mode, partial=gather.partial,
+                            hosts_failed=hosts_failed,
+                            warnings=(tuple(gather.warnings)
+                                      + self._drain_warnings()),
+                            traffic_bytes=gather.traffic_bytes,
+                            wall_clock_s=gather.wall_s)
+
     # ------------------------------------------------------- distributed query
     def execute_direct(self, query: Query,
                        hosts: Optional[Sequence[str]] = None
                        ) -> DistributedQueryResult:
-        """Direct query: every host answers the controller directly."""
+        """Direct query: every host answers the controller directly.
+
+        In socket mode the scatter is coalesced - one request envelope
+        per worker group instead of one frame per host - and the group's
+        partials are folded in canonical order before the root merge, so
+        the aggregate stays byte-identical to the serial fold.
+        """
         targets = list(hosts) if hosts is not None else list(self.hosts)
+        pool = self._process_pool
+        if self._uses_agent_servers(query) and \
+                isinstance(pool, GroupAgentPool):
+            return self._execute_direct_group(query, targets, pool)
         request_len = query.request_bytes()  # one encode for all hosts
         plan = PlanNode(host=None, children=[
             PlanNode(host=host, request_parts=(request_len,))
             for host in targets])
         gather = self._gather(plan, query)
+        merged = self._finalise(query, gather)
+        network = max(
+            (report.request_latency_s + report.respond_latency_s
+             for report in gather.reports.values() if report.ok),
+            default=0.0)
+        return self._distributed_result(
+            query, MECHANISM_DIRECT, merged, gather, len(targets),
+            breakdown={"network": network,
+                       "host_execution": gather.max_exec_s,
+                       "controller_aggregation": gather.root_merge_s})
+
+    def _execute_direct_group(self, query: Query, targets: List[str],
+                              pool: GroupAgentPool
+                              ) -> DistributedQueryResult:
+        """Direct query over coalesced group envelopes (socket mode).
+
+        The plan's leaves are *runs* of consecutive same-group targets
+        (for the canonical full-host scatter that is exactly one leaf per
+        group, since shards are contiguous): each leaf ships one
+        ``MSG_GROUP_BATCH`` request envelope for its run and folds the
+        per-host partials left-to-right in request order before the root
+        merge - the same order the per-host fold visits them, so the
+        aggregate payload is byte-identical.  A failed leaf expands to
+        all of its run's hosts in ``hosts_failed`` (the group connection
+        is the failure domain).
+        """
+        runs: List[Tuple[str, List[str]]] = []
+        for host in targets:
+            key = pool._key_for(host)
+            if runs and runs[-1][0] == key:
+                runs[-1][1].append(host)
+            else:
+                runs.append((key, [host]))
+        request_frame = wire.encode_query_request(query, None)
+        labels: Dict[str, Tuple[str, List[str]]] = {}
+        children = []
+        for index, (key, run_hosts) in enumerate(runs):
+            label = key if key not in labels else f"{key}#{index}"
+            labels[label] = (key, run_hosts)
+            # Sized with a small correlation id; the live envelope's id
+            # varint may grow a byte on long-lived pools - noise next to
+            # the coalesced payload.
+            envelope_len = len(wire.encode_group_batch(
+                1, [(host, request_frame) for host in run_hosts]))
+            children.append(PlanNode(host=label,
+                                     request_parts=(envelope_len,)))
+        plan = PlanNode(host=None, children=children)
+        sink = _AlarmCollector(self, latch=False)
+
+        def work(label: str) -> QueryResult:
+            key, run_hosts = labels[label]
+            results, reply_bytes, _sent = pool.group_query(
+                key, query, hosts=run_hosts)
+            folded: Optional[QueryResult] = None
+            for host, result in results:
+                if result.alarms:
+                    sink.park(host, result.alarms)
+                    result.alarms = ()
+                folded = (result if folded is None
+                          else self.engine.merge(query, (folded, result),
+                                                 measure_wire=False))
+            # What travelled back is the reply envelope, not the folded
+            # accumulator; price the response leg with the real bytes.
+            folded.wire_bytes = reply_bytes
+            return folded
+
+        def merge(acc: QueryResult, value: QueryResult) -> QueryResult:
+            return self.engine.merge(query, (acc, value),
+                                     measure_wire=False)
+
+        def response_bytes(result: QueryResult) -> int:
+            if not result.wire_bytes:  # an unmeasured merge accumulator
+                result.wire_bytes = measured_result_wire_bytes(result)
+            return result.wire_bytes
+
+        gather = self.executor.run(plan, work, merge,
+                                   response_bytes=response_bytes)
+        sink.dispatch(targets)
+        gather.hosts_failed = [
+            host for label in gather.hosts_failed
+            for host in labels.get(label, (label, [label]))[1]]
         merged = self._finalise(query, gather)
         network = max(
             (report.request_latency_s + report.respond_latency_s
@@ -878,7 +1107,7 @@ class QueryCluster:
         individual in-process agents fall back local (the worker cannot
         know them).
         """
-        return (self.mode == MODE_PROCESS
+        return (self.mode in _WORKER_MODES
                 and self._process_pool is not None
                 and query.name in SERVED_QUERIES)
 

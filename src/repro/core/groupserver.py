@@ -1,0 +1,1306 @@
+"""Group-sharded agent servers behind one multiplexed stream connection.
+
+Process mode (:mod:`~repro.core.agentserver`) runs one worker process *per
+host* over a dedicated pipe - fine for an 8-host testbed, hopeless at the
+paper's deployment scale: a 1000-host fat-tree would need a thousand
+processes, and the event-plane bench shows most of the wire cost is
+per-frame overhead anyway.  This module is the scale-out plane:
+
+* **Worker groups.** Hosts are sharded into deterministic contiguous
+  groups (:func:`shard_hosts`, ``WORKER_GROUP_ID``/``WORKER_GROUP_COUNT``
+  style); one :func:`group_server_main` process owns *M* hosts' TIBs and
+  monitors (one :class:`~repro.core.agentserver._HostServer` each), so a
+  controller drives N processes x M hosts.
+* **One multiplexed connection per worker.** Each group speaks the
+  versioned wire codec over a single stream - TCP, Unix-domain socket, or
+  a :mod:`multiprocessing` pipe - carrying interleaved request/reply
+  envelopes tagged by correlation id (:class:`_GroupConn` demultiplexes
+  replies to waiting threads, so scatters over different hosts of one
+  group overlap on one socket).
+* **Frame coalescing.** Monitor ticks, ingest batches, re-seed streams
+  and per-tree-edge query requests for all hosts of a group pack into a
+  single ``MSG_GROUP_BATCH`` envelope (``group_monitor_tick``,
+  ``group_query``, ...), amortizing the per-message cost: the envelope
+  costs one transport message where naive per-host send pays it M times.
+* **Same failure semantics.** A dead/hung/undecodable group connection
+  surfaces as :class:`~repro.core.agentserver.AgentServerError` exactly
+  like a dead pipe worker; with a
+  :class:`~repro.core.supervisor.Supervisor` attached the group is
+  respawned and re-seeded *over a fresh reconnect* (the socket accept
+  loop hands the new connection to the same rendezvous as at startup),
+  and :class:`~repro.core.supervisor.ChaosPolicy` injects
+  connection-level faults (torn mid-frame close, stalled socket) keyed
+  by group.
+
+Stream framing is length-delimited (:func:`~repro.core.wire.stream_frame`
+/ :class:`~repro.core.wire.StreamFrameReader`); pipe transport keeps the
+pipe's native message boundaries.  Sockets bind to localhost (TCP) or a
+private tempdir (Unix) - the protocol is machine-agnostic, the spawn
+plumbing is not yet.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import wire
+from repro.core.agentserver import (AgentServerError, _HostServer,
+                                    AgentServerPool)
+from repro.core.alarms import Alarm
+from repro.core.executor import ModelTransport
+from repro.core.monitor import MonitorSnapshot, TransferObservation
+from repro.core.query import QueryResult
+from repro.core.rpc import RpcChannel
+from repro.core.supervisor import WorkerSeed
+from repro.storage.records import PathFlowRecord
+
+#: Stream transports for :class:`GroupAgentPool`.
+TRANSPORT_UNIX = "unix"
+TRANSPORT_TCP = "tcp"
+TRANSPORT_PIPE = "pipe"
+GROUP_TRANSPORTS = (TRANSPORT_UNIX, TRANSPORT_TCP, TRANSPORT_PIPE)
+
+#: Default worker-group count when the caller does not choose one.
+#: Deterministic (not derived from the machine) so sweeps reproduce.
+DEFAULT_GROUP_COUNT = 8
+
+#: Records per coalesced ingest envelope during re-seed (matches the pipe
+#: pool's per-frame chunking so no single envelope monopolises the stream).
+INGEST_CHUNK_RECORDS = AgentServerPool.INGEST_CHUNK_RECORDS
+
+#: Distinguishes "use the pool's reply timeout" from an explicit ``None``.
+_UNSET = object()
+
+
+def shard_hosts(hosts: Sequence[str],
+                group_count: int) -> List[Tuple[str, ...]]:
+    """Split ``hosts`` into ``group_count`` deterministic contiguous shards.
+
+    FlakeBench-style ``WORKER_GROUP_ID``/``WORKER_GROUP_COUNT`` sharding:
+    group *g* of *N* owns a contiguous block of the host list, balanced to
+    within one host (the first ``len(hosts) % N`` groups get the extra).
+    Contiguity matters for byte-identity: folding group partials in group
+    order visits hosts in exactly the canonical host order, so merges
+    associate the same way as a serial scatter.
+    """
+    if group_count < 1:
+        raise ValueError(f"group_count must be >= 1, got {group_count}")
+    if group_count > len(hosts):
+        group_count = max(1, len(hosts))
+    base, extra = divmod(len(hosts), group_count)
+    shards: List[Tuple[str, ...]] = []
+    start = 0
+    for gid in range(group_count):
+        size = base + (1 if gid < extra else 0)
+        shards.append(tuple(hosts[start:start + size]))
+        start += size
+    return shards
+
+
+def shard_for(hosts: Sequence[str], group_id: int,
+              group_count: int) -> Tuple[str, ...]:
+    """The shard ``WORKER_GROUP_ID=group_id`` of ``group_count`` owns."""
+    return shard_hosts(hosts, group_count)[group_id]
+
+
+# =========================================================== worker process
+class _WorkerPipeChannel:
+    """Worker-side framing over a :mod:`multiprocessing` pipe (message
+    boundaries come free; no length prefixes on the wire)."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def recv(self) -> Optional[bytes]:
+        try:
+            return self._conn.recv_bytes()
+        except (EOFError, OSError):
+            return None
+
+    def send(self, frame: bytes) -> None:
+        self._conn.send_bytes(frame)
+
+    def close_torn(self) -> None:
+        # A pipe has no byte stream to tear mid-frame; the closest fault is
+        # a message too short to even be a header, then a hard close.
+        try:
+            self._conn.send_bytes(wire.MAGIC)
+        except (OSError, ValueError):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class _WorkerSocketChannel:
+    """Worker-side length-delimited framing over a connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = wire.StreamFrameReader()
+        self._ready: List[bytes] = []
+
+    def recv(self) -> Optional[bytes]:
+        while not self._ready:
+            try:
+                data = self._sock.recv(1 << 16)
+            except OSError:
+                return None
+            if not data:
+                return None  # controller went away; worker just exits
+            try:
+                self._ready.extend(self._reader.feed(data))
+            except wire.WireError:
+                return None  # corrupt inbound stream: die loudly (EOF)
+        return self._ready.pop(0)
+
+    def send(self, frame: bytes) -> None:
+        self._sock.sendall(wire.stream_frame(frame))
+
+    def close_torn(self) -> None:
+        # A length prefix promising a whole ping frame, but only two bytes
+        # of it: the controller's StreamFrameReader is left mid-frame and
+        # must surface WireDecodeError at EOF, not hang or resync.
+        torn = wire.stream_frame(wire.encode_ping())
+        torn = torn[:wire.STREAM_PREFIX_BYTES + 2]
+        try:
+            self._sock.sendall(torn)
+        except OSError:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def group_server_main(group_id: int, group_count: int,
+                      hosts: Sequence[str], transport: str,
+                      endpoint) -> None:
+    """Group worker main loop: serve coalesced envelopes for ``hosts``.
+
+    One process owns every host of its shard - a
+    :class:`~repro.core.agentserver._HostServer` per host - behind a
+    single connection.  Top-level frames are either lifecycle
+    (``MSG_SHUTDOWN``, ``MSG_SLEEP`` for stall injection,
+    ``MSG_CLOSE_TORN`` for the chaos harness) or ``MSG_GROUP_BATCH``
+    envelopes whose entries are routed to the per-host servers in entry
+    order; a correlated envelope (id > 0) is answered with one reply
+    envelope echoing the id, one reply frame per entry, in entry order.
+
+    ``transport`` selects the channel: ``"pipe"`` wraps the
+    :mod:`multiprocessing` connection in ``endpoint``; ``"unix"``/
+    ``"tcp"`` connect to the listener address in ``endpoint`` and
+    introduce themselves with a ``MSG_GROUP_HELLO`` naming this shard
+    (``WORKER_GROUP_ID=group_id`` of ``WORKER_GROUP_COUNT=group_count``).
+    """
+    if transport == TRANSPORT_PIPE:
+        channel = _WorkerPipeChannel(endpoint)
+    else:
+        family = (socket.AF_UNIX if transport == TRANSPORT_UNIX
+                  else socket.AF_INET)
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                sock.connect(endpoint)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    return
+                time.sleep(0.05)
+        channel = _WorkerSocketChannel(sock)
+        try:
+            channel.send(wire.encode_group_hello(group_id, hosts))
+        except OSError:
+            channel.close()
+            return
+    servers = {host: _HostServer(host) for host in hosts}
+    try:
+        while True:
+            frame = channel.recv()
+            if frame is None:
+                break
+            try:
+                kind = wire.frame_type(frame)
+            except wire.WireError:
+                break  # top-level garbage: the stream cannot be trusted
+            if kind == wire.MSG_SHUTDOWN:
+                break
+            if kind == wire.MSG_SLEEP:
+                time.sleep(wire.decode_sleep(frame))
+                continue
+            if kind == wire.MSG_CLOSE_TORN:
+                channel.close_torn()
+                return
+            if kind != wire.MSG_GROUP_BATCH:
+                continue  # unknown top-level frames are ignored
+            try:
+                cid, entries = wire.decode_group_batch(frame)
+            except wire.WireError:
+                break
+            replies: List[Tuple[str, bytes]] = []
+            for host, inner in entries:
+                server = servers.get(host)
+                if server is None:
+                    reply: Optional[bytes] = wire.encode_error(
+                        f"host {host} is not in group {group_id}")
+                else:
+                    reply = server.serve(inner)
+                if cid:
+                    if reply is None:
+                        # Correlated envelopes must keep reply cardinality:
+                        # a fire-and-forget frame inside one is a protocol
+                        # misuse, answered loudly rather than skipped.
+                        reply = wire.encode_error(
+                            "entry produced no reply")
+                    replies.append((host, reply))
+            if cid:
+                try:
+                    channel.send(wire.encode_group_batch(cid, replies))
+                except OSError:
+                    break
+    finally:
+        channel.close()
+
+
+# ======================================================== controller side
+@dataclass
+class GroupPoolStats:
+    """Frame/byte/envelope counters and self-healing telemetry of one
+    group pool.
+
+    ``frames_*`` count *logical* per-host frames (comparable with the
+    pipe pool's counters); ``envelopes_*`` count the physical transport
+    messages that carried them, so ``frames_sent / envelopes_sent`` is
+    the measured coalescing factor.  The supervision counters mirror
+    :class:`~repro.core.agentserver.PoolStats`, keyed per *group* worker;
+    ``reconnects`` counts fresh connections accepted after the initial
+    spawn (each supervised respawn reconnects once).
+    """
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_received: int = 0
+    bytes_received: int = 0
+    envelopes_sent: int = 0
+    envelopes_received: int = 0
+    #: Fresh worker connections accepted after the initial spawn.
+    reconnects: int = 0
+    #: Supervised restarts that completed (respawn + reconnect + re-seed).
+    restarts: int = 0
+    #: Total milliseconds spent respawning and re-seeding group workers.
+    reseed_ms: float = 0.0
+    #: Groups whose restart budget was exhausted (circuit opened).
+    circuit_open: int = 0
+    #: Ingest mirrors that detached after delivery failed unrecoverably.
+    mirror_detaches: int = 0
+    #: Reply envelopes/streams that failed to decode (protocol desync;
+    #: the group worker is killed and, when supervised, restarted).
+    decode_errors: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.bytes_received = 0
+        self.envelopes_sent = 0
+        self.envelopes_received = 0
+        self.reconnects = 0
+        self.restarts = 0
+        self.reseed_ms = 0.0
+        self.circuit_open = 0
+        self.mirror_detaches = 0
+        self.decode_errors = 0
+
+
+class _EndpointClosed(Exception):
+    """The controller-side endpoint hit EOF or a closed descriptor."""
+
+
+class _PipeEndpoint:
+    """Controller-side framing over a :mod:`multiprocessing` pipe."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def recv(self) -> bytes:
+        try:
+            return self._conn.recv_bytes()
+        except (EOFError, OSError) as error:
+            raise _EndpointClosed(
+                f"{type(error).__name__}: {error}") from error
+
+    def send(self, frame: bytes) -> None:
+        self._conn.send_bytes(frame)
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class _SocketEndpoint:
+    """Controller-side length-delimited framing over a connected socket.
+
+    ``recv`` raises :class:`~repro.core.wire.WireDecodeError` for a
+    malformed stream (oversized/truncated frames, garbage after a valid
+    envelope - including the chaos harness's torn close, which leaves the
+    reader mid-frame at EOF) and :class:`_EndpointClosed` for a clean
+    EOF/closed descriptor.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 ready: Optional[List[bytes]] = None,
+                 reader: Optional[wire.StreamFrameReader] = None) -> None:
+        self._sock = sock
+        self._reader = reader or wire.StreamFrameReader()
+        self._ready: List[bytes] = list(ready or ())
+
+    def recv(self) -> bytes:
+        while not self._ready:
+            try:
+                data = self._sock.recv(1 << 16)
+            except OSError as error:
+                raise _EndpointClosed(
+                    f"{type(error).__name__}: {error}") from error
+            if not data:
+                self._reader.eof()  # raises WireDecodeError mid-frame
+                raise _EndpointClosed("EOF")
+            self._ready.extend(self._reader.feed(data))
+        return self._ready.pop(0)
+
+    def send(self, frame: bytes) -> None:
+        self._sock.sendall(wire.stream_frame(frame))
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class _Waiter:
+    """One in-flight correlated exchange on a multiplexed connection."""
+
+    __slots__ = ("cid", "event", "replies", "reply_bytes", "error")
+
+    def __init__(self, cid: int) -> None:
+        self.cid = cid
+        self.event = threading.Event()
+        self.replies: Optional[List[Tuple[str, bytes]]] = None
+        self.reply_bytes = 0
+        self.error: Optional[str] = None
+
+
+class _GroupConn:
+    """One multiplexed connection to a group worker.
+
+    A dedicated reader thread demultiplexes reply envelopes to waiting
+    request threads by correlation id, so concurrent exchanges on
+    different hosts of one group interleave on a single stream.  All
+    sends serialise on ``_send_lock`` (envelopes must not interleave
+    bytes); FIFO delivery plus the worker's in-order serving preserves
+    the ingest-before-query ordering fire-and-forget envelopes rely on.
+    Any stream failure - EOF, an undecodable stream or envelope - marks
+    the connection dead and fails every pending waiter, so no request
+    thread ever hangs on a lost reply.
+    """
+
+    def __init__(self, pool: "GroupAgentPool", key: str, endpoint) -> None:
+        self._pool = pool
+        self.key = key
+        self.endpoint = endpoint
+        self.dead: Optional[str] = None  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _Waiter] = {}  # guarded-by: _lock
+        self._next_cid = 1  # guarded-by: _lock
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"pathdump-mux-{key}", daemon=True)
+        self._reader.start()
+
+    def register(self) -> _Waiter:
+        """Allocate a correlation id and park a waiter on it."""
+        with self._lock:
+            if self.dead is not None:
+                raise AgentServerError(self.dead)
+            cid = self._next_cid
+            self._next_cid += 1
+            waiter = _Waiter(cid)
+            self._pending[cid] = waiter
+        return waiter
+
+    def discard(self, cid: int) -> None:
+        """Forget a waiter (timed out / failed before the reply)."""
+        with self._lock:
+            self._pending.pop(cid, None)
+
+    def send(self, frame: bytes) -> None:
+        """Write one frame; raises ``OSError``-family on a dead stream."""
+        with self._send_lock:
+            self.endpoint.send(frame)
+
+    def close(self, detail: str = "connection closed") -> None:
+        self._fail(detail)
+
+    def _fail(self, detail: str) -> None:
+        with self._lock:
+            if self.dead is None:
+                self.dead = detail
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for waiter in pending:
+            waiter.error = detail
+            waiter.event.set()
+        self.endpoint.close()
+
+    def _read_loop(self) -> None:
+        pool = self._pool
+        while True:
+            try:
+                frame = self.endpoint.recv()
+            except _EndpointClosed as error:
+                self._fail(f"group worker {self.key} died mid-exchange: "
+                           f"{error}")
+                return
+            except wire.WireError as error:
+                pool._count_decode_error()
+                self._fail(f"group worker {self.key} sent an undecodable "
+                           f"stream; worker killed: {error}")
+                pool._kill_group_process(self.key)
+                return
+            pool._count_envelope_received(len(frame))
+            if pool.chaos is not None:
+                frame = pool.chaos.on_reply(self.key, frame)
+            try:
+                cid, entries = wire.decode_group_batch(frame)
+            except wire.WireError as error:
+                pool._count_decode_error()
+                self._fail(f"group worker {self.key} sent an undecodable "
+                           f"reply; worker killed: {error}")
+                pool._kill_group_process(self.key)
+                return
+            pool._count_frames_received(len(entries))
+            if cid == 0:
+                continue  # unsolicited fire-and-forget; not in the protocol
+            with self._lock:
+                waiter = self._pending.pop(cid, None)
+            if waiter is not None:
+                waiter.replies = entries
+                waiter.reply_bytes = len(frame)
+                waiter.event.set()
+
+
+class GroupAgentPool:
+    """N group-worker processes x M hosts each, behind one socket apiece.
+
+    The scale-out counterpart of
+    :class:`~repro.core.agentserver.AgentServerPool`: the same per-host
+    client API (``add_records``/``query``/``monitor_tick``/...) so the
+    cluster's mirrors and the executor's scatters work unchanged, plus
+    the coalesced group API (``group_monitor_tick``/``group_query``/
+    ``group_ping_state``) that packs one envelope per *group* instead of
+    one frame per *host*.
+
+    Args:
+        hosts: hosts to serve, in canonical (scatter) order.
+        group_count: worker-group count (defaults to
+            :data:`DEFAULT_GROUP_COUNT`, capped at ``len(hosts)``);
+            sharding is :func:`shard_hosts`.
+        transport: :data:`TRANSPORT_UNIX` (default - a listener in a
+            private tempdir), :data:`TRANSPORT_TCP` (localhost, ephemeral
+            port) or :data:`TRANSPORT_PIPE` (the coalesced envelopes over
+            plain pipes: process mode's transport with socket mode's
+            batching).
+        context: a :mod:`multiprocessing` context or start-method name.
+        reply_timeout_s: optional deadline for a group's reply envelope;
+            a timed-out group worker is killed (the multiplexed stream
+            cannot be resynchronised) and, when supervised, restarted.
+        supervisor: optional :class:`~repro.core.supervisor.Supervisor`;
+            failures are keyed by *group key* (``group-N``), and restart
+            recovery re-seeds every host of the group over a fresh
+            reconnect.
+        chaos: optional :class:`~repro.core.supervisor.ChaosPolicy`,
+            likewise keyed by group key.
+        connect_timeout_s: deadline for a spawned worker's hello to
+            arrive on the accept loop.
+    """
+
+    INGEST_CHUNK_RECORDS = INGEST_CHUNK_RECORDS
+
+    def __init__(self, hosts: Sequence[str],
+                 group_count: Optional[int] = None,
+                 transport: str = TRANSPORT_UNIX,
+                 context=None,
+                 reply_timeout_s: Optional[float] = None,
+                 supervisor=None, chaos=None,
+                 connect_timeout_s: float = 30.0) -> None:
+        if transport not in GROUP_TRANSPORTS:
+            raise ValueError(f"unknown group transport {transport!r}; "
+                             f"expected one of {GROUP_TRANSPORTS}")
+        if not hosts:
+            raise ValueError("GroupAgentPool needs at least one host")
+        if isinstance(context, str) or context is None:
+            context = multiprocessing.get_context(context)
+        self._context = context
+        self.transport = transport
+        self.reply_timeout_s = reply_timeout_s
+        self.supervisor = supervisor
+        self.chaos = chaos
+        self.connect_timeout_s = connect_timeout_s
+        self.stats = GroupPoolStats()  # guarded-by: _stats_lock
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self.groups = shard_hosts(list(hosts), group_count
+                                  or DEFAULT_GROUP_COUNT)
+        self.group_count = len(self.groups)
+        self._keys = [f"group-{gid}" for gid in range(self.group_count)]
+        self._group_of: Dict[str, str] = {}
+        for key, shard in zip(self._keys, self.groups):
+            for host in shard:
+                self._group_of[host] = key
+        # Per-group supervision lock: serialises restart-with-recovery so
+        # concurrent failed exchanges on one group produce one restart
+        # (the epoch check below), not one per failure.
+        self._locks: Dict[str, threading.Lock] = {
+            key: threading.Lock() for key in self._keys}
+        self._conns: Dict[str, _GroupConn] = {}  # guarded-by: _locks[key]
+        self._procs: Dict[str, object] = {}  # guarded-by: _locks[key]
+        self._epochs: Dict[str, int] = {key: 0 for key in self._keys}
+        self._listener: Optional[socket.socket] = None
+        self._sockdir: Optional[str] = None
+        self._address = None
+        self._arrivals: Dict[int, _SocketEndpoint] = {}  # guarded-by: _hello
+        self._hello = threading.Condition()
+        if transport != TRANSPORT_PIPE:
+            self._start_listener()
+        try:
+            for key in self._keys:
+                self._spawn(key)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # -------------------------------------------------------- spawn/connect
+    def _start_listener(self) -> None:
+        if self.transport == TRANSPORT_UNIX:
+            self._sockdir = tempfile.mkdtemp(prefix="pathdump-groups-")
+            address = os.path.join(self._sockdir, "agents.sock")
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(address)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            address = listener.getsockname()
+        listener.listen(self.group_count + 8)
+        # Poll-with-timeout instead of a blocking accept: a close() does
+        # not reliably wake a blocked accept, and the forked workers hold
+        # a copy of the listener fd anyway.
+        listener.settimeout(0.5)
+        self._listener = listener
+        self._address = address
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="pathdump-group-accept", daemon=True)
+        thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self._handshake(sock)
+
+    def _handshake(self, sock: socket.socket) -> None:
+        """Read and validate a connecting worker's hello; route or drop.
+
+        A connection whose first frame is not a well-formed hello naming
+        a shard this pool computed is a stranger (or a corrupt worker)
+        and is dropped - it never becomes a group connection.
+        """
+        reader = wire.StreamFrameReader()
+        frames: List[bytes] = []
+        sock.settimeout(5.0)
+        try:
+            while not frames:
+                data = sock.recv(1 << 16)
+                if not data:
+                    raise wire.WireDecodeError("EOF before hello")
+                frames = reader.feed(data)
+            gid, hello_hosts = wire.decode_group_hello(frames[0])
+            if not 0 <= gid < self.group_count or \
+                    tuple(hello_hosts) != self.groups[gid]:
+                raise wire.WireDecodeError(
+                    f"hello names an unknown shard (group {gid})")
+        except (wire.WireError, OSError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
+        sock.settimeout(None)
+        endpoint = _SocketEndpoint(sock, ready=frames[1:], reader=reader)
+        with self._hello:
+            stale = self._arrivals.pop(gid, None)
+            self._arrivals[gid] = endpoint
+            self._hello.notify_all()
+        if stale is not None:
+            stale.close()
+
+    def _await_hello(self, gid: int) -> _SocketEndpoint:
+        deadline = time.monotonic() + self.connect_timeout_s
+        with self._hello:
+            while gid not in self._arrivals:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AgentServerError(
+                        f"group-{gid} worker did not connect within "
+                        f"{self.connect_timeout_s}s")
+                self._hello.wait(remaining)
+            return self._arrivals.pop(gid)
+
+    def _spawn(self, key: str) -> None:  # holds: _locks[key]
+        """(Re)create ``key``'s worker process and connection (called from
+        ``__init__`` before any concurrency, or under the group lock)."""
+        gid = self._keys.index(key)
+        shard = self.groups[gid]
+        if self.transport == TRANSPORT_PIPE:
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=group_server_main,
+                args=(gid, self.group_count, shard, self.transport,
+                      child_conn),
+                name=f"pathdump-{key}", daemon=True)
+            process.start()
+            child_conn.close()
+            endpoint = _PipeEndpoint(parent_conn)
+        else:
+            process = self._context.Process(
+                target=group_server_main,
+                args=(gid, self.group_count, shard, self.transport,
+                      self._address),
+                name=f"pathdump-{key}", daemon=True)
+            process.start()
+            try:
+                endpoint = self._await_hello(gid)
+            except AgentServerError:
+                process.kill()
+                process.join(5.0)
+                raise
+        self._conns[key] = _GroupConn(self, key, endpoint)
+        self._procs[key] = process
+        self._epochs[key] += 1
+
+    # ------------------------------------------------------------------- API
+    @property
+    def hosts(self) -> List[str]:
+        """Every host this pool serves, in canonical (shard) order."""
+        # Shards are fixed at construction, so the snapshot is stable.
+        return [host for shard in self.groups for host in shard]
+
+    def group_keys(self) -> List[str]:
+        """The group worker keys (``group-0`` ... ``group-N-1``)."""
+        return list(self._keys)
+
+    def group_hosts(self, key: str) -> Tuple[str, ...]:
+        """The hosts group ``key`` owns, in canonical order."""
+        try:
+            return self.groups[self._keys.index(key)]
+        except ValueError:
+            raise AgentServerError(f"no agent server group {key}") from None
+
+    def expand_key(self, name: str) -> List[str]:
+        """Hosts behind ``name``: a group key expands to its shard, a
+        plain host to itself (for failure attribution in sweeps)."""
+        if name in self._group_of:
+            return [name]
+        return list(self.group_hosts(name))
+
+    def _key_for(self, name: str) -> str:
+        """The group key serving ``name`` (a host or a group key)."""
+        key = self._group_of.get(name)
+        if key is not None:
+            return key
+        if name in self._conns:  # lint: disable=R3 -- key set is construction-time constant
+            return name
+        raise AgentServerError(f"no agent server for {name}")
+
+    # ------------------------------------------------------- per-host client
+    def add_records(self, host: str,
+                    records: Sequence[PathFlowRecord]) -> int:
+        """Stream a record batch to ``host``'s group worker; returns the
+        envelope bytes sent.  Fire-and-forget (FIFO delivery plus the
+        worker's in-order serving puts it before any later query)."""
+        if not records:
+            return 0
+        key = self._key_for(host)
+        total = 0
+        chunk = self.INGEST_CHUNK_RECORDS
+        for start in range(0, len(records), chunk):
+            frame = wire.encode_record_batch(records[start:start + chunk])
+            total += self._post(key, [(host, frame)])
+        return total
+
+    def add_observations(self, host: str,
+                         observations: Sequence[TransferObservation]) -> int:
+        """Stream a transfer-observation batch to ``host``'s group worker
+        (fire-and-forget); returns the envelope bytes sent."""
+        if not observations:
+            return 0
+        key = self._key_for(host)
+        total = 0
+        chunk = self.INGEST_CHUNK_RECORDS
+        for start in range(0, len(observations), chunk):
+            frame = wire.encode_observation_batch(
+                observations[start:start + chunk])
+            total += self._post(key, [(host, frame)])
+        return total
+
+    def set_retention(self, host: str, max_records: Optional[int],
+                      max_bytes: Optional[int]) -> int:
+        """Configure ``host``'s hot-tier bounds (fire-and-forget; FIFO
+        ordering puts the cap in force before later ingest)."""
+        frame = wire.encode_retention(max_records, max_bytes)
+        return self._post(self._key_for(host), [(host, frame)])
+
+    def seed_monitor(self, host: str, snapshot: MonitorSnapshot) -> int:
+        """Replace ``host``'s worker monitor state (fire-and-forget)."""
+        frame = wire.encode_monitor_state(snapshot)
+        return self._post(self._key_for(host), [(host, frame)])
+
+    def query(self, host: str, query,
+              spec: Optional[wire.SubtreeSpec] = None) -> QueryResult:
+        """Run ``query`` on ``host`` via its group's multiplexed
+        connection; returns the host's partial result (alarms piggyback
+        on ``result.alarms``, as in process mode)."""
+        key = self._key_for(host)
+        frame = wire.encode_query_request(query, spec)
+        replies, _reply_bytes, _sent = self._request(key, [(host, frame)])
+        reply = self._reply_for(key, replies, host)
+        kind = self._checked_decode(key, reply, wire.frame_type)
+        if kind == wire.MSG_ERROR:
+            detail = self._checked_decode(key, reply, wire.decode_error)
+            raise AgentServerError(f"agent server on {host}: {detail}")
+        return self._checked_decode(key, reply, wire.decode_result, query)
+
+    def monitor_tick(self, host: str, now: float,
+                     threshold: Optional[int] = None
+                     ) -> Tuple[List[Alarm], int]:
+        """Run one monitor check on ``host`` alone (the *naive* per-host
+        path; :meth:`group_monitor_tick` is the coalesced one).  Returns
+        ``(alarms, inner reply frame bytes)``."""
+        key = self._key_for(host)
+        frame = wire.encode_monitor_tick(now, threshold)
+        replies, _reply_bytes, _sent = self._request(key, [(host, frame)])
+        reply = self._reply_for(key, replies, host)
+        kind = self._checked_decode(key, reply, wire.frame_type)
+        if kind == wire.MSG_ERROR:
+            detail = self._checked_decode(key, reply, wire.decode_error)
+            raise AgentServerError(f"agent server on {host}: {detail}")
+        return (self._checked_decode(key, reply, wire.decode_alarm_batch),
+                len(reply))
+
+    def monitor_state(self, host: str) -> MonitorSnapshot:
+        """Pull ``host``'s worker monitor-state snapshot."""
+        key = self._key_for(host)
+        replies, _reply_bytes, _sent = self._request(
+            key, [(host, wire.encode_monitor_pull())])
+        reply = self._reply_for(key, replies, host)
+        kind = self._checked_decode(key, reply, wire.frame_type)
+        if kind == wire.MSG_ERROR:
+            detail = self._checked_decode(key, reply, wire.decode_error)
+            raise AgentServerError(f"agent server on {host}: {detail}")
+        return self._checked_decode(key, reply, wire.decode_monitor_state)
+
+    def ping(self, host: str) -> int:
+        """Probe ``host``'s worker; returns its TIB record count."""
+        return self.ping_state(host)[0]
+
+    def ping_state(self, host: str) -> Tuple[int, int]:
+        """Probe ``host``'s worker: ``(TIB records, monitor flows)``."""
+        key = self._key_for(host)
+        replies, _reply_bytes, _sent = self._request(
+            key, [(host, wire.encode_ping())])
+        reply = self._reply_for(key, replies, host)
+        return self._checked_decode(key, reply, wire.decode_pong_state)
+
+    def tier_stats(self, host: str) -> Dict[str, int]:
+        """Pull ``host``'s two-tier stats off a liveness probe."""
+        key = self._key_for(host)
+        replies, _reply_bytes, _sent = self._request(
+            key, [(host, wire.encode_ping())])
+        reply = self._reply_for(key, replies, host)
+        (total, monitor_flows, hot_records, hot_bytes, cold_records,
+         cold_bytes) = self._checked_decode(key, reply,
+                                            wire.decode_pong_tiers)
+        return {"total_records": total, "monitor_flows": monitor_flows,
+                "hot_records": hot_records, "hot_bytes": hot_bytes,
+                "cold_records": cold_records, "cold_bytes": cold_bytes}
+
+    def reset(self, host: str) -> None:
+        """Clear ``host``'s worker state (TIB, monitor, pending alarms)."""
+        self._post(self._key_for(host), [(host, wire.encode_reset())])
+
+    def stall(self, host: str, seconds: float) -> None:
+        """Make ``host``'s *group worker* sleep before serving its next
+        entry (debug/test) - the whole connection stalls, which is the
+        point: this is the stalled-socket fault."""
+        self._post(self._key_for(host), [(host, wire.encode_sleep(seconds))])
+
+    def kill(self, name: str) -> None:
+        """Hard-kill the group worker serving ``name`` (failure
+        injection); every host of the group dies with it."""
+        key = self._key_for(name)
+        self._procs[key].kill()  # lint: disable=R3 -- failure injection must not queue behind an in-flight exchange
+
+    def alive(self, name: str) -> bool:
+        """Whether the group worker serving ``name`` is running."""
+        key = self._key_for(name)
+        return self._procs[key].is_alive()  # lint: disable=R3 -- liveness probe is racy by contract
+
+    def healthy(self, name: str) -> bool:
+        """Whether ``name``'s group worker is serving: process alive and
+        (when supervised) its restart circuit still closed."""
+        key = self._group_of.get(name, name)
+        if self.supervisor is not None and self.supervisor.circuit_open(key):
+            return False
+        process = self._procs.get(key)  # lint: disable=R3 -- health probe is racy by contract
+        return process is not None and process.is_alive()
+
+    # ---------------------------------------------------------- group client
+    def group_monitor_tick(self, key: str, now: float,
+                           threshold: Optional[int] = None
+                           ) -> Tuple[List[Tuple[str, List[Alarm]]],
+                                      int, int]:
+        """Run one coalesced monitor sweep over every host of ``key``.
+
+        One envelope carries the tick for all M hosts; the single reply
+        envelope carries all M alarm batches.  Returns
+        ``(per-host (host, alarms) in shard order, reply envelope bytes,
+        request envelope bytes)``.
+        """
+        key = self._key_for(key)
+        hosts = self.group_hosts(key)
+        tick = wire.encode_monitor_tick(now, threshold)
+        entries = [(host, tick) for host in hosts]
+        replies, reply_bytes, sent = self._request(key, entries)
+        per_host: List[Tuple[str, List[Alarm]]] = []
+        for (host, _frame), (reply_host, reply) in zip(entries, replies):
+            if reply_host != host:
+                raise self._desynced(key, host, reply_host)
+            kind = self._checked_decode(key, reply, wire.frame_type)
+            if kind == wire.MSG_ERROR:
+                detail = self._checked_decode(key, reply, wire.decode_error)
+                raise AgentServerError(f"agent server on {host}: {detail}")
+            per_host.append((host, self._checked_decode(
+                key, reply, wire.decode_alarm_batch)))
+        return per_host, reply_bytes, sent
+
+    def group_query(self, key: str, query,
+                    hosts: Optional[Sequence[str]] = None
+                    ) -> Tuple[List[Tuple[str, QueryResult]], int, int]:
+        """Run ``query`` on every host of ``key`` (or the given subset)
+        through one coalesced envelope.
+
+        Returns ``(per-host (host, result) in request order, reply
+        envelope bytes, request envelope bytes)``; each result's
+        ``wire_bytes`` is its measured inner reply frame length.  A
+        host-level error reply fails the whole group exchange (the group
+        is the failure domain in coalesced scatters).
+        """
+        key = self._key_for(key)
+        targets = tuple(hosts) if hosts is not None else self.group_hosts(key)
+        frame = wire.encode_query_request(query, None)
+        entries = [(host, frame) for host in targets]
+        replies, reply_bytes, sent = self._request(key, entries)
+        results: List[Tuple[str, QueryResult]] = []
+        for (host, _frame), (reply_host, reply) in zip(entries, replies):
+            if reply_host != host:
+                raise self._desynced(key, host, reply_host)
+            kind = self._checked_decode(key, reply, wire.frame_type)
+            if kind == wire.MSG_ERROR:
+                detail = self._checked_decode(key, reply, wire.decode_error)
+                raise AgentServerError(f"agent server on {host}: {detail}")
+            results.append((host, self._checked_decode(
+                key, reply, wire.decode_result, query)))
+        return results, reply_bytes, sent
+
+    def group_ping_state(self, key: str) -> Dict[str, Tuple[int, int]]:
+        """Coalesced startup/sync barrier: one ping envelope for every
+        host of ``key``; returns ``{host: (records, monitor flows)}``."""
+        key = self._key_for(key)
+        hosts = self.group_hosts(key)
+        entries = [(host, wire.encode_ping()) for host in hosts]
+        replies, _reply_bytes, _sent = self._request(key, entries)
+        states: Dict[str, Tuple[int, int]] = {}
+        for (host, _frame), (reply_host, reply) in zip(entries, replies):
+            if reply_host != host:
+                raise self._desynced(key, host, reply_host)
+            states[host] = self._checked_decode(key, reply,
+                                                wire.decode_pong_state)
+        return states
+
+    # ----------------------------------------------------------- stats hooks
+    def note_restart(self, reseed_ms: float) -> None:
+        """Supervisor hook: one group restart completed."""
+        with self._stats_lock:
+            self.stats.restarts += 1
+            self.stats.reseed_ms += reseed_ms
+
+    def note_circuit_open(self) -> None:
+        """Supervisor hook: one group's restart budget was exhausted."""
+        with self._stats_lock:
+            self.stats.circuit_open += 1
+
+    def note_mirror_detach(self, host: str) -> None:
+        """Cluster hook: an ingest mirror for ``host`` detached."""
+        with self._stats_lock:
+            self.stats.mirror_detaches += 1
+
+    def _count_envelope_received(self, nbytes: int) -> None:
+        with self._stats_lock:
+            self.stats.envelopes_received += 1
+            self.stats.bytes_received += nbytes
+
+    def _count_frames_received(self, count: int) -> None:
+        with self._stats_lock:
+            self.stats.frames_received += count
+
+    def _count_decode_error(self) -> None:
+        with self._stats_lock:
+            self.stats.decode_errors += 1
+
+    def reset_stats(self) -> None:
+        """Zero the pool's frame/byte/envelope counters."""
+        with self._stats_lock:
+            self.stats.reset()
+
+    # -------------------------------------------------------------- lifecycle
+    def shutdown(self, join_timeout_s: float = 2.0) -> None:
+        """Stop every group worker (politely, then by force), close the
+        connections and the listener.  Idempotent; marks the pool closed
+        *first* so a concurrent failure cannot trigger a supervised
+        restart of a worker being torn down."""
+        self._closed = True
+        # _closed (set above) keeps supervision from respawning workers
+        # underneath the teardown, so the unlocked iteration is safe.
+        for key, conn in self._conns.items():  # lint: disable=R3 -- teardown runs after _closed is latched
+            try:
+                conn.send(wire.encode_shutdown())
+            except (OSError, ValueError):
+                pass
+        for key, process in self._procs.items():  # lint: disable=R3 -- teardown runs after _closed is latched
+            process.join(join_timeout_s)
+            if process.is_alive():
+                process.kill()
+                process.join(join_timeout_s)
+        for conn in self._conns.values():  # lint: disable=R3 -- teardown runs after _closed is latched
+            conn.close("pool shut down")
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._sockdir is not None:
+            sock_path = os.path.join(self._sockdir, "agents.sock")
+            for path in (sock_path, self._sockdir):
+                try:
+                    (os.unlink if path == sock_path else os.rmdir)(path)
+                except OSError:
+                    pass
+            self._sockdir = None
+
+    def __enter__(self) -> "GroupAgentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------- internals
+    def _conn_for(self, key: str) -> Tuple[_GroupConn, int]:
+        conn = self._conns.get(key)  # lint: disable=R3 -- value swap is atomic; stale conns fail loudly on use
+        if conn is None:
+            raise AgentServerError(f"no agent server for {key}")
+        return conn, self._epochs[key]
+
+    def _chaos_send(self, key: str, conn: _GroupConn,
+                    envelope: bytes, reseed: bool) -> None:
+        if self.chaos is not None:
+            for extra in self.chaos.before_send(self, key, envelope,
+                                                reseed=reseed):
+                try:
+                    conn.send(extra)
+                except (OSError, ValueError):
+                    pass  # injected fault frames are best-effort
+
+    def _post(self, key: str, entries: Sequence[Tuple[str, bytes]],
+              supervise: bool = True, reseed: bool = False) -> int:
+        """Send one fire-and-forget envelope (correlation id 0)."""
+        conn, epoch = self._conn_for(key)
+        envelope = wire.encode_group_batch(0, list(entries))
+        self._chaos_send(key, conn, envelope, reseed)
+        try:
+            conn.send(envelope)
+        except (OSError, ValueError) as error:
+            raise self._worker_failed(
+                key, epoch,
+                f"agent server group {key} unreachable: "
+                f"{type(error).__name__}: {error}",
+                supervise=supervise) from error
+        with self._stats_lock:
+            self.stats.envelopes_sent += 1
+            self.stats.frames_sent += len(entries)
+            self.stats.bytes_sent += len(envelope)
+        return len(envelope)
+
+    def _request(self, key: str, entries: Sequence[Tuple[str, bytes]],
+                 timeout_s=_UNSET, supervise: bool = True,
+                 reseed: bool = False
+                 ) -> Tuple[List[Tuple[str, bytes]], int, int]:
+        """One correlated envelope exchange; returns
+        ``(replies, reply envelope bytes, request envelope bytes)``."""
+        conn, epoch = self._conn_for(key)
+        timeout = self.reply_timeout_s if timeout_s is _UNSET else timeout_s
+        try:
+            waiter = conn.register()
+        except AgentServerError as error:
+            # The connection already died (EOF noticed by the reader with
+            # no exchange in flight); surface it like a fresh failure so
+            # supervision still kicks in.
+            raise self._worker_failed(key, epoch, str(error),
+                                      supervise=supervise) from error
+        envelope = wire.encode_group_batch(waiter.cid, list(entries))
+        self._chaos_send(key, conn, envelope, reseed)
+        try:
+            conn.send(envelope)
+        except (OSError, ValueError) as error:
+            conn.discard(waiter.cid)
+            raise self._worker_failed(
+                key, epoch,
+                f"agent server group {key} unreachable: "
+                f"{type(error).__name__}: {error}",
+                supervise=supervise) from error
+        with self._stats_lock:
+            self.stats.envelopes_sent += 1
+            self.stats.frames_sent += len(entries)
+            self.stats.bytes_sent += len(envelope)
+        if not waiter.event.wait(timeout):
+            # The reply would still arrive eventually and desynchronise
+            # nothing (it carries its cid) - but a wedged worker holds M
+            # hosts hostage; declare the whole group dead like a timed-out
+            # pipe worker.
+            conn.discard(waiter.cid)
+            self._kill_group_process(key)
+            conn.close(f"group worker {key} timed out")
+            raise self._worker_failed(
+                key, epoch,
+                f"agent server group {key} did not reply within "
+                f"{timeout}s; worker killed", supervise=supervise)
+        if waiter.error is not None:
+            self._kill_group_process(key)
+            raise self._worker_failed(key, epoch, waiter.error,
+                                      supervise=supervise)
+        assert waiter.replies is not None
+        if len(waiter.replies) != len(entries):
+            self._kill_group_process(key)
+            conn.close(f"group worker {key} reply cardinality mismatch")
+            raise self._worker_failed(
+                key, epoch,
+                f"agent server group {key} answered {len(waiter.replies)} "
+                f"of {len(entries)} entries; worker killed",
+                supervise=supervise)
+        return waiter.replies, waiter.reply_bytes, len(envelope)
+
+    def _reply_for(self, key: str, replies: List[Tuple[str, bytes]],
+                   host: str) -> bytes:
+        reply_host, reply = replies[0]
+        if reply_host != host:
+            raise self._desynced(key, host, reply_host)
+        return reply
+
+    def _desynced(self, key: str, host: str,
+                  reply_host: str) -> AgentServerError:
+        self._kill_group_process(key)
+        return self._worker_failed(
+            key, self._epochs[key],
+            f"agent server group {key} answered for {reply_host} where "
+            f"{host} was asked; worker killed")
+
+    def _kill_group_process(self, key: str) -> None:
+        process = self._procs.get(key)  # lint: disable=R3 -- kill-on-desync must not queue behind supervision
+        if process is not None and process.is_alive():
+            process.kill()
+
+    def _worker_failed(self, key: str, epoch: int, detail: str,
+                       supervise: bool = True) -> AgentServerError:
+        """Handle a failed group exchange: hand the *group* to the
+        supervisor (if any) and return the error for the caller to raise.
+
+        Concurrent exchanges multiplex on one connection, so one dead
+        worker fails many threads at once; the epoch compare under the
+        group lock makes the first of them drive the restart and the
+        rest just report their lost exchange (the restarted worker would
+        otherwise be killed and re-seeded once per failed request).
+        """
+        if supervise and self.supervisor is not None and not self._closed:
+            with self._locks[key]:
+                if self._epochs[key] == epoch:
+                    self.supervisor.handle_failure(self, key, detail)
+        return AgentServerError(detail)
+
+    def _checked_decode(self, key: str, reply: bytes, decoder, *args):
+        """Decode an inner reply frame, treating corruption as group
+        failure (the multiplexed stream is desynchronised; nothing later
+        on it can be trusted)."""
+        try:
+            return decoder(reply, *args)
+        except wire.WireError as error:
+            self._count_decode_error()
+            self._kill_group_process(key)
+            conn = self._conns.get(key)  # lint: disable=R3 -- teardown of a worker already being killed
+            if conn is not None:
+                conn.close(f"group worker {key} sent an undecodable reply")
+            raise self._worker_failed(
+                key, self._epochs[key],
+                f"agent server group {key} sent an undecodable reply; "
+                f"worker killed: {error}") from error
+
+    # ------------------------------------------------------ supervisor hooks
+    def _respawn(self, key: str) -> None:  # holds: _locks[key]
+        """Supervisor hook: replace ``key``'s worker with a fresh process
+        over a fresh connection (restart-over-reconnect)."""
+        self._discard(key)
+        self._spawn(key)
+        with self._stats_lock:
+            self.stats.reconnects += 1
+
+    def _discard(self, key: str) -> None:  # holds: _locks[key]
+        """Kill ``key``'s worker and close its connection (no
+        replacement); also the cleanup for a failed restart attempt."""
+        conn = self._conns.get(key)
+        if conn is not None:
+            conn.close(f"group worker {key} discarded")
+        process = self._procs.get(key)
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join(5.0)
+
+    def _reseed(self, key: str, seed, timeout_s: float = 30.0) -> None:
+        """Supervisor hook: replay ``seed`` (a
+        :class:`~repro.core.supervisor.GroupSeed`, or anything without a
+        ``seeds`` dict to restart the group empty) into ``key``'s fresh
+        worker over the new connection, then barrier on a coalesced ping.
+
+        Per-host replay order matches the pipe pool exactly - retention
+        cap, record batches, monitor state, ping - but coalesced:
+        retention caps for the whole group ride one envelope, record
+        chunks batch across hosts up to the ingest chunk size, and one
+        ping envelope barriers every host at once.  A short count on any
+        host is a barrier miss failing the whole attempt.
+        """
+        key = self._key_for(key)
+        if self.chaos is not None:
+            self.chaos.begin_reseed(key)
+        hosts = self.group_hosts(key)
+        seeds: Dict[str, WorkerSeed] = dict(getattr(seed, "seeds", None)
+                                            or {})
+        retention = [(host, wire.encode_retention(*seeds[host].retention))
+                     for host in hosts
+                     if host in seeds and seeds[host].retention is not None]
+        if retention:
+            self._post(key, retention, supervise=False, reseed=True)
+        pending: List[Tuple[str, bytes]] = []
+        pending_records = 0
+        chunk = self.INGEST_CHUNK_RECORDS
+        for host in hosts:
+            worker_seed = seeds.get(host)
+            if worker_seed is None:
+                continue
+            records = worker_seed.records or ()
+            for start in range(0, len(records), chunk):
+                batch = records[start:start + chunk]
+                pending.append((host, wire.encode_record_batch(batch)))
+                pending_records += len(batch)
+                if pending_records >= chunk:
+                    self._post(key, pending, supervise=False, reseed=True)
+                    pending, pending_records = [], 0
+            if worker_seed.monitor is not None:
+                pending.append(
+                    (host, wire.encode_monitor_state(worker_seed.monitor)))
+        if pending:
+            self._post(key, pending, supervise=False, reseed=True)
+        entries = [(host, wire.encode_ping()) for host in hosts]
+        replies, _reply_bytes, _sent = self._request(
+            key, entries, timeout_s=timeout_s, supervise=False, reseed=True)
+        for (host, _frame), (reply_host, reply) in zip(entries, replies):
+            if reply_host != host:
+                raise AgentServerError(
+                    f"group {key} re-seed barrier desync: {reply_host} "
+                    f"answered for {host}")
+            try:
+                applied, monitor_flows = wire.decode_pong_state(reply)
+            except wire.WireError as error:
+                raise AgentServerError(
+                    f"group {key} re-seed barrier pong for {host} "
+                    f"undecodable: {error}") from error
+            worker_seed = seeds.get(host) or WorkerSeed()
+            expected_records = len(worker_seed.records or ())
+            expected_flows = (len(worker_seed.monitor.flows)
+                              if worker_seed.monitor is not None else 0)
+            if applied < expected_records or monitor_flows < expected_flows:
+                raise AgentServerError(
+                    f"group {key} re-seed barrier miss on {host}: holds "
+                    f"{applied}/{expected_records} records and "
+                    f"{monitor_flows}/{expected_flows} monitor flows")
+
+
+class SocketTransport(ModelTransport):
+    """The model transport bound to a group agent pool.
+
+    The socket-mode twin of
+    :class:`~repro.core.agentserver.ProcessTransport`: the executor's
+    request/response legs are priced by the same
+    :class:`~repro.core.rpc.RpcChannel` model (so modelled response times
+    stay comparable across modes), the *sizes* are the real encoded
+    envelope lengths the cluster measured, and the per-leaf work is the
+    real multiplexed socket exchange - its cost shows up in the measured
+    ``exec_s``/``wall_s``, not the model.
+    """
+
+    def __init__(self, pool: GroupAgentPool,
+                 channel: Optional[RpcChannel] = None) -> None:
+        super().__init__(channel)
+        self.pool = pool
+
+    def reset_stats(self) -> None:
+        """Zero the channel counters and the pool's envelope counters."""
+        self.channel.reset()
+        self.pool.reset_stats()

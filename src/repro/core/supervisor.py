@@ -124,6 +124,35 @@ class WorkerSeed:
     monitor: Optional[MonitorSnapshot] = None
 
 
+@dataclass
+class GroupSeed:
+    """Seeds for every host of a group worker, keyed by host.
+
+    The group pool's ``seed_source`` returns one of these; the supervisor
+    treats seeds as opaque (the pool's ``_reseed`` knows how to replay
+    them) and only counts records/flows for the restart event.
+    """
+
+    seeds: Dict[str, WorkerSeed] = field(default_factory=dict)
+
+
+def _seed_record_count(seed) -> int:
+    """Records in a :class:`WorkerSeed` or :class:`GroupSeed`."""
+    seeds = getattr(seed, "seeds", None)
+    if seeds is not None:
+        return sum(len(ws.records or ()) for ws in seeds.values())
+    return len(seed.records or ())
+
+
+def _seed_flow_count(seed) -> int:
+    """Monitor flows in a :class:`WorkerSeed` or :class:`GroupSeed`."""
+    seeds = getattr(seed, "seeds", None)
+    if seeds is not None:
+        return sum(len(ws.monitor.flows) for ws in seeds.values()
+                   if ws.monitor is not None)
+    return len(seed.monitor.flows) if seed.monitor is not None else 0
+
+
 @dataclass(frozen=True)
 class RestartEvent:
     """One supervision decision, kept on :attr:`Supervisor.events`.
@@ -269,9 +298,8 @@ class Supervisor:
             self._record(pool, host, RestartEvent(
                 host=host, kind=EVENT_RESTARTED, reason=reason,
                 attempt=attempt, reseed_ms=reseed_ms,
-                records=len(seed.records or ()),
-                monitor_flows=(len(seed.monitor.flows)
-                               if seed.monitor is not None else 0)))
+                records=_seed_record_count(seed),
+                monitor_flows=_seed_flow_count(seed)))
             return True
 
     def _record(self, pool, host: str, event: RestartEvent) -> None:
@@ -328,6 +356,16 @@ class ChaosPolicy:
       with ``corrupt_mode`` (:data:`CORRUPT_TRUNCATE`,
       :data:`CORRUPT_GARBAGE` or :data:`CORRUPT_BITFLIP`), exercising the
       ``WireDecodeError`` -> worker-failure path; fires once per entry.
+    * ``close_torn_at_frame={host: n}`` - connection-level fault for the
+      stream transports: right before the ``n``-th outbound frame the
+      worker is told (via ``MSG_CLOSE_TORN``) to write a *partial* stream
+      frame - a length prefix promising more bytes than it sends - and
+      close the connection, so the controller's
+      :class:`~repro.core.wire.StreamFrameReader` sees a mid-frame
+      truncation (``WireDecodeError``) rather than a clean EOF.  On group
+      pools the key is the group key (``group-N``); the stalled-socket
+      twin is ``hang_at_frame`` + a pool reply timeout.  Fires once per
+      entry.
 
     Frame counters are per host and only protocol frames count (injected
     fault frames do not), so scripts are deterministic.  ``injected``
@@ -342,10 +380,12 @@ class ChaosPolicy:
                  corrupt_reply_at: Optional[Dict[str, int]] = None,
                  corrupt_mode: str = CORRUPT_TRUNCATE,
                  kill_at_reseed_frame: Optional[Dict[str, int]] = None,
+                 close_torn_at_frame: Optional[Dict[str, int]] = None,
                  seed: int = 0) -> None:
         self.rng = random.Random(seed)
         self._kill_at = dict(kill_at_frame or {})  # guarded-by: _lock
         self._hang_at = dict(hang_at_frame or {})  # guarded-by: _lock
+        self._close_torn_at = dict(close_torn_at_frame or {})  # guarded-by: _lock
         self.hang_s = hang_s
         self.slow_reply_s = slow_reply_s
         self.slow_hosts = (None if slow_hosts is None else set(slow_hosts))
@@ -407,6 +447,11 @@ class ChaosPolicy:
                     extras.append(wire.encode_sleep(self.hang_s))
                     self.injected.append(
                         (host, f"hang {self.hang_s}s at frame {count}"))
+                if self._close_torn_at.get(host) == count:
+                    del self._close_torn_at[host]
+                    extras.append(wire.encode_close_torn())
+                    self.injected.append(
+                        (host, f"torn close at frame {count}"))
                 if self.slow_reply_s > 0.0 and \
                         (self.slow_hosts is None or host in self.slow_hosts):
                     extras.append(wire.encode_sleep(self.slow_reply_s))

@@ -67,8 +67,12 @@ from repro.storage.records import PathFlowRecord, parse_flow_key
 #: ``stime/etime/link-bloom`` header at known offsets + a body-length
 #: prefix) so cold-tier predicates evaluate on encoded bytes and full
 #: records decode lazily.
+#: Version 5: the group transport exists - hello frames, correlated
+#: ``MSG_GROUP_BATCH`` envelopes that coalesce per-host frames for a whole
+#: worker group, the torn-close debug command, and the length-delimited
+#: stream framing socket mode speaks.
 MAGIC = b"PD"
-WIRE_VERSION = 4
+WIRE_VERSION = 5
 
 _HEADER = struct.Struct("<2sBB")
 #: Bytes of the fixed frame header.
@@ -91,6 +95,9 @@ MSG_ALARM_BATCH = 13
 MSG_MONITOR_STATE = 14
 MSG_MONITOR_PULL = 15
 MSG_RETENTION = 16
+MSG_GROUP_HELLO = 17
+MSG_GROUP_BATCH = 18
+MSG_CLOSE_TORN = 19
 
 #: Tagged-value type codes.
 _V_NONE = 0
@@ -1070,3 +1077,174 @@ def decode_monitor_state(data: bytes) -> MonitorSnapshot:
 def encode_monitor_pull() -> bytes:
     """Encode a monitor-state pull request (reply: a state snapshot)."""
     return _frame(MSG_MONITOR_PULL)
+
+
+# ----------------------------------------------------------- group transport
+def encode_group_hello(group_id: int, hosts: Sequence[str]) -> bytes:
+    """Encode the worker -> controller greeting of the group transport.
+
+    A group worker owns a deterministic shard of hosts
+    (``WORKER_GROUP_ID`` of ``WORKER_GROUP_COUNT``); the first frame it
+    writes after connecting names that shard so the controller's accept
+    loop can route the connection - and reject one whose claimed hosts
+    disagree with the shard the controller computed.
+    """
+    body = bytearray()
+    _w_uvarint(body, group_id)
+    _w_uvarint(body, len(hosts))
+    for host in hosts:
+        _w_str(body, host)
+    return _frame(MSG_GROUP_HELLO, bytes(body))
+
+
+@_guarded
+def decode_group_hello(data: bytes) -> Tuple[int, Tuple[str, ...]]:
+    """Inverse of :func:`encode_group_hello`: ``(group_id, hosts)``."""
+    reader = _expect(data, MSG_GROUP_HELLO)
+    group_id = reader.uvarint()
+    hosts = tuple(reader.str_() for _ in range(reader.uvarint()))
+    return group_id, hosts
+
+
+def encode_group_batch(correlation_id: int,
+                       entries: Sequence[Tuple[str, bytes]]) -> bytes:
+    """Encode a coalesced per-group envelope.
+
+    ``entries`` is ``(host, inner frame)`` per host - monitor ticks, ingest
+    batches, or query requests for every host a worker group owns packed
+    into *one* message, amortizing the per-frame transport cost the
+    event-plane bench exposed.  ``correlation_id`` tags the envelope so one
+    multiplexed connection can interleave request/reply pairs: the reply is
+    a ``MSG_GROUP_BATCH`` echoing the same id with one reply frame per
+    entry, in entry order.  Id ``0`` marks a fire-and-forget envelope
+    (ingest streams) that produces no reply.
+    """
+    body = bytearray()
+    _w_uvarint(body, correlation_id)
+    _w_uvarint(body, len(entries))
+    for host, inner in entries:
+        _w_str(body, host)
+        _w_uvarint(body, len(inner))
+        body += inner
+    return _frame(MSG_GROUP_BATCH, bytes(body))
+
+
+@_guarded
+def decode_group_batch(data: bytes
+                       ) -> Tuple[int, List[Tuple[str, bytes]]]:
+    """Inverse of :func:`encode_group_batch`:
+    ``(correlation_id, [(host, inner frame), ...])``."""
+    reader = _expect(data, MSG_GROUP_BATCH)
+    correlation_id = reader.uvarint()
+    entries = []
+    for _ in range(reader.uvarint()):
+        host = reader.str_()
+        inner = reader.bytes_()
+        if len(inner) < HEADER_BYTES:
+            raise WireError("group-batch entry shorter than a frame header")
+        entries.append((host, inner))
+    return correlation_id, entries
+
+
+def encode_close_torn() -> bytes:
+    """Encode the torn-close debug command (chaos harness).
+
+    A group worker receiving this writes a *deliberately torn* stream
+    frame - a length prefix promising more bytes than it sends - and then
+    closes its connection, reproducing a worker dying mid-frame.  The
+    controller's stream reader must surface that as
+    :class:`WireDecodeError`-driven worker failure, never a hang or a
+    desynchronised read.
+    """
+    return _frame(MSG_CLOSE_TORN)
+
+
+# ------------------------------------------------------------ stream framing
+# Socket mode carries frames over a byte stream, so unlike the pipe
+# transport (where ``recv_bytes`` preserves message boundaries) each frame
+# travels length-delimited: a 4-byte little-endian length prefix, then the
+# frame bytes.  The reader below reassembles frames from arbitrarily split
+# reads and converts every malformed stream - oversized lengths, EOF inside
+# a prefix or a frame, garbage where a header should be - into
+# :class:`WireDecodeError`, the same worker-failure signal the pipe
+# transport raises for corrupt replies.
+
+_STREAM_PREFIX = struct.Struct("<I")
+#: Bytes of the stream length prefix.
+STREAM_PREFIX_BYTES = _STREAM_PREFIX.size
+#: Upper bound on one stream frame; a length prefix beyond it means the
+#: stream is corrupt (or adversarial) and the connection is torn down
+#: rather than buffered against.
+MAX_FRAME_BYTES = 64 << 20
+
+
+def stream_frame(frame: bytes) -> bytes:
+    """Length-delimit one frame for a stream transport."""
+    if len(frame) < HEADER_BYTES:
+        raise WireError("stream frame shorter than a frame header")
+    if len(frame) > MAX_FRAME_BYTES:
+        raise WireError(f"stream frame of {len(frame)} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte cap")
+    return _STREAM_PREFIX.pack(len(frame)) + frame
+
+
+class StreamFrameReader:
+    """Incremental reassembler of length-delimited frames.
+
+    Feed it whatever ``recv`` returned; it yields every frame completed so
+    far and buffers the rest.  All validation failures poison the reader:
+    once a stream has produced garbage there is no resynchronisation
+    point, so every later ``feed``/``eof`` raises too.
+    """
+
+    __slots__ = ("_buf", "_failed")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._failed = False
+
+    def _fail(self, detail: str) -> WireDecodeError:
+        self._failed = True
+        return WireDecodeError(detail)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Buffer ``data``; return the frames it completed (possibly [])."""
+        if self._failed:
+            raise WireDecodeError("stream reader already failed")
+        self._buf += data
+        frames: List[bytes] = []
+        while True:
+            if len(self._buf) < STREAM_PREFIX_BYTES:
+                return frames
+            length = _STREAM_PREFIX.unpack_from(self._buf, 0)[0]
+            if length > MAX_FRAME_BYTES:
+                raise self._fail(
+                    f"stream frame length {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte cap")
+            if length < HEADER_BYTES:
+                raise self._fail(
+                    f"stream frame length {length} shorter than a header")
+            if len(self._buf) < STREAM_PREFIX_BYTES + length:
+                return frames
+            frame = bytes(
+                self._buf[STREAM_PREFIX_BYTES:STREAM_PREFIX_BYTES + length])
+            del self._buf[:STREAM_PREFIX_BYTES + length]
+            try:
+                open_frame(frame)
+            except WireError as error:
+                raise self._fail(f"corrupt frame in stream: {error}")
+            frames.append(frame)
+
+    def eof(self) -> None:
+        """Declare end-of-stream; raises if it cut a frame short."""
+        if self._failed:
+            raise WireDecodeError("stream reader already failed")
+        if self._buf:
+            raise self._fail(
+                f"stream truncated mid-frame ({len(self._buf)} dangling "
+                f"bytes)")
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame (diagnostics)."""
+        return len(self._buf)
