@@ -240,8 +240,9 @@ def load_rules() -> Dict[str, Type[Rule]]:
     the registry.  Idempotent."""
     # Imported here, not at module top: the rules modules import this one.
     from repro.analysis.lint import (rules_deprecation, rules_locks,  # noqa: F401
-                                     rules_purity, rules_scanspec,
-                                     rules_stats, rules_wire)
+                                     rules_plan, rules_purity,
+                                     rules_scanspec, rules_stats,
+                                     rules_wire)
     return RULE_REGISTRY
 
 

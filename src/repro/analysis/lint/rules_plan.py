@@ -1,0 +1,130 @@
+"""R9 - plan-op-completeness: every plan op has all four execution legs.
+
+The declarative plan IR (:mod:`repro.core.plan`) is only as generic as its
+registries are complete: an ``OP_*`` op that misses a wire codec leg can't
+leave the controller, one missing its executor leg dies on every host, one
+missing a merge operator breaks the aggregation tree - each a silent gap
+until the first plan uses the op.  Same gate style as R1 (wire frames) and
+R7 (ScanSpec tier parity): declared constants are cross-checked against
+every consumer-side registry, in both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.analysis.lint.framework import (Finding, Project, Rule,
+                                           SourceFile, register)
+
+#: The plan.py registry dicts whose keys must cover every op: the
+#: host-side executor dispatch and the terminal-op merge selection.
+_EXEC_REGISTRY = "_EXEC_BY_OP"
+_MERGE_REGISTRY = "_MERGE_BY_TERMINAL"
+
+
+def _op_names(node: ast.AST) -> Set[str]:
+    """Every ``OP_*`` name referenced anywhere under ``node``."""
+    out: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id.startswith("OP_"):
+            out.add(child.id)
+        elif isinstance(child, ast.Attribute) and \
+                child.attr.startswith("OP_"):
+            out.add(child.attr)
+    return out
+
+
+def _module_functions(tree: ast.Module,
+                      prefixes: Iterable[str]) -> Iterator[ast.FunctionDef]:
+    """Module-level functions whose name starts with one of ``prefixes``."""
+    wanted = tuple(prefixes)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and \
+                node.name.startswith(wanted):
+            yield node
+
+
+def _registry_keys(tree: ast.Module, registry: str) -> Optional[Set[str]]:
+    """The ``OP_*`` keys of a module-level ``registry = {...}`` dict
+    literal, or ``None`` when no such assignment exists."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                node.targets[0].id == registry and \
+                isinstance(node.value, ast.Dict):
+            keys: Set[str] = set()
+            for key in node.value.keys:
+                if isinstance(key, ast.Name) and key.id.startswith("OP_"):
+                    keys.add(key.id)
+            return keys
+    return None
+
+
+@register
+class PlanOpCompleteness(Rule):
+    id = "R9"
+    name = "plan-op-completeness"
+    doc = ("Every OP_* plan op declared in plan.py needs an encoder leg "
+           "and a decoder leg in wire.py (an encode_*/_w_* and a "
+           "decode_*/_r_* function referencing it), a host-side executor "
+           "leg (a key in plan.py's _EXEC_BY_OP), and a merge operator "
+           "(a key in _MERGE_BY_TERMINAL); registry keys that are not "
+           "declared ops are flagged in reverse.")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        plan = project.file_named("plan.py", prefer_segment="core")
+        if plan is None or plan.tree is None:
+            return
+        constants: Dict[str, int] = {}
+        for node in plan.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name) and \
+                    node.targets[0].id.startswith("OP_"):
+                constants[node.targets[0].id] = node.lineno
+        if not constants:
+            return
+        wire = project.file_named("wire.py", prefer_segment="core")
+        encoder_ops: Set[str] = set()
+        decoder_ops: Set[str] = set()
+        if wire is not None and wire.tree is not None:
+            for func in _module_functions(wire.tree, ("encode_", "_w_")):
+                encoder_ops |= _op_names(func)
+            for func in _module_functions(wire.tree, ("decode_", "_r_")):
+                decoder_ops |= _op_names(func)
+        exec_keys = _registry_keys(plan.tree, _EXEC_REGISTRY)
+        merge_keys = _registry_keys(plan.tree, _MERGE_REGISTRY)
+        for const, line in sorted(constants.items()):
+            if const not in encoder_ops:
+                yield self.finding(
+                    plan, line,
+                    f"{const} has no encoder leg in wire.py (no "
+                    f"encode_*/_w_* function references it)")
+            if const not in decoder_ops:
+                yield self.finding(
+                    plan, line,
+                    f"{const} has no decoder leg in wire.py (no "
+                    f"decode_*/_r_* function references it)")
+            if exec_keys is not None and const not in exec_keys:
+                yield self.finding(
+                    plan, line,
+                    f"{const} has no host-side executor leg (missing from "
+                    f"{_EXEC_REGISTRY})")
+            if merge_keys is not None and const not in merge_keys:
+                yield self.finding(
+                    plan, line,
+                    f"{const} has no merge operator (missing from "
+                    f"{_MERGE_REGISTRY})")
+        for registry, keys in ((_EXEC_REGISTRY, exec_keys),
+                               (_MERGE_REGISTRY, merge_keys)):
+            if keys is None:
+                yield self.finding(
+                    plan, 1,
+                    f"plan.py declares OP_* ops but has no module-level "
+                    f"{registry} dict literal")
+                continue
+            for key in sorted(keys - set(constants)):
+                yield self.finding(
+                    plan, 1,
+                    f"{registry} registers unknown plan op {key} (not a "
+                    f"declared OP_* constant)")

@@ -128,6 +128,9 @@ class DistributedQueryResult:
         duplicate_traffic_bytes: bytes moved by non-winning duplicate
             attempts (hedge twins that lost the race, retries whose work
             failed) - overhead, deliberately kept out of ``traffic_bytes``.
+        scan_stats: cluster-wide pushdown counters of a plan query (per-host
+            hot-index routing + cold pruning work, summed key-wise across
+            every partial); empty for legacy named queries.
     """
 
     query: Query
@@ -143,6 +146,7 @@ class DistributedQueryResult:
     wall_clock_s: float = 0.0
     mode: str = MODE_SERIAL
     duplicate_traffic_bytes: int = 0
+    scan_stats: Dict[str, int] = field(default_factory=dict)
 
 
 class MonitorSweep(list):
@@ -1215,7 +1219,8 @@ class QueryCluster:
             warnings=tuple(gather.warnings) + self._drain_warnings(),
             wall_clock_s=gather.wall_s,
             mode=self.mode,
-            duplicate_traffic_bytes=gather.duplicate_traffic_bytes)
+            duplicate_traffic_bytes=gather.duplicate_traffic_bytes,
+            scan_stats=dict(merged.scan_stats))
 
     # ------------------------------------------------------------ accounting
     def total_tib_records(self) -> int:

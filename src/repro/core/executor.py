@@ -31,6 +31,11 @@ running.  Merges advance in a canonical slot order (children in tree
 order, then the node's local result), so as long as the merge function is
 associative the merged payload is **identical** across serial and
 concurrent modes - the property the figure benchmarks rely on.
+Declarative plan queries (:mod:`repro.core.plan`) reuse these slot-ordered
+accumulators unchanged: their generic merge operators (concat /
+histogram-merge / top-k-merge, selected by the plan's terminal op) are
+associative by construction, so one executor serves hand-written and
+plan-compiled queries alike.
 
 Partial-failure semantics: a host that cannot be reached, exhausts its
 retry budget, times out, or whose local work raises is recorded as a

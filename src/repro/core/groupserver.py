@@ -22,6 +22,9 @@ per-frame overhead anyway.  This module is the scale-out plane:
   single ``MSG_GROUP_BATCH`` envelope (``group_monitor_tick``,
   ``group_query``, ...), amortizing the per-message cost: the envelope
   costs one transport message where naive per-host send pays it M times.
+  The inner frames are opaque here, so generic ``MSG_PLAN_REQUEST``/
+  ``MSG_PLAN_RESULT`` plan frames coalesce exactly like legacy query
+  frames - no group-transport change per new question, ever.
 * **Same failure semantics.** A dead/hung/undecodable group connection
   surfaces as :class:`~repro.core.agentserver.AgentServerError` exactly
   like a dead pipe worker; with a

@@ -1,0 +1,855 @@
+"""Declarative query plans: one frozen IR from the wire to both tiers.
+
+Every built-in question used to cost a hand-written ``QueryEngine``
+handler plus bespoke wire plumbing (a ``Q_*`` constant, a per-query merge
+function, sometimes a new frame).  This module replaces that treadmill
+with a small declarative plan IR::
+
+    Filter(time / link / flow-key / path predicates)
+        -> Project(fields)
+        -> Aggregate(sum / count / histogram, by key)
+        -> TopK(k, key, order)
+
+A :class:`Plan` is an ordered tuple of frozen op dataclasses.  The module
+provides, in one place:
+
+* a **validator** (:func:`validate`) raising :class:`PlanError` with
+  structured :class:`PlanIssue` entries, plus structured per-plan
+  :class:`PlanWarning` analysis (full scans, residual predicates,
+  wildcard-link routing);
+* a **reference brute-force evaluator** (:func:`reference_evaluate`) -
+  the semantics oracle the property fuzz compares every execution tier
+  mix against;
+* the **pushdown executor** (:func:`execute_plan`): ``Filter`` compiles
+  to a :class:`~repro.storage.records.ScanSpec` (:func:`scan_spec`), so
+  the hot tier's flow/link/time index routing and the cold tier's
+  zone-map/bloom pruning both apply, and the pruning work saved is
+  reported per plan via ``scan_stats`` snapshots;
+* the **merge operators** (concat / histogram-merge / top-k-merge)
+  selected by the plan's *terminal* op (:func:`merge_operator`,
+  :func:`merge_payloads`) - the generic reductions the slot-ordered
+  streaming accumulators run;
+* **built-in compilations** (:func:`compile_get_count`,
+  :func:`compile_top_k_flows`): the proofs that the IR is expressive
+  enough, payload-byte-identical to their hand-written ancestors.
+
+Registries (``_EXEC_BY_OP``, ``_MERGE_BY_TERMINAL``) are lint-gated:
+repro-lint rule R9 (``plan-op-completeness``) fails the build when an
+``OP_*`` op is declared without its wire codec leg, executor leg and
+merge operator.
+
+Import discipline: this module sits *below* :mod:`repro.core.wire`
+(which encodes plans into ``MSG_PLAN_REQUEST`` / ``MSG_PLAN_RESULT``
+frames) and therefore imports only the record/ScanSpec layer - never
+``wire``, ``query`` or ``tib``.  The executor takes the TIB duck-typed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from operator import attrgetter
+from typing import (Any, Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
+
+from repro.network.packet import FlowId
+from repro.storage.records import (RECORD_FIELDS, PathFlowRecord, ScanSpec,
+                                   flow_key, is_wild, record_field)
+
+#: The query name plan queries travel under (``Query(name=PLAN_QUERY_NAME,
+#: params={"plan": <Plan>})``); re-exported as ``Q_PLAN`` by
+#: :mod:`repro.core.query`.  Defined here so the wire codec can route plan
+#: queries without importing the query layer.
+PLAN_QUERY_NAME = "plan"
+
+#: Plan op codes - also the op tags of the wire encoding, and the keys of
+#: the executor / merge registries (lint rule R9 cross-checks all three).
+OP_FILTER = 1
+OP_PROJECT = 2
+OP_AGGREGATE = 3
+OP_TOPK = 4
+
+#: Aggregate functions.
+AGG_SUM = "sum"
+AGG_COUNT = "count"
+AGG_HISTOGRAM = "histogram"
+AGG_FUNCS = (AGG_SUM, AGG_COUNT, AGG_HISTOGRAM)
+
+#: Record fields a sum/histogram may aggregate over.
+NUMERIC_FIELDS = ("stime", "etime", "bytes", "pkts")
+
+#: TopK rank dimension: rank by the aggregated value (pairs are
+#: ``(value, group)``, the legacy top-k shape) or by the group key
+#: (pairs are ``(group, value)``).
+RANK_VALUE = "value"
+RANK_GROUP = "group"
+
+#: TopK order.
+ORDER_DESC = "desc"
+ORDER_ASC = "asc"
+
+#: Generic merge operators, selected by the plan's terminal op.
+MERGE_CONCAT = "concat"
+MERGE_HISTOGRAM = "histogram-merge"
+MERGE_TOP_K = "top-k-merge"
+
+#: Structured issue / warning codes.
+PE_EMPTY = "empty-plan"
+PE_ORDER = "op-order"
+PE_DUPLICATE = "duplicate-op"
+PE_WINDOW = "bad-window"
+PE_LINK = "bad-link"
+PE_FLOW_KEY = "bad-flow-key"
+PE_FIELD = "unknown-field"
+PE_FUNC = "bad-aggregate"
+PE_PROJECTION = "field-not-projected"
+PE_TOPK = "bad-topk"
+PW_FULL_SCAN = "full-scan"
+PW_RESIDUAL_PATH = "residual-path"
+PW_WILDCARD_LINK = "wildcard-link"
+
+#: Pre-codec payload size estimates (cross-checks, mirroring the query
+#: layer's historical estimators; reported sizes are measured frames).
+_SCALAR_ESTIMATE = 16
+_KV_ESTIMATE = 24
+
+
+@dataclass(frozen=True)
+class PlanIssue:
+    """One structured validation failure."""
+
+    code: str
+    op_index: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class PlanWarning:
+    """One structured per-plan warning (the plan is valid but a predicate
+    could not be pushed down, or the plan scans everything)."""
+
+    code: str
+    op_index: int
+    detail: str
+
+
+class PlanError(ValueError):
+    """A plan failed validation; ``issues`` carries the structured list."""
+
+    def __init__(self, issues: Sequence[PlanIssue]) -> None:
+        self.issues: Tuple[PlanIssue, ...] = tuple(issues)
+        super().__init__("; ".join(
+            f"[{issue.code}@op{issue.op_index}] {issue.detail}"
+            for issue in self.issues) or "invalid plan")
+
+
+def _window_bound(value: Any) -> Optional[float]:
+    """Normalise one time bound (wildcards -> ``None``), like the TIB's
+    ``normalise_time_range`` does for legacy keyword constraints."""
+    return None if is_wild(value) else float(value)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Record predicates.  Time window, link conjunction and flow-key
+    disjunction push down into the tiers' indexes via :func:`scan_spec`;
+    the exact-path predicate is residual (evaluated on the candidates,
+    reported as a :data:`PW_RESIDUAL_PATH` warning).
+
+    Construction normalises exactly like :class:`ScanSpec`: wildcard
+    bounds/endpoints become ``None``, fully-wild links are dropped, flow
+    keys are deduplicated and sorted (so equal filters encode to equal
+    wire bytes).
+    """
+
+    start: Optional[float] = None
+    end: Optional[float] = None
+    links: Tuple[Tuple[Optional[str], Optional[str]], ...] = ()
+    flow_keys: Tuple[str, ...] = ()
+    path: Optional[Tuple[str, ...]] = None
+
+    code = OP_FILTER
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", _window_bound(self.start))
+        object.__setattr__(self, "end", _window_bound(self.end))
+        links = []
+        for pair in self.links:
+            a, b = pair
+            a = None if is_wild(a) else a
+            b = None if is_wild(b) else b
+            if a is None and b is None:
+                continue
+            links.append((a, b))
+        object.__setattr__(self, "links", tuple(links))
+        object.__setattr__(self, "flow_keys",
+                           tuple(sorted(set(self.flow_keys))))
+        if self.path is not None:
+            object.__setattr__(self, "path", tuple(self.path))
+
+    @property
+    def unconstrained(self) -> bool:
+        """True when every record matches."""
+        return (self.start is None and self.end is None and not self.links
+                and not self.flow_keys and self.path is None)
+
+
+@dataclass(frozen=True)
+class Project:
+    """Schema narrowing.  For a record-listing plan (no ``Aggregate``)
+    this selects the emitted columns; before an ``Aggregate`` it gates
+    which fields downstream ops may reference (validator-enforced)."""
+
+    fields: Tuple[str, ...] = RECORD_FIELDS
+
+    code = OP_PROJECT
+
+    def __post_init__(self) -> None:
+        deduped = tuple(dict.fromkeys(self.fields))
+        object.__setattr__(self, "fields", deduped)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Reduction over the filtered records.
+
+    ``func``: :data:`AGG_SUM` (sum ``fields``; scalar plans may sum
+    several fields, keyed plans exactly one), :data:`AGG_COUNT` (record
+    count, no fields), or :data:`AGG_HISTOGRAM` (count of records per
+    ``binsize``-wide bin of one numeric field).  ``by`` groups: empty
+    means a scalar payload (a tuple, one slot per func output); one field
+    keys the payload dict by that field's bare value; several key it by
+    the value tuple.  A histogram appends the bin to the group key.
+    """
+
+    func: str = AGG_COUNT
+    fields: Tuple[str, ...] = ()
+    by: Tuple[str, ...] = ()
+    binsize: int = 1
+
+    code = OP_AGGREGATE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", tuple(self.fields))
+        object.__setattr__(self, "by", tuple(self.by))
+
+
+@dataclass(frozen=True)
+class TopK:
+    """Keep the k extreme groups of a keyed aggregate.
+
+    ``key`` picks the rank dimension (:data:`RANK_VALUE` emits
+    ``(value, group)`` pairs - the legacy top-k shape - and
+    :data:`RANK_GROUP` emits ``(group, value)``); full-tuple comparison
+    keeps the selection a total order, so per-host selection and the
+    partial-result merge stay commutative and associative (the payload
+    determinism the streaming aggregation rests on).
+    """
+
+    k: int = 1000
+    key: str = RANK_VALUE
+    order: str = ORDER_DESC
+
+    code = OP_TOPK
+
+
+PlanOp = Union[Filter, Project, Aggregate, TopK]
+
+#: Validation order of the op kinds in a plan.
+_OP_SEQUENCE = {OP_FILTER: 0, OP_PROJECT: 1, OP_AGGREGATE: 2, OP_TOPK: 3}
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An ordered pipeline of plan ops (at least one)."""
+
+    ops: Tuple[PlanOp, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+    def _op(self, code: int) -> Optional[PlanOp]:
+        for op in self.ops:
+            if op.code == code:
+                return op
+        return None
+
+    @property
+    def filter(self) -> Optional[Filter]:
+        op = self._op(OP_FILTER)
+        return op if isinstance(op, Filter) else None
+
+    @property
+    def project(self) -> Optional[Project]:
+        op = self._op(OP_PROJECT)
+        return op if isinstance(op, Project) else None
+
+    @property
+    def aggregate(self) -> Optional[Aggregate]:
+        op = self._op(OP_AGGREGATE)
+        return op if isinstance(op, Aggregate) else None
+
+    @property
+    def topk(self) -> Optional[TopK]:
+        op = self._op(OP_TOPK)
+        return op if isinstance(op, TopK) else None
+
+    def warnings(self) -> Tuple[PlanWarning, ...]:
+        """Validate and return the structured per-plan warnings."""
+        return validate(self)
+
+
+# --------------------------------------------------------------------------
+# Validation and per-plan warnings
+# --------------------------------------------------------------------------
+def validate(plan: Plan) -> Tuple[PlanWarning, ...]:
+    """Check a plan's shape; raises :class:`PlanError` (with structured
+    :class:`PlanIssue` entries) when invalid, returns the structured
+    :class:`PlanWarning` analysis when valid.
+
+    Successful validation is memoized on the (frozen) plan instance, so
+    re-validating on every execution - the executor always validates -
+    costs one dict read after the first pass.
+    """
+    cached = plan.__dict__.get("_validated_warnings")
+    if cached is not None:
+        return cached
+    issues: List[PlanIssue] = []
+    if not plan.ops:
+        raise PlanError([PlanIssue(PE_EMPTY, 0, "a plan needs at least "
+                                   "one op (use Filter() for 'everything')")])
+    last_rank = -1
+    seen_codes = set()
+    for index, op in enumerate(plan.ops):
+        rank = _OP_SEQUENCE.get(getattr(op, "code", -1))
+        if rank is None:
+            issues.append(PlanIssue(PE_ORDER, index,
+                                    f"unknown plan op {type(op).__name__}"))
+            continue
+        if op.code in seen_codes:
+            issues.append(PlanIssue(
+                PE_DUPLICATE, index,
+                f"duplicate {type(op).__name__} op"))
+        elif rank <= last_rank:
+            issues.append(PlanIssue(
+                PE_ORDER, index,
+                f"{type(op).__name__} must precede later pipeline stages "
+                "(order: Filter -> Project -> Aggregate -> TopK)"))
+        seen_codes.add(op.code)
+        last_rank = max(last_rank, rank)
+        issues.extend(_validate_op(plan, index, op))
+    if issues:
+        raise PlanError(issues)
+    warnings = _warnings(plan)
+    object.__setattr__(plan, "_validated_warnings", warnings)
+    return warnings
+
+
+def _validate_op(plan: Plan, index: int, op: PlanOp) -> List[PlanIssue]:
+    issues: List[PlanIssue] = []
+    if isinstance(op, Filter):
+        if (op.start is not None and op.end is not None
+                and op.end < op.start):
+            issues.append(PlanIssue(
+                PE_WINDOW, index,
+                f"window end ({op.end}) precedes start ({op.start})"))
+        for pair in op.links:
+            if len(pair) != 2:
+                issues.append(PlanIssue(PE_LINK, index,
+                                        f"link must be a pair, got {pair!r}"))
+        for fkey in op.flow_keys:
+            if not isinstance(fkey, str) or fkey.count("|") != 2:
+                issues.append(PlanIssue(
+                    PE_FLOW_KEY, index,
+                    f"not a canonical flow key: {fkey!r}"))
+    elif isinstance(op, Project):
+        if not op.fields:
+            issues.append(PlanIssue(PE_FIELD, index,
+                                    "projection selects no fields"))
+        for name in op.fields:
+            if name not in RECORD_FIELDS:
+                issues.append(PlanIssue(PE_FIELD, index,
+                                        f"unknown record field {name!r}"))
+    elif isinstance(op, Aggregate):
+        issues.extend(_validate_aggregate(plan, index, op))
+    elif isinstance(op, TopK):
+        aggregate = plan.aggregate
+        if aggregate is None or not aggregate.by:
+            issues.append(PlanIssue(
+                PE_TOPK, index,
+                "TopK needs a preceding keyed Aggregate to rank"))
+        if op.k < 1:
+            issues.append(PlanIssue(PE_TOPK, index, f"k must be >= 1, "
+                                    f"got {op.k}"))
+        if op.key not in (RANK_VALUE, RANK_GROUP):
+            issues.append(PlanIssue(PE_TOPK, index,
+                                    f"unknown rank key {op.key!r}"))
+        if op.order not in (ORDER_DESC, ORDER_ASC):
+            issues.append(PlanIssue(PE_TOPK, index,
+                                    f"unknown order {op.order!r}"))
+    return issues
+
+
+def _validate_aggregate(plan: Plan, index: int,
+                        op: Aggregate) -> List[PlanIssue]:
+    issues: List[PlanIssue] = []
+    if op.func not in AGG_FUNCS:
+        issues.append(PlanIssue(PE_FUNC, index,
+                                f"unknown aggregate func {op.func!r}"))
+        return issues
+    for name in op.fields + op.by:
+        if name not in RECORD_FIELDS:
+            issues.append(PlanIssue(PE_FIELD, index,
+                                    f"unknown record field {name!r}"))
+    if op.func == AGG_SUM:
+        if not op.fields:
+            issues.append(PlanIssue(PE_FUNC, index, "sum needs fields"))
+        if op.by and len(op.fields) != 1:
+            issues.append(PlanIssue(
+                PE_FUNC, index, "a keyed sum aggregates exactly one field"))
+        bad = [f for f in op.fields if f in RECORD_FIELDS
+               and f not in NUMERIC_FIELDS]
+        if bad:
+            issues.append(PlanIssue(PE_FUNC, index,
+                                    f"sum over non-numeric field(s) {bad}"))
+    elif op.func == AGG_COUNT:
+        if op.fields:
+            issues.append(PlanIssue(PE_FUNC, index,
+                                    "count takes no value fields"))
+    elif op.func == AGG_HISTOGRAM:
+        if len(op.fields) != 1:
+            issues.append(PlanIssue(
+                PE_FUNC, index, "histogram bins exactly one numeric field"))
+        elif op.fields[0] in RECORD_FIELDS and \
+                op.fields[0] not in NUMERIC_FIELDS:
+            issues.append(PlanIssue(
+                PE_FUNC, index,
+                f"histogram over non-numeric field {op.fields[0]!r}"))
+        if op.binsize < 1:
+            issues.append(PlanIssue(PE_FUNC, index,
+                                    f"binsize must be >= 1, got {op.binsize}"))
+    project = plan.project
+    if project is not None:
+        missing = [f for f in op.fields + op.by if f not in project.fields]
+        if missing:
+            issues.append(PlanIssue(
+                PE_PROJECTION, index,
+                f"aggregate reads field(s) {missing} the projection drops"))
+    return issues
+
+
+def _warnings(plan: Plan) -> Tuple[PlanWarning, ...]:
+    warnings: List[PlanWarning] = []
+    filter_op = plan.filter
+    filter_index = plan.ops.index(filter_op) if filter_op is not None else 0
+    if filter_op is None or filter_op.unconstrained:
+        warnings.append(PlanWarning(
+            PW_FULL_SCAN, filter_index,
+            "no pushdown predicate: the plan scans every record of both "
+            "tiers on every host"))
+    else:
+        if filter_op.path is not None:
+            warnings.append(PlanWarning(
+                PW_RESIDUAL_PATH, filter_index,
+                "exact-path predicate is residual (evaluated on scan "
+                "candidates, not pushed into an index)"))
+        for a, b in filter_op.links:
+            if a is None or b is None:
+                warnings.append(PlanWarning(
+                    PW_WILDCARD_LINK, filter_index,
+                    f"wildcard link endpoint ({a!r}, {b!r}) routes on the "
+                    "endpoint index, not the link index"))
+    return tuple(warnings)
+
+
+# --------------------------------------------------------------------------
+# Pushdown compilation
+# --------------------------------------------------------------------------
+def scan_spec(filter_op: Optional[Filter]) -> ScanSpec:
+    """Compile a plan ``Filter`` to the tiers' shared :class:`ScanSpec`.
+
+    This is the pushdown seam: the hot tier routes the spec through its
+    flow/link/time indexes, the cold tier prunes segments with zone maps
+    and blooms - exactly the machinery the legacy keyword reads use.  The
+    exact-path predicate does not push down (no tier indexes paths); the
+    executor applies it residually.
+    """
+    if filter_op is None:
+        return ScanSpec()
+    return ScanSpec(
+        start=filter_op.start, end=filter_op.end, links=filter_op.links,
+        flow_keys=(frozenset(filter_op.flow_keys)
+                   if filter_op.flow_keys else None))
+
+
+# --------------------------------------------------------------------------
+# Per-op executor legs (shared by the reference evaluator and the
+# pushdown executor's residual tail; R9 gates this registry)
+# --------------------------------------------------------------------------
+def _exec_filter(op: Filter, state: Any, plan: Plan) -> Any:
+    """Brute-force predicate: the reference semantics of ``Filter`` (the
+    pushdown executor replaces this leg with an index-routed scan and
+    keeps only the residual path check)."""
+    spec = scan_spec(op)
+    return [record for record in state
+            if spec.matches(record)
+            and (op.path is None or record.path == op.path)]
+
+
+def _exec_project(op: Project, state: Any, plan: Plan) -> Any:
+    """Terminal projection materialises the emitted rows; before an
+    ``Aggregate`` the projection is a validator-enforced schema gate and
+    the records pass through unchanged."""
+    if plan.aggregate is not None:
+        return state
+    return _emit_rows(state, op.fields)
+
+
+def _field_reader(name: str) -> Any:
+    """Per-field accessor with the name dispatch hoisted out of scan
+    loops; same semantics as :func:`record_field` field by field."""
+    if name == "flow":
+        return lambda record: flow_key(record.flow_id)
+    return attrgetter(name)
+
+
+def _exec_aggregate(op: Aggregate, state: Any, plan: Plan) -> Any:
+    records: Sequence[PathFlowRecord] = state
+    if not op.by and op.func != AGG_HISTOGRAM:
+        if op.func == AGG_COUNT:
+            return (len(records),)
+        sums = [0] * len(op.fields)
+        for record in records:
+            for slot, name in enumerate(op.fields):
+                sums[slot] += record_field(record, name)
+        return tuple(sums)
+    grouped: Dict[Any, Any] = {}
+    if op.func == AGG_SUM and len(op.by) == 1:
+        # The top-k input shape (sum one field by one key) is the hot
+        # loop of every ranked query - hoist the field dispatch out.
+        key_of = _field_reader(op.by[0])
+        value_of = _field_reader(op.fields[0])
+        for record in records:
+            key = key_of(record)
+            grouped[key] = grouped.get(key, 0) + value_of(record)
+        return grouped
+    for record in records:
+        key = _group_key(op, record)
+        if op.func == AGG_SUM:
+            grouped[key] = grouped.get(key, 0) + \
+                record_field(record, op.fields[0])
+        else:  # count / histogram both count members per group key
+            grouped[key] = grouped.get(key, 0) + 1
+    return grouped
+
+
+def _exec_topk(op: TopK, state: Any, plan: Plan) -> Any:
+    grouped: Dict[Any, Any] = state
+    if op.key == RANK_GROUP:
+        pairs: Iterable[Tuple[Any, Any]] = (
+            (group, value) for group, value in grouped.items())
+    else:
+        pairs = ((value, group) for group, value in grouped.items())
+    return rank_select(pairs, op.k, op.order)
+
+
+#: Host-side executor leg per op (R9: every OP_* must be a key here).
+_EXEC_BY_OP = {
+    OP_FILTER: _exec_filter,
+    OP_PROJECT: _exec_project,
+    OP_AGGREGATE: _exec_aggregate,
+    OP_TOPK: _exec_topk,
+}
+
+
+def _group_key(op: Aggregate, record: PathFlowRecord) -> Any:
+    """The payload-dict key one record lands under: a bare value for a
+    single ``by`` field, a tuple for several; a histogram appends the
+    bin (and bins bare when not grouped at all)."""
+    parts = tuple(record_field(record, name) for name in op.by)
+    if op.func == AGG_HISTOGRAM:
+        bin_ = int(record_field(record, op.fields[0]) // op.binsize)
+        if not parts:
+            return bin_
+        return parts + (bin_,)
+    return parts[0] if len(parts) == 1 else parts
+
+
+def _emit_rows(records: Sequence[PathFlowRecord],
+               fields: Tuple[str, ...]) -> List[Tuple[Any, ...]]:
+    """Materialise a record listing: one tuple per record, sorted - the
+    canonical order that keeps listing payloads deterministic under any
+    scan/merge order."""
+    return sorted(tuple(record_field(record, name) for name in fields)
+                  for record in records)
+
+
+def rank_select(pairs: Iterable[Tuple[Any, ...]], k: int,
+                order: str = ORDER_DESC) -> List[Tuple[Any, ...]]:
+    """The k extreme pairs under full-tuple comparison, sorted.
+
+    A total order over the emitted tuples makes the selection a
+    well-defined *set* regardless of input order, so per-host selection
+    and the partial-result merge are commutative and associative -
+    identical in spirit (and, for descending value-ranked pairs, in
+    output bytes) to the legacy ``top_k_select`` - including its manual
+    bounded-heap loop, which beats ``heapq.nlargest`` by skipping the
+    per-item order decoration (losers fall out on one C-level tuple
+    comparison).
+    """
+    if order == ORDER_ASC:
+        return heapq.nsmallest(k, pairs)
+    heap: List[Tuple[Any, ...]] = []
+    for item in pairs:
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item > heap[0]:
+            heapq.heapreplace(heap, item)
+    return sorted(heap, reverse=True)
+
+
+def _run_pipeline(plan: Plan, records: Sequence[PathFlowRecord],
+                  skip_filter: bool) -> Any:
+    """Apply the plan's ops to ``records`` via the executor registry.
+
+    ``skip_filter=True`` is the pushdown executor's residual tail: the
+    scan already applied the (index-routed) filter, so only the
+    downstream ops run.
+    """
+    state: Any = records
+    for op in plan.ops:
+        if skip_filter and op.code == OP_FILTER:
+            continue
+        state = _EXEC_BY_OP[op.code](op, state, plan)
+    if plan.aggregate is None and plan.project is None:
+        state = _emit_rows(state, RECORD_FIELDS)
+    return state
+
+
+def reference_evaluate(records: Sequence[PathFlowRecord],
+                       plan: Plan) -> Any:
+    """Brute-force oracle: evaluate ``plan`` over an explicit record set
+    with no index routing, no pruning and no fast paths.  Every execution
+    path (any tier mix, any mode) must produce exactly this payload."""
+    validate(plan)
+    return _run_pipeline(plan, list(records), skip_filter=False)
+
+
+# --------------------------------------------------------------------------
+# Pushdown execution against a TIB
+# --------------------------------------------------------------------------
+@dataclass
+class PlanExecution:
+    """One host's plan execution: the payload plus its accounting."""
+
+    payload: Any
+    records_scanned: int
+    estimated_wire_bytes: int
+    scan_stats: Dict[str, int]
+
+
+def _scalar_flow_sum(plan: Plan) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Detect the getCount shape: scalar sum over bytes/pkts of exactly
+    one flow key, no other predicate - servable from the incrementally
+    maintained per-flow aggregates without touching a record."""
+    aggregate = plan.aggregate
+    filter_op = plan.filter
+    if (aggregate is None or filter_op is None or aggregate.by
+            or aggregate.func != AGG_SUM
+            or not set(aggregate.fields) <= {"bytes", "pkts"}):
+        return None
+    if (len(filter_op.flow_keys) != 1 or filter_op.start is not None
+            or filter_op.end is not None or filter_op.links
+            or filter_op.path is not None):
+        return None
+    if plan.topk is not None:
+        return None
+    return filter_op.flow_keys[0], aggregate.fields
+
+
+def _keyed_flow_byte_sum(plan: Plan) -> bool:
+    """Detect the unconstrained top-k-flows shape: sum of ``bytes`` keyed
+    by ``flow`` with no predicate - servable from the per-flow aggregates
+    (they span both tiers), no record touched at all."""
+    aggregate = plan.aggregate
+    filter_op = plan.filter
+    if (aggregate is None or aggregate.func != AGG_SUM
+            or aggregate.fields != ("bytes",) or aggregate.by != ("flow",)):
+        return False
+    return filter_op is None or filter_op.unconstrained
+
+
+def execute_plan(tib: Any, plan: Plan) -> PlanExecution:
+    """Execute a plan against one host's TIB with full pushdown.
+
+    The ``Filter`` compiles to a :class:`ScanSpec` served by both tiers
+    (hot index routing + cold zone-map/bloom pruning); two aggregate
+    shapes short-circuit onto the maintained per-flow totals exactly like
+    their hand-written ancestors.  ``scan_stats`` is the difference of
+    the TIB's scan-stat snapshots around the execution: how the hot tier
+    routed, and how much decode work cold pruning avoided, for *this*
+    plan.
+    """
+    validate(plan)
+    # The pushdown classification (which fast path, the compiled
+    # ScanSpec, the residual predicate) is a pure function of the frozen
+    # plan - memoized on the instance so repeat executions of a cached
+    # plan jump straight to the storage calls.
+    shape = plan.__dict__.get("_pushdown_shape")
+    if shape is None:
+        scalar_shape = _scalar_flow_sum(plan)
+        if scalar_shape is not None:
+            shape = ("scalar",) + scalar_shape
+        elif _keyed_flow_byte_sum(plan):
+            aggregate = plan.aggregate
+            tail_from = plan.ops.index(aggregate) + 1 \
+                if aggregate is not None else 0
+            shape = ("keyed", plan.ops[tail_from:])
+        else:
+            filter_op = plan.filter
+            shape = ("general", scan_spec(filter_op),
+                     filter_op.path if filter_op is not None else None)
+        object.__setattr__(plan, "_pushdown_shape", shape)
+    if shape[0] == "scalar":
+        # Served from the maintained per-flow totals - no scan on either
+        # tier, so the per-plan stats are zero by construction (one
+        # snapshot supplies the stable key shape without a diff).
+        fkey, fields = shape[1], shape[2]
+        totals = tib.flow_totals(fkey)
+        by_name = {"bytes": totals[0], "pkts": totals[1]}
+        payload: Any = tuple(by_name[name] for name in fields)
+        scanned = 1  # one maintained aggregate row, like getCount
+        scan_stats = dict.fromkeys(tib.scan_stat_snapshot(), 0)
+    elif shape[0] == "keyed":
+        payload = tib.flow_byte_totals()
+        scanned = tib.total_record_count()
+        for op in shape[1]:
+            payload = _EXEC_BY_OP[op.code](op, payload, plan)
+        scan_stats = dict.fromkeys(tib.scan_stat_snapshot(), 0)
+    else:
+        before = tib.scan_stat_snapshot()
+        spec, residual_path = shape[1], shape[2]
+        rows = tib.spec_records(spec)
+        scanned = len(rows)
+        if residual_path is not None:
+            rows = [record for record in rows
+                    if record.path == residual_path]
+        payload = _run_pipeline(plan, rows, skip_filter=True)
+        after = tib.scan_stat_snapshot()
+        scan_stats = {key: after[key] - before[key] for key in after}
+    return PlanExecution(payload=payload, records_scanned=scanned,
+                         estimated_wire_bytes=estimate_payload_bytes(payload),
+                         scan_stats=scan_stats)
+
+
+def estimate_payload_bytes(payload: Any) -> int:
+    """Pre-codec size estimate of a plan payload (cross-check only;
+    reported sizes are measured ``MSG_PLAN_RESULT`` frame lengths)."""
+    if isinstance(payload, dict) or isinstance(payload, list):
+        return _KV_ESTIMATE * max(1, len(payload))
+    return _SCALAR_ESTIMATE
+
+
+# --------------------------------------------------------------------------
+# Merge operators (the aggregation-tree reduction, selected by terminal op)
+# --------------------------------------------------------------------------
+def _merge_concat(plan: Plan, payloads: Sequence[Any]) -> Any:
+    """Concatenate listing rows / scalar tuples (the legacy un-merged
+    reduction: per-host scalar tuples flatten into one list, exactly as
+    ``getCount`` partials always have)."""
+    merged: List[Any] = []
+    for payload in payloads:
+        merged.extend(payload)
+    return merged
+
+
+def _merge_histograms(plan: Plan, payloads: Sequence[Any]) -> Any:
+    """Sum keyed-aggregate dicts key-wise."""
+    merged: Dict[Any, Any] = {}
+    for payload in payloads:
+        for key, value in payload.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _merge_top_k(plan: Plan, payloads: Sequence[Any]) -> Any:
+    """Re-select the global extremes across partial top-k lists -
+    ``(n - 1) * k`` pairs die at every aggregation level."""
+    op = plan.topk
+    assert op is not None  # validator: MERGE_TOP_K only with a TopK op
+    return rank_select((pair for payload in payloads for pair in payload),
+                       op.k, op.order)
+
+
+#: Merge operator per *terminal* op (R9: every OP_* must be a key here).
+#: A scalar Aggregate (no group key) concat-merges - see merge_operator.
+_MERGE_BY_TERMINAL = {
+    OP_FILTER: MERGE_CONCAT,
+    OP_PROJECT: MERGE_CONCAT,
+    OP_AGGREGATE: MERGE_HISTOGRAM,
+    OP_TOPK: MERGE_TOP_K,
+}
+
+_MERGE_FUNCTIONS = {
+    MERGE_CONCAT: _merge_concat,
+    MERGE_HISTOGRAM: _merge_histograms,
+    MERGE_TOP_K: _merge_top_k,
+}
+
+
+def merge_operator(plan: Plan) -> str:
+    """The generic merge operator the plan's terminal op selects."""
+    terminal = plan.ops[-1]
+    if terminal.code == OP_AGGREGATE and isinstance(terminal, Aggregate) \
+            and not terminal.by and terminal.func != AGG_HISTOGRAM:
+        return MERGE_CONCAT
+    return _MERGE_BY_TERMINAL[terminal.code]
+
+
+def merge_payloads(plan: Plan, payloads: Sequence[Any]) -> Any:
+    """Merge partial plan payloads (one aggregation-tree reduction)."""
+    return _MERGE_FUNCTIONS[merge_operator(plan)](plan, payloads)
+
+
+# --------------------------------------------------------------------------
+# Built-in compilations: the expressiveness proofs
+# --------------------------------------------------------------------------
+def compile_get_count(flow: Any,
+                      time_range: Optional[Tuple[Any, Any]] = None) -> Plan:
+    """``getCount(Flow, timeRange)`` as a plan.
+
+    ``flow`` is a bare :class:`FlowId` or a ``(flowID, Path)`` pair, like
+    the hand-written handler takes; the path half becomes the residual
+    exact-path predicate.  Payload: the ``(bytes, pkts)`` tuple,
+    byte-identical to the ancestor's.
+    """
+    if isinstance(flow, FlowId):
+        flow_id, path = flow, None
+    else:
+        flow_id, path = flow
+        path = tuple(path) if path is not None else None
+    start, end = time_range if time_range is not None else (None, None)
+    return Plan(ops=(
+        Filter(start=start, end=end, flow_keys=(flow_key(flow_id),),
+               path=path),
+        Aggregate(func=AGG_SUM, fields=("bytes", "pkts")),
+    ))
+
+
+def compile_top_k_flows(k: int = 1000, link: Any = None,
+                        time_range: Optional[Tuple[Any, Any]] = None) -> Plan:
+    """``top_k_flows(k, link, timeRange)`` as a plan.
+
+    Payload: the descending ``(bytes, flow key)`` list, byte-identical to
+    the ancestor's (same total-order selection, same fast path onto the
+    maintained per-flow totals when unconstrained).
+    """
+    start, end = time_range if time_range is not None else (None, None)
+    links: Tuple[Tuple[Optional[str], Optional[str]], ...] = ()
+    if link is not None:
+        links = (tuple(link),)  # Filter normalisation drops a fully-wild pair
+    return Plan(ops=(
+        Filter(start=start, end=end, links=links),
+        Aggregate(func=AGG_SUM, fields=("bytes",), by=("flow",)),
+        TopK(k=k, key=RANK_VALUE, order=ORDER_DESC),
+    ))

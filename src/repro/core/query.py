@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
 
+from repro.core import plan as planlib
 from repro.core import wire
 from repro.core.alarms import PC_FAIL, Alarm
 from repro.core.tib import (LinkId, TimeRange, is_unconstrained_link,
@@ -44,6 +46,15 @@ Q_TOP_K_FLOWS = "top_k_flows"
 Q_TRAFFIC_MATRIX = "traffic_matrix"
 Q_PATH_CONFORMANCE = "path_conformance"
 Q_SUBFLOW_IMBALANCE = "subflow_imbalance"
+#: The generic declarative-plan query: ``params["plan"]`` carries a
+#: :class:`repro.core.plan.Plan`, executed with full pushdown and merged
+#: by the generic operator the plan's terminal op selects.
+Q_PLAN = planlib.PLAN_QUERY_NAME
+#: The retained hand-written ancestors of the plan-rebased built-ins -
+#: kept registered (under explicit ``*_legacy`` names) as the
+#: byte-identity oracles the plan compilations are verified against.
+Q_GET_COUNT_LEGACY = "get_count_legacy"
+Q_TOP_K_FLOWS_LEGACY = "top_k_flows_legacy"
 
 # Pre-codec size estimators.  Reported wire sizes are *measured* now
 # (``len(encoded)`` of the :mod:`repro.core.wire` frames); the handlers still
@@ -57,6 +68,38 @@ _KV_BYTES = 24
 _PATH_ELEMENT_BYTES = 2
 #: Estimated serialized size of a query/install request message.
 QUERY_REQUEST_BYTES = 128
+
+
+# The compiled plans the rebased built-ins execute are frozen and their
+# validation is memoized, so hashable parameter shapes share one plan per
+# distinct (flow, window) / (k, link, window) - repeat queries skip the
+# dataclass construction and validation entirely.
+@lru_cache(maxsize=1024)
+def _cached_get_count_plan(flow: Any, time_range: Any) -> "planlib.Plan":
+    return planlib.compile_get_count(flow, time_range)
+
+
+@lru_cache(maxsize=1024)
+def _cached_top_k_plan(k: int, link: Any, time_range: Any) -> "planlib.Plan":
+    return planlib.compile_top_k_flows(k, link, time_range)
+
+
+def _compiled_get_count(flow: Any, time_range: Any) -> "planlib.Plan":
+    if time_range is not None:
+        time_range = tuple(time_range)
+    try:
+        return _cached_get_count_plan(flow, time_range)
+    except TypeError:  # unhashable parameter shape (e.g. a list path)
+        return planlib.compile_get_count(flow, time_range)
+
+
+def _compiled_top_k(k: int, link: Any, time_range: Any) -> "planlib.Plan":
+    if time_range is not None:
+        time_range = tuple(time_range)
+    try:
+        return _cached_top_k_plan(k, link, time_range)
+    except TypeError:  # unhashable parameter shape (e.g. a list link)
+        return planlib.compile_top_k_flows(k, link, time_range)
 
 
 @dataclass
@@ -113,6 +156,10 @@ class QueryResult:
             cluster drains them into the bus on receipt; in-process
             executions leave this empty because their agents raise straight
             into the bus.
+        scan_stats: per-plan pushdown counters (hot-index routing + cold
+            pruning work, see ``Tib.scan_stat_snapshot``), populated only
+            by plan queries; rides the ``MSG_PLAN_RESULT`` frame tail and
+            is summed key-wise when partials merge.
     """
 
     query: Query
@@ -124,6 +171,7 @@ class QueryResult:
     partial: bool = False
     warnings: Tuple[Any, ...] = ()
     alarms: Tuple[Any, ...] = ()
+    scan_stats: Dict[str, int] = field(default_factory=dict)
 
 
 def measured_result_wire_bytes(result: "QueryResult") -> int:
@@ -158,6 +206,9 @@ class QueryEngine:
             Q_TRAFFIC_MATRIX: self._run_traffic_matrix,
             Q_PATH_CONFORMANCE: self._run_path_conformance,
             Q_SUBFLOW_IMBALANCE: self._run_subflow_imbalance,
+            Q_PLAN: self._run_plan,
+            Q_GET_COUNT_LEGACY: self._run_get_count_legacy,
+            Q_TOP_K_FLOWS_LEGACY: self._run_top_k_flows_legacy,
         }
         self._mergers: Dict[str, Callable] = {
             Q_GET_FLOWS: _merge_concat,
@@ -168,6 +219,8 @@ class QueryEngine:
             Q_TRAFFIC_MATRIX: _merge_histograms,
             Q_PATH_CONFORMANCE: _merge_concat,
             Q_SUBFLOW_IMBALANCE: _merge_concat,
+            Q_PLAN: _merge_plan,
+            Q_TOP_K_FLOWS_LEGACY: _merge_top_k,
         }
 
     def register(self, name: str, handler: Callable,
@@ -192,11 +245,18 @@ class QueryEngine:
         handler = self._handlers.get(query.name)
         if handler is None:
             raise KeyError(f"unknown query {query.name!r}")
-        payload, estimated, scanned = handler(agent, query.params)
+        output = handler(agent, query.params)
+        # Handlers return (payload, estimate, scanned); plan handlers add
+        # their per-plan pushdown counters as a fourth element.
+        if len(output) == 4:
+            payload, estimated, scanned, scan_stats = output
+        else:
+            payload, estimated, scanned = output
+            scan_stats = {}
         result = QueryResult(query=query, payload=payload, wire_bytes=0,
                              records_scanned=scanned,
                              estimated_wire_bytes=estimated,
-                             host=agent.host)
+                             host=agent.host, scan_stats=scan_stats)
         if measure_wire:
             result.wire_bytes = measured_result_wire_bytes(result)
         return result
@@ -213,10 +273,15 @@ class QueryEngine:
         """
         merger = self._mergers.get(query.name, _merge_concat)
         payload, estimated = merger(query, [r.payload for r in results])
+        scan_stats: Dict[str, int] = {}
+        for partial in results:
+            for key, value in partial.scan_stats.items():
+                scan_stats[key] = scan_stats.get(key, 0) + value
         result = QueryResult(
             query=query, payload=payload, wire_bytes=0,
             records_scanned=sum(r.records_scanned for r in results),
-            estimated_wire_bytes=estimated, host="aggregate")
+            estimated_wire_bytes=estimated, host="aggregate",
+            scan_stats=scan_stats)
         if measure_wire:
             result.wire_bytes = measured_result_wire_bytes(result)
         return result
@@ -243,7 +308,30 @@ class QueryEngine:
         return paths, wire, len(paths)
 
     @staticmethod
+    def _run_plan(agent, params):
+        """The generic declarative-plan handler: execute the shipped plan
+        against this host's TIB with full pushdown, reporting the per-plan
+        scan counters alongside the payload."""
+        execution = planlib.execute_plan(agent.tib, params["plan"])
+        return (execution.payload, execution.estimated_wire_bytes,
+                execution.records_scanned, execution.scan_stats)
+
+    @staticmethod
     def _run_get_count(agent, params):
+        """``getCount`` as a thin plan compilation.
+
+        The accounting stays pinned to the hand-written ancestor's
+        (scalar estimate, one aggregate row scanned) so result frames are
+        byte-identical to what :meth:`_run_get_count_legacy` produces.
+        """
+        plan = _compiled_get_count(params["flow"], params.get("time_range"))
+        execution = planlib.execute_plan(agent.tib, plan)
+        return execution.payload, _SCALAR_BYTES, 1
+
+    @staticmethod
+    def _run_get_count_legacy(agent, params):
+        """The hand-written ``getCount`` ancestor, retained verbatim as the
+        byte-identity oracle for :meth:`_run_get_count`'s compilation."""
         flow = params["flow"]
         time_range = params.get("time_range")
         counts = agent.get_count(flow, time_range)
@@ -289,7 +377,26 @@ class QueryEngine:
 
     @staticmethod
     def _run_top_k_flows(agent, params):
-        """Top-k flows by byte count at this host (the Section 2.3 example).
+        """Top-k flows by byte count, as a thin plan compilation.
+
+        The estimate formula and scanned count stay the ancestor's
+        (``execute_plan`` counts the same records: the identical
+        unconstrained fast path, or the identical index-routed scan), so
+        result frames are byte-identical to
+        :meth:`_run_top_k_flows_legacy`'s.
+        """
+        plan = _compiled_top_k(params.get("k", 1000), params.get("link"),
+                               params.get("time_range"))
+        execution = planlib.execute_plan(agent.tib, plan)
+        payload = execution.payload
+        return (payload, _KV_BYTES * max(1, len(payload)),
+                execution.records_scanned)
+
+    @staticmethod
+    def _run_top_k_flows_legacy(agent, params):
+        """The hand-written top-k ancestor (the Section 2.3 example),
+        retained verbatim as the byte-identity oracle for
+        :meth:`_run_top_k_flows`'s compilation.
 
         Single pass over the (link/time) indexed records; per-path byte
         counts are grouped by flow key without one ``getCount`` query per
@@ -445,6 +552,14 @@ def _merge_top_k(query: Query, payloads: Sequence[List[Tuple[int, str]]]
     merged = top_k_select(
         (item for payload in payloads for item in payload), k)
     return merged, _KV_BYTES * max(1, len(merged))
+
+
+def _merge_plan(query: Query, payloads: Sequence[Any]) -> Tuple[Any, int]:
+    """Merge partial plan payloads with the generic operator the plan's
+    terminal op selects (concat / histogram-merge / top-k-merge)."""
+    plan = query.params["plan"]
+    merged = planlib.merge_payloads(plan, payloads)
+    return merged, planlib.estimate_payload_bytes(merged)
 
 
 def _link_label(link: Optional[LinkId]) -> str:

@@ -247,6 +247,13 @@ class Tib:
         self._time_dup_possible = False
         self.evictions = 0
         self.promotions = 0
+        # Hot-tier scan routing counters: which index served each scan
+        # (flow postings / link+endpoint indexes / sorted time index) or
+        # whether it walked the whole cache.  The plan executor diffs
+        # :meth:`scan_stat_snapshot` around a plan to prove its pushed
+        # filter actually routed through an index.
+        self.scan_routes: Dict[str, int] = {"flow": 0, "link": 0,
+                                            "time": 0, "full": 0}
 
     # ----------------------------------------------------------------- writes
     def add_record(self, record: PathFlowRecord, adopt: bool = False) -> None:
@@ -595,7 +602,16 @@ class Tib:
         matches are freshly decoded copies).
         """
         start, end = normalise_time_range(time_range)
-        spec = self._as_spec(flow_id, link, start, end)
+        return self.spec_records(self._as_spec(flow_id, link, start, end))
+
+    def spec_records(self, spec: ScanSpec) -> List[PathFlowRecord]:
+        """All records matching one :class:`ScanSpec`, both tiers merged.
+
+        The spec-native read surface :meth:`records` compiles onto, and
+        the seam the plan executor's pushed ``Filter`` lands on: hot
+        results and cold-archive matches merge in record-id order, so a
+        capped TIB answers identically to an uncapped one.
+        """
         archive = self.archive
         if archive is None or not archive.live_count:
             return self._hot_records(spec)
@@ -617,11 +633,13 @@ class Tib:
         cache = self._cache
         if spec.flow_keys is None and not spec.links:
             if spec.start is None and spec.end is None:
+                self.scan_routes["full"] += 1
                 if self._cache_order_dirty:
                     # Promotions reinserted old ids at the dict's tail;
                     # the deterministic result order is id order.
                     return [record for _, record in sorted(cache.items())]
                 return list(cache.values())
+            self.scan_routes["time"] += 1
             return [cache[record_id]
                     for record_id in self._ids_in_window(spec.start,
                                                          spec.end)]
@@ -652,6 +670,7 @@ class Tib:
         pairs: List[Tuple[int, PathFlowRecord]] = []
 
         if spec.flow_keys is not None:
+            self.scan_routes["flow"] += 1
             # Per-flow index; posting lists are already in id (insertion)
             # order.  Multiple keys union their postings, then re-sort.
             if len(spec.flow_keys) == 1:
@@ -676,6 +695,7 @@ class Tib:
             # Route on the first link constraint (the endpoint index for a
             # wildcard endpoint, the inverted link index otherwise); any
             # further constraints filter the candidates.
+            self.scan_routes["link"] += 1
             a, b = links[0]
             if a is None or b is None:
                 candidates: Iterable[int] = self._endpoint_ids.get(
@@ -695,8 +715,10 @@ class Tib:
                     continue
                 pairs.append((record_id, record))
         elif start is None and end is None:
+            self.scan_routes["full"] += 1
             pairs = sorted(cache.items())
         else:
+            self.scan_routes["time"] += 1
             pairs = [(record_id, cache[record_id])
                      for record_id in self._ids_in_window(start, end)]
         if spec.limit is not None:
@@ -852,6 +874,37 @@ class Tib:
         return {key: totals[0]
                 for key, totals in self._flow_totals.items()}
 
+    def flow_totals(self, fkey: str) -> Tuple[int, int]:
+        """One flow's maintained ``(bytes, pkts)`` totals over both tiers
+        (``(0, 0)`` for an unknown flow) - the per-flow aggregate row
+        behind ``getCount``'s fast path and the plan executor's
+        scalar-flow-sum short circuit."""
+        totals = self._flow_totals.get(fkey)
+        return (totals[0], totals[1]) if totals else (0, 0)
+
+    def scan_stat_snapshot(self) -> Dict[str, int]:
+        """Cumulative scan counters of both tiers, cheap to read.
+
+        Hot-index routing counts plus the cold tier's pruning counters
+        under tier-qualified names.  Unlike :meth:`tier_stats` this never
+        flushes the archive - the plan executor snapshots around every
+        single plan, so it must cost a few dict reads, not a tier settle.
+        Cold keys are present (zero) even when single-tier, so per-plan
+        diffs have a stable shape everywhere.
+        """
+        snapshot = {
+            "hot_flow_routed": self.scan_routes["flow"],
+            "hot_link_routed": self.scan_routes["link"],
+            "hot_time_routed": self.scan_routes["time"],
+            "hot_full_scans": self.scan_routes["full"],
+        }
+        if self.archive is not None:
+            snapshot.update(self.archive.pruning_snapshot())
+        else:
+            snapshot.update(cold_segments_skipped=0, cold_entries_skipped=0,
+                            cold_entries_decoded=0, cold_decode_cache_hits=0)
+        return snapshot
+
     def estimated_bytes(self) -> int:
         """Approximate **hot-tier** storage footprint (Section 5.3
         accounting; the quantity ``RetentionPolicy.max_bytes`` bounds)."""
@@ -923,6 +976,7 @@ class Tib:
         self._collection.reset_stats()
         self.evictions = 0
         self.promotions = 0
+        self.scan_routes = {"flow": 0, "link": 0, "time": 0, "full": 0}
         if self.archive is not None:
             self.archive.flush()
             self.archive.reset_stats()

@@ -55,6 +55,7 @@ from typing import (Any, Iterable, List, NamedTuple, Optional, Sequence,
 from repro.core.alarms import Alarm
 from repro.core.monitor import (MonitorSnapshot, TcpFlowStats,
                                 TransferObservation)
+from repro.core import plan as _plan
 from repro.network.packet import FlowId
 from repro.storage.records import PathFlowRecord, parse_flow_key
 
@@ -71,8 +72,13 @@ from repro.storage.records import PathFlowRecord, parse_flow_key
 #: ``MSG_GROUP_BATCH`` envelopes that coalesce per-host frames for a whole
 #: worker group, the torn-close debug command, and the length-delimited
 #: stream framing socket mode speaks.
+#: Version 6: the generic plan frames exist - ``MSG_PLAN_REQUEST`` carries
+#: a declarative :mod:`repro.core.plan` pipeline (one frame kind for *any*
+#: question, so new questions never add frames again) and
+#: ``MSG_PLAN_RESULT`` extends the result layout with the per-plan
+#: scan-stat counters (hot-index routing + cold pruning work).
 MAGIC = b"PD"
-WIRE_VERSION = 5
+WIRE_VERSION = 6
 
 _HEADER = struct.Struct("<2sBB")
 #: Bytes of the fixed frame header.
@@ -98,6 +104,8 @@ MSG_RETENTION = 16
 MSG_GROUP_HELLO = 17
 MSG_GROUP_BATCH = 18
 MSG_CLOSE_TORN = 19
+MSG_PLAN_REQUEST = 20
+MSG_PLAN_RESULT = 21
 
 #: Tagged-value type codes.
 _V_NONE = 0
@@ -533,7 +541,14 @@ def encode_query(query) -> bytes:
 
 def encode_query_request(query, spec: Optional[SubtreeSpec]) -> bytes:
     """Encode the batched parent->child edge message: query + optional
-    aggregation-subtree description in one frame."""
+    aggregation-subtree description in one frame.
+
+    Plan queries (``query.name == "plan"``) route to the generic
+    :func:`encode_plan_request` frame; every other name keeps the legacy
+    ``MSG_QUERY_REQUEST`` layout byte for byte.
+    """
+    if query.name == _plan.PLAN_QUERY_NAME:
+        return encode_plan_request(query, spec)
     body = bytearray()
     _w_query(body, query)
     if spec is None:
@@ -546,9 +561,18 @@ def encode_query_request(query, spec: Optional[SubtreeSpec]) -> bytes:
 
 @_guarded
 def decode_query_request(data: bytes):
-    """Decode a query request; returns ``(Query, Optional[SubtreeSpec])``."""
+    """Decode a query request; returns ``(Query, Optional[SubtreeSpec])``.
+
+    Accepts both frame kinds a controller ships: the legacy
+    ``MSG_QUERY_REQUEST`` layout and the generic ``MSG_PLAN_REQUEST``.
+    """
+    kind, reader = open_frame(data)
+    if kind == MSG_PLAN_REQUEST:
+        return _read_plan_request(reader)
+    if kind != MSG_QUERY_REQUEST:
+        raise WireError(f"expected message type {MSG_QUERY_REQUEST}, "
+                        f"got {kind}")
     from repro.core.query import Query
-    reader = _expect(data, MSG_QUERY_REQUEST)
     name = reader.str_()
     params = {}
     for _ in range(reader.uvarint()):
@@ -571,6 +595,178 @@ def encode_subtree_spec(spec: SubtreeSpec) -> bytes:
 def decode_subtree_spec(data: bytes) -> SubtreeSpec:
     """Inverse of :func:`encode_subtree_spec`."""
     return _expect(data, MSG_SUBTREE_SPEC).spec()
+
+
+# -------------------------------------------------------------------- plans
+def _w_plan(buf: bytearray, plan: "_plan.Plan") -> None:
+    """Encode one declarative plan: op count, then one tagged op body per
+    pipeline stage.  Every registered ``OP_*`` has its encoder leg here
+    (lint rule R9 ``plan-op-completeness`` gates exactly that)."""
+    _w_uvarint(buf, len(plan.ops))
+    for op in plan.ops:
+        if isinstance(op, _plan.Filter):
+            buf.append(_plan.OP_FILTER)
+            _w_value(buf, op.start)
+            _w_value(buf, op.end)
+            _w_uvarint(buf, len(op.links))
+            for a, b in op.links:
+                _w_value(buf, a)
+                _w_value(buf, b)
+            _w_uvarint(buf, len(op.flow_keys))
+            for fkey in op.flow_keys:
+                _w_str(buf, fkey)
+            _w_value(buf, op.path)
+        elif isinstance(op, _plan.Project):
+            buf.append(_plan.OP_PROJECT)
+            _w_uvarint(buf, len(op.fields))
+            for name in op.fields:
+                _w_str(buf, name)
+        elif isinstance(op, _plan.Aggregate):
+            buf.append(_plan.OP_AGGREGATE)
+            _w_str(buf, op.func)
+            _w_uvarint(buf, len(op.fields))
+            for name in op.fields:
+                _w_str(buf, name)
+            _w_uvarint(buf, len(op.by))
+            for name in op.by:
+                _w_str(buf, name)
+            _w_uvarint(buf, op.binsize)
+        elif isinstance(op, _plan.TopK):
+            buf.append(_plan.OP_TOPK)
+            _w_uvarint(buf, op.k)
+            _w_str(buf, op.key)
+            _w_str(buf, op.order)
+        else:
+            raise WireError(f"unencodable plan op {type(op).__name__}")
+
+
+def _r_plan(reader: _Reader) -> "_plan.Plan":
+    """Decoder legs of the plan ops; the decoded plan is re-validated so a
+    corrupt or hostile frame can never smuggle an ill-formed pipeline past
+    the constructor normalisation."""
+    ops: List[Any] = []
+    for _ in range(reader.uvarint()):
+        code = reader.u8()
+        if code == _plan.OP_FILTER:
+            start = reader.value()
+            end = reader.value()
+            links = tuple((reader.value(), reader.value())
+                          for _ in range(reader.uvarint()))
+            flow_keys = tuple(reader.str_()
+                              for _ in range(reader.uvarint()))
+            path = reader.value()
+            ops.append(_plan.Filter(start=start, end=end, links=links,
+                                    flow_keys=flow_keys, path=path))
+        elif code == _plan.OP_PROJECT:
+            fields = tuple(reader.str_() for _ in range(reader.uvarint()))
+            ops.append(_plan.Project(fields=fields))
+        elif code == _plan.OP_AGGREGATE:
+            func = reader.str_()
+            fields = tuple(reader.str_() for _ in range(reader.uvarint()))
+            by = tuple(reader.str_() for _ in range(reader.uvarint()))
+            binsize = reader.uvarint()
+            ops.append(_plan.Aggregate(func=func, fields=fields, by=by,
+                                       binsize=binsize))
+        elif code == _plan.OP_TOPK:
+            k = reader.uvarint()
+            key = reader.str_()
+            order = reader.str_()
+            ops.append(_plan.TopK(k=k, key=key, order=order))
+        else:
+            raise WireError(f"unknown plan op code {code}")
+    plan = _plan.Plan(ops=tuple(ops))
+    try:
+        _plan.validate(plan)
+    except _plan.PlanError as exc:
+        raise WireError(f"invalid plan: {exc}") from exc
+    return plan
+
+
+def encode_plan_request(query, spec: Optional[SubtreeSpec] = None) -> bytes:
+    """Encode the generic plan request frame: the declarative pipeline plus
+    the same period / optional-subtree tail a legacy query request carries,
+    so plans ride every transport (pipe, socket, ``MSG_GROUP_BATCH``
+    coalescing) without transport changes."""
+    plan = query.params.get("plan")
+    if query.name != _plan.PLAN_QUERY_NAME or \
+            not isinstance(plan, _plan.Plan):
+        raise WireError("a plan request needs name 'plan' and a Plan "
+                        "under params['plan']")
+    body = bytearray()
+    _w_plan(body, plan)
+    _w_value(body, query.period)
+    if spec is None:
+        body.append(0)
+    else:
+        body.append(1)
+        _w_spec(body, spec)
+    return _frame(MSG_PLAN_REQUEST, bytes(body))
+
+
+def _read_plan_request(reader: _Reader):
+    from repro.core.query import Query
+    plan = _r_plan(reader)
+    period = reader.value()
+    spec = reader.spec() if reader.u8() else None
+    return Query(name=_plan.PLAN_QUERY_NAME, params={"plan": plan},
+                 period=period), spec
+
+
+@_guarded
+def decode_plan_request(data: bytes):
+    """Inverse of :func:`encode_plan_request`; returns
+    ``(Query, Optional[SubtreeSpec])`` like :func:`decode_query_request`."""
+    return _read_plan_request(_expect(data, MSG_PLAN_REQUEST))
+
+
+def encode_plan_result(result) -> bytes:
+    """Encode a (partial) plan result.
+
+    Same layout as :func:`encode_result` plus a tail of per-plan scan-stat
+    counters (sorted key/value pairs): how the hot tier routed the pushed
+    filter and how much decode work cold pruning avoided on *this* plan.
+    """
+    body = bytearray()
+    _w_str(body, result.query.name)
+    _w_str(body, result.host)
+    _w_varint(body, result.records_scanned)
+    _w_varint(body, result.estimated_wire_bytes)
+    _w_value(body, result.payload)
+    alarms = getattr(result, "alarms", ())
+    _w_uvarint(body, len(alarms))
+    for alarm in alarms:
+        _w_alarm(body, alarm)
+    scan_stats = getattr(result, "scan_stats", None) or {}
+    _w_uvarint(body, len(scan_stats))
+    for key in sorted(scan_stats):
+        _w_str(body, key)
+        _w_varint(body, scan_stats[key])
+    return _frame(MSG_PLAN_RESULT, bytes(body))
+
+
+@_guarded
+def decode_plan_result(data: bytes, query=None):
+    """Inverse of :func:`encode_plan_result`; returns a
+    :class:`~repro.core.query.QueryResult` with ``scan_stats`` populated."""
+    from repro.core.query import Query, QueryResult
+    reader = _expect(data, MSG_PLAN_RESULT)
+    name = reader.str_()
+    host = reader.str_()
+    scanned = reader.varint()
+    estimated = reader.varint()
+    payload = reader.value()
+    alarms = tuple(reader.alarm() for _ in range(reader.uvarint()))
+    scan_stats = {}
+    for _ in range(reader.uvarint()):
+        key = reader.str_()
+        scan_stats[key] = reader.varint()
+    if query is not None and query.name != name:
+        raise WireError(f"result for query {name!r} does not answer "
+                        f"{query.name!r}")
+    return QueryResult(query=query if query is not None else Query(name),
+                       payload=payload, wire_bytes=len(data),
+                       records_scanned=scanned, estimated_wire_bytes=estimated,
+                       host=host, alarms=alarms, scan_stats=scan_stats)
 
 
 # ------------------------------------------------------------------ records
@@ -821,7 +1017,13 @@ def encode_result(result) -> bytes:
     agent -> controller alert channel.  A result without alarms (every
     in-process execution) pays one count byte, so sizes stay identical
     across execution modes for alarm-free queries.
+
+    Plan results route to the generic :func:`encode_plan_result` frame
+    (same layout plus the per-plan scan-stat tail); every other query
+    keeps the legacy ``MSG_QUERY_RESULT`` bytes untouched.
     """
+    if result.query.name == _plan.PLAN_QUERY_NAME:
+        return encode_plan_result(result)
     body = bytearray()
     _w_str(body, result.query.name)
     _w_str(body, result.host)
@@ -847,7 +1049,11 @@ def decode_result(data: bytes, query=None):
     ``query`` supplies the caller's query object (the frame carries only the
     name); when omitted a parameter-less placeholder is reconstructed.
     ``wire_bytes`` is set to ``len(data)`` - the measured frame size.
+    Accepts both result kinds: the legacy ``MSG_QUERY_RESULT`` layout and
+    the generic ``MSG_PLAN_RESULT``.
     """
+    if frame_type(data) == MSG_PLAN_RESULT:
+        return decode_plan_result(data, query)
     from repro.core.query import Query, QueryResult
     reader = _expect(data, MSG_QUERY_RESULT)
     name = reader.str_()

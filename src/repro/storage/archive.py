@@ -876,3 +876,17 @@ class ColdArchive:
         """Zero the instrumentation counters (data stays intact)."""
         for key in self.stats:
             self.stats[key] = 0
+
+    def pruning_snapshot(self) -> Dict[str, int]:
+        """The cold tier's pruning counters under their tier-qualified
+        names - the cold half of ``Tib.scan_stat_snapshot``.  The plan
+        executor diffs two snapshots around a scan to report how much
+        zone-map/bloom pruning one plan's pushed-down ``Filter`` bought.
+        """
+        stats = self.stats
+        return {
+            "cold_segments_skipped": stats["segments_skipped"],
+            "cold_entries_skipped": stats["entries_skipped"],
+            "cold_entries_decoded": stats["entries_decoded"],
+            "cold_decode_cache_hits": stats["decode_cache_hits"],
+        }

@@ -198,6 +198,28 @@ def parse_flow_key(key: str) -> FlowId:
     return FlowId(src_ip, dst_ip, int(src_port), int(dst_port), int(proto))
 
 
+#: The record schema as the declarative plan IR sees it: the addressable
+#: field names of one :class:`PathFlowRecord`, in canonical (emission)
+#: order.  ``flow`` is the canonical :func:`flow_key` string, not the raw
+#: :class:`FlowId` - plans group and rank by the same key the TIB's flow
+#: index and per-flow aggregates use.
+RECORD_FIELDS: Tuple[str, ...] = ("flow", "path", "stime", "etime",
+                                  "bytes", "pkts")
+
+
+def record_field(record: PathFlowRecord, name: str) -> Any:
+    """Read one schema field off a record (the plan IR's field accessor).
+
+    Shared by the plan reference evaluator and the pushdown executor so a
+    field name can never mean two different things on the two paths.
+    """
+    if name == "flow":
+        return flow_key(record.flow_id)
+    if name in ("path", "stime", "etime", "bytes", "pkts"):
+        return getattr(record, name)
+    raise KeyError(f"unknown record field {name!r}")
+
+
 @dataclass(frozen=True)
 class ScanSpec:
     """One declarative read request, implemented by both storage tiers.

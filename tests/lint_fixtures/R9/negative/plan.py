@@ -1,0 +1,23 @@
+"""Fixture: a complete plan IR - every op has all four legs."""
+
+OP_ALPHA = 1
+OP_BETA = 2
+
+
+def _exec_alpha(op, state, plan):
+    return state
+
+
+def _exec_beta(op, state, plan):
+    return list(state)
+
+
+_EXEC_BY_OP = {
+    OP_ALPHA: _exec_alpha,
+    OP_BETA: _exec_beta,
+}
+
+_MERGE_BY_TERMINAL = {
+    OP_ALPHA: "concat",
+    OP_BETA: "histogram-merge",
+}

@@ -1,0 +1,21 @@
+"""Fixture: wire codec with both legs for every plan op."""
+
+from plan import OP_ALPHA, OP_BETA
+
+
+def encode_plan(buf, plan):
+    for op in plan.ops:
+        if op.code == OP_ALPHA:
+            buf.append(OP_ALPHA)
+        elif op.code == OP_BETA:
+            buf.append(OP_BETA)
+
+
+def decode_plan(reader):
+    ops = []
+    for code in reader:
+        if code == OP_ALPHA:
+            ops.append("alpha")
+        elif code == OP_BETA:
+            ops.append("beta")
+    return ops

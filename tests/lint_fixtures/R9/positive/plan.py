@@ -1,0 +1,38 @@
+"""Fixture: plan IR with incomplete op registrations.
+
+OP_GOOD has all four legs; OP_NOWIRE misses its wire encoder leg;
+OP_NODECODE has an encoder but no decoder leg; OP_NOEXEC is absent from
+the executor registry; OP_NOMERGE is absent from the merge registry; and
+the executor registry additionally registers OP_PHANTOM, which was never
+declared as a constant.
+"""
+
+OP_GOOD = 1
+OP_NOWIRE = 2
+OP_NODECODE = 3
+OP_NOEXEC = 4
+OP_NOMERGE = 5
+
+
+def _exec_good(op, state, plan):
+    return state
+
+
+def _exec_other(op, state, plan):
+    return state
+
+
+_EXEC_BY_OP = {
+    OP_GOOD: _exec_good,
+    OP_NOWIRE: _exec_other,
+    OP_NODECODE: _exec_other,
+    OP_NOMERGE: _exec_other,
+    OP_PHANTOM: _exec_other,  # noqa: F821 - deliberately undeclared
+}
+
+_MERGE_BY_TERMINAL = {
+    OP_GOOD: "concat",
+    OP_NOWIRE: "concat",
+    OP_NODECODE: "concat",
+    OP_NOEXEC: "concat",
+}

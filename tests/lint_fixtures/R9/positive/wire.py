@@ -1,0 +1,33 @@
+"""Fixture: wire codec covering only some of plan.py's ops.
+
+OP_GOOD, OP_NOEXEC and OP_NOMERGE have both codec legs; OP_NODECODE has
+only the encoder leg; OP_NOWIRE has only the decoder leg.
+"""
+
+from plan import OP_GOOD, OP_NODECODE, OP_NOEXEC, OP_NOMERGE, OP_NOWIRE
+
+
+def _w_plan(buf, plan):
+    for op in plan.ops:
+        if op.code == OP_GOOD:
+            buf.append(OP_GOOD)
+        elif op.code == OP_NODECODE:
+            buf.append(OP_NODECODE)
+        elif op.code == OP_NOEXEC:
+            buf.append(OP_NOEXEC)
+        elif op.code == OP_NOMERGE:
+            buf.append(OP_NOMERGE)
+
+
+def _r_plan(reader):
+    ops = []
+    for code in reader:
+        if code == OP_GOOD:
+            ops.append("good")
+        elif code == OP_NOWIRE:
+            ops.append("nowire")
+        elif code == OP_NOEXEC:
+            ops.append("noexec")
+        elif code == OP_NOMERGE:
+            ops.append("nomerge")
+    return ops

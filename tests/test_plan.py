@@ -1,0 +1,548 @@
+"""Tests for the declarative plan IR: validator, reference evaluator,
+pushdown execution and the property fuzz.
+
+Covers: structured validation issues and per-plan warnings, the reference
+brute-force evaluator's semantics, the compiled built-ins (``get_count``,
+``top_k_flows``) being payload-byte-identical to their retained
+hand-written ancestors, measured (not estimated) request/result byte
+accounting for locally executed plans, provable filter pushdown (hot
+index routing + cold pruning counters), and the seeded property fuzz:
+random plans over random TIB contents must match the reference evaluator
+on every tier mix (hot-only, spanning, capped).
+"""
+
+import random
+
+import pytest
+
+from repro.core import plan as planlib
+from repro.core import wire
+from repro.core.plan import (Aggregate, Filter, Plan, PlanError, Project,
+                             TopK)
+from repro.core.query import (Q_GET_COUNT, Q_GET_COUNT_LEGACY, Q_PLAN,
+                              Q_TOP_K_FLOWS, Q_TOP_K_FLOWS_LEGACY, Query,
+                              QueryEngine)
+from repro.core.tib import Tib
+from repro.storage import ColdArchive, RetentionPolicy
+from repro.storage.records import flow_key
+from test_two_tier_tib import make_record, record_values
+
+
+class _LocalAgent:
+    """Minimal agent: the plan handlers only need ``host`` and ``tib``
+    (plus the delegating reads the legacy oracles use)."""
+
+    def __init__(self, tib):
+        self.host = tib.host
+        self.tib = tib
+
+    def get_count(self, flow, time_range=None):
+        return self.tib.get_count(flow, time_range)
+
+    def records(self, **kwargs):
+        return self.tib.records(**kwargs)
+
+
+def hot_tib(count=80, host="h0", rng=None):
+    tib = Tib(host)
+    for i in range(count):
+        tib.add_record(make_record(i, rng=rng))
+    return tib
+
+
+def spanning_tib(count=80, host="h0", cap=12, segment_records=16, rng=None):
+    """A capped TIB whose reads must span both tiers."""
+    tib = Tib(host, retention=RetentionPolicy(max_records=cap),
+              archive=ColdArchive(segment_records=segment_records))
+    for i in range(count):
+        tib.add_record(make_record(i, rng=rng))
+    assert tib.record_count() <= cap
+    assert tib.total_record_count() > cap
+    return tib
+
+
+# --------------------------------------------------------------------------
+# Validator
+# --------------------------------------------------------------------------
+class TestValidation:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError) as info:
+            planlib.validate(Plan(ops=()))
+        assert info.value.issues[0].code == planlib.PE_EMPTY
+
+    def test_op_order_enforced(self):
+        bad = Plan(ops=(Aggregate(func="count"), Filter()))
+        with pytest.raises(PlanError) as info:
+            planlib.validate(bad)
+        assert any(issue.code == planlib.PE_ORDER
+                   for issue in info.value.issues)
+
+    def test_duplicate_op_rejected(self):
+        with pytest.raises(PlanError) as info:
+            planlib.validate(Plan(ops=(Filter(), Filter())))
+        assert any(issue.code == planlib.PE_DUPLICATE
+                   for issue in info.value.issues)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(PlanError) as info:
+            planlib.validate(Plan(ops=(Filter(start=9.0, end=1.0),)))
+        assert any(issue.code == planlib.PE_WINDOW
+                   for issue in info.value.issues)
+
+    def test_unknown_fields_rejected(self):
+        for bad in (
+            Plan(ops=(Project(fields=("nope",)),)),
+            Plan(ops=(Aggregate(func="sum", fields=("nope",)),)),
+            Plan(ops=(Aggregate(func="sum", fields=("bytes",),
+                                by=("nope",)),)),
+        ):
+            with pytest.raises(PlanError) as info:
+                planlib.validate(bad)
+            assert any(issue.code == planlib.PE_FIELD
+                       for issue in info.value.issues), bad
+
+    def test_aggregate_shape_rules(self):
+        for bad in (
+            Aggregate(func="frobnicate"),
+            Aggregate(func="sum"),                      # sum needs fields
+            Aggregate(func="sum", fields=("path",)),    # non-numeric
+            Aggregate(func="sum", fields=("bytes", "pkts"), by=("flow",)),
+            Aggregate(func="count", fields=("bytes",)),
+            Aggregate(func="histogram", fields=()),
+            Aggregate(func="histogram", fields=("bytes",), binsize=0),
+        ):
+            with pytest.raises(PlanError) as info:
+                planlib.validate(Plan(ops=(bad,)))
+            assert any(issue.code == planlib.PE_FUNC
+                       for issue in info.value.issues), bad
+
+    def test_projection_gates_aggregate_fields(self):
+        bad = Plan(ops=(Project(fields=("flow",)),
+                        Aggregate(func="sum", fields=("bytes",),
+                                  by=("flow",))))
+        with pytest.raises(PlanError) as info:
+            planlib.validate(bad)
+        assert any(issue.code == planlib.PE_PROJECTION
+                   for issue in info.value.issues)
+
+    def test_topk_requires_keyed_aggregate(self):
+        for bad in (
+            Plan(ops=(Filter(), TopK(k=5))),
+            Plan(ops=(Aggregate(func="sum", fields=("bytes",)), TopK(k=5))),
+        ):
+            with pytest.raises(PlanError) as info:
+                planlib.validate(bad)
+            assert any(issue.code == planlib.PE_TOPK
+                       for issue in info.value.issues), bad
+
+    def test_bad_topk_parameters(self):
+        base = (Aggregate(func="sum", fields=("bytes",), by=("flow",)),)
+        for bad_top in (TopK(k=0), TopK(k=3, key="sideways"),
+                        TopK(k=3, order="shuffled")):
+            with pytest.raises(PlanError):
+                planlib.validate(Plan(ops=base + (bad_top,)))
+
+    def test_error_message_carries_structured_issues(self):
+        with pytest.raises(PlanError) as info:
+            planlib.validate(Plan(ops=(Filter(start=5.0, end=1.0),
+                                       Aggregate(func="bogus"))))
+        issues = info.value.issues
+        assert len(issues) == 2
+        assert {issue.code for issue in issues} == \
+            {planlib.PE_WINDOW, planlib.PE_FUNC}
+        assert all(issue.code in str(info.value) for issue in issues)
+
+
+class TestWarnings:
+    def test_full_scan_warning(self):
+        warnings = planlib.validate(Plan(ops=(Filter(),)))
+        assert [w.code for w in warnings] == [planlib.PW_FULL_SCAN]
+        # Plan.warnings() is the public spelling of the same analysis.
+        assert Plan(ops=(Filter(),)).warnings() == warnings
+
+    def test_residual_path_warning(self):
+        warnings = planlib.validate(
+            Plan(ops=(Filter(path=("a", "s", "b")),)))
+        assert [w.code for w in warnings] == [planlib.PW_RESIDUAL_PATH]
+
+    def test_wildcard_link_warning(self):
+        warnings = planlib.validate(
+            Plan(ops=(Filter(links=(("tor-a", None),)),)))
+        assert [w.code for w in warnings] == [planlib.PW_WILDCARD_LINK]
+
+    def test_pushed_down_plan_is_warning_free(self):
+        plan = planlib.compile_get_count(
+            make_record(3).flow_id, (1.0, 9.0))
+        assert planlib.validate(plan) == ()
+
+
+# --------------------------------------------------------------------------
+# Filter normalisation and pushdown compilation
+# --------------------------------------------------------------------------
+class TestFilterNormalisation:
+    def test_wildcards_normalise_like_scanspec(self):
+        op = Filter(start="*", end="?", links=(("*", "s1"), ("?", "*")))
+        assert op.start is None and op.end is None
+        assert op.links == ((None, "s1"),)
+
+    def test_flow_keys_sorted_and_deduped(self):
+        op = Filter(flow_keys=("b:1|c:2|6", "a:1|c:2|6", "b:1|c:2|6"))
+        assert op.flow_keys == ("a:1|c:2|6", "b:1|c:2|6")
+
+    def test_scan_spec_compilation(self):
+        op = Filter(start=1.0, end=9.0, links=(("s1", "s2"),),
+                    flow_keys=("a:1|c:2|6",), path=("a", "s1", "c"))
+        spec = planlib.scan_spec(op)
+        assert spec.start == 1.0 and spec.end == 9.0
+        assert spec.links == (("s1", "s2"),)
+        assert spec.flow_keys == frozenset(("a:1|c:2|6",))
+        # The exact-path predicate is residual - never part of the spec.
+        assert planlib.scan_spec(Filter()).unconstrained
+
+
+# --------------------------------------------------------------------------
+# Reference evaluator semantics
+# --------------------------------------------------------------------------
+class TestReferenceEvaluator:
+    def test_listing_without_project_emits_all_fields_sorted(self):
+        records = [make_record(i) for i in range(6)]
+        rows = planlib.reference_evaluate(records, Plan(ops=(Filter(),)))
+        assert rows == sorted(
+            (flow_key(r.flow_id), r.path, r.stime, r.etime, r.bytes, r.pkts)
+            for r in records)
+
+    def test_projection_narrows_rows(self):
+        records = [make_record(i) for i in range(6)]
+        plan = Plan(ops=(Filter(), Project(fields=("flow", "bytes"))))
+        rows = planlib.reference_evaluate(records, plan)
+        assert rows == sorted((flow_key(r.flow_id), r.bytes)
+                              for r in records)
+
+    def test_scalar_sum_and_count(self):
+        records = [make_record(i) for i in range(6)]
+        total = planlib.reference_evaluate(
+            records, Plan(ops=(Aggregate(func="sum",
+                                         fields=("bytes", "pkts")),)))
+        assert total == (sum(r.bytes for r in records),
+                         sum(r.pkts for r in records))
+        count = planlib.reference_evaluate(
+            records, Plan(ops=(Aggregate(func="count"),)))
+        assert count == (len(records),)
+
+    def test_histogram_bins(self):
+        records = [make_record(i) for i in range(10)]
+        plan = Plan(ops=(Aggregate(func="histogram", fields=("bytes",),
+                                   binsize=300),))
+        histogram = planlib.reference_evaluate(records, plan)
+        expected = {}
+        for r in records:
+            expected[r.bytes // 300] = expected.get(r.bytes // 300, 0) + 1
+        assert histogram == expected
+
+    def test_topk_rank_dimensions(self):
+        records = [make_record(i) for i in range(12)]
+        by_flow = {}
+        for r in records:
+            key = flow_key(r.flow_id)
+            by_flow[key] = by_flow.get(key, 0) + r.bytes
+        base = (Filter(), Aggregate(func="sum", fields=("bytes",),
+                                    by=("flow",)))
+        desc = planlib.reference_evaluate(
+            records, Plan(ops=base + (TopK(k=3),)))
+        assert desc == sorted(((v, k) for k, v in by_flow.items()),
+                              reverse=True)[:3]
+        asc = planlib.reference_evaluate(
+            records,
+            Plan(ops=base + (TopK(k=3, order=planlib.ORDER_ASC),)))
+        assert asc == sorted((v, k) for k, v in by_flow.items())[:3]
+        by_group = planlib.reference_evaluate(
+            records,
+            Plan(ops=base + (TopK(k=3, key=planlib.RANK_GROUP),)))
+        assert by_group == sorted(((k, v) for k, v in by_flow.items()),
+                                  reverse=True)[:3]
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(PlanError):
+            planlib.reference_evaluate([], Plan(ops=()))
+
+
+# --------------------------------------------------------------------------
+# Compiled built-ins: identity with the hand-written ancestors (serial)
+# --------------------------------------------------------------------------
+class TestCompiledBuiltins:
+    @pytest.mark.parametrize("tib_factory", [hot_tib, spanning_tib])
+    def test_get_count_identity(self, tib_factory):
+        tib = tib_factory()
+        agent = _LocalAgent(tib)
+        engine = QueryEngine()
+        sample = make_record(7)
+        cases = [
+            {"flow": sample.flow_id},
+            {"flow": sample.flow_id, "time_range": (5.0, 30.0)},
+            {"flow": (sample.flow_id, sample.path)},
+            {"flow": (sample.flow_id, sample.path),
+             "time_range": (0.0, 50.0)},
+            {"flow": make_record(999).flow_id},  # absent flow
+        ]
+        for params in cases:
+            new = engine.execute(agent, Query(Q_GET_COUNT, dict(params)))
+            old = engine.execute(agent,
+                                 Query(Q_GET_COUNT_LEGACY, dict(params)))
+            assert wire.encode_value(new.payload) == \
+                wire.encode_value(old.payload), params
+            assert new.records_scanned == old.records_scanned
+            assert new.estimated_wire_bytes == old.estimated_wire_bytes
+
+    @pytest.mark.parametrize("tib_factory", [hot_tib, spanning_tib])
+    def test_top_k_flows_identity(self, tib_factory):
+        tib = tib_factory()
+        agent = _LocalAgent(tib)
+        engine = QueryEngine()
+        sample = make_record(3)
+        a, b = sample.path[1], sample.path[2]
+        cases = [
+            {"k": 5},
+            {"k": 3, "link": (a, b)},
+            {"k": 4, "link": (a, None)},
+            {"k": 4, "time_range": (10.0, 35.0)},
+            {"k": 2, "link": (a, b), "time_range": (0.0, 45.0)},
+        ]
+        for params in cases:
+            new = engine.execute(agent, Query(Q_TOP_K_FLOWS, dict(params)))
+            old = engine.execute(agent,
+                                 Query(Q_TOP_K_FLOWS_LEGACY, dict(params)))
+            assert wire.encode_value(new.payload) == \
+                wire.encode_value(old.payload), params
+            assert new.records_scanned == old.records_scanned
+            assert new.estimated_wire_bytes == old.estimated_wire_bytes
+
+
+# --------------------------------------------------------------------------
+# Measured accounting for locally executed plans (the fallback fix)
+# --------------------------------------------------------------------------
+class TestMeasuredPlanAccounting:
+    """A plan executed locally must report measured ``len(encoded)``
+    request/result bytes exactly like the built-ins do - before the plan
+    frames existed, anything outside the codec's tagged-value set fell
+    back to handler estimates."""
+
+    def test_result_bytes_are_the_encoded_frame_length(self):
+        agent = _LocalAgent(hot_tib())
+        engine = QueryEngine()
+        query = Query(Q_PLAN, {"plan": planlib.compile_top_k_flows(5)})
+        result = engine.execute(agent, query)
+        frame = wire.encode_result(result)
+        assert result.wire_bytes == len(frame) > 0
+        assert wire.frame_type(frame) == wire.MSG_PLAN_RESULT
+        # It is a measurement, not the estimate cross-check.
+        assert result.wire_bytes != result.estimated_wire_bytes
+
+    def test_request_bytes_are_the_encoded_frame_length(self):
+        query = Query(Q_PLAN, {"plan": planlib.compile_get_count(
+            make_record(1).flow_id, (0.0, 9.0))})
+        frame = wire.encode_query_request(query, None)
+        assert query.request_bytes() == len(frame) > 0
+        assert query.request_bytes() != query.estimated_request_bytes()
+
+
+# --------------------------------------------------------------------------
+# Provable pushdown: routing + pruning counters
+# --------------------------------------------------------------------------
+class TestPushdownCounters:
+    def test_flow_key_plan_routes_on_flow_index(self):
+        tib = hot_tib()
+        sample = make_record(5)
+        plan = Plan(ops=(
+            Filter(flow_keys=(flow_key(sample.flow_id),),
+                   start=0.0, end=50.0),
+            Aggregate(func="sum", fields=("bytes", "pkts")),
+        ))
+        execution = planlib.execute_plan(tib, plan)
+        assert execution.scan_stats["hot_flow_routed"] == 1
+        assert execution.scan_stats["hot_full_scans"] == 0
+
+    def test_link_plan_routes_on_link_index(self):
+        tib = hot_tib()
+        sample = make_record(5)
+        plan = Plan(ops=(Filter(links=((sample.path[1],
+                                        sample.path[2]),)),))
+        execution = planlib.execute_plan(tib, plan)
+        assert execution.scan_stats["hot_link_routed"] == 1
+        assert execution.scan_stats["hot_full_scans"] == 0
+
+    def test_time_plan_routes_on_time_index(self):
+        tib = hot_tib()
+        plan = Plan(ops=(Filter(start=10.0, end=20.0),))
+        execution = planlib.execute_plan(tib, plan)
+        assert execution.scan_stats["hot_time_routed"] == 1
+        assert execution.scan_stats["hot_full_scans"] == 0
+
+    def test_spanning_plan_prunes_cold_tier(self):
+        """On a capped TIB, a windowed plan's compiled ScanSpec reaches
+        the cold tier's zone-map/bloom pruning - the counters prove the
+        filter pushed down end to end."""
+        tib = spanning_tib(count=240, cap=12, segment_records=16)
+        tib.flush_archive()
+        keys = tuple(sorted({flow_key(make_record(i).flow_id)
+                             for i in (3, 40)}))
+        plan = Plan(ops=(
+            Filter(flow_keys=keys, start=0.0, end=40.0),
+            Aggregate(func="sum", fields=("bytes",), by=("flow",)),
+            TopK(k=5),
+        ))
+        execution = planlib.execute_plan(tib, plan)
+        assert execution.scan_stats["cold_segments_skipped"] > 0
+        assert execution.scan_stats["hot_flow_routed"] >= 1
+        # and the payload still matches the brute-force reference
+        reference = planlib.reference_evaluate(tib.records(), plan)
+        assert execution.payload == reference
+
+    def test_unconstrained_aggregate_touches_no_index(self):
+        """The maintained per-flow totals serve the unconstrained top-k
+        shape: no scan at all, on either tier."""
+        tib = spanning_tib()
+        execution = planlib.execute_plan(
+            tib, planlib.compile_top_k_flows(5))
+        assert all(value == 0
+                   for value in execution.scan_stats.values())
+        assert execution.records_scanned == tib.total_record_count()
+
+
+# --------------------------------------------------------------------------
+# Property fuzz: random plans x random TIBs x every tier mix
+# --------------------------------------------------------------------------
+def fuzz_plans(rng, records):
+    """Random valid plans touching every op kind and pushdown shape."""
+    sample = rng.choice(records)
+    a, b = sample.path[1], sample.path[2]
+    fkey = flow_key(sample.flow_id)
+    times = sorted((rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)))
+    filters = [
+        Filter(),
+        Filter(start=times[0], end=times[1]),
+        Filter(start=times[1]),
+        Filter(end=times[0]),
+        Filter(links=((a, b),)),
+        Filter(links=((b, a),)),
+        Filter(links=((a, None),)),
+        Filter(links=(("no-such-switch", None),)),
+        Filter(flow_keys=(fkey,)),
+        Filter(flow_keys=(fkey, "no:1|such:2|6")),
+        Filter(start=times[0], end=times[1], links=((a, b),)),
+        Filter(start=times[0], end=times[1], flow_keys=(fkey,)),
+        Filter(path=sample.path),
+        Filter(start=times[0], path=sample.path),
+    ]
+    keyed_by = rng.choice((("flow",), ("flow", "path"), ("path",)))
+    plans = []
+    for filter_op in filters:
+        shape = rng.randrange(6)
+        if shape == 0:
+            plans.append(Plan(ops=(filter_op,)))
+        elif shape == 1:
+            plans.append(Plan(ops=(
+                filter_op, Project(fields=("flow", "stime", "bytes")))))
+        elif shape == 2:
+            if rng.random() < 0.5:
+                agg = Aggregate(func="sum",
+                                fields=(("bytes", "pkts")
+                                        if rng.random() < 0.5
+                                        else ("bytes",)))
+            else:
+                agg = Aggregate(func="count")
+            plans.append(Plan(ops=(filter_op, agg)))
+        elif shape == 3:
+            plans.append(Plan(ops=(
+                filter_op,
+                Aggregate(func="histogram", fields=("bytes",),
+                          binsize=rng.choice((1, 100, 1000))))))
+        elif shape == 4:
+            plans.append(Plan(ops=(
+                filter_op,
+                Aggregate(func="sum", fields=("bytes",), by=keyed_by))))
+        else:
+            plans.append(Plan(ops=(
+                filter_op,
+                Aggregate(func="sum", fields=("bytes",), by=("flow",)),
+                TopK(k=rng.choice((1, 3, 8)),
+                     key=rng.choice((planlib.RANK_VALUE,
+                                     planlib.RANK_GROUP)),
+                     order=rng.choice((planlib.ORDER_DESC,
+                                       planlib.ORDER_ASC))))))
+    # Always include the two compiled built-ins' exact shapes.
+    plans.append(planlib.compile_get_count(sample.flow_id,
+                                           (times[0], times[1])))
+    plans.append(planlib.compile_get_count((sample.flow_id, sample.path)))
+    plans.append(planlib.compile_top_k_flows(4, (a, b)))
+    plans.append(planlib.compile_top_k_flows(4))
+    return plans
+
+
+class TestPlanFuzz:
+    """The acceptance property of the whole pushdown pipeline: for ANY
+    valid plan on ANY tier mix, the pushed execution (index routing, cold
+    pruning, fast paths) returns exactly what the brute-force reference
+    evaluator computes over the TIB's full record set."""
+
+    TIER_MIXES = (
+        ("hot-only", dict()),
+        ("spanning", dict(cap=12, segment_records=16)),
+        ("capped-tight", dict(cap=4, segment_records=8)),
+    )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_pushed_execution_matches_reference(self, seed):
+        rng = random.Random(seed)
+        accumulated = {}
+        for mix_name, kwargs in self.TIER_MIXES:
+            count = 120
+            if mix_name == "hot-only":
+                tib = hot_tib(count=count, rng=rng)
+            else:
+                tib = spanning_tib(count=count, rng=rng, **kwargs)
+            truth = tib.records()
+            for round_ in range(3):
+                for plan in fuzz_plans(rng, truth):
+                    execution = planlib.execute_plan(tib, plan)
+                    reference = planlib.reference_evaluate(truth, plan)
+                    assert execution.payload == reference, \
+                        (mix_name, plan)
+                    for key, value in execution.scan_stats.items():
+                        accumulated[key] = accumulated.get(key, 0) + value
+        # Non-vacuity: the fuzz exercised every hot route and, on the
+        # capped mixes, actually saved cold decode work.
+        assert accumulated["hot_flow_routed"] > 0
+        assert accumulated["hot_link_routed"] > 0
+        assert accumulated["hot_time_routed"] > 0
+        assert accumulated["hot_full_scans"] > 0
+        assert accumulated["cold_segments_skipped"] > 0
+        assert accumulated["cold_entries_skipped"] > 0
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_merge_operators_match_reference_over_union(self, seed):
+        """Partition records over three 'hosts'; per-host execution +
+        the plan's generic merge must equal the reference evaluation of
+        the union (for the associative merge shapes: concat merges are
+        order-sensitive only in row order, so compare as multisets)."""
+        rng = random.Random(seed)
+        tibs = [hot_tib(count=0, host=f"h{i}") for i in range(3)]
+        records = []
+        for i in range(90):
+            record = make_record(i, rng=rng)
+            records.append(record)
+            tibs[i % 3].add_record(record)
+        union = [r for tib in tibs for r in tib.records()]
+        for plan in fuzz_plans(rng, records):
+            if plan.topk is not None:
+                continue  # top-k merges re-select, not re-sum (by design)
+            payloads = [planlib.execute_plan(tib, plan).payload
+                        for tib in tibs]
+            merged = planlib.merge_payloads(plan, payloads)
+            reference = planlib.reference_evaluate(union, plan)
+            if planlib.merge_operator(plan) == planlib.MERGE_CONCAT:
+                if plan.aggregate is None:
+                    assert sorted(merged) == reference, plan
+                else:  # scalar aggregates flatten like legacy getCount
+                    assert len(merged) == 3 * len(reference)
+            else:
+                assert merged == reference, plan

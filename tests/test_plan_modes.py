@@ -1,0 +1,188 @@
+"""Plan queries across every execution mode and both mechanisms.
+
+Covers: plan-compiled ``get_count`` / ``top_k_flows`` returning payloads
+byte-identical to the retained hand-written legacy handlers across serial /
+thread / process / socket modes (direct and multilevel scatter), raw
+``Q_PLAN`` queries travelling every transport unchanged, per-plan scan
+statistics surfacing on the distributed result, and a worker killed with a
+plan in flight failing exactly like a dead agent (partial result,
+``W_HOST_FAILED`` warning, survivors intact).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (MECHANISM_DIRECT, MECHANISM_MULTILEVEL,
+                        MODE_CONCURRENT, MODE_PROCESS, MODE_SERIAL,
+                        MODE_SOCKET, Q_GET_COUNT, Q_GET_COUNT_LEGACY,
+                        Q_PLAN, Q_TOP_K_FLOWS, Q_TOP_K_FLOWS_LEGACY, Query,
+                        QueryCluster, wire)
+from repro.core import plan as planlib
+from repro.core.executor import W_HOST_FAILED
+from repro.core.plan import Aggregate, Filter, Plan, TopK
+from repro.network.packet import FlowId, PROTO_TCP
+from test_process_mode import populate, small_topology
+from test_socket_mode import NUM_HOSTS, socket_cluster
+
+#: A flow ``populate`` actually installs (src is the next host around the
+#: ring, sport counts up from 30_000), plus a link on its path.
+SAMPLE_FLOW = FlowId("server-1", "server-0", 30_005, 80, PROTO_TCP)
+SAMPLE_LINK = ("leaf-0", "server-0")
+
+#: (plan params for Q_PLAN/Q_<builtin>, legacy query) - each pair must be
+#: byte-identical in every mode.
+BUILTIN_CASES = [
+    (Q_GET_COUNT, Q_GET_COUNT_LEGACY, {"flow": SAMPLE_FLOW}),
+    (Q_GET_COUNT, Q_GET_COUNT_LEGACY,
+     {"flow": SAMPLE_FLOW, "time_range": (2.0, 20.0)}),
+    (Q_TOP_K_FLOWS, Q_TOP_K_FLOWS_LEGACY, {"k": 30}),
+    (Q_TOP_K_FLOWS, Q_TOP_K_FLOWS_LEGACY, {"k": 10, "link": SAMPLE_LINK}),
+    (Q_TOP_K_FLOWS, Q_TOP_K_FLOWS_LEGACY,
+     {"k": 15, "time_range": (3.0, 18.0)}),
+]
+
+#: Raw plans exercising every op kind over the wire.
+RAW_PLANS = [
+    Plan(ops=(Filter(start=2.0, end=20.0),
+              Aggregate(func="count"))),
+    Plan(ops=(Filter(links=(SAMPLE_LINK,)),
+              Aggregate(func="histogram", fields=("bytes",),
+                        binsize=4000))),
+    Plan(ops=(Filter(),
+              Aggregate(func="sum", fields=("bytes",), by=("flow",)),
+              TopK(k=12))),
+]
+
+
+def run_all_modes(query, mechanism):
+    """Execute ``query`` in all four modes; return {mode: result}."""
+    results = {}
+    for mode in (MODE_SERIAL, MODE_CONCURRENT, MODE_PROCESS):
+        cluster = QueryCluster(small_topology(NUM_HOSTS), mode=MODE_SERIAL)
+        populate(cluster)
+        cluster.configure_executor(mode=mode)
+        try:
+            result = cluster.execute(query, mechanism=mechanism)
+            assert not result.partial
+            results[mode] = result
+        finally:
+            cluster.close()
+    with socket_cluster() as cluster:
+        result = cluster.execute(query, mechanism=mechanism)
+        assert not result.partial
+        results[MODE_SOCKET] = result
+    return results
+
+
+class TestBuiltinIdentityAcrossModes:
+    @pytest.mark.parametrize("mechanism", [MECHANISM_DIRECT,
+                                           MECHANISM_MULTILEVEL])
+    @pytest.mark.parametrize("new,legacy,params", BUILTIN_CASES)
+    def test_plan_builtin_matches_legacy_in_four_modes(self, mechanism,
+                                                       new, legacy, params):
+        """The plan-compiled built-in and its hand-written ancestor are
+        byte-identical in every mode, and each is self-consistent across
+        modes."""
+        new_results = run_all_modes(Query(new, dict(params)), mechanism)
+        legacy_results = run_all_modes(Query(legacy, dict(params)),
+                                       mechanism)
+        reference = wire.encode_value(new_results[MODE_SERIAL].payload)
+        for mode, result in new_results.items():
+            assert wire.encode_value(result.payload) == reference, mode
+        for mode, result in legacy_results.items():
+            assert wire.encode_value(result.payload) == reference, mode
+
+
+class TestRawPlansAcrossModes:
+    @pytest.mark.parametrize("mechanism", [MECHANISM_DIRECT,
+                                           MECHANISM_MULTILEVEL])
+    @pytest.mark.parametrize("index", range(len(RAW_PLANS)))
+    def test_plan_frames_ride_every_transport(self, mechanism, index):
+        """A raw Q_PLAN query returns the same bytes whether the plan
+        frame crossed a function call, a thread, a pipe or a socket."""
+        query = Query(Q_PLAN, {"plan": RAW_PLANS[index]})
+        results = run_all_modes(query, mechanism)
+        reference = wire.encode_value(results[MODE_SERIAL].payload)
+        assert reference != wire.encode_value(None)
+        for mode, result in results.items():
+            assert wire.encode_value(result.payload) == reference, mode
+
+    def test_distributed_payload_matches_merged_reference(self):
+        """The distributed merge of a keyed plan equals merging each
+        host's local execution with the plan's own merge operator."""
+        plan = RAW_PLANS[2]
+        cluster = QueryCluster(small_topology(NUM_HOSTS))
+        populate(cluster)
+        try:
+            outcome = cluster.execute(Query(Q_PLAN, {"plan": plan}))
+            payloads = [planlib.execute_plan(cluster.agent(host).tib,
+                                             plan).payload
+                        for host in cluster.hosts]
+            assert wire.encode_value(outcome.payload) == \
+                wire.encode_value(planlib.merge_payloads(plan, payloads))
+        finally:
+            cluster.close()
+
+
+class TestScanStatsSurface:
+    def test_process_mode_result_carries_summed_scan_stats(self):
+        """Per-host pushdown counters cross the worker pipe inside
+        MSG_PLAN_RESULT and sum on the distributed result."""
+        cluster = QueryCluster(small_topology(NUM_HOSTS))
+        populate(cluster)
+        cluster.configure_executor(mode=MODE_PROCESS)
+        try:
+            plan = Plan(ops=(Filter(start=2.0, end=20.0),
+                             Aggregate(func="count")))
+            outcome = cluster.execute(Query(Q_PLAN, {"plan": plan}))
+            assert outcome.scan_stats["hot_time_routed"] == NUM_HOSTS
+            assert outcome.scan_stats["hot_full_scans"] == 0
+        finally:
+            cluster.close()
+
+    def test_legacy_builtins_carry_no_scan_stats(self):
+        """The rebased built-ins keep their ancestors' result shape -
+        scan statistics are a Q_PLAN-only surface."""
+        cluster = QueryCluster(small_topology(NUM_HOSTS))
+        populate(cluster)
+        try:
+            outcome = cluster.execute(Query(Q_TOP_K_FLOWS, {"k": 5}))
+            assert outcome.scan_stats == {}
+        finally:
+            cluster.close()
+
+
+class TestWorkerFailureMidPlan:
+    def test_kill_mid_plan_surfaces_like_dead_agent(self):
+        """A worker killed with a plan in flight surfaces exactly like a
+        dead in-thread agent: partial=True, the host in hosts_failed, a
+        W_HOST_FAILED warning - and the survivors' groups intact."""
+        cluster = QueryCluster(small_topology(NUM_HOSTS))
+        populate(cluster)
+        cluster.configure_executor(mode=MODE_PROCESS)
+        try:
+            victim = cluster.hosts[2]
+            pool = cluster.agent_servers
+            pool.stall(victim, 5.0)
+            killer = threading.Timer(0.15, pool.kill, args=(victim,))
+            killer.start()
+            try:
+                started = time.perf_counter()
+                result = cluster.execute(
+                    Query(Q_PLAN, {"plan": RAW_PLANS[2]}))
+                elapsed = time.perf_counter() - started
+            finally:
+                killer.cancel()
+            assert elapsed < 4.0  # the kill, not the stall, ended the wait
+            assert result.partial
+            assert result.hosts_failed == [victim]
+            warning = next(w for w in result.warnings
+                           if w.code == W_HOST_FAILED)
+            assert warning.host == victim
+            # Survivors' flows all present, the victim's missing.
+            keys = {key for _, key in result.payload}
+            assert keys and not any(f"|{victim}:" in key for key in keys)
+        finally:
+            cluster.close()

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.core import Query, QueryEngine, QueryResult, wire
+from repro.core import Query, QueryEngine, QueryResult, plan, wire
 from repro.core.aggregation import AggregationTree
 from repro.core.alarms import Alarm, POOR_PERF, REASON_CODES
 from repro.core.monitor import (ActiveMonitor, MonitorSnapshot, TcpFlowStats,
@@ -447,6 +447,91 @@ class TestControlFrames:
         assert wire.decode_sleep(wire.encode_sleep(0.25)) == 0.25
 
 
+class TestPlanFrames:
+    """The generic v6 plan frames: MSG_PLAN_REQUEST / MSG_PLAN_RESULT."""
+
+    @staticmethod
+    def _sample_plan():
+        return plan.Plan(ops=(
+            plan.Filter(start=1.0, end=9.0, links=(("tor-a", None),),
+                        flow_keys=(flow_key(FlowId("a", "b", 1, 2, 6)),),
+                        path=("a", "tor-a", "b")),
+            plan.Project(fields=("flow", "bytes", "pkts")),
+            plan.Aggregate(func="sum", fields=("bytes",), by=("flow",)),
+            plan.TopK(k=3),
+        ))
+
+    def test_plan_request_round_trip(self):
+        query = Query(plan.PLAN_QUERY_NAME, {"plan": self._sample_plan()},
+                      period=2.5)
+        spec = wire.SubtreeSpec("h0", ("h0", "h1"))
+        frame = wire.encode_plan_request(query, spec)
+        assert wire.frame_type(frame) == wire.MSG_PLAN_REQUEST
+        decoded, decoded_spec = wire.decode_plan_request(frame)
+        assert decoded.name == plan.PLAN_QUERY_NAME
+        assert decoded.params["plan"] == query.params["plan"]
+        assert decoded.period == 2.5
+        assert decoded_spec == spec
+
+    def test_every_op_round_trips(self):
+        """One plan per registered op kind (the wire legs R9 gates)."""
+        plans = [
+            plan.Plan(ops=(plan.Filter(start=0.5),)),
+            plan.Plan(ops=(plan.Filter(), plan.Project(fields=("path",)))),
+            plan.Plan(ops=(plan.Aggregate(func="histogram",
+                                          fields=("bytes",), binsize=100),)),
+            plan.Plan(ops=(plan.Aggregate(func="count"),)),
+            self._sample_plan(),
+        ]
+        for sample in plans:
+            query = Query(plan.PLAN_QUERY_NAME, {"plan": sample})
+            frame = wire.encode_plan_request(query, None)
+            decoded, spec = wire.decode_plan_request(frame)
+            assert decoded.params["plan"] == sample
+            assert spec is None
+
+    def test_generic_entry_points_dispatch(self):
+        """encode_query_request / decode_query_request route plan queries
+        to the plan frame transparently (the executor and the worker
+        transports only ever call the generic entry points)."""
+        query = Query(plan.PLAN_QUERY_NAME, {"plan": self._sample_plan()})
+        frame = wire.encode_query_request(query, None)
+        assert wire.frame_type(frame) == wire.MSG_PLAN_REQUEST
+        decoded, _spec = wire.decode_query_request(frame)
+        assert decoded.params["plan"] == query.params["plan"]
+
+    def test_plan_result_round_trip_with_scan_stats(self):
+        query = Query(plan.PLAN_QUERY_NAME, {"plan": self._sample_plan()})
+        result = QueryResult(
+            query=query, payload=[(1000, "a:1|b:2|6")], wire_bytes=0,
+            records_scanned=17, estimated_wire_bytes=24, host=UNICODE_HOST,
+            scan_stats={"hot_flow_routed": 1, "cold_entries_skipped": 9})
+        frame = wire.encode_plan_result(result)
+        assert wire.frame_type(frame) == wire.MSG_PLAN_RESULT
+        decoded = wire.decode_plan_result(frame, query)
+        assert decoded.payload == result.payload
+        assert decoded.scan_stats == result.scan_stats
+        assert decoded.records_scanned == 17
+        assert decoded.wire_bytes == len(frame)
+        # The generic result entry points dispatch the same way.
+        assert wire.encode_result(result) == frame
+        assert wire.decode_result(frame, query).scan_stats == \
+            result.scan_stats
+
+    def test_invalid_plan_frame_rejected(self):
+        """A structurally decodable but semantically invalid plan (here:
+        TopK without a keyed Aggregate) must surface as WireError, not
+        slip through to the executor."""
+        bad = plan.Plan(ops=(plan.Filter(), plan.TopK(k=2)))
+        query = Query(plan.PLAN_QUERY_NAME, {"plan": bad})
+        with pytest.raises(wire.WireError):
+            wire.decode_plan_request(wire.encode_plan_request(query, None))
+
+    def test_non_plan_query_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_plan_request(Query("top_k_flows", {"k": 5}), None)
+
+
 class TestFrameValidation:
     def test_bad_magic(self):
         frame = bytearray(wire.encode_ping())
@@ -541,6 +626,16 @@ class TestCorruptionFuzz:
             (wire.encode_monitor_tick(1.5, 3), wire.decode_monitor_tick),
             (wire.encode_monitor_state(snapshot),
              wire.decode_monitor_state),
+            (wire.encode_plan_request(
+                Query(plan.PLAN_QUERY_NAME,
+                      {"plan": TestPlanFrames._sample_plan()}), spec),
+             wire.decode_plan_request),
+            (wire.encode_plan_result(QueryResult(
+                query=Query(plan.PLAN_QUERY_NAME,
+                            {"plan": TestPlanFrames._sample_plan()}),
+                payload=[(9, "k")], wire_bytes=0, host=UNICODE_HOST,
+                scan_stats={"hot_flow_routed": 2})),
+             wire.decode_plan_result),
         ]
 
     def _assert_decodes_or_wire_error(self, decoder, data):
